@@ -1,0 +1,1 @@
+//! Bench harness (under construction).

@@ -1,0 +1,54 @@
+//! Error type for SeeDB recommendation runs.
+
+use std::fmt;
+
+/// Errors surfaced by the recommendation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The table declares no dimension attributes, so no view can be built.
+    NoDimensions,
+    /// The table declares no measure attributes.
+    NoMeasures,
+    /// The configuration requested zero aggregate functions.
+    NoAggregateFunctions,
+    /// `k` was zero.
+    ZeroK,
+    /// `num_phases` was zero.
+    ZeroPhases,
+    /// δ outside (0, 1).
+    BadDelta(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoDimensions => {
+                write!(f, "table has no dimension attributes; nothing to group by")
+            }
+            CoreError::NoMeasures => {
+                write!(f, "table has no measure attributes; nothing to aggregate")
+            }
+            CoreError::NoAggregateFunctions => {
+                write!(f, "config.agg_functions is empty")
+            }
+            CoreError::ZeroK => write!(f, "k must be at least 1"),
+            CoreError::ZeroPhases => write!(f, "num_phases must be at least 1"),
+            CoreError::BadDelta(d) => write!(f, "delta must be in (0, 1), got {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(CoreError::NoDimensions.to_string().contains("dimension"));
+        assert!(CoreError::NoMeasures.to_string().contains("measure"));
+        assert!(CoreError::ZeroK.to_string().contains("k"));
+        assert!(CoreError::BadDelta("2".into()).to_string().contains("2"));
+    }
+}

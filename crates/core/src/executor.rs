@@ -1,0 +1,707 @@
+//! The phased execution framework (§3) with sharing (§4.1) and pruning
+//! (§4.2) combined.
+//!
+//! Every strategy is a configuration of one loop:
+//!
+//! 1. Partition the table into `n` phases ([`crate::phase::phase_ranges`]).
+//! 2. Per phase, build **query clusters** from the views still alive:
+//!    group views by dimension (combine-aggregates), optionally bin-pack
+//!    dimensions into multi-GROUP-BY clusters under the memory budget
+//!    (combine-group-bys), and execute clusters in parallel, each as a
+//!    single target+reference scan (combine-target-reference) or as two
+//!    separate queries.
+//! 3. Fold each cluster's partial results into per-view
+//!    [`ViewState`]s, re-estimate utilities, and let the pruner discard or
+//!    accept views.
+//! 4. `COMB_EARLY` stops as soon as top-k membership is decided.
+//!
+//! `NO_OPT` bypasses the loop: two serial full-table queries per view,
+//! exactly the paper's basic execution engine (2·f·a·m queries).
+
+use crate::config::{ExecutionStrategy, PruningKind, SeeDbConfig};
+use crate::phase::phase_ranges;
+use crate::pruning::{make_pruner, ViewEstimate};
+use crate::reference::ReferenceSpec;
+use crate::state::{Side, ViewState};
+use crate::view::{ViewId, ViewSpec};
+use seedb_engine::{
+    binpack, parallel::run_parallel, rollup, AggSpec, CombinedQuery, ExecStats, GroupedResult,
+    PartialAggregation, Predicate, SplitSpec,
+};
+use seedb_storage::{ColumnId, Table};
+use std::time::{Duration, Instant};
+
+/// Outcome of an execution: final per-view states plus run metadata.
+#[derive(Debug)]
+pub struct ExecutionReport {
+    /// One state per enumerated view (indexed by `ViewSpec::id`).
+    pub states: Vec<ViewState>,
+    /// Work counters.
+    pub stats: ExecStats,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Phases actually executed (< `num_phases` when early-stopped).
+    pub phases_executed: usize,
+    /// Whether `COMB_EARLY` stopped before the final phase.
+    pub early_stopped: bool,
+}
+
+impl ExecutionReport {
+    /// Ids of the top-k views: accepted views first (by utility), then the
+    /// best remaining live views, all ranked by final utility estimate.
+    pub fn top_k(&self, k: usize, metric: seedb_metrics::DistanceKind) -> Vec<ViewId> {
+        let mut candidates: Vec<(ViewId, f64, bool)> = self
+            .states
+            .iter()
+            .filter(|s| s.alive || s.accepted)
+            .map(|s| (s.spec.id, s.utility(metric), s.accepted))
+            .collect();
+        // Accepted views outrank unaccepted ones at equal utility; otherwise
+        // sort by utility descending (ties broken by id for determinism).
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then(b.2.cmp(&a.2))
+                .then(a.0.cmp(&b.0))
+        });
+        candidates.into_iter().take(k).map(|(id, _, _)| id).collect()
+    }
+}
+
+/// One shared query cluster: a set of views answered by a single combined
+/// query.
+struct Cluster {
+    group_by: Vec<ColumnId>,
+    aggregates: Vec<AggSpec>,
+    /// `(view id, aggregate index within this cluster, dim position within
+    /// group_by)` for each member view.
+    members: Vec<(ViewId, usize, usize)>,
+}
+
+/// Strategy-driven executor over one table.
+pub struct Executor<'a> {
+    table: &'a dyn Table,
+    config: &'a SeeDbConfig,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor for `table` under `config`.
+    pub fn new(table: &'a dyn Table, config: &'a SeeDbConfig) -> Self {
+        Executor { table, config }
+    }
+
+    /// Runs the configured strategy over `views`.
+    pub fn run(
+        &self,
+        views: &[ViewSpec],
+        target: &Predicate,
+        reference: &ReferenceSpec,
+    ) -> ExecutionReport {
+        match self.config.strategy {
+            ExecutionStrategy::NoOpt => self.run_no_opt(views, target, reference),
+            ExecutionStrategy::Sharing => {
+                self.run_phased(views, target, reference, 1, PruningKind::None, false)
+            }
+            ExecutionStrategy::Comb => self.run_phased(
+                views,
+                target,
+                reference,
+                self.config.num_phases,
+                self.config.pruning,
+                false,
+            ),
+            ExecutionStrategy::CombEarly => self.run_phased(
+                views,
+                target,
+                reference,
+                self.config.num_phases,
+                self.config.pruning,
+                true,
+            ),
+        }
+    }
+
+    /// The basic execution engine: two serial full-table queries per view.
+    fn run_no_opt(
+        &self,
+        views: &[ViewSpec],
+        target: &Predicate,
+        reference: &ReferenceSpec,
+    ) -> ExecutionReport {
+        let start = Instant::now();
+        let mut stats = ExecStats::new();
+        let ref_pred = reference.reference_predicate(target);
+        let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
+
+        for state in &mut states {
+            let spec = state.spec;
+            let agg = AggSpec::new(spec.func, spec.measure);
+            let t_query = CombinedQuery::single(
+                spec.dim,
+                agg,
+                SplitSpec::TargetOnly(target.clone()),
+            );
+            let t_result = seedb_engine::execute_combined(self.table, &t_query, &mut stats);
+            state.merge_into_side(&t_result, 0, Side::Target);
+
+            let r_query =
+                CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(ref_pred.clone()));
+            let r_result = seedb_engine::execute_combined(self.table, &r_query, &mut stats);
+            state.merge_into_side(&r_result, 0, Side::Reference);
+        }
+
+        ExecutionReport {
+            states,
+            stats,
+            elapsed: start.elapsed(),
+            phases_executed: 1,
+            early_stopped: false,
+        }
+    }
+
+    /// The phased shared executor described in the module docs.
+    fn run_phased(
+        &self,
+        views: &[ViewSpec],
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        phases: usize,
+        pruning: PruningKind,
+        early: bool,
+    ) -> ExecutionReport {
+        let start = Instant::now();
+        let mut stats = ExecStats::new();
+        let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
+        let mut pruner = make_pruner(pruning, self.config.delta, self.config.seed);
+        let ranges = phase_ranges(self.table.num_rows(), phases);
+        let k = self.config.k;
+        let metric = self.config.metric;
+        let ref_pred = reference.reference_predicate(target);
+
+        let mut phases_executed = 0;
+        let mut early_stopped = false;
+
+        for (phase_idx, range) in ranges.iter().enumerate() {
+            let live: Vec<&ViewSpec> = states
+                .iter()
+                .filter(|s| s.alive || s.accepted)
+                .map(|s| &s.spec)
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let clusters = self.build_clusters(&live);
+
+            // Execute this phase's clusters (in parallel when configured).
+            let sharing = &self.config.sharing;
+            let combine_tr = sharing.combine_target_reference;
+            let results: Vec<(Vec<GroupedResult>, ExecStats)> = run_parallel(
+                clusters.len(),
+                sharing.parallelism,
+                |ci| {
+                    let cluster = &clusters[ci];
+                    let mut local = ExecStats::new();
+                    let mut outs = Vec::with_capacity(2);
+                    if combine_tr {
+                        let q = CombinedQuery {
+                            group_by: cluster.group_by.clone(),
+                            aggregates: cluster.aggregates.clone(),
+                            filter: None,
+                            split: reference.to_split(target.clone()),
+                        };
+                        local.queries_issued += 1;
+                        let mut agg = PartialAggregation::new(q);
+                        agg.update(self.table, range.clone(), &mut local);
+                        outs.push(agg.finalize());
+                    } else {
+                        for pred in [target.clone(), ref_pred.clone()] {
+                            let q = CombinedQuery {
+                                group_by: cluster.group_by.clone(),
+                                aggregates: cluster.aggregates.clone(),
+                                filter: None,
+                                split: SplitSpec::TargetOnly(pred),
+                            };
+                            local.queries_issued += 1;
+                            let mut agg = PartialAggregation::new(q);
+                            agg.update(self.table, range.clone(), &mut local);
+                            outs.push(agg.finalize());
+                        }
+                    }
+                    (outs, local)
+                },
+            );
+
+            // Fold results into view states, rolling up multi-GB clusters.
+            for (cluster, (outs, local_stats)) in clusters.iter().zip(&results) {
+                stats.merge(local_stats);
+                for (dim_pos, out_pair) in roll_cluster(cluster, outs) {
+                    for &(view_id, agg_idx, member_dim_pos) in &cluster.members {
+                        if member_dim_pos != dim_pos {
+                            continue;
+                        }
+                        let state = &mut states[view_id];
+                        match &out_pair {
+                            RolledPair::Combined(r) => state.merge_both(r, agg_idx),
+                            RolledPair::Separate(t, rf) => {
+                                state.merge_into_side(t, agg_idx, Side::Target);
+                                state.merge_into_side(rf, agg_idx, Side::Reference);
+                            }
+                        }
+                    }
+                }
+            }
+
+            phases_executed = phase_idx + 1;
+
+            // Utility estimates for live, unaccepted views.
+            let mut estimates = Vec::new();
+            for state in &mut states {
+                if state.alive && !state.accepted {
+                    let _ = state.record_estimate(metric);
+                    estimates.push(ViewEstimate {
+                        view_id: state.spec.id,
+                        mean: state.estimate_mean(),
+                        samples: state.estimates.len(),
+                    });
+                }
+            }
+            let accepted_so_far = states.iter().filter(|s| s.accepted).count();
+            let decision =
+                pruner.decide(&estimates, accepted_so_far, k, phases_executed, phases);
+            for id in decision.discard {
+                let s = &mut states[id];
+                s.alive = false;
+                s.pruned_at_phase = Some(phase_idx);
+            }
+            for id in decision.accept {
+                states[id].accepted = true;
+            }
+
+            if early {
+                let accepted = states.iter().filter(|s| s.accepted).count();
+                let undecided =
+                    states.iter().filter(|s| s.alive && !s.accepted).count();
+                if accepted >= k || accepted + undecided <= k {
+                    early_stopped = phases_executed < phases;
+                    break;
+                }
+            }
+        }
+
+        ExecutionReport {
+            states,
+            stats,
+            elapsed: start.elapsed(),
+            phases_executed,
+            early_stopped,
+        }
+    }
+
+    /// Builds this phase's query clusters from the live views, applying the
+    /// combine-aggregates, nagg-cap, and combine-group-bys knobs.
+    fn build_clusters(&self, live: &[&ViewSpec]) -> Vec<Cluster> {
+        let sharing = &self.config.sharing;
+
+        if !sharing.combine_aggregates {
+            // One cluster per view: the unshared (but possibly parallel and
+            // split-combined) shape.
+            return live
+                .iter()
+                .map(|v| Cluster {
+                    group_by: vec![v.dim],
+                    aggregates: vec![AggSpec::new(v.func, v.measure)],
+                    members: vec![(v.id, 0, 0)],
+                })
+                .collect();
+        }
+
+        // Group views by dimension, preserving first-seen dim order.
+        let mut dims: Vec<ColumnId> = Vec::new();
+        let mut per_dim: Vec<Vec<&ViewSpec>> = Vec::new();
+        for v in live {
+            match dims.iter().position(|&d| d == v.dim) {
+                Some(i) => per_dim[i].push(v),
+                None => {
+                    dims.push(v.dim);
+                    per_dim.push(vec![v]);
+                }
+            }
+        }
+
+        // Optionally combine dimensions into shared multi-GB clusters.
+        let bins: Vec<Vec<ColumnId>> = if sharing.combine_group_bys && dims.len() > 1 {
+            match sharing.grouping_policy {
+                crate::config::GroupingPolicy::BinPack => {
+                    let budget = sharing.effective_budget(self.table.kind());
+                    binpack::first_fit(self.table, &dims, budget).bins
+                }
+                crate::config::GroupingPolicy::MaxGb(n) => dims
+                    .chunks(n.max(1))
+                    .map(|chunk| chunk.to_vec())
+                    .collect(),
+            }
+        } else {
+            dims.iter().map(|&d| vec![d]).collect()
+        };
+
+        let nagg_cap = sharing.max_aggregates_per_query.unwrap_or(usize::MAX).max(1);
+        let mut clusters = Vec::new();
+        for bin in bins {
+            // Views of every dim in this bin share one (chunked) cluster.
+            let mut pending: Vec<(ViewId, AggSpec, usize)> = Vec::new();
+            for (dim_pos, dim) in bin.iter().enumerate() {
+                let dim_idx = dims.iter().position(|d| d == dim).unwrap();
+                for v in &per_dim[dim_idx] {
+                    pending.push((v.id, AggSpec::new(v.func, v.measure), dim_pos));
+                }
+            }
+            for chunk in pending.chunks(nagg_cap) {
+                let mut aggregates = Vec::with_capacity(chunk.len());
+                let mut members = Vec::with_capacity(chunk.len());
+                for (view_id, agg, dim_pos) in chunk {
+                    members.push((*view_id, aggregates.len(), *dim_pos));
+                    aggregates.push(*agg);
+                }
+                clusters.push(Cluster { group_by: bin.clone(), aggregates, members });
+            }
+        }
+        clusters
+    }
+}
+
+/// A cluster's results rolled up to one of its dimensions.
+enum RolledPair {
+    /// Single combined target+reference result.
+    Combined(GroupedResult),
+    /// Separate target and reference results.
+    Separate(GroupedResult, GroupedResult),
+}
+
+/// Rolls a cluster's raw outputs up to every dimension position present in
+/// its member list, returning `(dim_pos, rolled results)` pairs.
+fn roll_cluster(cluster: &Cluster, outs: &[GroupedResult]) -> Vec<(usize, RolledPair)> {
+    let mut dim_positions: Vec<usize> = cluster.members.iter().map(|m| m.2).collect();
+    dim_positions.sort_unstable();
+    dim_positions.dedup();
+
+    dim_positions
+        .into_iter()
+        .map(|dim_pos| {
+            let roll = |r: &GroupedResult| -> GroupedResult {
+                if cluster.group_by.len() > 1 {
+                    rollup(r, dim_pos)
+                } else {
+                    r.clone()
+                }
+            };
+            let pair = match outs {
+                [single] => RolledPair::Combined(roll(single)),
+                [t, r] => RolledPair::Separate(roll(t), roll(r)),
+                _ => unreachable!("clusters produce one or two results"),
+            };
+            (dim_pos, pair)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SharingConfig;
+    use crate::view::enumerate_views;
+    use seedb_engine::AggFunc;
+    use seedb_metrics::DistanceKind;
+    use seedb_storage::{BoxedTable, ColumnDef, StoreKind, TableBuilder, Value};
+
+    /// 3 dims × 2 measures, with dim "d0" strongly deviating for the target.
+    fn test_table(kind: StoreKind) -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("d0"),
+            ColumnDef::dim("d1"),
+            ColumnDef::dim("d2"),
+            ColumnDef::measure("m0"),
+            ColumnDef::measure("m1"),
+        ]);
+        for i in 0..400u32 {
+            let in_target = i % 4 == 0;
+            // d0 correlates with target membership; d1/d2 are noise.
+            let d0 = if in_target { format!("g{}", i % 2) } else { format!("g{}", 2 + i % 2) };
+            let d1 = format!("x{}", i % 3);
+            let d2 = format!("y{}", i % 5);
+            let m0 = if in_target { 100.0 + (i % 7) as f64 } else { 10.0 + (i % 7) as f64 };
+            let m1 = (i % 11) as f64;
+            b.push_row(&[
+                Value::str(d0),
+                Value::str(d1),
+                Value::str(d2),
+                Value::Float(m0),
+                Value::Float(m1),
+            ])
+            .unwrap();
+        }
+        b.build(kind).unwrap()
+    }
+
+    fn target(t: &dyn Table) -> Predicate {
+        // Target = rows whose m0 >= 100 (the planted quarter).
+        Predicate::NumCmp {
+            col: t.schema().column_id("m0").unwrap(),
+            op: seedb_engine::CmpOp::Ge,
+            value: 100.0,
+        }
+    }
+
+    fn run_with(
+        strategy: ExecutionStrategy,
+        sharing: SharingConfig,
+        pruning: PruningKind,
+        kind: StoreKind,
+    ) -> (ExecutionReport, SeeDbConfig, BoxedTable) {
+        let table = test_table(kind);
+        let mut cfg = SeeDbConfig::default();
+        cfg.strategy = strategy;
+        cfg.sharing = sharing;
+        cfg.pruning = pruning;
+        cfg.k = 3;
+        cfg.num_phases = 5;
+        let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
+        let exec = Executor::new(table.as_ref(), &cfg);
+        let report = exec.run(&views, &target(table.as_ref()), &ReferenceSpec::WholeTable);
+        (report, cfg, table)
+    }
+
+    fn utilities(report: &ExecutionReport) -> Vec<f64> {
+        report.states.iter().map(|s| s.utility(DistanceKind::Emd)).collect()
+    }
+
+    #[test]
+    fn no_opt_issues_two_queries_per_view() {
+        let (report, _, table) = run_with(
+            ExecutionStrategy::NoOpt,
+            SharingConfig::none(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let n_views = enumerate_views(table.as_ref(), &[AggFunc::Avg]).len();
+        assert_eq!(n_views, 6); // 3 dims × 2 measures
+        assert_eq!(report.stats.queries_issued, 2 * n_views as u64);
+        assert_eq!(report.stats.rows_scanned, (2 * n_views * 400) as u64);
+    }
+
+    #[test]
+    fn sharing_reduces_queries_and_scanned_rows() {
+        let (no_opt, ..) = run_with(
+            ExecutionStrategy::NoOpt,
+            SharingConfig::none(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let (shared, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig { parallelism: 1, combine_group_bys: false, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        // One combined query per dimension instead of 2 per view.
+        assert_eq!(shared.stats.queries_issued, 3);
+        assert!(shared.stats.queries_issued < no_opt.stats.queries_issued);
+        assert!(shared.stats.rows_scanned < no_opt.stats.rows_scanned);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_utilities_without_pruning() {
+        let (no_opt, ..) = run_with(
+            ExecutionStrategy::NoOpt,
+            SharingConfig::none(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        for combine_gb in [false, true] {
+            for parallelism in [1, 4] {
+                let (shared, ..) = run_with(
+                    ExecutionStrategy::Sharing,
+                    SharingConfig {
+                        parallelism,
+                        combine_group_bys: combine_gb,
+                        memory_budget: Some(10_000),
+                        ..Default::default()
+                    },
+                    PruningKind::None,
+                    StoreKind::Column,
+                );
+                let a = utilities(&no_opt);
+                let b = utilities(&shared);
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    assert!(
+                        (x - y).abs() < 1e-9,
+                        "view {i}: NO_OPT {x} vs SHARING(gb={combine_gb},par={parallelism}) {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separate_target_reference_execution_matches_combined() {
+        let (combined, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let (separate, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig {
+                parallelism: 1,
+                combine_target_reference: false,
+                ..Default::default()
+            },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let a = utilities(&combined);
+        let b = utilities(&separate);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Separate execution pays twice the queries.
+        assert_eq!(separate.stats.queries_issued, 2 * combined.stats.queries_issued);
+    }
+
+    #[test]
+    fn comb_with_no_pruning_matches_sharing() {
+        let (sharing, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let (comb, ..) = run_with(
+            ExecutionStrategy::Comb,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let a = utilities(&sharing);
+        let b = utilities(&comb);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+        assert_eq!(comb.phases_executed, 5);
+    }
+
+    #[test]
+    fn ci_pruning_reduces_work_and_keeps_quality() {
+        let (no_pru, cfg, _) = run_with(
+            ExecutionStrategy::Comb,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let (ci, ..) = run_with(
+            ExecutionStrategy::Comb,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::Ci,
+            StoreKind::Column,
+        );
+        assert!(ci.stats.rows_scanned <= no_pru.stats.rows_scanned);
+        // Quality: the CI top-k should match the true top-k on this
+        // well-separated dataset.
+        let truth = no_pru.top_k(cfg.k, cfg.metric);
+        let got = ci.top_k(cfg.k, cfg.metric);
+        let acc = crate::quality::accuracy_at_k(&truth, &got);
+        assert!(acc >= 2.0 / 3.0, "accuracy {acc}, truth {truth:?}, got {got:?}");
+    }
+
+    #[test]
+    fn comb_early_stops_early_and_returns_k_views() {
+        let (early, cfg, _) = run_with(
+            ExecutionStrategy::CombEarly,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::Ci,
+            StoreKind::Column,
+        );
+        let top = early.top_k(cfg.k, cfg.metric);
+        assert_eq!(top.len(), cfg.k);
+        assert!(early.phases_executed <= cfg.num_phases);
+    }
+
+    #[test]
+    fn row_store_and_column_store_agree() {
+        let (row, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Row,
+        );
+        let (col, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let a = utilities(&row);
+        let b = utilities(&col);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nagg_cap_chunks_clusters() {
+        let (capped, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig {
+                parallelism: 1,
+                combine_group_bys: false,
+                max_aggregates_per_query: Some(1),
+                ..Default::default()
+            },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        // 6 views, 1 agg per query => 6 queries (vs 3 uncapped).
+        assert_eq!(capped.stats.queries_issued, 6);
+        let (uncapped, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig { parallelism: 1, combine_group_bys: false, ..Default::default() },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        assert_eq!(uncapped.stats.queries_issued, 3);
+        // Results identical.
+        for (x, y) in utilities(&capped).iter().zip(&utilities(&uncapped)) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn combine_group_bys_reduces_query_count() {
+        let (packed, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig {
+                parallelism: 1,
+                combine_group_bys: true,
+                memory_budget: Some(1_000_000),
+                ..Default::default()
+            },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        // All three dims fit one bin (4 × 3 × 5 = 60 groups « budget).
+        assert_eq!(packed.stats.queries_issued, 1);
+    }
+
+    #[test]
+    fn random_pruning_scans_less_than_everything() {
+        let (random, cfg, _) = run_with(
+            ExecutionStrategy::CombEarly,
+            SharingConfig { parallelism: 1, ..Default::default() },
+            PruningKind::Random,
+            StoreKind::Column,
+        );
+        // RANDOM decides after phase 1 => early stop.
+        assert_eq!(random.phases_executed, 1);
+        assert_eq!(random.top_k(cfg.k, cfg.metric).len(), cfg.k);
+    }
+}

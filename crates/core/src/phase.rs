@@ -1,0 +1,77 @@
+//! Phase partitioning for the phased execution framework (§3).
+//!
+//! *"Each phase operates on a subset of the dataset. Phase i of n operates
+//! on the i-th of n equally-sized partitions of the dataset."*
+
+use std::ops::Range;
+
+/// Splits `[0, num_rows)` into `phases` contiguous, near-equal ranges whose
+/// union is the whole table and whose pairwise intersection is empty.
+///
+/// When `num_rows` is not divisible by `phases`, earlier phases receive one
+/// extra row, so sizes differ by at most 1.
+pub fn phase_ranges(num_rows: usize, phases: usize) -> Vec<Range<usize>> {
+    assert!(phases > 0, "at least one phase required");
+    let mut out = Vec::with_capacity(phases);
+    let base = num_rows / phases;
+    let extra = num_rows % phases;
+    let mut start = 0;
+    for i in 0..phases {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, num_rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_100k_rows_10_phases() {
+        // "if we have 100,000 records and 10 phases, the i = 4th phase
+        // processes records 30,001 to 40,000" (1-indexed in the paper).
+        let ranges = phase_ranges(100_000, 10);
+        assert_eq!(ranges[3], 30_000..40_000);
+        assert_eq!(ranges.len(), 10);
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for (n, p) in [(0, 1), (1, 1), (10, 3), (7, 7), (5, 8), (1_000_001, 13)] {
+            let ranges = phase_ranges(n, p);
+            assert_eq!(ranges.len(), p);
+            let mut expected_start = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expected_start);
+                expected_start = r.end;
+            }
+            assert_eq!(expected_start, n, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let ranges = phase_ranges(103, 10);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn more_phases_than_rows_yields_empty_tails() {
+        let ranges = phase_ranges(3, 5);
+        assert_eq!(ranges.iter().filter(|r| r.is_empty()).count(), 2);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn zero_phases_panics() {
+        phase_ranges(10, 0);
+    }
+}

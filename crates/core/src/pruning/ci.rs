@@ -1,0 +1,242 @@
+//! Confidence-interval pruning (§4.2, Theorem 4.1).
+//!
+//! After phase `m` of `N`, each view has `m` utility estimates
+//! `Y₁, …, Y_m` (utility computed on the cumulative data after each
+//! phase). The Hoeffding–Serfling inequality for sampling *without
+//! replacement* gives a running confidence interval around their mean that
+//! contains the true utility with probability ≥ 1 − δ.
+//!
+//! We use the Serfling-style half-width
+//!
+//! ```text
+//! ε(m, N, δ) = sqrt( (1 − (m−1)/N) · ln(2/δ) / (2m) )
+//! ```
+//!
+//! where the factor `1 − (m−1)/N` is the finite-population correction that
+//! drives the interval to zero as the scan approaches the full dataset —
+//! the property the paper's Theorem 4.1 provides. Utilities are distances
+//! between probability distributions; every supported metric is bounded by
+//! 2, so estimates are rescaled into `[0, 1]` by that constant before the
+//! bound applies.
+//!
+//! **Pruning rule** (paper, §4.2): *"If the upper bound of the utility of
+//! view Vi is less than the lower bound of the utility of k or more views,
+//! then Vi is discarded."* Symmetrically, a view whose lower bound beats
+//! the upper bound of all but fewer-than-k views is *accepted* — this is
+//! what lets `COMB_EARLY` stop before the final phase.
+//!
+//! The bound treats per-phase utility estimates as values in `[0, 1]`.
+//! Deviation utilities on normalized distributions stay within this range
+//! in practice (L1-family metrics are ≤ 2 in the worst case; EMD over many
+//! bins can exceed it only for pathological mass transport). As the paper
+//! notes (§4.2, "Consistent Distance Functions"), the guarantees do not
+//! carry over exactly anyway; what matters — and what §5.4 measures — is
+//! that pruning with these intervals is accurate in practice.
+
+use super::{PruneDecision, Pruner, ViewEstimate};
+
+/// Hoeffding–Serfling confidence-interval pruner.
+#[derive(Debug, Clone)]
+pub struct CiPruner {
+    delta: f64,
+}
+
+impl CiPruner {
+    /// Creates a CI pruner with confidence parameter `delta`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        CiPruner { delta }
+    }
+
+    /// Interval half-width after `m` of `n` phases.
+    pub fn half_width(&self, m: usize, n: usize) -> f64 {
+        if m == 0 {
+            return f64::INFINITY;
+        }
+        if m >= n {
+            // Entire dataset consumed: the estimate is exact.
+            return 0.0;
+        }
+        let m_f = m as f64;
+        let n_f = n as f64;
+        let correction = 1.0 - (m_f - 1.0) / n_f;
+        ((correction * (2.0 / self.delta).ln()) / (2.0 * m_f)).sqrt()
+    }
+}
+
+impl Pruner for CiPruner {
+    fn decide(
+        &mut self,
+        estimates: &[ViewEstimate],
+        accepted_so_far: usize,
+        k: usize,
+        phase: usize,
+        total_phases: usize,
+    ) -> PruneDecision {
+        let mut decision = PruneDecision::default();
+        let slots = k.saturating_sub(accepted_so_far);
+        if estimates.is_empty() || slots == 0 {
+            // Top-k already filled: everything left is discardable.
+            decision.discard = estimates.iter().map(|e| e.view_id).collect();
+            return decision;
+        }
+        let eps = self.half_width(phase, total_phases);
+        let lower = |e: &ViewEstimate| e.mean - eps;
+        let upper = |e: &ViewEstimate| e.mean + eps;
+
+        for v in estimates {
+            // Count live views whose lower bound exceeds v's upper bound.
+            let dominated_by =
+                estimates.iter().filter(|o| o.view_id != v.view_id && lower(o) > upper(v)).count();
+            if dominated_by >= slots {
+                decision.discard.push(v.view_id);
+                continue;
+            }
+            // Accept: v's lower bound beats the upper bound of all but
+            // fewer than `slots` views — v is certainly in the top-k.
+            let not_dominated =
+                estimates.iter().filter(|o| o.view_id != v.view_id && upper(o) >= lower(v)).count();
+            if not_dominated < slots {
+                decision.accept.push(v.view_id);
+            }
+        }
+        // Never accept more than the remaining slots (ties could otherwise
+        // overfill); prefer higher means.
+        if decision.accept.len() > slots {
+            let mut by_mean: Vec<&ViewEstimate> = estimates
+                .iter()
+                .filter(|e| decision.accept.contains(&e.view_id))
+                .collect();
+            by_mean.sort_by(|a, b| b.mean.partial_cmp(&a.mean).unwrap());
+            decision.accept = by_mean.into_iter().take(slots).map(|e| e.view_id).collect();
+        }
+        decision
+    }
+
+    fn label(&self) -> &'static str {
+        "CI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::estimates_from;
+
+    #[test]
+    fn half_width_shrinks_with_phases_and_hits_zero() {
+        let p = CiPruner::new(0.05);
+        let n = 10;
+        let widths: Vec<f64> = (1..=n).map(|m| p.half_width(m, n)).collect();
+        for w in widths.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "widths must be non-increasing: {widths:?}");
+        }
+        assert_eq!(widths[n - 1], 0.0, "full scan gives exact estimate");
+        assert_eq!(p.half_width(0, n), f64::INFINITY);
+    }
+
+    #[test]
+    fn smaller_delta_gives_wider_intervals() {
+        let tight = CiPruner::new(0.2);
+        let loose = CiPruner::new(0.01);
+        assert!(loose.half_width(3, 10) > tight.half_width(3, 10));
+    }
+
+    #[test]
+    fn clearly_dominated_views_are_discarded() {
+        let mut p = CiPruner::new(0.05);
+        // One view far below k=2 others, near the end of the scan (tight CI).
+        let means = [0.9, 0.8, 0.05];
+        let d = p.decide(&estimates_from(&means, 9), 0, 2, 9, 10);
+        assert!(d.discard.contains(&2), "{d:?}");
+        assert!(!d.discard.contains(&0));
+        assert!(!d.discard.contains(&1));
+    }
+
+    #[test]
+    fn wide_intervals_early_prevent_pruning() {
+        let mut p = CiPruner::new(0.05);
+        let means = [0.9, 0.8, 0.05];
+        // Phase 1 of 100: intervals are huge, nothing should be decided.
+        let d = p.decide(&estimates_from(&means, 1), 0, 2, 1, 100);
+        assert!(d.discard.is_empty(), "{d:?}");
+        assert!(d.accept.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn dominant_view_is_accepted() {
+        let mut p = CiPruner::new(0.05);
+        // k=1 and view 0 towers above the rest late in the scan.
+        let means = [0.95, 0.1, 0.12, 0.08];
+        let d = p.decide(&estimates_from(&means, 9), 0, 1, 9, 10);
+        assert_eq!(d.accept, vec![0]);
+    }
+
+    #[test]
+    fn accepts_capped_at_remaining_slots() {
+        let mut p = CiPruner::new(0.05);
+        // Three views tower over the fourth but only 2 slots remain.
+        let means = [0.9, 0.89, 0.88, 0.01];
+        let d = p.decide(&estimates_from(&means, 9), 0, 2, 9, 10);
+        assert!(d.accept.len() <= 2, "{d:?}");
+    }
+
+    #[test]
+    fn no_slots_left_discards_remaining() {
+        let mut p = CiPruner::new(0.05);
+        let means = [0.5, 0.4];
+        let d = p.decide(&estimates_from(&means, 5), 3, 3, 5, 10);
+        assert_eq!(d.discard.len(), 2);
+    }
+
+    #[test]
+    fn ties_never_discard_within_interval() {
+        let mut p = CiPruner::new(0.05);
+        // All means equal: no view dominates another.
+        let means = [0.5; 6];
+        let d = p.decide(&estimates_from(&means, 5), 0, 2, 5, 10);
+        assert!(d.discard.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        CiPruner::new(0.0);
+    }
+
+    /// Empirical coverage: the running interval brackets the true mean with
+    /// frequency ≥ 1 − δ under without-replacement sampling.
+    #[test]
+    fn empirical_coverage_of_running_interval() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 20usize; // phases
+        let delta = 0.1;
+        let p = CiPruner::new(delta);
+        let mut violations = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            // Population of n per-phase estimates in [0,1].
+            let mut pop: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64).fract()).collect();
+            pop.shuffle(&mut rng);
+            let true_mean: f64 = pop.iter().sum::<f64>() / n as f64;
+            let mut running_sum = 0.0;
+            let mut violated = false;
+            for m in 1..=n {
+                running_sum += pop[m - 1];
+                let mean_m = running_sum / m as f64;
+                let eps = p.half_width(m, n);
+                if (mean_m - true_mean).abs() > eps + 1e-12 {
+                    violated = true;
+                    break;
+                }
+            }
+            if violated {
+                violations += 1;
+            }
+        }
+        let rate = violations as f64 / trials as f64;
+        assert!(rate <= delta + 0.05, "violation rate {rate} exceeds delta {delta}");
+    }
+}

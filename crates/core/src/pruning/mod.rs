@@ -1,0 +1,84 @@
+//! Pruning schemes (§4.2): after every phase, decide which views to
+//! discard (never in the top-k with high probability) and which to accept
+//! (certainly in the top-k).
+
+pub mod ci;
+pub mod mab;
+pub mod none;
+pub mod random;
+
+use crate::config::PruningKind;
+
+/// A view's running utility estimate as seen by a pruner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewEstimate {
+    /// The view's id.
+    pub view_id: usize,
+    /// Running mean of the per-phase utility estimates.
+    pub mean: f64,
+    /// Number of phase estimates contributing to the mean.
+    pub samples: usize,
+}
+
+/// A pruner's decision at the end of a phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneDecision {
+    /// Views to discard (no longer processed in later phases).
+    pub discard: Vec<usize>,
+    /// Views to accept into the top-k (stop participating in pruning but
+    /// keep accumulating for display).
+    pub accept: Vec<usize>,
+}
+
+/// Per-phase pruning interface.
+///
+/// `estimates` holds only the *live, unaccepted* views; `accepted_so_far`
+/// tells the pruner how many top-k slots are already taken; `phase` is
+/// 1-based; `total_phases` is the configured `n`.
+pub trait Pruner: Send {
+    /// Inspects the running estimates and returns which views to discard
+    /// and/or accept.
+    fn decide(
+        &mut self,
+        estimates: &[ViewEstimate],
+        accepted_so_far: usize,
+        k: usize,
+        phase: usize,
+        total_phases: usize,
+    ) -> PruneDecision;
+
+    /// The scheme's paper label (for reports).
+    fn label(&self) -> &'static str;
+}
+
+/// Instantiates the pruner for a [`PruningKind`].
+pub fn make_pruner(kind: PruningKind, delta: f64, seed: u64) -> Box<dyn Pruner> {
+    match kind {
+        PruningKind::Ci => Box::new(ci::CiPruner::new(delta)),
+        PruningKind::Mab => Box::new(mab::MabPruner::new()),
+        PruningKind::None => Box::new(none::NoPruner),
+        PruningKind::Random => Box::new(random::RandomPruner::new(seed)),
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn estimates_from(means: &[f64], samples: usize) -> Vec<ViewEstimate> {
+    means
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| ViewEstimate { view_id: i, mean: m, samples })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_returns_matching_labels() {
+        for kind in PruningKind::ALL {
+            let p = make_pruner(kind, 0.05, 1);
+            assert_eq!(p.label(), kind.label());
+        }
+    }
+}

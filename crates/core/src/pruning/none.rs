@@ -1,0 +1,42 @@
+//! The `NO_PRU` baseline: process everything, discard nothing (§5.4).
+//!
+//! Provides the latency/accuracy upper bound and the utility-distance lower
+//! bound against which CI and MAB are compared.
+
+use super::{PruneDecision, Pruner, ViewEstimate};
+
+/// Never prunes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPruner;
+
+impl Pruner for NoPruner {
+    fn decide(
+        &mut self,
+        _estimates: &[ViewEstimate],
+        _accepted_so_far: usize,
+        _k: usize,
+        _phase: usize,
+        _total_phases: usize,
+    ) -> PruneDecision {
+        PruneDecision::default()
+    }
+
+    fn label(&self) -> &'static str {
+        "NO_PRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::estimates_from;
+
+    #[test]
+    fn never_discards_or_accepts() {
+        let mut p = NoPruner;
+        for phase in 1..=10 {
+            let d = p.decide(&estimates_from(&[0.9, 0.1, 0.0], 3), 0, 1, phase, 10);
+            assert_eq!(d, PruneDecision::default());
+        }
+    }
+}

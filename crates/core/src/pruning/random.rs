@@ -1,0 +1,105 @@
+//! The `RANDOM` baseline (§5.4): returns a random set of k views.
+//!
+//! *"This strategy gives a lowerbound on accuracy and upperbound on utility
+//! distance: for any technique to be useful, it must do significantly
+//! better than RANDOM."* Implemented as a pruner that, at the end of the
+//! first phase, accepts k views uniformly at random and discards the rest —
+//! so it also consumes almost no scan work.
+
+use super::{PruneDecision, Pruner, ViewEstimate};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Accepts k random views at the first opportunity.
+#[derive(Debug)]
+pub struct RandomPruner {
+    rng: StdRng,
+}
+
+impl RandomPruner {
+    /// Creates the pruner with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPruner { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Pruner for RandomPruner {
+    fn decide(
+        &mut self,
+        estimates: &[ViewEstimate],
+        accepted_so_far: usize,
+        k: usize,
+        _phase: usize,
+        _total_phases: usize,
+    ) -> PruneDecision {
+        let mut decision = PruneDecision::default();
+        let slots = k.saturating_sub(accepted_so_far);
+        let mut ids: Vec<usize> = estimates.iter().map(|e| e.view_id).collect();
+        ids.shuffle(&mut self.rng);
+        decision.accept = ids.iter().take(slots).copied().collect();
+        decision.discard = ids.iter().skip(slots).copied().collect();
+        decision
+    }
+
+    fn label(&self) -> &'static str {
+        "RANDOM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruning::estimates_from;
+
+    #[test]
+    fn decides_everything_in_one_shot() {
+        let mut p = RandomPruner::new(1);
+        let d = p.decide(&estimates_from(&[0.1; 10], 1), 0, 3, 1, 10);
+        assert_eq!(d.accept.len(), 3);
+        assert_eq!(d.discard.len(), 7);
+        // Partition: no overlap, full coverage.
+        let mut all: Vec<usize> = d.accept.iter().chain(&d.discard).copied().collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut p1 = RandomPruner::new(42);
+        let mut p2 = RandomPruner::new(42);
+        let ests = estimates_from(&[0.5; 8], 1);
+        assert_eq!(p1.decide(&ests, 0, 2, 1, 10), p2.decide(&ests, 0, 2, 1, 10));
+    }
+
+    #[test]
+    fn different_seeds_differ_eventually() {
+        let ests = estimates_from(&[0.5; 20], 1);
+        let a = RandomPruner::new(1).decide(&ests, 0, 5, 1, 10);
+        let b = RandomPruner::new(2).decide(&ests, 0, 5, 1, 10);
+        assert_ne!(a.accept, b.accept);
+    }
+
+    #[test]
+    fn respects_remaining_slots() {
+        let mut p = RandomPruner::new(7);
+        let d = p.decide(&estimates_from(&[0.5; 6], 1), 4, 5, 1, 10);
+        assert_eq!(d.accept.len(), 1);
+        assert_eq!(d.discard.len(), 5);
+    }
+
+    #[test]
+    fn ignores_utility_means() {
+        // Selection frequency of the best view should be ~ k/n, not 1.
+        let ests = estimates_from(&[1.0, 0.0, 0.0, 0.0], 1);
+        let mut hits = 0;
+        for seed in 0..200 {
+            let d = RandomPruner::new(seed).decide(&ests, 0, 1, 1, 10);
+            if d.accept == vec![0] {
+                hits += 1;
+            }
+        }
+        // Expect ≈ 50 of 200; allow generous slack.
+        assert!((20..=90).contains(&hits), "best view accepted {hits}/200 times");
+    }
+}

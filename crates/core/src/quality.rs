@@ -1,0 +1,80 @@
+//! Result-quality metrics from §5.4.
+//!
+//! * **accuracy** — `|{ν_T} ∩ {ν_S}| / k`: the fraction of the true top-k
+//!   present in SeeDB's returned top-k.
+//! * **utility distance** — difference between the average true utility of
+//!   the true top-k and the average true utility of the returned set; near
+//!   zero means the returned views are essentially as good even when
+//!   accuracy is imperfect (the paper's Δk discussion).
+
+use rustc_hash::FxHashSet;
+
+/// Fraction of `true_top` ids present in `returned` (both length-k sets; if
+/// lengths differ the shorter defines k).
+pub fn accuracy_at_k(true_top: &[usize], returned: &[usize]) -> f64 {
+    let k = true_top.len().min(returned.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let truth: FxHashSet<usize> = true_top[..k].iter().copied().collect();
+    let hits = returned[..k].iter().filter(|id| truth.contains(id)).count();
+    hits as f64 / k as f64
+}
+
+/// Utility distance: `mean(U(true top-k)) − mean(U(returned))`, both
+/// evaluated under the *true* utilities `utility_of[view_id]`.
+pub fn utility_distance(true_top: &[usize], returned: &[usize], utility_of: &[f64]) -> f64 {
+    let mean = |ids: &[usize]| -> f64 {
+        if ids.is_empty() {
+            return 0.0;
+        }
+        ids.iter().map(|&id| utility_of[id]).sum::<f64>() / ids.len() as f64
+    };
+    mean(true_top) - mean(returned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery() {
+        assert_eq!(accuracy_at_k(&[3, 1, 2], &[1, 2, 3]), 1.0);
+        assert_eq!(utility_distance(&[0, 1], &[1, 0], &[0.9, 0.8, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        assert!((accuracy_at_k(&[0, 1, 2, 3], &[0, 1, 7, 8]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(accuracy_at_k(&[0, 1], &[2, 3]), 0.0);
+    }
+
+    #[test]
+    fn utility_distance_reflects_quality_gap() {
+        let utilities = [0.9, 0.85, 0.2, 0.1];
+        // True top-2 = {0,1}; returned {0,2}: distance = mean(0.9,0.85)-mean(0.9,0.2)
+        let d = utility_distance(&[0, 1], &[0, 2], &utilities);
+        assert!((d - (0.875 - 0.55)).abs() < 1e-12);
+        // Swapping a near-tie view barely moves the distance (paper's point
+        // about small Δk: low accuracy can still mean high quality).
+        let utilities = [0.9, 0.851, 0.85, 0.1];
+        let d = utility_distance(&[0, 1], &[0, 2], &utilities);
+        assert!(d < 0.001);
+    }
+
+    #[test]
+    fn empty_inputs_are_benign() {
+        assert_eq!(accuracy_at_k(&[], &[]), 1.0);
+        assert_eq!(utility_distance(&[], &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_use_shorter_k() {
+        assert_eq!(accuracy_at_k(&[0, 1, 2], &[0]), 1.0);
+        assert_eq!(accuracy_at_k(&[0], &[1, 0]), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Reference dataset specification.
+//!
+//! §2: *"The reference dataset `D_R` may be defined as the entire underlying
+//! dataset (D), the complement of `D_Q` (D − D_Q) or data selected by any
+//! arbitrary query Q′."* The analyst may choose; `D_R = D` is the default.
+
+use seedb_engine::{Predicate, SplitSpec};
+
+/// How the reference dataset `D_R` is derived from the table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReferenceSpec {
+    /// `D_R = D` — the entire table (paper default).
+    WholeTable,
+    /// `D_R = D − D_Q` — everything outside the target.
+    Complement,
+    /// `D_R = D_{Q'}` — an arbitrary selection.
+    Query(Predicate),
+}
+
+impl Default for ReferenceSpec {
+    fn default() -> Self {
+        ReferenceSpec::WholeTable
+    }
+}
+
+impl ReferenceSpec {
+    /// Builds the engine split for a combined (single-scan) execution of
+    /// target and reference.
+    pub fn to_split(&self, target: Predicate) -> SplitSpec {
+        match self {
+            ReferenceSpec::WholeTable => SplitSpec::TargetVsAll(target),
+            ReferenceSpec::Complement => SplitSpec::TargetVsComplement(target),
+            ReferenceSpec::Query(q) => {
+                SplitSpec::TargetVsQuery { target, reference: q.clone() }
+            }
+        }
+    }
+
+    /// The reference-side predicate for *separate* (unshared) execution, as
+    /// the unoptimized baseline issues it.
+    pub fn reference_predicate(&self, target: &Predicate) -> Predicate {
+        match self {
+            ReferenceSpec::WholeTable => Predicate::True,
+            ReferenceSpec::Complement => target.clone().negate(),
+            ReferenceSpec::Query(q) => q.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_engine::CmpOp;
+    use seedb_storage::ColumnId;
+
+    fn target() -> Predicate {
+        Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Gt, value: 1.0 }
+    }
+
+    #[test]
+    fn default_is_whole_table() {
+        assert_eq!(ReferenceSpec::default(), ReferenceSpec::WholeTable);
+    }
+
+    #[test]
+    fn split_construction() {
+        assert!(matches!(
+            ReferenceSpec::WholeTable.to_split(target()),
+            SplitSpec::TargetVsAll(_)
+        ));
+        assert!(matches!(
+            ReferenceSpec::Complement.to_split(target()),
+            SplitSpec::TargetVsComplement(_)
+        ));
+        assert!(matches!(
+            ReferenceSpec::Query(Predicate::True).to_split(target()),
+            SplitSpec::TargetVsQuery { .. }
+        ));
+    }
+
+    #[test]
+    fn separate_reference_predicates() {
+        assert_eq!(
+            ReferenceSpec::WholeTable.reference_predicate(&target()),
+            Predicate::True
+        );
+        assert_eq!(
+            ReferenceSpec::Complement.reference_predicate(&target()),
+            target().negate()
+        );
+        let q = Predicate::IsNull { col: ColumnId(1) };
+        assert_eq!(
+            ReferenceSpec::Query(q.clone()).reference_predicate(&target()),
+            q
+        );
+    }
+}

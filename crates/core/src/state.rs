@@ -1,0 +1,241 @@
+//! Per-view accumulated state across phases.
+//!
+//! The phased framework executes *shared* queries per phase and folds each
+//! phase's partial results into one [`ViewState`] per view. The state holds
+//! mergeable accumulators per group and side (target/reference), so
+//! utilities can be (re-)estimated after every phase — the quantity the
+//! pruning schemes consume.
+
+use crate::view::ViewSpec;
+use seedb_engine::{Accumulator, GroupKey, GroupedResult};
+use seedb_metrics::{normalize, DistanceKind};
+use std::collections::BTreeMap;
+
+/// Which side of the deviation comparison a partial result feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The target view (over `D_Q`).
+    Target,
+    /// The reference view (over `D_R`).
+    Reference,
+}
+
+/// Target/reference accumulator pair for one group.
+#[derive(Debug, Clone, Default)]
+struct SidePair {
+    target: Accumulator,
+    reference: Accumulator,
+}
+
+/// Accumulated state of one view across phases.
+#[derive(Debug, Clone)]
+pub struct ViewState {
+    /// The view this state belongs to.
+    pub spec: ViewSpec,
+    /// Per-group accumulators, keyed (and ordered) by group key.
+    groups: BTreeMap<GroupKey, SidePair>,
+    /// Still under consideration (not pruned)?
+    pub alive: bool,
+    /// Accepted into the top-k (MAB accept / CI early-accept)?
+    pub accepted: bool,
+    /// Per-phase utility estimates (cumulative-data estimate after each
+    /// phase) — the `Y_i` sequence the CI pruner bounds.
+    pub estimates: Vec<f64>,
+    /// Phase index (0-based) at which the view was pruned, if any.
+    pub pruned_at_phase: Option<usize>,
+}
+
+impl ViewState {
+    /// Fresh state for `spec`.
+    pub fn new(spec: ViewSpec) -> Self {
+        ViewState {
+            spec,
+            groups: BTreeMap::new(),
+            alive: true,
+            accepted: false,
+            estimates: Vec::new(),
+            pruned_at_phase: None,
+        }
+    }
+
+    /// Folds a combined (target+reference) result into this view.
+    /// `agg_idx` selects this view's aggregate within the shared result.
+    pub fn merge_both(&mut self, result: &GroupedResult, agg_idx: usize) {
+        for entry in &result.groups {
+            let pair = self.groups.entry(entry.key.clone()).or_default();
+            pair.target.merge(&entry.target[agg_idx]);
+            pair.reference.merge(&entry.reference[agg_idx]);
+        }
+    }
+
+    /// Folds a single-sided result (from a separate target-only or
+    /// reference-only query, as the unoptimized baseline issues) into the
+    /// given side. The source values are read from the result's *target*
+    /// accumulators, because a `TargetOnly` split accumulates there.
+    pub fn merge_into_side(&mut self, result: &GroupedResult, agg_idx: usize, side: Side) {
+        for entry in &result.groups {
+            let pair = self.groups.entry(entry.key.clone()).or_default();
+            match side {
+                Side::Target => pair.target.merge(&entry.target[agg_idx]),
+                Side::Reference => pair.reference.merge(&entry.target[agg_idx]),
+            }
+        }
+    }
+
+    /// Number of groups observed so far.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Aligned raw value vectors `(target, reference)` over the union of
+    /// observed groups, in key order.
+    pub fn value_vectors(&self) -> (Vec<f64>, Vec<f64>) {
+        let func = self.spec.func;
+        let mut t = Vec::with_capacity(self.groups.len());
+        let mut r = Vec::with_capacity(self.groups.len());
+        for pair in self.groups.values() {
+            t.push(pair.target.finish(func).unwrap_or(0.0));
+            r.push(pair.reference.finish(func).unwrap_or(0.0));
+        }
+        (t, r)
+    }
+
+    /// Group keys in the same order as [`ViewState::value_vectors`].
+    pub fn group_keys(&self) -> Vec<GroupKey> {
+        self.groups.keys().cloned().collect()
+    }
+
+    /// Current deviation-based utility under `metric`: distance between the
+    /// normalized target and reference distributions. A view with no groups
+    /// yet has utility 0.
+    pub fn utility(&self, metric: DistanceKind) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        let (t, r) = self.value_vectors();
+        metric.compute(&normalize(&t), &normalize(&r))
+    }
+
+    /// Records the post-phase utility estimate (feeds the pruners).
+    pub fn record_estimate(&mut self, metric: DistanceKind) -> f64 {
+        let u = self.utility(metric);
+        self.estimates.push(u);
+        u
+    }
+
+    /// Mean of the recorded per-phase estimates (the running mean the
+    /// Hoeffding–Serfling interval brackets). Falls back to the current
+    /// utility if no estimate has been recorded.
+    pub fn estimate_mean(&self) -> f64 {
+        if self.estimates.is_empty() {
+            0.0
+        } else {
+            self.estimates.iter().sum::<f64>() / self.estimates.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_engine::{
+        execute_combined, AggFunc, AggSpec, CombinedQuery, ExecStats, Predicate, SplitSpec,
+    };
+    use seedb_storage::{BoxedTable, ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
+
+    fn spec() -> ViewSpec {
+        ViewSpec { id: 0, dim: ColumnId(0), measure: ColumnId(1), func: AggFunc::Avg }
+    }
+
+    fn table() -> BoxedTable {
+        let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")]);
+        for (d, m) in [("a", 10.0), ("a", 20.0), ("b", 30.0), ("b", 50.0)] {
+            b.push_row(&[Value::str(d), Value::Float(m)]).unwrap();
+        }
+        b.build(StoreKind::Column).unwrap()
+    }
+
+    fn run(split: SplitSpec) -> GroupedResult {
+        execute_combined(
+            table().as_ref(),
+            &CombinedQuery::single(ColumnId(0), AggSpec::new(AggFunc::Avg, ColumnId(1)), split),
+            &mut ExecStats::new(),
+        )
+    }
+
+    #[test]
+    fn merge_both_accumulates_target_and_reference() {
+        let t = table();
+        let pred = Predicate::col_eq_str(t.as_ref(), "d", "a");
+        let result = run(SplitSpec::TargetVsAll(pred));
+        let mut state = ViewState::new(spec());
+        state.merge_both(&result, 0);
+        let (tv, rv) = state.value_vectors();
+        assert_eq!(tv, vec![15.0, 0.0]); // target only has "a" rows
+        assert_eq!(rv, vec![15.0, 40.0]); // reference = everything
+    }
+
+    #[test]
+    fn merge_into_side_routes_single_sided_results() {
+        let t = table();
+        let target_pred = Predicate::col_eq_str(t.as_ref(), "d", "a");
+        let t_result = run(SplitSpec::TargetOnly(target_pred.clone()));
+        let r_result = run(SplitSpec::TargetOnly(Predicate::True));
+        let mut state = ViewState::new(spec());
+        state.merge_into_side(&t_result, 0, Side::Target);
+        state.merge_into_side(&r_result, 0, Side::Reference);
+
+        // Must equal the combined-split execution.
+        let mut combined = ViewState::new(spec());
+        combined.merge_both(&run(SplitSpec::TargetVsAll(target_pred)), 0);
+        assert_eq!(state.value_vectors(), combined.value_vectors());
+    }
+
+    #[test]
+    fn utility_zero_when_target_equals_reference() {
+        let result = run(SplitSpec::TargetVsAll(Predicate::True));
+        let mut state = ViewState::new(spec());
+        state.merge_both(&result, 0);
+        assert!(state.utility(DistanceKind::Emd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_positive_on_deviation() {
+        let t = table();
+        let pred = Predicate::col_eq_str(t.as_ref(), "d", "a");
+        let result = run(SplitSpec::TargetVsAll(pred));
+        let mut state = ViewState::new(spec());
+        state.merge_both(&result, 0);
+        assert!(state.utility(DistanceKind::Emd) > 0.1);
+    }
+
+    #[test]
+    fn empty_state_has_zero_utility() {
+        let state = ViewState::new(spec());
+        assert_eq!(state.utility(DistanceKind::Emd), 0.0);
+        assert_eq!(state.estimate_mean(), 0.0);
+        assert_eq!(state.num_groups(), 0);
+    }
+
+    #[test]
+    fn estimates_accumulate_and_average() {
+        let t = table();
+        let pred = Predicate::col_eq_str(t.as_ref(), "d", "a");
+        let result = run(SplitSpec::TargetVsAll(pred));
+        let mut state = ViewState::new(spec());
+        state.merge_both(&result, 0);
+        let u1 = state.record_estimate(DistanceKind::Emd);
+        let u2 = state.record_estimate(DistanceKind::Emd);
+        assert_eq!(u1, u2);
+        assert_eq!(state.estimates.len(), 2);
+        assert!((state.estimate_mean() - u1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_keys_align_with_vectors() {
+        let result = run(SplitSpec::TargetVsAll(Predicate::True));
+        let mut state = ViewState::new(spec());
+        state.merge_both(&result, 0);
+        assert_eq!(state.group_keys().len(), state.value_vectors().0.len());
+    }
+}

@@ -1,0 +1,114 @@
+//! AIR / AIR10 — twin of the DoT airline on-time performance dataset
+//! (Table 1: AIR = 6M rows, |A| = 12, |M| = 9, 108 views, 974 MB;
+//! AIR10 = the same scaled 10×, 60M rows).
+//!
+//! Canonical task: compare substantially delayed flights
+//! (`delayed = 'yes'`) against the rest.
+
+use crate::dataset::Dataset;
+use crate::twin::{DimSpec, Effect, MeasureSpec, TwinSpec};
+use seedb_storage::StoreKind;
+
+/// Full Table 1 size of AIR.
+pub const ROWS: usize = 6_000_000;
+
+/// Full Table 1 size of AIR10.
+pub const ROWS_10X: usize = 60_000_000;
+
+/// The AIR twin specification.
+pub fn spec() -> TwinSpec {
+    let dims = vec![
+        DimSpec::labeled("delayed", &["yes", "no"]),
+        DimSpec::labeled(
+            "carrier",
+            &["AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "G4"],
+        ),
+        DimSpec::cardinality("origin", 60),
+        DimSpec::cardinality("dest", 60),
+        DimSpec::labeled(
+            "month",
+            &["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"],
+        ),
+        DimSpec::labeled("day_of_week", &["mon", "tue", "wed", "thu", "fri", "sat", "sun"]),
+        DimSpec::labeled("dep_block", &["morning", "midday", "evening", "night"]),
+        DimSpec::labeled("distance_class", &["short", "medium", "long"]),
+        DimSpec::labeled("cancelled", &["no", "yes"]),
+        DimSpec::labeled("diverted", &["no", "yes"]),
+        DimSpec::labeled("weekend", &["no", "yes"]),
+        DimSpec::labeled("season", &["winter", "spring", "summer", "fall"]),
+    ];
+    let measures = vec![
+        MeasureSpec::new("dep_delay", 12.0, 20.0),
+        MeasureSpec::new("arr_delay", 10.0, 22.0),
+        MeasureSpec::new("taxi_out", 16.0, 6.0),
+        MeasureSpec::new("taxi_in", 7.0, 3.0),
+        MeasureSpec::new("air_time", 110.0, 50.0),
+        MeasureSpec::new("distance", 800.0, 400.0),
+        MeasureSpec::new("carrier_delay", 4.0, 8.0),
+        MeasureSpec::new("weather_delay", 1.0, 4.0),
+        MeasureSpec::new("late_aircraft_delay", 5.0, 9.0),
+    ];
+    let effects = vec![
+        Effect { dim: 1, measure: 1, strength: 0.9 },  // arr_delay by carrier
+        Effect { dim: 4, measure: 7, strength: 0.75 }, // weather_delay by month
+        Effect { dim: 6, measure: 0, strength: 0.45 }, // dep_delay by dep block
+        Effect { dim: 2, measure: 2, strength: 0.40 }, // taxi_out by origin
+        Effect { dim: 5, measure: 8, strength: 0.38 },
+        Effect { dim: 11, measure: 7, strength: 0.36 },
+        Effect { dim: 7, measure: 4, strength: 0.34 },
+        Effect { dim: 1, measure: 6, strength: 0.32 },
+        Effect { dim: 4, measure: 1, strength: 0.20 },
+    ];
+    TwinSpec {
+        name: "AIR".into(),
+        dims,
+        measures,
+        target_dim: 0,
+        target_fraction: 0.2,
+        effects,
+        task: "compare delayed flights against on-time flights".into(),
+    }
+}
+
+/// Generates AIR at `scale` of its Table 1 size (6M rows at scale 1.0).
+pub fn generate(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let rows = ((ROWS as f64) * scale).round().max(10.0) as usize;
+    spec().generate(rows, seed, kind)
+}
+
+/// Generates AIR10 at `scale` of its Table 1 size (60M rows at scale 1.0).
+pub fn generate_10x(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let rows = ((ROWS_10X as f64) * scale).round().max(10.0) as usize;
+    let mut ds = spec().generate(rows, seed, kind);
+    ds.name = "AIR10".into();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(0.0005, 1, StoreKind::Column); // 3000 rows
+        assert_eq!(ds.shape(), (12, 9, 108));
+        assert_eq!(ds.name, "AIR");
+        assert_eq!(ROWS, 6_000_000);
+        assert_eq!(ROWS_10X, 60_000_000);
+    }
+
+    #[test]
+    fn air10_is_ten_x() {
+        let a = generate(0.001, 1, StoreKind::Column);
+        let b = generate_10x(0.0001, 1, StoreKind::Column);
+        assert_eq!(a.rows(), b.rows()); // same effective row count
+        assert_eq!(b.name, "AIR10");
+    }
+
+    #[test]
+    fn origin_dest_have_high_cardinality() {
+        let ds = generate(0.001, 2, StoreKind::Column); // 6000 rows
+        let origin = ds.table.schema().column_id("origin").unwrap();
+        assert!(ds.table.distinct_count(origin) > 30);
+    }
+}

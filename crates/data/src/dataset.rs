@@ -1,0 +1,56 @@
+//! The [`Dataset`] bundle: a built table plus its canonical analysis task.
+
+use seedb_engine::Predicate;
+use seedb_storage::BoxedTable;
+
+/// A generated dataset with the target selection its experiments use.
+pub struct Dataset {
+    /// Dataset name (paper spelling, e.g. "BANK").
+    pub name: String,
+    /// The built table.
+    pub table: BoxedTable,
+    /// The canonical target query `Q` for this dataset's experiments
+    /// (e.g. CENSUS: `marital_status = 'unmarried'`).
+    pub target: Predicate,
+    /// One-line description of the analysis task.
+    pub task: String,
+}
+
+impl Dataset {
+    /// Number of rows in the table.
+    pub fn rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// `(dimensions, measures, views)` counts, where views = |A| × |M|
+    /// (single aggregate function, as in Table 1).
+    pub fn shape(&self) -> (usize, usize, usize) {
+        let a = self.table.schema().dimensions().len();
+        let m = self.table.schema().measures().len();
+        (a, m, a * m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_storage::{ColumnDef, StoreKind, TableBuilder, Value};
+
+    #[test]
+    fn shape_reports_view_count() {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("a"),
+            ColumnDef::dim("b"),
+            ColumnDef::measure("m"),
+        ]);
+        b.push_row(&[Value::str("x"), Value::str("y"), Value::Float(1.0)]).unwrap();
+        let ds = Dataset {
+            name: "T".into(),
+            table: b.build(StoreKind::Column).unwrap(),
+            target: Predicate::True,
+            task: "test".into(),
+        };
+        assert_eq!(ds.rows(), 1);
+        assert_eq!(ds.shape(), (2, 1, 2));
+    }
+}

@@ -1,0 +1,123 @@
+//! DIAB — twin of the UCI "Diabetes 130-US hospitals" dataset
+//! (Table 1: 100K rows, |A| = 11, |M| = 8, 88 views, 23 MB).
+//!
+//! Canonical task: compare readmitted patients (`readmitted = 'yes'`)
+//! against the rest.
+//!
+//! Per §5.4: *"utilities for the top 10 aggregate views are very closely
+//! clustered (Δk < 0.002) while they are sparse for larger ks"* — the
+//! ladder plants ten near-equal leading effects.
+
+use crate::dataset::Dataset;
+use crate::twin::{DimSpec, Effect, MeasureSpec, TwinSpec};
+use seedb_storage::StoreKind;
+
+/// Full Table 1 size.
+pub const ROWS: usize = 100_000;
+
+/// The DIAB twin specification.
+pub fn spec() -> TwinSpec {
+    let dims = vec![
+        DimSpec::labeled("readmitted", &["yes", "no"]),
+        DimSpec::labeled("race", &["caucasian", "african_american", "hispanic", "asian", "other"]),
+        DimSpec::labeled("gender", &["female", "male"]),
+        DimSpec::labeled(
+            "age_bracket",
+            &["0-10", "10-20", "20-30", "30-40", "40-50", "50-60", "60-70", "70-80", "80-90",
+              "90-100"],
+        ),
+        DimSpec::labeled("admission_type", &["emergency", "urgent", "elective", "newborn", "other"]),
+        DimSpec::labeled(
+            "discharge_to",
+            &["home", "short_term_hospital", "snf", "home_health", "other"],
+        ),
+        DimSpec::labeled("admission_source", &["referral", "emergency_room", "transfer", "other"]),
+        DimSpec::labeled(
+            "specialty",
+            &["internal_medicine", "cardiology", "surgery", "family_practice", "other"],
+        ),
+        DimSpec::labeled("max_glu_serum", &["none", "norm", "gt200", "gt300"]),
+        DimSpec::labeled("a1c_result", &["none", "norm", "gt7", "gt8"]),
+        DimSpec::labeled("med_change", &["no", "yes"]),
+    ];
+    let measures = vec![
+        MeasureSpec::new("time_in_hospital", 4.4, 3.0),
+        MeasureSpec::new("num_lab_procedures", 43.0, 19.0),
+        MeasureSpec::new("num_procedures", 1.3, 1.7),
+        MeasureSpec::new("num_medications", 16.0, 8.0),
+        MeasureSpec::new("number_outpatient", 0.4, 1.2),
+        MeasureSpec::new("number_emergency", 0.2, 0.9),
+        MeasureSpec::new("number_inpatient", 0.6, 1.2),
+        MeasureSpec::new("number_diagnoses", 7.4, 1.9),
+    ];
+    // Ten closely clustered leaders (Δ ≈ 0.003 in strength), sparse after.
+    let effects = vec![
+        Effect { dim: 3, measure: 0, strength: 0.500 },
+        Effect { dim: 4, measure: 3, strength: 0.497 },
+        Effect { dim: 5, measure: 0, strength: 0.494 },
+        Effect { dim: 1, measure: 3, strength: 0.491 },
+        Effect { dim: 7, measure: 1, strength: 0.488 },
+        Effect { dim: 3, measure: 6, strength: 0.485 },
+        Effect { dim: 9, measure: 3, strength: 0.482 },
+        Effect { dim: 4, measure: 1, strength: 0.479 },
+        Effect { dim: 6, measure: 0, strength: 0.476 },
+        Effect { dim: 8, measure: 3, strength: 0.473 },
+    ];
+    TwinSpec {
+        name: "DIAB".into(),
+        dims,
+        measures,
+        target_dim: 0,
+        target_fraction: 0.45,
+        effects,
+        task: "compare readmitted diabetic patients against the rest".into(),
+    }
+}
+
+/// Generates DIAB at `scale` of its Table 1 size.
+pub fn generate(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let rows = ((ROWS as f64) * scale).round().max(10.0) as usize;
+    spec().generate(rows, seed, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(0.01, 1, StoreKind::Column); // 1000 rows
+        assert_eq!(ds.shape(), (11, 8, 88));
+        assert_eq!(ds.name, "DIAB");
+        assert_eq!(ROWS, 100_000);
+    }
+
+    #[test]
+    fn top10_utilities_are_clustered() {
+        use seedb_core::{ExecutionStrategy, ReferenceSpec, SeeDb, SeeDbConfig};
+        let ds = generate(0.05, 3, StoreKind::Column); // 5000 rows
+        let mut cfg = SeeDbConfig::default();
+        cfg.strategy = ExecutionStrategy::Sharing;
+        let seedb = SeeDb::with_config(ds.table.clone(), cfg);
+        let rec = seedb.recommend(&ds.target, &ReferenceSpec::Complement).unwrap();
+        let mut utils = rec.all_utilities.clone();
+        utils.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Views by the target dim itself ("readmitted") are degenerate
+        // leaders; skip the 8 of them, then the next ~10 should be a tight
+        // cluster well above the tail.
+        let cluster = &utils[8..18];
+        let spread = cluster[0] - cluster[9];
+        let tail_mean: f64 = utils[30..].iter().sum::<f64>() / (utils.len() - 30) as f64;
+        assert!(
+            cluster[9] > 1.5 * tail_mean,
+            "cluster {cluster:?} not separated from tail {tail_mean}"
+        );
+        // Qualitative check only: the leading cluster spans a narrow band
+        // relative to its magnitude (the paper's Δk < 0.002 is a property
+        // of the real data we only approximate).
+        assert!(
+            spread < cluster[0] * 0.75,
+            "cluster too spread: {cluster:?}"
+        );
+    }
+}

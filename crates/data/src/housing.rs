@@ -1,0 +1,68 @@
+//! HOUSING — twin of the user-study housing-prices dataset
+//! (Table 1: 0.5K rows, |A| = 4, |M| = 10, 40 views, < 1 MB).
+//!
+//! Canonical task: compare houses near the city center
+//! (`near_center = 'yes'`) against outlying houses.
+
+use crate::dataset::Dataset;
+use crate::twin::{DimSpec, Effect, MeasureSpec, TwinSpec};
+use seedb_storage::StoreKind;
+
+/// Full Table 1 size.
+pub const ROWS: usize = 500;
+
+/// The HOUSING twin specification.
+pub fn spec() -> TwinSpec {
+    let dims = vec![
+        DimSpec::labeled("near_center", &["yes", "no"]),
+        DimSpec::labeled("house_type", &["detached", "semi", "townhouse", "condo"]),
+        DimSpec::labeled("heating", &["gas", "electric", "heat_pump", "oil"]),
+        DimSpec::labeled("condition", &["excellent", "good", "fair", "poor"]),
+    ];
+    let measures = vec![
+        MeasureSpec::new("price", 420_000.0, 120_000.0),
+        MeasureSpec::new("sqft", 1900.0, 600.0),
+        MeasureSpec::new("bedrooms", 3.2, 1.0),
+        MeasureSpec::new("bathrooms", 2.1, 0.8),
+        MeasureSpec::new("lot_size", 6500.0, 2500.0),
+        MeasureSpec::new("year_built", 1985.0, 20.0),
+        MeasureSpec::new("garage_spots", 1.6, 0.8),
+        MeasureSpec::new("annual_tax", 5200.0, 1800.0),
+        MeasureSpec::new("hoa_fee", 120.0, 90.0),
+        MeasureSpec::new("days_on_market", 38.0, 20.0),
+    ];
+    let effects = vec![
+        Effect { dim: 1, measure: 0, strength: 0.85 }, // price by house type
+        Effect { dim: 3, measure: 9, strength: 0.60 }, // days on market by condition
+        Effect { dim: 1, measure: 4, strength: 0.45 }, // lot size by house type
+        Effect { dim: 2, measure: 7, strength: 0.35 }, // tax by heating
+    ];
+    TwinSpec {
+        name: "HOUSING".into(),
+        dims,
+        measures,
+        target_dim: 0,
+        target_fraction: 0.4,
+        effects,
+        task: "compare houses near the city center against outlying houses".into(),
+    }
+}
+
+/// Generates HOUSING at `scale` of its Table 1 size.
+pub fn generate(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let rows = ((ROWS as f64) * scale).round().max(10.0) as usize;
+    spec().generate(rows, seed, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(1.0, 1, StoreKind::Column);
+        assert_eq!(ds.rows(), 500);
+        assert_eq!(ds.shape(), (4, 10, 40));
+        assert_eq!(ds.name, "HOUSING");
+    }
+}

@@ -1,0 +1,85 @@
+//! MOVIES — twin of the user-study movie-sales dataset
+//! (Table 1: 1K rows, |A| = 8, |M| = 8, 64 views, 1.2 MB).
+//!
+//! Canonical task: compare franchise/sequel movies (`is_sequel = 'yes'`)
+//! against standalone releases.
+
+use crate::dataset::Dataset;
+use crate::twin::{DimSpec, Effect, MeasureSpec, TwinSpec};
+use seedb_storage::StoreKind;
+
+/// Full Table 1 size.
+pub const ROWS: usize = 1_000;
+
+/// The MOVIES twin specification.
+pub fn spec() -> TwinSpec {
+    let dims = vec![
+        DimSpec::labeled("is_sequel", &["yes", "no"]),
+        DimSpec::labeled(
+            "genre",
+            &["action", "comedy", "drama", "horror", "scifi", "animation", "documentary"],
+        ),
+        DimSpec::labeled("studio", &["warner", "universal", "disney", "paramount", "sony", "indie"]),
+        DimSpec::labeled("rating", &["g", "pg", "pg13", "r"]),
+        DimSpec::labeled("decade", &["1990s", "2000s", "2010s"]),
+        DimSpec::labeled("country", &["us", "uk", "france", "korea", "japan", "other"]),
+        DimSpec::labeled("release_window", &["summer", "holiday", "spring", "fall"]),
+        DimSpec::labeled("platform", &["theatrical", "streaming", "hybrid"]),
+    ];
+    let measures = vec![
+        MeasureSpec::new("gross_millions", 120.0, 80.0),
+        MeasureSpec::new("budget_millions", 60.0, 35.0),
+        MeasureSpec::new("profit_millions", 55.0, 45.0),
+        MeasureSpec::new("imdb_score", 6.4, 1.0),
+        MeasureSpec::new("critic_score", 58.0, 18.0),
+        MeasureSpec::new("runtime_minutes", 112.0, 16.0),
+        MeasureSpec::new("opening_screens", 2800.0, 900.0),
+        MeasureSpec::new("weeks_in_theaters", 10.0, 4.0),
+    ];
+    let effects = vec![
+        Effect { dim: 1, measure: 0, strength: 0.85 }, // gross by genre
+        Effect { dim: 2, measure: 1, strength: 0.65 }, // budget by studio
+        Effect { dim: 6, measure: 6, strength: 0.50 }, // screens by release window
+        Effect { dim: 3, measure: 3, strength: 0.40 }, // imdb by rating
+        Effect { dim: 1, measure: 4, strength: 0.30 }, // critic score by genre
+    ];
+    TwinSpec {
+        name: "MOVIES".into(),
+        dims,
+        measures,
+        target_dim: 0,
+        target_fraction: 0.3,
+        effects,
+        task: "compare sequels against standalone movies".into(),
+    }
+}
+
+/// Generates MOVIES at `scale` of its Table 1 size.
+pub fn generate(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let rows = ((ROWS as f64) * scale).round().max(10.0) as usize;
+    spec().generate(rows, seed, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(1.0, 1, StoreKind::Column);
+        assert_eq!(ds.rows(), 1000);
+        assert_eq!(ds.shape(), (8, 8, 64));
+        assert_eq!(ds.name, "MOVIES");
+    }
+
+    #[test]
+    fn housing_and_movies_are_comparable_in_views() {
+        // §6.2 chose these two datasets because they are "comparable in
+        // size and number of potential visualizations": 40 vs 64 views.
+        let h = crate::housing::generate(1.0, 1, StoreKind::Column);
+        let m = generate(1.0, 1, StoreKind::Column);
+        let (_, _, hv) = h.shape();
+        let (_, _, mv) = m.shape();
+        assert!(hv.abs_diff(mv) <= 24);
+    }
+}

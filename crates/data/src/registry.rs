@@ -1,0 +1,191 @@
+//! The Table 1 registry: every dataset's paper-reported shape, plus a
+//! by-name generator for the benchmark harness.
+
+use crate::dataset::Dataset;
+use seedb_storage::StoreKind;
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Dataset name (paper spelling).
+    pub name: &'static str,
+    /// Paper description.
+    pub description: &'static str,
+    /// Full row count.
+    pub rows: usize,
+    /// Number of dimension attributes |A|.
+    pub dims: usize,
+    /// Number of measure attributes |M|.
+    pub measures: usize,
+    /// Number of views (|A| × |M|).
+    pub views: usize,
+    /// Paper-reported size in MB.
+    pub size_mb: f64,
+    /// Category in Table 1.
+    pub category: &'static str,
+}
+
+/// The full Table 1 inventory.
+pub fn table1() -> Vec<DatasetInfo> {
+    vec![
+        DatasetInfo {
+            name: "SYN",
+            description: "Randomly distributed, varying # distinct values",
+            rows: 1_000_000,
+            dims: 50,
+            measures: 20,
+            views: 1000,
+            size_mb: 411.0,
+            category: "Synthetic",
+        },
+        DatasetInfo {
+            name: "SYN*-10",
+            description: "Randomly distributed, 10 distinct values/dim",
+            rows: 1_000_000,
+            dims: 20,
+            measures: 1,
+            views: 20,
+            size_mb: 21.0,
+            category: "Synthetic",
+        },
+        DatasetInfo {
+            name: "SYN*-100",
+            description: "Randomly distributed, 100 distinct values/dim",
+            rows: 1_000_000,
+            dims: 20,
+            measures: 1,
+            views: 20,
+            size_mb: 21.0,
+            category: "Synthetic",
+        },
+        DatasetInfo {
+            name: "BANK",
+            description: "Customer Loan dataset",
+            rows: 40_000,
+            dims: 11,
+            measures: 7,
+            views: 77,
+            size_mb: 6.7,
+            category: "Real",
+        },
+        DatasetInfo {
+            name: "DIAB",
+            description: "Hospital data about diabetic patients",
+            rows: 100_000,
+            dims: 11,
+            measures: 8,
+            views: 88,
+            size_mb: 23.0,
+            category: "Real",
+        },
+        DatasetInfo {
+            name: "AIR",
+            description: "Airline delays dataset",
+            rows: 6_000_000,
+            dims: 12,
+            measures: 9,
+            views: 108,
+            size_mb: 974.0,
+            category: "Real",
+        },
+        DatasetInfo {
+            name: "AIR10",
+            description: "Airline dataset scaled 10X",
+            rows: 60_000_000,
+            dims: 12,
+            measures: 9,
+            views: 108,
+            size_mb: 9737.0,
+            category: "Real",
+        },
+        DatasetInfo {
+            name: "CENSUS",
+            description: "Census data",
+            rows: 21_000,
+            dims: 10,
+            measures: 4,
+            views: 40,
+            size_mb: 2.7,
+            category: "User Study",
+        },
+        DatasetInfo {
+            name: "HOUSING",
+            description: "Housing prices",
+            rows: 500,
+            dims: 4,
+            measures: 10,
+            views: 40,
+            size_mb: 0.9,
+            category: "User Study",
+        },
+        DatasetInfo {
+            name: "MOVIES",
+            description: "Movie sales",
+            rows: 1_000,
+            dims: 8,
+            measures: 8,
+            views: 64,
+            size_mb: 1.2,
+            category: "User Study",
+        },
+    ]
+}
+
+/// Generates a Table 1 dataset by name at `scale` of its full size.
+/// Returns `None` for unknown names.
+pub fn generate_by_name(name: &str, scale: f64, seed: u64, kind: StoreKind) -> Option<Dataset> {
+    Some(match name {
+        "SYN" => crate::syn::syn_scaled(scale, seed, kind),
+        "SYN*-10" => crate::syn::syn_star(10, scale, seed, kind),
+        "SYN*-100" => crate::syn::syn_star(100, scale, seed, kind),
+        "BANK" => crate::bank::generate(scale, seed, kind),
+        "DIAB" => crate::diab::generate(scale, seed, kind),
+        "AIR" => crate::air::generate(scale, seed, kind),
+        "AIR10" => crate::air::generate_10x(scale, seed, kind),
+        "CENSUS" => crate::census::generate(scale, seed, kind),
+        "HOUSING" => crate::housing::generate(scale, seed, kind),
+        "MOVIES" => crate::movies::generate(scale, seed, kind),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_ten_datasets_in_three_categories() {
+        let t = table1();
+        assert_eq!(t.len(), 10);
+        let synth = t.iter().filter(|d| d.category == "Synthetic").count();
+        let real = t.iter().filter(|d| d.category == "Real").count();
+        let study = t.iter().filter(|d| d.category == "User Study").count();
+        assert_eq!((synth, real, study), (3, 4, 3));
+    }
+
+    #[test]
+    fn view_counts_are_products() {
+        for d in table1() {
+            assert_eq!(d.views, d.dims * d.measures, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn every_entry_generates_with_matching_shape() {
+        for info in table1() {
+            // Tiny scale so this stays fast; shape (dims/measures) must
+            // match Table 1 exactly regardless of scale.
+            let scale = (200.0 / info.rows as f64).min(1.0);
+            let ds = generate_by_name(info.name, scale, 1, StoreKind::Column)
+                .unwrap_or_else(|| panic!("missing generator for {}", info.name));
+            let (a, m, v) = ds.shape();
+            assert_eq!((a, m, v), (info.dims, info.measures, info.views), "{}", info.name);
+            assert_eq!(ds.name, info.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(generate_by_name("NOPE", 1.0, 1, StoreKind::Column).is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! The synthetic dataset families SYN and SYN* (Table 1).
+//!
+//! * **SYN** — 1M rows, 50 dimensions, 20 measures, 1000 views; dimension
+//!   cardinalities vary from 1 to 1000 ("randomly distributed, varying
+//!   #distinct values"). Used for the sharing-optimization sweeps
+//!   (Figures 6–9) where the experimenter controls size, attribute count
+//!   and distinct values.
+//! * **SYN\*-10 / SYN\*-100** — 1M rows, 20 dimensions with exactly 10
+//!   (resp. 100) distinct values each, 1 measure. Used for the group-by
+//!   combining experiment (Figure 8a).
+
+use crate::dataset::Dataset;
+use crate::gen::{gaussian, pick_weighted, zipf_weights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seedb_engine::Predicate;
+use seedb_storage::{ColumnDef, ColumnRole, ColumnType, StoreKind, TableBuilder, Value};
+
+/// Parameters of a SYN-family dataset.
+#[derive(Debug, Clone)]
+pub struct SynConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of dimension attributes.
+    pub dims: usize,
+    /// Number of measure attributes.
+    pub measures: usize,
+    /// Distinct values per dimension: `None` = varying 1–1000 (SYN);
+    /// `Some(c)` = exactly `c` per dimension (SYN*).
+    pub distinct: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynConfig {
+    fn default() -> Self {
+        SynConfig { rows: 1_000_000, dims: 50, measures: 20, distinct: None, seed: 42 }
+    }
+}
+
+/// Cardinality ladder for SYN's "varying #distinct values": cycles through
+/// 1–1000 on a rough log scale, as the paper's ngb experiments require a
+/// wide spread ("SYN contains attributes with between 1 – 1000 distinct
+/// values").
+fn syn_cardinality(dim_index: usize) -> usize {
+    const LADDER: [usize; 8] = [1, 2, 5, 10, 25, 100, 250, 1000];
+    LADDER[dim_index % LADDER.len()]
+}
+
+/// Generates a SYN-family dataset.
+///
+/// The target selection (for view-query workloads over SYN) is
+/// `d0 = 'd0_0'` when `d0` exists and has more than one label, else
+/// `Predicate::True`.
+pub fn syn(config: &SynConfig, kind: StoreKind) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut defs = Vec::with_capacity(config.dims + config.measures);
+    let cards: Vec<usize> = (0..config.dims)
+        .map(|i| config.distinct.unwrap_or_else(|| syn_cardinality(i)))
+        .collect();
+    for i in 0..config.dims {
+        defs.push(ColumnDef::new(
+            format!("d{i}"),
+            ColumnType::Categorical,
+            ColumnRole::Dimension,
+        ));
+    }
+    for j in 0..config.measures {
+        defs.push(ColumnDef::new(
+            format!("m{j}"),
+            ColumnType::Float64,
+            ColumnRole::Measure,
+        ));
+    }
+    let mut builder = TableBuilder::new(defs);
+    let weights: Vec<Vec<f64>> = cards.iter().map(|&c| zipf_weights(c, 0.3)).collect();
+
+    let mut row: Vec<Value> = Vec::with_capacity(config.dims + config.measures);
+    for _ in 0..config.rows {
+        row.clear();
+        let mut first_code = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            let code = pick_weighted(&mut rng, w);
+            if i == 0 {
+                first_code = code;
+            }
+            row.push(Value::Str(format!("d{i}_{code}")));
+        }
+        for j in 0..config.measures {
+            // Measures correlate mildly with d0 so that views are not all
+            // trivially zero-utility under a d0-based target.
+            let shift = if first_code % 2 == 0 { 5.0 } else { -5.0 };
+            let base = 100.0 + 10.0 * (j as f64);
+            row.push(Value::Float(gaussian(&mut rng, base + shift * (j % 3) as f64, 15.0)));
+        }
+        builder.push_row(&row).expect("syn row matches schema");
+    }
+
+    let table = builder.build(kind).expect("syn schema valid");
+    let target = if config.dims > 0 {
+        Predicate::col_eq_str(table.as_ref(), "d0", "d0_0")
+    } else {
+        Predicate::True
+    };
+    let name = match config.distinct {
+        None => "SYN".to_owned(),
+        Some(c) => format!("SYN*-{c}"),
+    };
+    Dataset {
+        name,
+        table,
+        target,
+        task: "synthetic sharing/pruning sweeps".into(),
+    }
+}
+
+/// SYN at a given scale of Table 1's 1M rows, with full attribute counts.
+pub fn syn_scaled(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let config = SynConfig {
+        rows: ((1_000_000 as f64) * scale).round().max(1.0) as usize,
+        ..SynConfig { seed, ..Default::default() }
+    };
+    syn(&config, kind)
+}
+
+/// SYN*-`distinct` at the given scale (20 dims, 1 measure).
+pub fn syn_star(distinct: usize, scale: f64, seed: u64, kind: StoreKind) -> Dataset {
+    let config = SynConfig {
+        rows: ((1_000_000 as f64) * scale).round().max(1.0) as usize,
+        dims: 20,
+        measures: 1,
+        distinct: Some(distinct),
+        seed,
+    };
+    syn(&config, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_storage::Table;
+
+    #[test]
+    fn syn_shape_matches_table1_at_full_attribute_counts() {
+        let ds = syn(
+            &SynConfig { rows: 500, ..Default::default() },
+            StoreKind::Column,
+        );
+        assert_eq!(ds.shape(), (50, 20, 1000)); // Table 1: 1000 views
+        assert_eq!(ds.rows(), 500);
+        assert_eq!(ds.name, "SYN");
+    }
+
+    #[test]
+    fn syn_star_fixed_cardinalities() {
+        let ds = syn_star(10, 0.002, 1, StoreKind::Column); // 2000 rows
+        assert_eq!(ds.shape(), (20, 1, 20)); // Table 1: 20 views
+        assert_eq!(ds.name, "SYN*-10");
+        // Every dimension saw (almost surely) all 10 labels in 2000 rows.
+        for dim in ds.table.schema().dimensions() {
+            let d = ds.table.distinct_count(dim);
+            assert!(d <= 10, "dim {dim} has {d} > 10 labels");
+            assert!(d >= 8, "dim {dim} has only {d} labels");
+        }
+    }
+
+    #[test]
+    fn syn_cardinalities_vary_widely() {
+        let ds = syn(
+            &SynConfig { rows: 3000, dims: 8, measures: 1, distinct: None, seed: 3 },
+            StoreKind::Column,
+        );
+        let cards: Vec<usize> = ds
+            .table
+            .schema()
+            .dimensions()
+            .iter()
+            .map(|&d| ds.table.distinct_count(d))
+            .collect();
+        let min = cards.iter().min().unwrap();
+        let max = cards.iter().max().unwrap();
+        assert_eq!(*min, 1, "ladder includes a 1-distinct dim: {cards:?}");
+        assert!(*max >= 100, "ladder includes high-cardinality dims: {cards:?}");
+    }
+
+    #[test]
+    fn target_predicate_selects_nonempty_subset() {
+        let ds = syn(
+            &SynConfig { rows: 1000, dims: 3, measures: 2, distinct: Some(4), seed: 5 },
+            StoreKind::Column,
+        );
+        assert!(ds.target != Predicate::False);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynConfig { rows: 100, dims: 3, measures: 1, distinct: Some(5), seed: 11 };
+        let a = syn(&cfg, StoreKind::Column);
+        let b = syn(&cfg, StoreKind::Column);
+        for row in 0..100 {
+            for col in 0..4u32 {
+                assert_eq!(
+                    a.table.cell(row, seedb_storage::ColumnId(col)),
+                    b.table.cell(row, seedb_storage::ColumnId(col))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Aggregate functions and their mergeable accumulators.
+//!
+//! §2 of the paper: *"we denote by F the set of potential aggregate
+//! functions over the measure attributes (e.g. COUNT, SUM, AVG)."* MIN and
+//! MAX are included for completeness of the SQL surface.
+//!
+//! A single [`Accumulator`] carries enough state (count, sum, min, max) to
+//! finalize *any* of the functions, and merges losslessly — the property
+//! that makes both the multi-GROUP-BY rollup and the phased partial
+//! execution correct.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// SQL aggregate functions supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(m)` — number of non-NULL measure values.
+    Count,
+    /// `SUM(m)`.
+    Sum,
+    /// `AVG(m)`.
+    Avg,
+    /// `MIN(m)`.
+    Min,
+    /// `MAX(m)`.
+    Max,
+}
+
+impl AggFunc {
+    /// All functions, for sweeps.
+    pub const ALL: [AggFunc; 5] =
+        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+
+    /// SQL spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AggFunc {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "COUNT" => Ok(AggFunc::Count),
+            "SUM" => Ok(AggFunc::Sum),
+            "AVG" => Ok(AggFunc::Avg),
+            "MIN" => Ok(AggFunc::Min),
+            "MAX" => Ok(AggFunc::Max),
+            other => Err(format!("unknown aggregate function '{other}'")),
+        }
+    }
+}
+
+/// Mergeable aggregation state sufficient for every [`AggFunc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accumulator {
+    /// Number of non-NULL values observed.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Minimum observed value (`+inf` when empty).
+    pub min: f64,
+    /// Maximum observed value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Accumulator { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Accumulator {
+    /// Fresh empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one measure value (`None` = NULL, ignored per SQL semantics).
+    #[inline]
+    pub fn update(&mut self, value: Option<f64>) {
+        if let Some(x) = value {
+            self.count += 1;
+            self.sum += x;
+            if x < self.min {
+                self.min = x;
+            }
+            if x > self.max {
+                self.max = x;
+            }
+        }
+    }
+
+    /// Merges another accumulator into this one (for rollups and
+    /// cross-phase merging).
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// True if no value has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finalizes the accumulator under `func`. Returns `None` when the
+    /// group saw no values and the function has no defined result
+    /// (AVG/MIN/MAX of an empty set); `COUNT` and `SUM` of an empty set are
+    /// 0, per SQL-on-groups semantics.
+    pub fn finish(&self, func: AggFunc) -> Option<f64> {
+        match func {
+            AggFunc::Count => Some(self.count as f64),
+            AggFunc::Sum => Some(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.is_empty().then_some(()).map_or(Some(self.min), |_| None),
+            AggFunc::Max => self.is_empty().then_some(()).map_or(Some(self.max), |_| None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_semantics() {
+        let a = Accumulator::new();
+        assert_eq!(a.finish(AggFunc::Count), Some(0.0));
+        assert_eq!(a.finish(AggFunc::Sum), Some(0.0));
+        assert_eq!(a.finish(AggFunc::Avg), None);
+        assert_eq!(a.finish(AggFunc::Min), None);
+        assert_eq!(a.finish(AggFunc::Max), None);
+    }
+
+    #[test]
+    fn updates_feed_all_functions() {
+        let mut a = Accumulator::new();
+        for x in [3.0, -1.0, 4.0] {
+            a.update(Some(x));
+        }
+        a.update(None); // NULL ignored
+        assert_eq!(a.finish(AggFunc::Count), Some(3.0));
+        assert_eq!(a.finish(AggFunc::Sum), Some(6.0));
+        assert_eq!(a.finish(AggFunc::Avg), Some(2.0));
+        assert_eq!(a.finish(AggFunc::Min), Some(-1.0));
+        assert_eq!(a.finish(AggFunc::Max), Some(4.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential_updates() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut whole = Accumulator::new();
+        for x in values {
+            whole.update(Some(x));
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for x in &values[..2] {
+            left.update(Some(*x));
+        }
+        for x in &values[2..] {
+            right.update(Some(*x));
+        }
+        left.merge(&right);
+        for f in AggFunc::ALL {
+            assert_eq!(whole.finish(f), left.finish(f), "merge broke {f}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Accumulator::new();
+        a.update(Some(7.0));
+        let before = a;
+        a.merge(&Accumulator::new());
+        assert_eq!(a, before);
+
+        let mut empty = Accumulator::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn agg_func_parse_round_trip() {
+        for f in AggFunc::ALL {
+            assert_eq!(f.name().parse::<AggFunc>().unwrap(), f);
+            assert_eq!(f.name().to_lowercase().parse::<AggFunc>().unwrap(), f);
+        }
+        assert!("MEDIAN".parse::<AggFunc>().is_err());
+    }
+}

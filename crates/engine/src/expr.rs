@@ -1,0 +1,320 @@
+//! Predicates over table rows.
+//!
+//! SeeDB's target query `Q` is a selection over the (joined) fact table
+//! (§2: "a general class of queries that select a horizontal fragment"),
+//! and the reference is the whole table, the complement, or another
+//! selection. [`Predicate`] is that selection language; the SQL frontend
+//! lowers `WHERE` clauses to it, and the engine evaluates a slot-bound
+//! [`BoundPredicate`] per scanned row.
+
+use seedb_storage::{Cell, ColumnId, Table};
+
+/// Comparison operators for numeric predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to two floats.
+    #[inline]
+    pub fn apply(&self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A boolean expression over a table's columns.
+///
+/// NULL handling follows SQL three-valued logic collapsed to two values at
+/// the row level: any comparison against NULL is false; `IsNull` tests
+/// NULL-ness explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (selects everything; `D_R = D` uses this).
+    True,
+    /// Always false (e.g. equality against a label absent from the dictionary).
+    False,
+    /// Categorical equality by dictionary code.
+    CatEq { col: ColumnId, code: u32 },
+    /// Categorical membership by dictionary codes.
+    CatIn { col: ColumnId, codes: Vec<u32> },
+    /// Boolean column equality.
+    BoolEq { col: ColumnId, value: bool },
+    /// Numeric comparison (Int64/Float64 columns; ints widen to f64).
+    NumCmp { col: ColumnId, op: CmpOp, value: f64 },
+    /// NULL test.
+    IsNull { col: ColumnId },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience: `col = 'label'` against a categorical column, resolving
+    /// the label through the table's dictionary. Labels not present in the
+    /// dictionary yield [`Predicate::False`] (they can match no row).
+    pub fn col_eq_str(table: &dyn Table, column: &str, label: &str) -> Predicate {
+        let Some(col) = table.schema().column_id(column) else {
+            return Predicate::False;
+        };
+        match table.dictionary(col).and_then(|d| d.code(label)) {
+            Some(code) => Predicate::CatEq { col, code },
+            None => Predicate::False,
+        }
+    }
+
+    /// Collects every column the predicate references into `out`
+    /// (deduplicated, in first-reference order).
+    pub fn collect_columns(&self, out: &mut Vec<ColumnId>) {
+        let push = |c: ColumnId, out: &mut Vec<ColumnId>| {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        match self {
+            Predicate::True | Predicate::False => {}
+            Predicate::CatEq { col, .. }
+            | Predicate::CatIn { col, .. }
+            | Predicate::BoolEq { col, .. }
+            | Predicate::NumCmp { col, .. }
+            | Predicate::IsNull { col } => push(*col, out),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Binds column references to slots of a scan projection.
+    ///
+    /// `slot_of` maps a column id to its index within the cell slice the
+    /// scan will present. Binding once per query keeps the per-row
+    /// evaluation free of hash lookups.
+    pub fn bind(&self, slot_of: &dyn Fn(ColumnId) -> usize) -> BoundPredicate {
+        match self {
+            Predicate::True => BoundPredicate::True,
+            Predicate::False => BoundPredicate::False,
+            Predicate::CatEq { col, code } => {
+                BoundPredicate::CatEq { slot: slot_of(*col), code: *code }
+            }
+            Predicate::CatIn { col, codes } => BoundPredicate::CatIn {
+                slot: slot_of(*col),
+                codes: codes.clone(),
+            },
+            Predicate::BoolEq { col, value } => {
+                BoundPredicate::BoolEq { slot: slot_of(*col), value: *value }
+            }
+            Predicate::NumCmp { col, op, value } => BoundPredicate::NumCmp {
+                slot: slot_of(*col),
+                op: *op,
+                value: *value,
+            },
+            Predicate::IsNull { col } => BoundPredicate::IsNull { slot: slot_of(*col) },
+            Predicate::And(ps) => {
+                BoundPredicate::And(ps.iter().map(|p| p.bind(slot_of)).collect())
+            }
+            Predicate::Or(ps) => BoundPredicate::Or(ps.iter().map(|p| p.bind(slot_of)).collect()),
+            Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(slot_of))),
+        }
+    }
+
+    /// Structural negation helper.
+    pub fn negate(self) -> Predicate {
+        match self {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(inner) => *inner,
+            other => Predicate::Not(Box::new(other)),
+        }
+    }
+}
+
+/// A [`Predicate`] with column references resolved to projection slots;
+/// evaluated against the cell slice a scan yields per row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundPredicate {
+    /// See [`Predicate::True`].
+    True,
+    /// See [`Predicate::False`].
+    False,
+    /// See [`Predicate::CatEq`].
+    CatEq { slot: usize, code: u32 },
+    /// See [`Predicate::CatIn`].
+    CatIn { slot: usize, codes: Vec<u32> },
+    /// See [`Predicate::BoolEq`].
+    BoolEq { slot: usize, value: bool },
+    /// See [`Predicate::NumCmp`].
+    NumCmp { slot: usize, op: CmpOp, value: f64 },
+    /// See [`Predicate::IsNull`].
+    IsNull { slot: usize },
+    /// Conjunction.
+    And(Vec<BoundPredicate>),
+    /// Disjunction.
+    Or(Vec<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+}
+
+impl BoundPredicate {
+    /// Evaluates the predicate against one row's projected cells.
+    #[inline]
+    pub fn eval(&self, cells: &[Cell]) -> bool {
+        match self {
+            BoundPredicate::True => true,
+            BoundPredicate::False => false,
+            BoundPredicate::CatEq { slot, code } => matches!(cells[*slot], Cell::Cat(c) if c == *code),
+            BoundPredicate::CatIn { slot, codes } => {
+                matches!(cells[*slot], Cell::Cat(c) if codes.contains(&c))
+            }
+            BoundPredicate::BoolEq { slot, value } => {
+                matches!(cells[*slot], Cell::Bool(b) if b == *value)
+            }
+            BoundPredicate::NumCmp { slot, op, value } => match cells[*slot].as_f64() {
+                Some(x) => op.apply(x, *value),
+                None => false,
+            },
+            BoundPredicate::IsNull { slot } => cells[*slot].is_null(),
+            BoundPredicate::And(ps) => ps.iter().all(|p| p.eval(cells)),
+            BoundPredicate::Or(ps) => ps.iter().any(|p| p.eval(cells)),
+            BoundPredicate::Not(p) => !p.eval(cells),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_storage::{ColumnDef, ColumnRole, ColumnType, StoreKind, TableBuilder, Value};
+
+    fn identity_bind(p: &Predicate) -> BoundPredicate {
+        p.bind(&|c: ColumnId| c.index())
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.apply(1.0, 1.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Gt.apply(3.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert_eq!(CmpOp::Ge.sql(), ">=");
+    }
+
+    #[test]
+    fn eval_leaf_predicates() {
+        let cells = [Cell::Cat(2), Cell::Int(10), Cell::Null, Cell::Bool(true)];
+        assert!(identity_bind(&Predicate::CatEq { col: ColumnId(0), code: 2 }).eval(&cells));
+        assert!(!identity_bind(&Predicate::CatEq { col: ColumnId(0), code: 3 }).eval(&cells));
+        assert!(identity_bind(&Predicate::CatIn { col: ColumnId(0), codes: vec![1, 2] })
+            .eval(&cells));
+        assert!(identity_bind(&Predicate::NumCmp {
+            col: ColumnId(1),
+            op: CmpOp::Gt,
+            value: 5.0
+        })
+        .eval(&cells));
+        assert!(identity_bind(&Predicate::IsNull { col: ColumnId(2) }).eval(&cells));
+        assert!(identity_bind(&Predicate::BoolEq { col: ColumnId(3), value: true }).eval(&cells));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let cells = [Cell::Null];
+        let p = Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Eq, value: 0.0 };
+        assert!(!identity_bind(&p).eval(&cells));
+        let p = Predicate::CatEq { col: ColumnId(0), code: 0 };
+        assert!(!identity_bind(&p).eval(&cells));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let cells = [Cell::Int(5)];
+        let gt3 = Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Gt, value: 3.0 };
+        let lt4 = Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Lt, value: 4.0 };
+        assert!(!identity_bind(&Predicate::And(vec![gt3.clone(), lt4.clone()])).eval(&cells));
+        assert!(identity_bind(&Predicate::Or(vec![gt3.clone(), lt4.clone()])).eval(&cells));
+        assert!(identity_bind(&Predicate::Not(Box::new(lt4))).eval(&cells));
+        assert!(identity_bind(&Predicate::True).eval(&cells));
+        assert!(!identity_bind(&Predicate::False).eval(&cells));
+    }
+
+    #[test]
+    fn negate_simplifies() {
+        assert_eq!(Predicate::True.negate(), Predicate::False);
+        assert_eq!(Predicate::False.negate(), Predicate::True);
+        let p = Predicate::IsNull { col: ColumnId(0) };
+        assert_eq!(p.clone().negate().negate(), p);
+    }
+
+    #[test]
+    fn collect_columns_dedups_in_order() {
+        let p = Predicate::And(vec![
+            Predicate::CatEq { col: ColumnId(2), code: 0 },
+            Predicate::Or(vec![
+                Predicate::NumCmp { col: ColumnId(1), op: CmpOp::Lt, value: 0.0 },
+                Predicate::CatEq { col: ColumnId(2), code: 1 },
+            ]),
+        ]);
+        let mut cols = Vec::new();
+        p.collect_columns(&mut cols);
+        assert_eq!(cols, vec![ColumnId(2), ColumnId(1)]);
+    }
+
+    #[test]
+    fn col_eq_str_resolves_through_dictionary() {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::new("marital", ColumnType::Categorical, ColumnRole::Dimension),
+        ]);
+        b.push_row(&[Value::str("married")]).unwrap();
+        b.push_row(&[Value::str("unmarried")]).unwrap();
+        let t = b.build(StoreKind::Column).unwrap();
+        let p = Predicate::col_eq_str(t.as_ref(), "marital", "unmarried");
+        assert_eq!(p, Predicate::CatEq { col: ColumnId(0), code: 1 });
+        // Unknown label and unknown column both collapse to False.
+        assert_eq!(Predicate::col_eq_str(t.as_ref(), "marital", "widowed"), Predicate::False);
+        assert_eq!(Predicate::col_eq_str(t.as_ref(), "ghost", "x"), Predicate::False);
+    }
+
+    #[test]
+    fn bind_remaps_slots() {
+        let p = Predicate::CatEq { col: ColumnId(7), code: 3 };
+        let bound = p.bind(&|c| if c == ColumnId(7) { 0 } else { panic!() });
+        assert!(bound.eval(&[Cell::Cat(3)]));
+    }
+}

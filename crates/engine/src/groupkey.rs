@@ -1,0 +1,139 @@
+//! Compact group keys for hash aggregation.
+//!
+//! Group-by hashing is the engine's hottest path (the perf guide's advice on
+//! fast hashing applies here: we pair these keys with `FxHashMap`). Keys for
+//! single-attribute group-bys — the overwhelming majority of SeeDB view
+//! queries — are a single inline `u64`; multi-attribute keys (produced by
+//! the combine-group-by optimization) spill to a boxed slice.
+
+use std::fmt;
+
+/// A group identifier: one `u64` group code per grouping attribute
+/// (see `Cell::group_code`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// Single-attribute key (inline, no allocation).
+    One(u64),
+    /// Multi-attribute key.
+    Many(Box<[u64]>),
+}
+
+impl GroupKey {
+    /// Builds a key from per-attribute codes.
+    ///
+    /// # Panics
+    /// Panics on an empty code slice — a GROUP BY always has ≥ 1 attribute.
+    pub fn from_codes(codes: &[u64]) -> Self {
+        match codes {
+            [] => panic!("group key requires at least one attribute"),
+            [one] => GroupKey::One(*one),
+            many => GroupKey::Many(many.into()),
+        }
+    }
+
+    /// Number of attributes in the key.
+    pub fn arity(&self) -> usize {
+        match self {
+            GroupKey::One(_) => 1,
+            GroupKey::Many(v) => v.len(),
+        }
+    }
+
+    /// The code of attribute `idx` within the key.
+    pub fn code(&self, idx: usize) -> u64 {
+        match self {
+            GroupKey::One(c) => {
+                assert_eq!(idx, 0, "single-attribute key indexed at {idx}");
+                *c
+            }
+            GroupKey::Many(v) => v[idx],
+        }
+    }
+
+    /// Projects the key onto a subset of its attribute positions (used by
+    /// the multi-GROUP-BY rollup).
+    pub fn project(&self, positions: &[usize]) -> GroupKey {
+        let codes: Vec<u64> = positions.iter().map(|&i| self.code(i)).collect();
+        GroupKey::from_codes(&codes)
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupKey::One(c) => write!(f, "{c}"),
+            GroupKey::Many(v) => {
+                let parts: Vec<String> = v.iter().map(u64::to_string).collect();
+                write!(f, "({})", parts.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn from_codes_picks_compact_representation() {
+        assert_eq!(GroupKey::from_codes(&[5]), GroupKey::One(5));
+        assert_eq!(
+            GroupKey::from_codes(&[5, 6]),
+            GroupKey::Many(vec![5, 6].into_boxed_slice())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_codes_panic() {
+        GroupKey::from_codes(&[]);
+    }
+
+    #[test]
+    fn arity_and_code_access() {
+        let k = GroupKey::from_codes(&[1, 2, 3]);
+        assert_eq!(k.arity(), 3);
+        assert_eq!(k.code(1), 2);
+        let k = GroupKey::from_codes(&[9]);
+        assert_eq!(k.arity(), 1);
+        assert_eq!(k.code(0), 9);
+    }
+
+    #[test]
+    fn project_extracts_sub_keys() {
+        let k = GroupKey::from_codes(&[10, 20, 30]);
+        assert_eq!(k.project(&[1]), GroupKey::One(20));
+        assert_eq!(k.project(&[2, 0]), GroupKey::from_codes(&[30, 10]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_within_variant() {
+        let a = GroupKey::One(1);
+        let b = GroupKey::One(2);
+        assert!(a < b);
+        let c = GroupKey::from_codes(&[1, 5]);
+        let d = GroupKey::from_codes(&[2, 0]);
+        assert!(c < d);
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        fn h(k: &GroupKey) -> u64 {
+            let mut s = DefaultHasher::new();
+            k.hash(&mut s);
+            s.finish()
+        }
+        let a = GroupKey::from_codes(&[7, 8]);
+        let b = GroupKey::from_codes(&[7, 8]);
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GroupKey::One(3).to_string(), "3");
+        assert_eq!(GroupKey::from_codes(&[1, 2]).to_string(), "(1,2)");
+    }
+}

@@ -1,0 +1,503 @@
+//! Hash-based grouped aggregation with target/reference splitting.
+//!
+//! [`PartialAggregation`] is the phase-aware operator at the heart of the
+//! engine: it can consume any number of row ranges (the phased framework
+//! feeds it one partition per phase) and produce a consistent snapshot
+//! after each. [`execute_combined`] is the one-shot convenience wrapper.
+
+use crate::agg::Accumulator;
+use crate::expr::BoundPredicate;
+use crate::groupkey::GroupKey;
+use crate::spec::{CombinedQuery, SplitSpec};
+use crate::stats::ExecStats;
+use crate::{GroupEntry, GroupedResult};
+use rustc_hash::FxHashMap;
+use seedb_storage::{ColumnId, Table};
+use std::ops::Range;
+
+/// Split predicates bound to projection slots.
+enum BoundSplit {
+    TargetVsAll(BoundPredicate),
+    TargetVsComplement(BoundPredicate),
+    TargetVsQuery(BoundPredicate, BoundPredicate),
+    TargetOnly(BoundPredicate),
+}
+
+impl BoundSplit {
+    /// Classifies a row: `(is_target, is_reference)`.
+    #[inline]
+    fn classify(&self, cells: &[seedb_storage::Cell]) -> (bool, bool) {
+        match self {
+            BoundSplit::TargetVsAll(p) => (p.eval(cells), true),
+            BoundSplit::TargetVsComplement(p) => {
+                let t = p.eval(cells);
+                (t, !t)
+            }
+            BoundSplit::TargetVsQuery(t, r) => (t.eval(cells), r.eval(cells)),
+            BoundSplit::TargetOnly(p) => (p.eval(cells), false),
+        }
+    }
+}
+
+/// Accumulated state of one group.
+struct GroupState {
+    key: GroupKey,
+    target: Vec<Accumulator>,
+    reference: Vec<Accumulator>,
+}
+
+/// Resumable grouped aggregation over a [`CombinedQuery`].
+pub struct PartialAggregation {
+    query: CombinedQuery,
+    projection: Vec<ColumnId>,
+    group_slots: Vec<usize>,
+    measure_slots: Vec<usize>,
+    filter: Option<BoundPredicate>,
+    split: BoundSplit,
+    map: FxHashMap<GroupKey, u32>,
+    entries: Vec<GroupState>,
+    rows_consumed: u64,
+    target_rows: u64,
+}
+
+impl PartialAggregation {
+    /// Plans the projection and binds predicates for `query`.
+    pub fn new(query: CombinedQuery) -> Self {
+        // Projection = group-by columns ++ measure columns ++ predicate
+        // columns, deduplicated in that order.
+        let mut projection: Vec<ColumnId> = Vec::new();
+        let push = |c: ColumnId, projection: &mut Vec<ColumnId>| {
+            if !projection.contains(&c) {
+                projection.push(c);
+            }
+        };
+        for &c in &query.group_by {
+            push(c, &mut projection);
+        }
+        for a in &query.aggregates {
+            push(a.measure, &mut projection);
+        }
+        let mut pred_cols = Vec::new();
+        if let Some(f) = &query.filter {
+            f.collect_columns(&mut pred_cols);
+        }
+        for p in query.split.predicates() {
+            p.collect_columns(&mut pred_cols);
+        }
+        for c in pred_cols {
+            push(c, &mut projection);
+        }
+
+        let slot_of = |col: ColumnId| -> usize {
+            projection
+                .iter()
+                .position(|&c| c == col)
+                .expect("column present in projection by construction")
+        };
+        let group_slots: Vec<usize> = query.group_by.iter().map(|&c| slot_of(c)).collect();
+        let measure_slots: Vec<usize> =
+            query.aggregates.iter().map(|a| slot_of(a.measure)).collect();
+        let filter = query.filter.as_ref().map(|f| f.bind(&slot_of));
+        let split = match &query.split {
+            SplitSpec::TargetVsAll(p) => BoundSplit::TargetVsAll(p.bind(&slot_of)),
+            SplitSpec::TargetVsComplement(p) => BoundSplit::TargetVsComplement(p.bind(&slot_of)),
+            SplitSpec::TargetVsQuery { target, reference } => {
+                BoundSplit::TargetVsQuery(target.bind(&slot_of), reference.bind(&slot_of))
+            }
+            SplitSpec::TargetOnly(p) => BoundSplit::TargetOnly(p.bind(&slot_of)),
+        };
+
+        PartialAggregation {
+            query,
+            projection,
+            group_slots,
+            measure_slots,
+            filter,
+            split,
+            map: FxHashMap::default(),
+            entries: Vec::new(),
+            rows_consumed: 0,
+            target_rows: 0,
+        }
+    }
+
+    /// The query this aggregation executes.
+    pub fn query(&self) -> &CombinedQuery {
+        &self.query
+    }
+
+    /// Total rows consumed so far (across all `update` calls).
+    pub fn rows_consumed(&self) -> u64 {
+        self.rows_consumed
+    }
+
+    /// Rows so far that were classified as target rows.
+    pub fn target_rows(&self) -> u64 {
+        self.target_rows
+    }
+
+    /// Number of groups currently maintained (the memory-budget quantity).
+    pub fn num_groups(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Consumes rows `range` of `table`, updating accumulators and `stats`.
+    pub fn update(&mut self, table: &dyn Table, range: Range<usize>, stats: &mut ExecStats) {
+        let n_aggs = self.query.aggregates.len();
+        let proj_width = self.projection.len();
+        let start = range.start.min(table.num_rows());
+        let end = range.end.min(table.num_rows());
+
+        // Split borrows so the closure can touch disjoint fields.
+        let map = &mut self.map;
+        let entries = &mut self.entries;
+        let group_slots = &self.group_slots;
+        let measure_slots = &self.measure_slots;
+        let filter = &self.filter;
+        let split = &self.split;
+
+        let mut codes: Vec<u64> = vec![0; group_slots.len()];
+        let mut rows = 0u64;
+        let mut target_rows = 0u64;
+
+        table.scan_range(&self.projection, start..end, &mut |cells| {
+            rows += 1;
+            if let Some(f) = filter {
+                if !f.eval(cells) {
+                    return;
+                }
+            }
+            let (is_target, is_ref) = split.classify(cells);
+            if !is_target && !is_ref {
+                return;
+            }
+            if is_target {
+                target_rows += 1;
+            }
+            for (dst, &slot) in codes.iter_mut().zip(group_slots) {
+                *dst = cells[slot].group_code();
+            }
+            let key = GroupKey::from_codes(&codes);
+            let idx = match map.get(&key) {
+                Some(&i) => i as usize,
+                None => {
+                    let i = entries.len();
+                    map.insert(key.clone(), i as u32);
+                    entries.push(GroupState {
+                        key,
+                        target: vec![Accumulator::new(); n_aggs],
+                        reference: vec![Accumulator::new(); n_aggs],
+                    });
+                    i
+                }
+            };
+            let entry = &mut entries[idx];
+            for (agg_idx, &slot) in measure_slots.iter().enumerate() {
+                let v = cells[slot].as_f64();
+                if is_target {
+                    entry.target[agg_idx].update(v);
+                }
+                if is_ref {
+                    entry.reference[agg_idx].update(v);
+                }
+            }
+        });
+
+        self.rows_consumed += rows;
+        self.target_rows += target_rows;
+        stats.scan_passes += 1;
+        stats.rows_scanned += rows;
+        stats.cells_visited += rows * proj_width as u64;
+        stats.groups_max = stats.groups_max.max(self.entries.len() as u64);
+    }
+
+    /// Clones the current state into a sorted [`GroupedResult`].
+    pub fn snapshot(&self) -> GroupedResult {
+        let mut groups: Vec<GroupEntry> = self
+            .entries
+            .iter()
+            .map(|g| GroupEntry {
+                key: g.key.clone(),
+                target: g.target.clone(),
+                reference: g.reference.clone(),
+            })
+            .collect();
+        groups.sort_by(|a, b| a.key.cmp(&b.key));
+        GroupedResult {
+            group_by: self.query.group_by.clone(),
+            aggregates: self.query.aggregates.clone(),
+            groups,
+        }
+    }
+
+    /// Consumes the aggregation, producing the final sorted result.
+    pub fn finalize(mut self) -> GroupedResult {
+        self.entries.sort_by(|a, b| a.key.cmp(&b.key));
+        GroupedResult {
+            group_by: self.query.group_by,
+            aggregates: self.query.aggregates,
+            groups: self
+                .entries
+                .into_iter()
+                .map(|g| GroupEntry { key: g.key, target: g.target, reference: g.reference })
+                .collect(),
+        }
+    }
+}
+
+/// Executes `query` over the whole table in a single pass.
+pub fn execute_combined(
+    table: &dyn Table,
+    query: &CombinedQuery,
+    stats: &mut ExecStats,
+) -> GroupedResult {
+    stats.queries_issued += 1;
+    let mut agg = PartialAggregation::new(query.clone());
+    agg.update(table, 0..table.num_rows(), stats);
+    agg.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::Predicate;
+    use crate::spec::AggSpec;
+    use seedb_storage::{
+        BoxedTable, ColumnDef, ColumnRole, ColumnType, StoreKind, TableBuilder, Value,
+    };
+
+    /// sex | marital | gain
+    fn census_mini(kind: StoreKind) -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("sex"),
+            ColumnDef::dim("marital"),
+            ColumnDef::new("gain", ColumnType::Float64, ColumnRole::Measure),
+        ]);
+        let rows = [
+            ("F", "unmarried", 500.0),
+            ("M", "unmarried", 480.0),
+            ("F", "married", 300.0),
+            ("M", "married", 700.0),
+            ("F", "unmarried", 520.0),
+            ("M", "married", 660.0),
+        ];
+        for (s, m, g) in rows {
+            b.push_row(&[Value::str(s), Value::str(m), Value::Float(g)]).unwrap();
+        }
+        b.build(kind).unwrap()
+    }
+
+    fn unmarried(table: &dyn Table) -> Predicate {
+        Predicate::col_eq_str(table, "marital", "unmarried")
+    }
+
+    #[test]
+    fn count_group_by_whole_table() {
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let t = census_mini(kind);
+            let q = CombinedQuery::single(
+                ColumnId(0),
+                AggSpec::new(AggFunc::Count, ColumnId(2)),
+                SplitSpec::TargetOnly(Predicate::True),
+            );
+            let mut stats = ExecStats::default();
+            let r = execute_combined(t.as_ref(), &q, &mut stats);
+            assert_eq!(r.num_groups(), 2);
+            // F interned first => code 0 sorts first.
+            let (target, _) = r.value_vectors(0);
+            assert_eq!(target, vec![3.0, 3.0]);
+            assert_eq!(stats.queries_issued, 1);
+            assert_eq!(stats.rows_scanned, 6);
+        }
+    }
+
+    #[test]
+    fn avg_with_target_vs_all_split() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Avg, ColumnId(2)),
+            SplitSpec::TargetVsAll(unmarried(t.as_ref())),
+        );
+        let mut stats = ExecStats::default();
+        let r = execute_combined(t.as_ref(), &q, &mut stats);
+        let (target, reference) = r.value_vectors(0);
+        // Target (unmarried): F avg = (500+520)/2 = 510, M = 480.
+        assert_eq!(target, vec![510.0, 480.0]);
+        // Reference (all rows): F avg = (500+300+520)/3 = 440, M = (480+700+660)/3.
+        assert!((reference[0] - 440.0).abs() < 1e-9);
+        assert!((reference[1] - (480.0 + 700.0 + 660.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complement_split_partitions_rows() {
+        let t = census_mini(StoreKind::Row);
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Count, ColumnId(2)),
+            SplitSpec::TargetVsComplement(unmarried(t.as_ref())),
+        );
+        let r = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+        let (target, reference) = r.value_vectors(0);
+        // Unmarried: F=2, M=1. Married: F=1, M=2.
+        assert_eq!(target, vec![2.0, 1.0]);
+        assert_eq!(reference, vec![1.0, 2.0]);
+        // Target + complement = whole table.
+        assert_eq!(
+            target.iter().sum::<f64>() + reference.iter().sum::<f64>(),
+            t.num_rows() as f64
+        );
+    }
+
+    #[test]
+    fn target_vs_query_split() {
+        let t = census_mini(StoreKind::Column);
+        let married = Predicate::col_eq_str(t.as_ref(), "marital", "married");
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Avg, ColumnId(2)),
+            SplitSpec::TargetVsQuery { target: unmarried(t.as_ref()), reference: married },
+        );
+        let r = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+        let (target, reference) = r.value_vectors(0);
+        assert_eq!(target, vec![510.0, 480.0]);
+        assert_eq!(reference, vec![300.0, 680.0]);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_scan() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(0)],
+            aggregates: vec![
+                AggSpec::new(AggFunc::Count, ColumnId(2)),
+                AggSpec::new(AggFunc::Sum, ColumnId(2)),
+                AggSpec::new(AggFunc::Max, ColumnId(2)),
+            ],
+            filter: None,
+            split: SplitSpec::TargetVsAll(Predicate::True),
+        };
+        let mut stats = ExecStats::default();
+        let r = execute_combined(t.as_ref(), &q, &mut stats);
+        assert_eq!(stats.scan_passes, 1); // all three aggregates in one pass
+        let (count, _) = r.value_vectors(0);
+        let (sum, _) = r.value_vectors(1);
+        let (max, _) = r.value_vectors(2);
+        assert_eq!(count, vec![3.0, 3.0]);
+        assert_eq!(sum, vec![1320.0, 1840.0]);
+        assert_eq!(max, vec![520.0, 700.0]);
+    }
+
+    #[test]
+    fn multi_group_by_maintains_cross_product_groups() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(0), ColumnId(1)],
+            aggregates: vec![AggSpec::new(AggFunc::Count, ColumnId(2))],
+            filter: None,
+            split: SplitSpec::TargetVsAll(Predicate::True),
+        };
+        let r = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+        assert_eq!(r.num_groups(), 4); // (F,M) × (unmarried,married)
+    }
+
+    #[test]
+    fn filter_restricts_scan() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(0)],
+            aggregates: vec![AggSpec::new(AggFunc::Count, ColumnId(2))],
+            filter: Some(Predicate::col_eq_str(t.as_ref(), "sex", "F")),
+            split: SplitSpec::TargetVsAll(Predicate::True),
+        };
+        let r = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+        assert_eq!(r.num_groups(), 1);
+        let (target, _) = r.value_vectors(0);
+        assert_eq!(target, vec![3.0]);
+    }
+
+    #[test]
+    fn phased_updates_equal_single_pass() {
+        let t = census_mini(StoreKind::Row);
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Avg, ColumnId(2)),
+            SplitSpec::TargetVsAll(unmarried(t.as_ref())),
+        );
+        let mut stats = ExecStats::default();
+        let one_shot = execute_combined(t.as_ref(), &q, &mut stats);
+
+        let mut partial = PartialAggregation::new(q);
+        let mut stats2 = ExecStats::default();
+        partial.update(t.as_ref(), 0..2, &mut stats2);
+        partial.update(t.as_ref(), 2..4, &mut stats2);
+        partial.update(t.as_ref(), 4..6, &mut stats2);
+        assert_eq!(partial.rows_consumed(), 6);
+        let phased = partial.finalize();
+
+        assert_eq!(one_shot.num_groups(), phased.num_groups());
+        let (t1, r1) = one_shot.value_vectors(0);
+        let (t2, r2) = phased.value_vectors(0);
+        assert_eq!(t1, t2);
+        assert_eq!(r1, r2);
+        assert_eq!(stats2.scan_passes, 3);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_mid_stream() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Count, ColumnId(2)),
+            SplitSpec::TargetVsAll(Predicate::True),
+        );
+        let mut partial = PartialAggregation::new(q);
+        partial.update(t.as_ref(), 0..3, &mut ExecStats::default());
+        let snap = partial.snapshot();
+        let total: f64 = snap.value_vectors(0).0.iter().sum();
+        assert_eq!(total, 3.0);
+        // Continue after snapshot; snapshot was a true copy.
+        partial.update(t.as_ref(), 3..6, &mut ExecStats::default());
+        let total2: f64 = partial.finalize().value_vectors(0).0.iter().sum();
+        assert_eq!(total2, 6.0);
+        let total_snap: f64 = snap.value_vectors(0).0.iter().sum();
+        assert_eq!(total_snap, 3.0);
+    }
+
+    #[test]
+    fn empty_target_selection_yields_empty_target_side() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Avg, ColumnId(2)),
+            SplitSpec::TargetVsAll(Predicate::False),
+        );
+        let r = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+        // Groups exist (reference side saw rows) but target accumulators are empty.
+        assert_eq!(r.num_groups(), 2);
+        let (target, reference) = r.value_vectors(0);
+        assert_eq!(target, vec![0.0, 0.0]); // AVG of empty -> None -> 0.0
+        assert!(reference.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn row_and_column_stores_agree() {
+        let row_t = census_mini(StoreKind::Row);
+        let col_t = census_mini(StoreKind::Column);
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(1)],
+            aggregates: vec![
+                AggSpec::new(AggFunc::Avg, ColumnId(2)),
+                AggSpec::new(AggFunc::Count, ColumnId(2)),
+            ],
+            filter: None,
+            split: SplitSpec::TargetVsComplement(unmarried(row_t.as_ref())),
+        };
+        let a = execute_combined(row_t.as_ref(), &q, &mut ExecStats::default());
+        let b = execute_combined(col_t.as_ref(), &q, &mut ExecStats::default());
+        for agg in 0..2 {
+            assert_eq!(a.value_vectors(agg), b.value_vectors(agg));
+        }
+    }
+}

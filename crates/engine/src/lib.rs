@@ -1,0 +1,87 @@
+//! # seedb-engine
+//!
+//! The execution engine underneath SeeDB: grouped aggregation over the
+//! storage substrate, plus the building blocks for the paper's
+//! *sharing-based optimizations* (§4.1):
+//!
+//! * **Combine multiple aggregates** — a [`CombinedQuery`] carries any
+//!   number of [`AggSpec`]s, all evaluated in one scan.
+//! * **Combine multiple GROUP BYs** — a `CombinedQuery` may group by several
+//!   dimension attributes at once; [`rollup`] recovers each
+//!   single-attribute view from the multi-attribute result (COUNT/SUM/MIN/
+//!   MAX/AVG all decompose losslessly because accumulators merge).
+//!   [`binpack`] chooses which attributes to combine under a memory budget
+//!   (Problem 4.1, first-fit over `log₂|aᵢ|` weights).
+//! * **Combine target and reference view** — a [`SplitSpec`] classifies each
+//!   scanned row as target and/or reference, so one scan feeds both sides
+//!   of the deviation computation.
+//! * **Parallel query execution** — [`parallel::run_parallel`] fans a batch
+//!   of queries across a bounded worker pool.
+//!
+//! Execution is *phase-aware*: a [`PartialAggregation`] accepts any number
+//! of row ranges and can snapshot its state between ranges, which is exactly
+//! what the phased pruning framework in `seedb-core` needs.
+
+pub mod agg;
+pub mod binpack;
+pub mod expr;
+pub mod groupkey;
+pub mod hashagg;
+pub mod parallel;
+pub mod rollup;
+pub mod spec;
+pub mod stats;
+
+pub use agg::{Accumulator, AggFunc};
+pub use binpack::{first_fit, first_fit_decreasing, GroupingPlan};
+pub use expr::{BoundPredicate, CmpOp, Predicate};
+pub use groupkey::GroupKey;
+pub use hashagg::{execute_combined, PartialAggregation};
+pub use rollup::rollup;
+pub use spec::{AggSpec, CombinedQuery, SplitSpec};
+pub use stats::ExecStats;
+
+/// Result of a grouped aggregation: one entry per observed group, sorted by
+/// key for deterministic downstream consumption.
+#[derive(Debug, Clone)]
+pub struct GroupedResult {
+    /// The grouping attributes this result is keyed by.
+    pub group_by: Vec<seedb_storage::ColumnId>,
+    /// Aggregate specs, in the order accumulators appear in each entry.
+    pub aggregates: Vec<AggSpec>,
+    /// Per-group accumulated state.
+    pub groups: Vec<GroupEntry>,
+}
+
+/// One group's accumulated target and reference state.
+#[derive(Debug, Clone)]
+pub struct GroupEntry {
+    /// Group key (one `u64` code per grouping attribute).
+    pub key: GroupKey,
+    /// Target-side accumulators, one per aggregate spec.
+    pub target: Vec<Accumulator>,
+    /// Reference-side accumulators, one per aggregate spec.
+    pub reference: Vec<Accumulator>,
+}
+
+impl GroupedResult {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Extracts the aligned `(target, reference)` value vectors for
+    /// aggregate `agg_idx`, with groups in key order. Groups where an AVG
+    /// has no rows yield 0.0 — the normalization step treats missing mass
+    /// as zero probability, matching the paper's treatment of absent groups.
+    pub fn value_vectors(&self, agg_idx: usize) -> (Vec<f64>, Vec<f64>) {
+        let func = self.aggregates[agg_idx].func;
+        let mut t = Vec::with_capacity(self.groups.len());
+        let mut r = Vec::with_capacity(self.groups.len());
+        for g in &self.groups {
+            t.push(g.target[agg_idx].finish(func).unwrap_or(0.0));
+            r.push(g.reference[agg_idx].finish(func).unwrap_or(0.0));
+        }
+        (t, r)
+    }
+}

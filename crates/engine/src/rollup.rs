@@ -1,0 +1,159 @@
+//! Rolling a multi-attribute GROUP BY result up to single-attribute views.
+//!
+//! The combine-multiple-GROUP-BYs optimization (§4.1) executes one query
+//! grouped by `(a₁, …, a_p)` and recovers each single-attribute view
+//! `GROUP BY a_i` by merging accumulators over the other attributes. This
+//! is lossless for COUNT/SUM/AVG/MIN/MAX because [`crate::Accumulator`]s
+//! merge exactly.
+
+use crate::{GroupEntry, GroupedResult};
+use rustc_hash::FxHashMap;
+use crate::groupkey::GroupKey;
+
+/// Projects `result` (grouped by several attributes) onto the single
+/// grouping attribute at `position`, merging all groups that share that
+/// attribute's code.
+///
+/// # Panics
+/// Panics if `position` is out of range of `result.group_by`.
+pub fn rollup(result: &GroupedResult, position: usize) -> GroupedResult {
+    assert!(
+        position < result.group_by.len(),
+        "rollup position {position} out of range ({} grouping attrs)",
+        result.group_by.len()
+    );
+    let n_aggs = result.aggregates.len();
+    let mut map: FxHashMap<GroupKey, usize> = FxHashMap::default();
+    let mut merged: Vec<GroupEntry> = Vec::new();
+
+    for entry in &result.groups {
+        let sub_key = entry.key.project(&[position]);
+        let idx = *map.entry(sub_key.clone()).or_insert_with(|| {
+            merged.push(GroupEntry {
+                key: sub_key,
+                target: vec![Default::default(); n_aggs],
+                reference: vec![Default::default(); n_aggs],
+            });
+            merged.len() - 1
+        });
+        for agg in 0..n_aggs {
+            merged[idx].target[agg].merge(&entry.target[agg]);
+            merged[idx].reference[agg].merge(&entry.reference[agg]);
+        }
+    }
+    merged.sort_by(|a, b| a.key.cmp(&b.key));
+    GroupedResult {
+        group_by: vec![result.group_by[position]],
+        aggregates: result.aggregates.clone(),
+        groups: merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::Predicate;
+    use crate::hashagg::execute_combined;
+    use crate::spec::{AggSpec, CombinedQuery, SplitSpec};
+    use crate::stats::ExecStats;
+    use seedb_storage::{
+        BoxedTable, ColumnDef, ColumnId, ColumnRole, ColumnType, StoreKind, TableBuilder, Value,
+    };
+
+    fn table() -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("a"),
+            ColumnDef::dim("b"),
+            ColumnDef::new("m", ColumnType::Float64, ColumnRole::Measure),
+        ]);
+        let rows = [
+            ("x", "p", 1.0),
+            ("x", "q", 2.0),
+            ("y", "p", 4.0),
+            ("y", "q", 8.0),
+            ("x", "p", 16.0),
+        ];
+        for (a, bb, m) in rows {
+            b.push_row(&[Value::str(a), Value::str(bb), Value::Float(m)]).unwrap();
+        }
+        b.build(StoreKind::Column).unwrap()
+    }
+
+    fn multi_query(t: &dyn seedb_storage::Table) -> GroupedResult {
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(0), ColumnId(1)],
+            aggregates: vec![
+                AggSpec::new(AggFunc::Sum, ColumnId(2)),
+                AggSpec::new(AggFunc::Count, ColumnId(2)),
+                AggSpec::new(AggFunc::Avg, ColumnId(2)),
+                AggSpec::new(AggFunc::Min, ColumnId(2)),
+                AggSpec::new(AggFunc::Max, ColumnId(2)),
+            ],
+            filter: None,
+            split: SplitSpec::TargetVsAll(Predicate::col_eq_str(t, "b", "p")),
+        };
+        execute_combined(t, &q, &mut ExecStats::default())
+    }
+
+    fn single_query(t: &dyn seedb_storage::Table, dim: u32) -> GroupedResult {
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(dim)],
+            aggregates: vec![
+                AggSpec::new(AggFunc::Sum, ColumnId(2)),
+                AggSpec::new(AggFunc::Count, ColumnId(2)),
+                AggSpec::new(AggFunc::Avg, ColumnId(2)),
+                AggSpec::new(AggFunc::Min, ColumnId(2)),
+                AggSpec::new(AggFunc::Max, ColumnId(2)),
+            ],
+            filter: None,
+            split: SplitSpec::TargetVsAll(Predicate::col_eq_str(t, "b", "p")),
+        };
+        execute_combined(t, &q, &mut ExecStats::default())
+    }
+
+    #[test]
+    fn rollup_matches_direct_single_attribute_query_for_all_aggregates() {
+        let t = table();
+        let multi = multi_query(t.as_ref());
+        for (pos, dim) in [(0usize, 0u32), (1, 1)] {
+            let rolled = rollup(&multi, pos);
+            let direct = single_query(t.as_ref(), dim);
+            assert_eq!(rolled.num_groups(), direct.num_groups(), "dim {dim}");
+            for agg in 0..5 {
+                let (rt, rr) = rolled.value_vectors(agg);
+                let (dt, dr) = direct.value_vectors(agg);
+                assert_eq!(rt, dt, "target mismatch dim {dim} agg {agg}");
+                assert_eq!(rr, dr, "reference mismatch dim {dim} agg {agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_preserves_group_by_metadata() {
+        let t = table();
+        let multi = multi_query(t.as_ref());
+        let rolled = rollup(&multi, 1);
+        assert_eq!(rolled.group_by, vec![ColumnId(1)]);
+        assert_eq!(rolled.aggregates.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rollup_position_out_of_range_panics() {
+        let t = table();
+        let multi = multi_query(t.as_ref());
+        rollup(&multi, 2);
+    }
+
+    #[test]
+    fn rollup_of_single_attribute_result_is_identity() {
+        let t = table();
+        let single = single_query(t.as_ref(), 0);
+        let rolled = rollup(&single, 0);
+        assert_eq!(rolled.num_groups(), single.num_groups());
+        for agg in 0..5 {
+            assert_eq!(rolled.value_vectors(agg), single.value_vectors(agg));
+        }
+    }
+}

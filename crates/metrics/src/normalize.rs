@@ -1,0 +1,159 @@
+//! Normalization of aggregate vectors into probability distributions.
+//!
+//! §2 of the paper: *"To ensure that all aggregate summaries have the same
+//! scale, we normalize each summary into a probability distribution (i.e.
+//! the values of f(m) sum to 1)."*
+//!
+//! Two edge cases the paper leaves implicit, resolved here:
+//!
+//! * **Negative aggregates** (e.g. `SUM` of a loss column): probabilities
+//!   cannot be negative, so values are shifted by the vector minimum before
+//!   dividing. This preserves the *ordering* of group masses, which is what
+//!   deviation compares.
+//! * **Zero-sum vectors** (all-zero aggregates, or an empty target
+//!   selection): mapped to the uniform distribution, so a view whose target
+//!   and reference are both degenerate shows zero deviation rather than NaN.
+
+/// Normalizes `values` into a fresh probability vector.
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; values.len()];
+    normalize_into(values, &mut out);
+    out
+}
+
+/// Normalizes `values` into `out` (lengths must match), avoiding allocation
+/// in hot loops.
+///
+/// # Panics
+/// Panics if `values.len() != out.len()`.
+pub fn normalize_into(values: &[f64], out: &mut [f64]) {
+    assert_eq!(values.len(), out.len(), "output buffer length must match input");
+    if values.is_empty() {
+        return;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let shift = if min < 0.0 { -min } else { 0.0 };
+    let mut sum = 0.0;
+    for (o, &v) in out.iter_mut().zip(values) {
+        let x = if v.is_finite() { v + shift } else { 0.0 };
+        *o = x;
+        sum += x;
+    }
+    if sum > 0.0 {
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    } else {
+        let uniform = 1.0 / values.len() as f64;
+        for o in out.iter_mut() {
+            *o = uniform;
+        }
+    }
+}
+
+/// Normalizes a target/reference pair over the *same* group domain.
+///
+/// Returns `(p_target, p_reference)`. Both inputs must already be aligned
+/// (entry *i* of each refers to the same group; missing groups should be
+/// filled with 0.0 by the caller before normalization).
+pub fn normalize_pair(target: &[f64], reference: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(
+        target.len(),
+        reference.len(),
+        "target and reference must be aligned over the same groups"
+    );
+    (normalize(target), normalize(reference))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_distribution(p: &[f64]) {
+        if p.is_empty() {
+            return;
+        }
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sums to {sum}");
+        assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    #[test]
+    fn positive_values_normalize_proportionally() {
+        let p = normalize(&[1.0, 3.0]);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+        assert_is_distribution(&p);
+    }
+
+    #[test]
+    fn paper_example_capital_gain() {
+        // Table 1c of the paper: unmarried avg capital gain F=180.1, M=166.3
+        // (values approximate); normalized ≈ (0.52, 0.48).
+        let p = normalize(&[0.52, 0.48]);
+        assert!((p[0] - 0.52).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sum_maps_to_uniform() {
+        let p = normalize(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(p, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn negative_values_shift_preserves_order() {
+        let p = normalize(&[-10.0, 0.0, 10.0]);
+        assert_is_distribution(&p);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+        assert_eq!(p[0], 0.0); // minimum shifts to zero mass
+    }
+
+    #[test]
+    fn all_equal_negative_values_map_to_uniform() {
+        // Shifting makes everything 0, so the zero-sum rule kicks in.
+        let p = normalize(&[-5.0, -5.0]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped_to_zero_mass() {
+        let p = normalize(&[f64::NAN, 1.0, f64::INFINITY]);
+        assert_is_distribution(&p);
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[2], 0.0);
+        assert_eq!(p[1], 1.0);
+    }
+
+    #[test]
+    fn normalize_into_reuses_buffer() {
+        let mut buf = vec![9.0; 2];
+        normalize_into(&[2.0, 2.0], &mut buf);
+        assert_eq!(buf, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn normalize_into_length_mismatch_panics() {
+        let mut buf = vec![0.0; 3];
+        normalize_into(&[1.0], &mut buf);
+    }
+
+    #[test]
+    fn normalize_pair_produces_two_distributions() {
+        let (p, q) = normalize_pair(&[1.0, 1.0], &[3.0, 1.0]);
+        assert_is_distribution(&p);
+        assert_is_distribution(&q);
+        assert!((q[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn normalize_pair_rejects_misaligned_inputs() {
+        normalize_pair(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for metric axioms and the paper's Property 4.1
+//! (consistency: estimates from uniform samples converge to the true
+//! utility as sample size grows).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use seedb_metrics::{normalize, DistanceKind};
+
+fn arb_distribution(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, len).prop_map(|v| normalize(&v))
+}
+
+fn arb_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..20).prop_flat_map(|len| (arb_distribution(len), arb_distribution(len)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nonnegativity((p, q) in arb_pair()) {
+        for kind in DistanceKind::ALL {
+            prop_assert!(kind.compute(&p, &q) >= 0.0, "{} went negative", kind);
+        }
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(p in (1usize..20).prop_flat_map(arb_distribution)) {
+        for kind in DistanceKind::ALL {
+            let d = kind.compute(&p, &p);
+            prop_assert!(d.abs() < 1e-9, "{}(p,p) = {}", kind, d);
+        }
+    }
+
+    #[test]
+    fn symmetry_for_symmetric_metrics((p, q) in arb_pair()) {
+        for kind in DistanceKind::ALL.into_iter().filter(|k| k.is_symmetric()) {
+            let pq = kind.compute(&p, &q);
+            let qp = kind.compute(&q, &p);
+            prop_assert!((pq - qp).abs() < 1e-9, "{} asymmetric: {} vs {}", kind, pq, qp);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_for_true_metrics(
+        (p, q) in arb_pair(),
+        r_raw in prop::collection::vec(0.0f64..100.0, 1..20),
+    ) {
+        // EMD, Euclidean, L1, MaxDiff (Chebyshev on diffs) and JS distance
+        // satisfy the triangle inequality; KL and chi² do not claim to.
+        let len = p.len();
+        let mut r_raw = r_raw;
+        r_raw.resize(len, 1.0);
+        let r = normalize(&r_raw);
+        for kind in [
+            DistanceKind::Emd,
+            DistanceKind::Euclidean,
+            DistanceKind::L1,
+            DistanceKind::MaxDiff,
+            DistanceKind::JensenShannon,
+        ] {
+            let pq = kind.compute(&p, &q);
+            let pr = kind.compute(&p, &r);
+            let rq = kind.compute(&r, &q);
+            prop_assert!(
+                pq <= pr + rq + 1e-9,
+                "{} violates triangle: d(p,q)={} > d(p,r)+d(r,q)={}", kind, pq, pr + rq
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_metrics_stay_bounded((p, q) in arb_pair()) {
+        prop_assert!(DistanceKind::L1.compute(&p, &q) <= 2.0 + 1e-9);
+        prop_assert!(DistanceKind::MaxDiff.compute(&p, &q) <= 1.0 + 1e-9);
+        prop_assert!(DistanceKind::JensenShannon.compute(&p, &q) <= 1.0 + 1e-9);
+        prop_assert!(DistanceKind::Euclidean.compute(&p, &q) <= 2.0f64.sqrt() + 1e-9);
+        prop_assert!(DistanceKind::ChiSquared.compute(&p, &q) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn scaling_invariance_of_normalization(
+        raw in prop::collection::vec(0.1f64..100.0, 1..20),
+        scale in 0.1f64..1000.0,
+    ) {
+        // normalize(c·v) == normalize(v): utility must not depend on the
+        // absolute magnitude of the aggregates, only their shape.
+        let scaled: Vec<f64> = raw.iter().map(|x| x * scale).collect();
+        let p = normalize(&raw);
+        let q = normalize(&scaled);
+        for (a, b) in p.iter().zip(&q) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+/// Property 4.1 (Consistency): as the number of samples grows, the estimated
+/// utility Û computed from a uniform sample converges to the true utility U.
+///
+/// We simulate the paper's setting: a population of N rows spread over m
+/// groups for target and reference; utility is the distance between the
+/// normalized per-group COUNT vectors. Sampling without replacement, the
+/// estimate from an n-prefix of a random permutation must approach the full
+/// -data utility.
+#[test]
+fn consistency_property_estimates_converge() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let m = 6;
+    let n_rows = 20_000;
+
+    // Build a synthetic population: each row has (group, is_target).
+    let target_weights: Vec<f64> = (0..m).map(|i| 1.0 + i as f64).collect();
+    let ref_weights: Vec<f64> = (0..m).map(|i| 1.0 + (m - i) as f64).collect();
+    let mut rows: Vec<(usize, bool)> = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows / 2 {
+        rows.push((sample_weighted(&mut rng, &target_weights), true));
+        rows.push((sample_weighted(&mut rng, &ref_weights), false));
+    }
+    rows.shuffle(&mut rng);
+
+    let utility = |prefix: &[(usize, bool)]| -> f64 {
+        let mut t = vec![0.0; m];
+        let mut r = vec![0.0; m];
+        for &(g, is_t) in prefix {
+            if is_t {
+                t[g] += 1.0;
+            } else {
+                r[g] += 1.0;
+            }
+        }
+        DistanceKind::Emd.compute(&normalize(&t), &normalize(&r))
+    };
+
+    let true_u = utility(&rows);
+    let mut errors = Vec::new();
+    for frac in [0.01, 0.05, 0.25, 1.0] {
+        let n = (n_rows as f64 * frac) as usize;
+        errors.push((utility(&rows[..n]) - true_u).abs());
+    }
+    // Error at full data is exactly zero and errors shrink broadly.
+    assert!(errors[3] < 1e-12);
+    assert!(
+        errors[0] * 0.9 >= errors[2] || errors[2] < 0.01,
+        "estimates did not converge: {errors:?}"
+    );
+}
+
+fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}

@@ -1,0 +1,249 @@
+//! Abstract syntax tree for the SQL subset, with a pretty-printer whose
+//! output re-parses to the same AST (property-tested in the parser module).
+
+use seedb_engine::{AggFunc, CmpOp};
+use std::fmt;
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// NULL literal.
+    Null,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// A boolean expression (`WHERE` clause body).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `col op literal`
+    Cmp {
+        /// Column name.
+        col: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        lit: Literal,
+    },
+    /// `col IN (lit, lit, ...)`
+    In {
+        /// Column name.
+        col: String,
+        /// Member literals.
+        list: Vec<Literal>,
+    },
+    /// `col IS NULL` / `col IS NOT NULL`
+    IsNull {
+        /// Column name.
+        col: String,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Conjunction (≥ 2 operands).
+    And(Vec<Expr>),
+    /// Disjunction (≥ 2 operands).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `TRUE` / `FALSE`
+    BoolLit(bool),
+}
+
+impl Expr {
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Or(_) => 1,
+            Expr::And(_) => 2,
+            Expr::Not(_) => 3,
+            _ => 4,
+        }
+    }
+
+    fn fmt_with_parens(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        let prec = self.precedence();
+        let need = prec < parent_prec;
+        if need {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Cmp { col, op, lit } => write!(f, "{col} {} {lit}", op.sql())?,
+            Expr::In { col, list } => {
+                let items: Vec<String> = list.iter().map(Literal::to_string).collect();
+                write!(f, "{col} IN ({})", items.join(", "))?;
+            }
+            Expr::IsNull { col, negated } => {
+                write!(f, "{col} IS {}NULL", if *negated { "NOT " } else { "" })?;
+            }
+            Expr::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    p.fmt_with_parens(f, prec + 1)?;
+                }
+            }
+            Expr::Or(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    p.fmt_with_parens(f, prec + 1)?;
+                }
+            }
+            Expr::Not(inner) => {
+                write!(f, "NOT ")?;
+                inner.fmt_with_parens(f, prec)?;
+            }
+            Expr::BoolLit(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" })?,
+        }
+        if need {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_with_parens(f, 0)
+    }
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A bare column reference.
+    Column(String),
+    /// `FUNC(col)`
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Measure column name.
+        arg: String,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => write!(f, "*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate { func, arg } => write!(f, "{func}({arg})"),
+        }
+    }
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Select list (≥ 1 item).
+    pub select: Vec<SelectItem>,
+    /// Table name after `FROM`.
+    pub from: String,
+    /// Optional `WHERE` clause.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` column names (possibly empty).
+    pub group_by: Vec<String>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let items: Vec<String> = self.select.iter().map(SelectItem::to_string).collect();
+        write!(f, "SELECT {} FROM {}", items.join(", "), self.from)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY {}", self.group_by.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::Int(3).to_string(), "3");
+        assert_eq!(Literal::Float(2.0).to_string(), "2.0");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+        assert_eq!(Literal::Str("a'b".into()).to_string(), "'a''b'");
+        assert_eq!(Literal::Bool(true).to_string(), "TRUE");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn expr_display_inserts_parens_only_when_needed() {
+        let cmp = |c: &str| Expr::Cmp {
+            col: c.into(),
+            op: CmpOp::Eq,
+            lit: Literal::Int(1),
+        };
+        let e = Expr::And(vec![Expr::Or(vec![cmp("a"), cmp("b")]), cmp("c")]);
+        assert_eq!(e.to_string(), "(a = 1 OR b = 1) AND c = 1");
+        let e = Expr::Or(vec![Expr::And(vec![cmp("a"), cmp("b")]), cmp("c")]);
+        assert_eq!(e.to_string(), "a = 1 AND b = 1 OR c = 1");
+        let e = Expr::Not(Box::new(Expr::And(vec![cmp("a"), cmp("b")])));
+        assert_eq!(e.to_string(), "NOT (a = 1 AND b = 1)");
+    }
+
+    #[test]
+    fn query_display_full_form() {
+        let q = Query {
+            select: vec![
+                SelectItem::Column("sex".into()),
+                SelectItem::Aggregate { func: AggFunc::Avg, arg: "gain".into() },
+            ],
+            from: "census".into(),
+            where_clause: Some(Expr::Cmp {
+                col: "marital".into(),
+                op: CmpOp::Eq,
+                lit: Literal::Str("unmarried".into()),
+            }),
+            group_by: vec!["sex".into()],
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT sex, AVG(gain) FROM census WHERE marital = 'unmarried' GROUP BY sex"
+        );
+    }
+
+    #[test]
+    fn query_display_minimal_form() {
+        let q = Query {
+            select: vec![SelectItem::Star],
+            from: "t".into(),
+            where_clause: None,
+            group_by: vec![],
+        };
+        assert_eq!(q.to_string(), "SELECT * FROM t");
+    }
+}

@@ -1,0 +1,414 @@
+//! Binding parsed queries against a table schema.
+//!
+//! The planner lowers AST expressions into engine
+//! [`Predicate`]s (resolving string literals through per-column
+//! dictionaries) and aggregate select lists into engine
+//! [`CombinedQuery`]s. This is the layer at which SeeDB's generated view
+//! queries become executable plans.
+
+use crate::ast::{Expr, Literal, Query, SelectItem};
+use crate::error::SqlError;
+use seedb_engine::{AggFunc, AggSpec, CmpOp, CombinedQuery, Predicate, SplitSpec};
+use seedb_storage::{ColumnId, ColumnType, Table};
+
+/// A validated, schema-bound aggregate query.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Grouping columns (resolved).
+    pub group_by: Vec<ColumnId>,
+    /// Aggregates (resolved).
+    pub aggregates: Vec<AggSpec>,
+    /// Bare (non-aggregate) select columns.
+    pub projection: Vec<ColumnId>,
+    /// Lowered WHERE clause.
+    pub filter: Option<Predicate>,
+}
+
+impl PlannedQuery {
+    /// Converts into an engine query with a plain `TargetOnly` split (the
+    /// form the unoptimized baseline issues).
+    pub fn into_combined(self) -> CombinedQuery {
+        CombinedQuery {
+            group_by: self.group_by,
+            aggregates: self.aggregates,
+            filter: None,
+            split: SplitSpec::TargetOnly(self.filter.unwrap_or(Predicate::True)),
+        }
+    }
+}
+
+/// Schema-aware lowering of parsed SQL.
+pub struct Planner<'a> {
+    table: &'a dyn Table,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over `table`'s schema and dictionaries.
+    pub fn new(table: &'a dyn Table) -> Self {
+        Planner { table }
+    }
+
+    /// Plans a full `SELECT` statement.
+    ///
+    /// Enforces the SQL aggregation rule: when any aggregate appears in the
+    /// select list, every bare select column must also appear in `GROUP BY`.
+    pub fn plan(&self, q: &Query) -> Result<PlannedQuery, SqlError> {
+        let schema = self.table.schema();
+        let mut group_by = Vec::new();
+        for name in &q.group_by {
+            group_by.push(
+                schema
+                    .column_id(name)
+                    .ok_or_else(|| SqlError::new(0, format!("unknown column '{name}'")))?,
+            );
+        }
+
+        let mut aggregates = Vec::new();
+        let mut projection = Vec::new();
+        for item in &q.select {
+            match item {
+                SelectItem::Star => {
+                    for (id, _) in schema.iter() {
+                        projection.push(id);
+                    }
+                }
+                SelectItem::Column(name) => {
+                    let id = schema
+                        .column_id(name)
+                        .ok_or_else(|| SqlError::new(0, format!("unknown column '{name}'")))?;
+                    projection.push(id);
+                }
+                SelectItem::Aggregate { func, arg } => {
+                    let id = schema
+                        .column_id(arg)
+                        .ok_or_else(|| SqlError::new(0, format!("unknown column '{arg}'")))?;
+                    let ty = schema.column(id).ty;
+                    let numeric = matches!(ty, ColumnType::Int64 | ColumnType::Float64);
+                    if !numeric && *func != AggFunc::Count {
+                        return Err(SqlError::new(
+                            0,
+                            format!("{func} requires a numeric column, '{arg}' is {ty}"),
+                        ));
+                    }
+                    aggregates.push(AggSpec::new(*func, id));
+                }
+            }
+        }
+
+        if !aggregates.is_empty() {
+            for &col in &projection {
+                if !group_by.contains(&col) {
+                    return Err(SqlError::new(
+                        0,
+                        format!(
+                            "column '{}' must appear in GROUP BY or an aggregate",
+                            schema.column(col).name
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let filter = q
+            .where_clause
+            .as_ref()
+            .map(|e| self.plan_predicate(e))
+            .transpose()?;
+
+        Ok(PlannedQuery { group_by, aggregates, projection, filter })
+    }
+
+    /// Lowers a boolean expression to an engine predicate.
+    pub fn plan_predicate(&self, e: &Expr) -> Result<Predicate, SqlError> {
+        let schema = self.table.schema();
+        match e {
+            Expr::BoolLit(true) => Ok(Predicate::True),
+            Expr::BoolLit(false) => Ok(Predicate::False),
+            Expr::Not(inner) => Ok(self.plan_predicate(inner)?.negate()),
+            Expr::And(parts) => Ok(Predicate::And(
+                parts
+                    .iter()
+                    .map(|p| self.plan_predicate(p))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expr::Or(parts) => Ok(Predicate::Or(
+                parts
+                    .iter()
+                    .map(|p| self.plan_predicate(p))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expr::IsNull { col, negated } => {
+                let id = schema
+                    .column_id(col)
+                    .ok_or_else(|| SqlError::new(0, format!("unknown column '{col}'")))?;
+                let p = Predicate::IsNull { col: id };
+                Ok(if *negated { p.negate() } else { p })
+            }
+            Expr::In { col, list } => {
+                let id = schema
+                    .column_id(col)
+                    .ok_or_else(|| SqlError::new(0, format!("unknown column '{col}'")))?;
+                match schema.column(id).ty {
+                    ColumnType::Categorical => {
+                        let dict = self.table.dictionary(id).expect("categorical has dictionary");
+                        let mut codes = Vec::new();
+                        for lit in list {
+                            match lit {
+                                Literal::Str(s) => {
+                                    if let Some(code) = dict.code(s) {
+                                        codes.push(code);
+                                    }
+                                    // Unknown labels match nothing: skip.
+                                }
+                                other => {
+                                    return Err(SqlError::new(
+                                        0,
+                                        format!("IN list for '{col}' expects strings, got {other}"),
+                                    ))
+                                }
+                            }
+                        }
+                        if codes.is_empty() {
+                            Ok(Predicate::False)
+                        } else {
+                            Ok(Predicate::CatIn { col: id, codes })
+                        }
+                    }
+                    ColumnType::Int64 | ColumnType::Float64 => {
+                        let mut arms = Vec::new();
+                        for lit in list {
+                            let v = numeric_literal(col, lit)?;
+                            arms.push(Predicate::NumCmp { col: id, op: CmpOp::Eq, value: v });
+                        }
+                        Ok(Predicate::Or(arms))
+                    }
+                    ColumnType::Bool => Err(SqlError::new(
+                        0,
+                        format!("IN is not supported for boolean column '{col}'"),
+                    )),
+                }
+            }
+            Expr::Cmp { col, op, lit } => {
+                let id = schema
+                    .column_id(col)
+                    .ok_or_else(|| SqlError::new(0, format!("unknown column '{col}'")))?;
+                if matches!(lit, Literal::Null) {
+                    return Err(SqlError::new(
+                        0,
+                        format!("comparison with NULL is always false; use '{col} IS NULL'"),
+                    ));
+                }
+                match schema.column(id).ty {
+                    ColumnType::Categorical => {
+                        let s = match lit {
+                            Literal::Str(s) => s,
+                            other => {
+                                return Err(SqlError::new(
+                                    0,
+                                    format!("'{col}' is categorical, expected string, got {other}"),
+                                ))
+                            }
+                        };
+                        if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                            return Err(SqlError::new(
+                                0,
+                                format!("only = and <> are supported for categorical '{col}'"),
+                            ));
+                        }
+                        let dict = self.table.dictionary(id).expect("categorical has dictionary");
+                        let base = match dict.code(s) {
+                            Some(code) => Predicate::CatEq { col: id, code },
+                            None => Predicate::False,
+                        };
+                        Ok(if *op == CmpOp::Ne { base.negate() } else { base })
+                    }
+                    ColumnType::Bool => {
+                        let b = match lit {
+                            Literal::Bool(b) => *b,
+                            other => {
+                                return Err(SqlError::new(
+                                    0,
+                                    format!("'{col}' is boolean, got {other}"),
+                                ))
+                            }
+                        };
+                        if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                            return Err(SqlError::new(
+                                0,
+                                format!("only = and <> are supported for boolean '{col}'"),
+                            ));
+                        }
+                        let base = Predicate::BoolEq { col: id, value: b };
+                        Ok(if *op == CmpOp::Ne { base.negate() } else { base })
+                    }
+                    ColumnType::Int64 | ColumnType::Float64 => {
+                        let v = numeric_literal(col, lit)?;
+                        Ok(Predicate::NumCmp { col: id, op: *op, value: v })
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn numeric_literal(col: &str, lit: &Literal) -> Result<f64, SqlError> {
+    match lit {
+        Literal::Int(v) => Ok(*v as f64),
+        Literal::Float(v) => Ok(*v),
+        other => Err(SqlError::new(
+            0,
+            format!("'{col}' is numeric, expected number, got {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_query};
+    use seedb_engine::{execute_combined, ExecStats};
+    use seedb_storage::{BoxedTable, ColumnDef, ColumnRole, StoreKind, TableBuilder, Value};
+
+    fn census() -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("sex"),
+            ColumnDef::dim("marital"),
+            ColumnDef::measure("gain"),
+            ColumnDef::new("age", ColumnType::Int64, ColumnRole::Measure),
+            ColumnDef::new("citizen", ColumnType::Bool, ColumnRole::Dimension),
+        ]);
+        let rows: [(&str, &str, f64, i64, bool); 4] = [
+            ("F", "unmarried", 500.0, 30, true),
+            ("M", "unmarried", 480.0, 32, false),
+            ("F", "married", 300.0, 45, true),
+            ("M", "married", 700.0, 50, true),
+        ];
+        for (s, m, g, a, c) in rows {
+            b.push_row(&[
+                Value::str(s),
+                Value::str(m),
+                Value::Float(g),
+                Value::Int(a),
+                Value::Bool(c),
+            ])
+            .unwrap();
+        }
+        b.build(StoreKind::Column).unwrap()
+    }
+
+    fn plan_pred(src: &str) -> Result<Predicate, SqlError> {
+        let t = census();
+        let e = parse_expr(src).unwrap();
+        Planner::new(t.as_ref()).plan_predicate(&e)
+    }
+
+    #[test]
+    fn plans_full_view_query_and_executes() {
+        let t = census();
+        let q = parse_query(
+            "SELECT sex, AVG(gain) FROM census WHERE marital = 'unmarried' GROUP BY sex",
+        )
+        .unwrap();
+        let planned = Planner::new(t.as_ref()).plan(&q).unwrap();
+        assert_eq!(planned.group_by, vec![ColumnId(0)]);
+        assert_eq!(planned.aggregates, vec![AggSpec::new(AggFunc::Avg, ColumnId(2))]);
+        let combined = planned.into_combined();
+        let r = execute_combined(t.as_ref(), &combined, &mut ExecStats::new());
+        let (target, _) = r.value_vectors(0);
+        assert_eq!(target, vec![500.0, 480.0]);
+    }
+
+    #[test]
+    fn categorical_equality_resolves_dictionary_code() {
+        let p = plan_pred("marital = 'married'").unwrap();
+        assert_eq!(p, Predicate::CatEq { col: ColumnId(1), code: 1 });
+        // Unknown label collapses to False.
+        assert_eq!(plan_pred("marital = 'widowed'").unwrap(), Predicate::False);
+        // <> of an unknown label is True (matches every row).
+        assert_eq!(plan_pred("marital <> 'widowed'").unwrap(), Predicate::True);
+    }
+
+    #[test]
+    fn numeric_and_boolean_comparisons() {
+        assert_eq!(
+            plan_pred("age >= 40").unwrap(),
+            Predicate::NumCmp { col: ColumnId(3), op: CmpOp::Ge, value: 40.0 }
+        );
+        assert_eq!(
+            plan_pred("gain < 400.5").unwrap(),
+            Predicate::NumCmp { col: ColumnId(2), op: CmpOp::Lt, value: 400.5 }
+        );
+        assert_eq!(
+            plan_pred("citizen = TRUE").unwrap(),
+            Predicate::BoolEq { col: ColumnId(4), value: true }
+        );
+    }
+
+    #[test]
+    fn in_list_lowering() {
+        assert_eq!(
+            plan_pred("sex IN ('F', 'M', 'X')").unwrap(),
+            Predicate::CatIn { col: ColumnId(0), codes: vec![0, 1] }
+        );
+        assert_eq!(plan_pred("sex IN ('Q')").unwrap(), Predicate::False);
+        assert!(matches!(plan_pred("age IN (30, 32)").unwrap(), Predicate::Or(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn is_null_lowering() {
+        assert_eq!(plan_pred("gain IS NULL").unwrap(), Predicate::IsNull { col: ColumnId(2) });
+        assert!(matches!(plan_pred("gain IS NOT NULL").unwrap(), Predicate::Not(_)));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(plan_pred("marital = 3").is_err());
+        assert!(plan_pred("age = 'old'").is_err());
+        assert!(plan_pred("citizen = 'yes'").is_err());
+        assert!(plan_pred("marital < 'a'").is_err());
+        assert!(plan_pred("gain = NULL").unwrap_err().message.contains("IS NULL"));
+        assert!(plan_pred("ghost = 1").unwrap_err().message.contains("ghost"));
+    }
+
+    #[test]
+    fn aggregation_rule_enforced() {
+        let t = census();
+        let q = parse_query("SELECT marital, AVG(gain) FROM c GROUP BY sex").unwrap();
+        let err = Planner::new(t.as_ref()).plan(&q).unwrap_err();
+        assert!(err.message.contains("GROUP BY"));
+    }
+
+    #[test]
+    fn aggregate_type_checking() {
+        let t = census();
+        let q = parse_query("SELECT sex, AVG(marital) FROM c GROUP BY sex").unwrap();
+        assert!(Planner::new(t.as_ref()).plan(&q).is_err());
+        // COUNT works on any column.
+        let q = parse_query("SELECT sex, COUNT(marital) FROM c GROUP BY sex").unwrap();
+        assert!(Planner::new(t.as_ref()).plan(&q).is_ok());
+    }
+
+    #[test]
+    fn star_projection_expands_schema() {
+        let t = census();
+        let q = parse_query("SELECT * FROM c").unwrap();
+        let planned = Planner::new(t.as_ref()).plan(&q).unwrap();
+        assert_eq!(planned.projection.len(), 5);
+        assert!(planned.aggregates.is_empty());
+    }
+
+    #[test]
+    fn complex_where_executes_correctly() {
+        let t = census();
+        let q = parse_query(
+            "SELECT marital, COUNT(gain) FROM c \
+             WHERE (age >= 40 OR sex = 'F') AND citizen = TRUE GROUP BY marital",
+        )
+        .unwrap();
+        let planned = Planner::new(t.as_ref()).plan(&q).unwrap();
+        let r = execute_combined(t.as_ref(), &planned.into_combined(), &mut ExecStats::new());
+        // Matching rows: (F,unmarried,30,T), (F,married,45,T), (M,married,50,T)
+        let (counts, _) = r.value_vectors(0);
+        assert_eq!(counts, vec![1.0, 2.0]); // unmarried=1, married=2
+    }
+}

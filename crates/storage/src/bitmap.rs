@@ -1,0 +1,175 @@
+//! A simple dense bitmap used for column validity (NULL tracking) and
+//! boolean column payloads.
+
+/// Fixed-length bitmap backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let word = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap { words: vec![word; nwords], len };
+        bm.clear_trailing();
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, value: bool) {
+        let bit = self.len;
+        self.len += 1;
+        if self.words.len() * 64 < self.len {
+            self.words.push(0);
+        }
+        if value {
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Reads bit `idx`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds (len {})", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes bit `idx`. Panics if out of bounds.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds (len {})", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over all bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (keeps `count_ones` honest).
+    fn clear_trailing(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::new();
+        assert_eq!(bm.len(), 0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn push_and_get_across_word_boundary() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn filled_true_counts_exactly_len() {
+        let bm = Bitmap::filled(100, true);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 100);
+        let bm = Bitmap::filled(64, true);
+        assert_eq!(bm.count_ones(), 64);
+        let bm = Bitmap::filled(0, true);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn filled_false_is_all_zero() {
+        let bm = Bitmap::filled(77, false);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(!bm.get(0));
+        assert!(!bm.get(76));
+    }
+
+    #[test]
+    fn set_flips_bits() {
+        let mut bm = Bitmap::filled(10, false);
+        bm.set(3, true);
+        bm.set(9, true);
+        assert!(bm.get(3));
+        assert!(bm.get(9));
+        assert_eq!(bm.count_ones(), 2);
+        bm.set(3, false);
+        assert!(!bm.get(3));
+        assert_eq!(bm.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let bm = Bitmap::filled(8, true);
+        bm.get(8);
+    }
+
+    #[test]
+    fn from_iterator_round_trips() {
+        let bits = vec![true, false, true, true, false];
+        let bm: Bitmap = bits.iter().copied().collect();
+        let back: Vec<bool> = bm.iter().collect();
+        assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let bm: Bitmap = (0..200).map(|i| i % 7 == 0).collect();
+        for (i, b) in bm.iter().enumerate() {
+            assert_eq!(b, bm.get(i));
+        }
+    }
+}

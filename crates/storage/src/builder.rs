@@ -1,0 +1,354 @@
+//! [`TableBuilder`]: validated row-at-a-time ingestion that can materialize
+//! either storage layout from the same staged data.
+//!
+//! The builder stages data column-wise (cheap to convert to a
+//! [`ColumnStore`], and a single packing pass away from a [`RowStore`]),
+//! interns categorical labels, and maintains the per-column statistics
+//! (distinct counts, null counts, min/max) that the engine's memory-budget
+//! planner needs.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnData};
+use crate::column_store::ColumnStore;
+use crate::dictionary::Dictionary;
+use crate::error::StorageError;
+use crate::row_store::{encode_payload, RowStore};
+use crate::schema::{ColumnDef, ColumnStats, ColumnType, Schema};
+use crate::table::{BoxedTable, StoreKind};
+use crate::value::{Cell, Value};
+use rustc_hash::FxHashSet;
+use std::sync::Arc;
+
+/// Staging state for one column.
+struct StagedColumn {
+    data: ColumnData,
+    validity: Bitmap,
+    distinct: FxHashSet<u64>,
+    null_count: usize,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl StagedColumn {
+    fn new(ty: ColumnType) -> Self {
+        let data = match ty {
+            ColumnType::Int64 => ColumnData::Int64(Vec::new()),
+            ColumnType::Float64 => ColumnData::Float64(Vec::new()),
+            ColumnType::Categorical => ColumnData::Categorical(Vec::new()),
+            ColumnType::Bool => ColumnData::Bool(Bitmap::new()),
+        };
+        StagedColumn {
+            data,
+            validity: Bitmap::new(),
+            distinct: FxHashSet::default(),
+            null_count: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn push_null(&mut self) {
+        match &mut self.data {
+            ColumnData::Int64(v) => v.push(0),
+            ColumnData::Float64(v) => v.push(0.0),
+            ColumnData::Categorical(v) => v.push(0),
+            ColumnData::Bool(b) => b.push(false),
+        }
+        self.validity.push(false);
+        self.null_count += 1;
+    }
+
+    fn observe_numeric(&mut self, x: f64) {
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    fn stats(&self) -> ColumnStats {
+        ColumnStats {
+            distinct: self.distinct.len(),
+            null_count: self.null_count,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Row-at-a-time table builder; see module docs.
+pub struct TableBuilder {
+    schema: Schema,
+    staged: Vec<StagedColumn>,
+    dictionaries: Vec<Option<Dictionary>>,
+    num_rows: usize,
+}
+
+impl TableBuilder {
+    /// Creates a builder for `columns`.
+    ///
+    /// # Panics
+    /// Panics if the schema is invalid (empty or duplicate names); use
+    /// [`TableBuilder::try_new`] to handle that as an error.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Self::try_new(columns).expect("invalid schema")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(columns: Vec<ColumnDef>) -> Result<Self, StorageError> {
+        let schema = Schema::new(columns)?;
+        let staged = schema.columns().iter().map(|c| StagedColumn::new(c.ty)).collect();
+        let dictionaries = schema
+            .columns()
+            .iter()
+            .map(|c| {
+                if c.ty == ColumnType::Categorical {
+                    Some(Dictionary::new())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Ok(TableBuilder { schema, staged, dictionaries, num_rows: 0 })
+    }
+
+    /// The schema under construction.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows staged so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Appends one row. Values must match the schema's arity and types;
+    /// `Value::Null` is accepted in any column.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), StorageError> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        // Validate all values before mutating any column so a failed push
+        // leaves the builder unchanged.
+        for (i, value) in row.iter().enumerate() {
+            let def = &self.schema.columns()[i];
+            let ok = matches!(
+                (def.ty, value),
+                (_, Value::Null)
+                    | (ColumnType::Int64, Value::Int(_))
+                    | (ColumnType::Float64, Value::Float(_))
+                    | (ColumnType::Float64, Value::Int(_))
+                    | (ColumnType::Categorical, Value::Str(_))
+                    | (ColumnType::Bool, Value::Bool(_))
+            );
+            if !ok {
+                return Err(StorageError::TypeMismatch {
+                    column: def.name.clone(),
+                    expected: def.ty.name(),
+                    got: value.type_name(),
+                });
+            }
+        }
+        for (i, value) in row.iter().enumerate() {
+            let staged = &mut self.staged[i];
+            match value {
+                Value::Null => staged.push_null(),
+                Value::Int(v) => match &mut staged.data {
+                    ColumnData::Int64(vec) => {
+                        vec.push(*v);
+                        staged.validity.push(true);
+                        staged.distinct.insert(Cell::Int(*v).group_code());
+                        staged.observe_numeric(*v as f64);
+                    }
+                    ColumnData::Float64(vec) => {
+                        // Int literals are accepted into float columns.
+                        vec.push(*v as f64);
+                        staged.validity.push(true);
+                        staged.distinct.insert((*v as f64).to_bits());
+                        staged.observe_numeric(*v as f64);
+                    }
+                    _ => unreachable!("validated above"),
+                },
+                Value::Float(v) => match &mut staged.data {
+                    ColumnData::Float64(vec) => {
+                        vec.push(*v);
+                        staged.validity.push(true);
+                        staged.distinct.insert(v.to_bits());
+                        staged.observe_numeric(*v);
+                    }
+                    _ => unreachable!("validated above"),
+                },
+                Value::Str(s) => {
+                    let dict = self.dictionaries[i].as_mut().expect("categorical column");
+                    let code = dict.intern(s);
+                    match &mut staged.data {
+                        ColumnData::Categorical(vec) => {
+                            vec.push(code);
+                            staged.validity.push(true);
+                            staged.distinct.insert(code as u64);
+                        }
+                        _ => unreachable!("validated above"),
+                    }
+                }
+                Value::Bool(b) => match &mut staged.data {
+                    ColumnData::Bool(bits) => {
+                        bits.push(*b);
+                        staged.validity.push(true);
+                        staged.distinct.insert(*b as u64);
+                    }
+                    _ => unreachable!("validated above"),
+                },
+            }
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Materializes the staged data as the requested layout.
+    pub fn build(self, kind: StoreKind) -> Result<BoxedTable, StorageError> {
+        match kind {
+            StoreKind::Row => Ok(Arc::new(self.build_row_store()?)),
+            StoreKind::Column => Ok(Arc::new(self.build_column_store()?)),
+        }
+    }
+
+    /// Materializes a [`ColumnStore`].
+    pub fn build_column_store(self) -> Result<ColumnStore, StorageError> {
+        let stats: Vec<ColumnStats> = self.staged.iter().map(StagedColumn::stats).collect();
+        let columns: Vec<Column> = self
+            .staged
+            .into_iter()
+            .map(|s| Column::with_validity(s.data, s.validity))
+            .collect();
+        Ok(ColumnStore::from_parts(self.schema, columns, self.dictionaries, stats))
+    }
+
+    /// Materializes a [`RowStore`] by packing the staged columns row-wise.
+    pub fn build_row_store(self) -> Result<RowStore, StorageError> {
+        let stats: Vec<ColumnStats> = self.staged.iter().map(StagedColumn::stats).collect();
+        let (stride, null_bytes) = RowStore::layout(&self.schema);
+        let mut data = vec![0u8; self.num_rows * stride];
+        for (col_idx, staged) in self.staged.iter().enumerate() {
+            for row in 0..self.num_rows {
+                let base = row * stride;
+                if staged.validity.get(row) {
+                    data[base + col_idx / 8] |= 1 << (col_idx % 8);
+                    let payload = encode_payload(&staged.data.raw_cell(row));
+                    let off = base + null_bytes + col_idx * 8;
+                    data[off..off + 8].copy_from_slice(&payload.to_le_bytes());
+                }
+            }
+        }
+        Ok(RowStore::from_parts(
+            self.schema,
+            data,
+            self.num_rows,
+            self.dictionaries,
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRole;
+    use crate::table::Table;
+
+    fn defs() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef::dim("cat"),
+            ColumnDef::new("i", ColumnType::Int64, ColumnRole::Measure),
+            ColumnDef::new("f", ColumnType::Float64, ColumnRole::Measure),
+            ColumnDef::new("b", ColumnType::Bool, ColumnRole::Dimension),
+        ]
+    }
+
+    #[test]
+    fn arity_mismatch_rejected_without_mutation() {
+        let mut b = TableBuilder::new(defs());
+        let err = b.push_row(&[Value::str("x")]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { expected: 4, got: 1 }));
+        assert_eq!(b.num_rows(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_rejected_without_partial_write() {
+        let mut b = TableBuilder::new(defs());
+        // Third value has the wrong type; the first two must NOT be staged.
+        let err = b
+            .push_row(&[Value::str("x"), Value::Int(1), Value::str("oops"), Value::Bool(true)])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert_eq!(b.num_rows(), 0);
+        // A subsequent valid push works and the table is consistent.
+        b.push_row(&[Value::str("x"), Value::Int(1), Value::Float(1.0), Value::Bool(true)])
+            .unwrap();
+        let t = b.build_column_store().unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn int_literals_coerce_into_float_columns() {
+        let mut b = TableBuilder::new(vec![ColumnDef::measure("f")]);
+        b.push_row(&[Value::Int(3)]).unwrap();
+        let t = b.build_column_store().unwrap();
+        assert_eq!(t.cell(0, crate::ColumnId(0)), Cell::Float(3.0));
+    }
+
+    #[test]
+    fn both_layouts_agree_cell_for_cell() {
+        let rows = vec![
+            vec![Value::str("a"), Value::Int(1), Value::Float(0.1), Value::Bool(true)],
+            vec![Value::str("b"), Value::Null, Value::Float(0.2), Value::Null],
+            vec![Value::str("a"), Value::Int(3), Value::Null, Value::Bool(false)],
+        ];
+        let mut b1 = TableBuilder::new(defs());
+        let mut b2 = TableBuilder::new(defs());
+        for r in &rows {
+            b1.push_row(r).unwrap();
+            b2.push_row(r).unwrap();
+        }
+        let row_t = b1.build_row_store().unwrap();
+        let col_t = b2.build_column_store().unwrap();
+        assert_eq!(row_t.num_rows(), col_t.num_rows());
+        for row in 0..rows.len() {
+            for col in 0..defs().len() {
+                let id = crate::ColumnId(col as u32);
+                assert_eq!(
+                    row_t.cell(row, id),
+                    col_t.cell(row, id),
+                    "mismatch at ({row},{col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_boxed_dispatches_kind() {
+        let mut b = TableBuilder::new(defs());
+        b.push_row(&[Value::str("a"), Value::Int(1), Value::Float(0.1), Value::Bool(true)])
+            .unwrap();
+        let t = b.build(StoreKind::Row).unwrap();
+        assert_eq!(t.kind(), StoreKind::Row);
+    }
+
+    #[test]
+    fn stats_track_distinct_and_nulls() {
+        let mut b = TableBuilder::new(defs());
+        for (s, i) in [("a", 1), ("b", 2), ("a", 2)] {
+            b.push_row(&[Value::str(s), Value::Int(i), Value::Null, Value::Null]).unwrap();
+        }
+        let t = b.build_column_store().unwrap();
+        assert_eq!(t.stats(crate::ColumnId(0)).distinct, 2);
+        assert_eq!(t.stats(crate::ColumnId(1)).distinct, 2);
+        assert_eq!(t.stats(crate::ColumnId(2)).null_count, 3);
+        assert_eq!(t.stats(crate::ColumnId(2)).distinct, 0);
+    }
+
+    #[test]
+    fn try_new_surfaces_schema_errors() {
+        assert!(TableBuilder::try_new(vec![]).is_err());
+        assert!(TableBuilder::try_new(vec![ColumnDef::dim("a"), ColumnDef::dim("a")]).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Typed column vectors used by the column store and the table builder's
+//! staging area.
+
+use crate::bitmap::Bitmap;
+use crate::value::Cell;
+
+/// Dense, typed payload of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Integer payload.
+    Int64(Vec<i64>),
+    /// Float payload.
+    Float64(Vec<f64>),
+    /// Dictionary codes of a categorical column.
+    Categorical(Vec<u32>),
+    /// Boolean payload (bit-packed).
+    Bool(Bitmap),
+}
+
+impl ColumnData {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Categorical(v) => v.len(),
+            ColumnData::Bool(b) => b.len(),
+        }
+    }
+
+    /// True if the column holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw (validity-ignorant) cell at `idx`.
+    #[inline]
+    pub fn raw_cell(&self, idx: usize) -> Cell {
+        match self {
+            ColumnData::Int64(v) => Cell::Int(v[idx]),
+            ColumnData::Float64(v) => Cell::Float(v[idx]),
+            ColumnData::Categorical(v) => Cell::Cat(v[idx]),
+            ColumnData::Bool(b) => Cell::Bool(b.get(idx)),
+        }
+    }
+}
+
+/// A column: typed payload plus optional validity bitmap.
+///
+/// `validity == None` means every entry is valid (the common case); this
+/// keeps fully-dense columns free of per-row branching cost in scans that
+/// check a shared `Option` once.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Payload vector.
+    pub data: ColumnData,
+    /// Validity bitmap; bit set ⇒ value present, unset ⇒ NULL.
+    pub validity: Option<Bitmap>,
+}
+
+impl Column {
+    /// Creates a column with no NULLs.
+    pub fn dense(data: ColumnData) -> Self {
+        Column { data, validity: None }
+    }
+
+    /// Creates a column with the given validity bitmap. Panics if lengths differ.
+    pub fn with_validity(data: ColumnData, validity: Bitmap) -> Self {
+        assert_eq!(
+            data.len(),
+            validity.len(),
+            "validity bitmap length must match column length"
+        );
+        // Normalize: an all-valid bitmap is represented as None.
+        if validity.count_ones() == validity.len() {
+            Column { data, validity: None }
+        } else {
+            Column { data, validity: Some(validity) }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Cell at `idx`, observing validity.
+    #[inline]
+    pub fn cell(&self, idx: usize) -> Cell {
+        match &self.validity {
+            Some(v) if !v.get(idx) => Cell::Null,
+            _ => self.data.raw_cell(idx),
+        }
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            None => 0,
+            Some(v) => v.len() - v.count_ones(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_column_has_no_nulls() {
+        let c = Column::dense(ColumnData::Int64(vec![1, 2, 3]));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 0);
+        assert_eq!(c.cell(1), Cell::Int(2));
+    }
+
+    #[test]
+    fn validity_masks_nulls() {
+        let validity: Bitmap = [true, false, true].into_iter().collect();
+        let c = Column::with_validity(ColumnData::Float64(vec![1.0, 2.0, 3.0]), validity);
+        assert_eq!(c.cell(0), Cell::Float(1.0));
+        assert_eq!(c.cell(1), Cell::Null);
+        assert_eq!(c.cell(2), Cell::Float(3.0));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn all_valid_bitmap_normalized_away() {
+        let validity = Bitmap::filled(3, true);
+        let c = Column::with_validity(ColumnData::Int64(vec![1, 2, 3]), validity);
+        assert!(c.validity.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_validity_length_panics() {
+        let validity = Bitmap::filled(2, true);
+        Column::with_validity(ColumnData::Int64(vec![1, 2, 3]), validity);
+    }
+
+    #[test]
+    fn bool_columns_bitpack() {
+        let bits: Bitmap = [true, false, true].into_iter().collect();
+        let c = Column::dense(ColumnData::Bool(bits));
+        assert_eq!(c.cell(0), Cell::Bool(true));
+        assert_eq!(c.cell(1), Cell::Bool(false));
+    }
+
+    #[test]
+    fn categorical_cells_carry_codes() {
+        let c = Column::dense(ColumnData::Categorical(vec![0, 1, 0]));
+        assert_eq!(c.cell(2), Cell::Cat(0));
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-column string dictionary for categorical data.
+//!
+//! Categorical columns store `u32` codes; the dictionary maps codes back to
+//! labels and labels to codes. Dictionary size doubles as the column's
+//! distinct-value count `|a_i|`, which the engine's bin-packing optimizer
+//! (Problem 4.1 in the paper) uses as its item weight.
+
+use rustc_hash::FxHashMap;
+
+/// An append-only string interner: label ⇄ dense `u32` code.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    labels: Vec<String>,
+    codes: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `label`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&code) = self.codes.get(label) {
+            return code;
+        }
+        let code = self.labels.len() as u32;
+        self.labels.push(label.to_owned());
+        self.codes.insert(label.to_owned(), code);
+        code
+    }
+
+    /// Looks up the code for `label`, if present.
+    pub fn code(&self, label: &str) -> Option<u32> {
+        self.codes.get(label).copied()
+    }
+
+    /// Looks up the label for `code`, if in range.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterator over `(code, label)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.labels.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let c1 = d.intern("x");
+        let c2 = d.intern("x");
+        assert_eq!(c1, c2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn code_and_label_round_trip() {
+        let mut d = Dictionary::new();
+        for s in ["red", "green", "blue"] {
+            d.intern(s);
+        }
+        for s in ["red", "green", "blue"] {
+            let code = d.code(s).unwrap();
+            assert_eq!(d.label(code), Some(s));
+        }
+        assert_eq!(d.code("purple"), None);
+        assert_eq!(d.label(99), None);
+    }
+
+    #[test]
+    fn iter_yields_code_order() {
+        let mut d = Dictionary::new();
+        d.intern("z");
+        d.intern("a");
+        let pairs: Vec<_> = d.iter().map(|(c, l)| (c, l.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "z".to_owned()), (1, "a".to_owned())]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.code("anything"), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Errors raised while building or reading tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A row was pushed whose arity does not match the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A column name was referenced that does not exist in the schema.
+    UnknownColumn(String),
+    /// Two columns in a schema share the same name.
+    DuplicateColumn(String),
+    /// A schema with zero columns was supplied.
+    EmptySchema,
+    /// A row index beyond `num_rows` was accessed.
+    RowOutOfBounds { row: usize, num_rows: usize },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            StorageError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch in column '{column}': expected {expected}, got {got}")
+            }
+            StorageError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            StorageError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
+            StorageError::EmptySchema => write!(f, "schema must contain at least one column"),
+            StorageError::RowOutOfBounds { row, num_rows } => {
+                write!(f, "row index {row} out of bounds (table has {num_rows} rows)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("2"));
+
+        let e = StorageError::TypeMismatch {
+            column: "age".into(),
+            expected: "Int64",
+            got: "Float64",
+        };
+        assert!(e.to_string().contains("age"));
+        assert!(e.to_string().contains("Int64"));
+
+        let e = StorageError::UnknownColumn("ghost".into());
+        assert!(e.to_string().contains("ghost"));
+
+        let e = StorageError::RowOutOfBounds { row: 10, num_rows: 5 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::EmptySchema,
+            StorageError::EmptySchema
+        );
+        assert_ne!(
+            StorageError::UnknownColumn("a".into()),
+            StorageError::UnknownColumn("b".into())
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # seedb-storage
+//!
+//! In-memory storage substrate for the SeeDB reproduction.
+//!
+//! The SeeDB paper (Vartak et al., VLDB 2015) evaluates its middleware on a
+//! row-oriented DBMS (`ROW`, PostgreSQL in the paper) and a column-oriented
+//! DBMS (`COL`, a commercial column store). This crate provides both layouts
+//! behind the common [`Table`] trait:
+//!
+//! * [`RowStore`] — rows are packed contiguously into a byte buffer with a
+//!   fixed stride. A scan that projects two columns out of thirty still walks
+//!   the full row stride, so memory traffic is proportional to the *row*
+//!   width. This mirrors the access pattern of a row-oriented DBMS.
+//! * [`ColumnStore`] — each column is a dense, typed vector (with optional
+//!   validity bitmap). A scan touches only the projected columns, so memory
+//!   traffic is proportional to the *projection* width.
+//!
+//! Categorical data is dictionary-encoded per column ([`Dictionary`]), which
+//! both compresses storage and gives the engine cheap distinct-value counts
+//! for its memory-budget planning (Problem 4.1 in the paper).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use seedb_storage::{ColumnDef, ColumnRole, ColumnType, StoreKind, TableBuilder, Value};
+//!
+//! let mut b = TableBuilder::new(vec![
+//!     ColumnDef::new("sex", ColumnType::Categorical, ColumnRole::Dimension),
+//!     ColumnDef::new("capital_gain", ColumnType::Float64, ColumnRole::Measure),
+//! ]);
+//! b.push_row(&[Value::str("F"), Value::Float(510.0)]).unwrap();
+//! b.push_row(&[Value::str("M"), Value::Float(485.0)]).unwrap();
+//! let table = b.build(StoreKind::Column).unwrap();
+//! assert_eq!(table.num_rows(), 2);
+//! ```
+
+mod bitmap;
+mod builder;
+mod column;
+mod column_store;
+mod dictionary;
+mod error;
+mod row_store;
+mod schema;
+mod table;
+mod value;
+
+pub use bitmap::Bitmap;
+pub use builder::TableBuilder;
+pub use column::{Column, ColumnData};
+pub use column_store::ColumnStore;
+pub use dictionary::Dictionary;
+pub use error::StorageError;
+pub use row_store::RowStore;
+pub use schema::{ColumnDef, ColumnId, ColumnRole, ColumnStats, ColumnType, Schema};
+pub use table::{BoxedTable, StoreKind, Table};
+pub use value::{Cell, Value};

@@ -1,0 +1,110 @@
+//! The [`Table`] trait: the scan interface every SeeDB component runs on.
+//!
+//! SeeDB's phased execution framework (§3 of the paper) processes the *i*-th
+//! of *n* equal partitions of the table per phase; [`Table::scan_range`]
+//! exposes exactly that: a projected scan over a contiguous row range.
+//! Both storage layouts implement it, with costs characteristic of their
+//! layout (see crate docs).
+
+use crate::dictionary::Dictionary;
+use crate::schema::{ColumnId, ColumnStats, Schema};
+use crate::value::Cell;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Which physical layout a table uses. Mirrors the paper's ROW vs COL axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Row-oriented layout (paper: "ROW", PostgreSQL).
+    Row,
+    /// Column-oriented layout (paper: "COL").
+    Column,
+}
+
+impl StoreKind {
+    /// Paper-style label ("ROW" / "COL").
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreKind::Row => "ROW",
+            StoreKind::Column => "COL",
+        }
+    }
+}
+
+impl std::fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Read interface over an immutable, fully-loaded table.
+pub trait Table: Send + Sync {
+    /// The table's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Total number of rows.
+    fn num_rows(&self) -> usize;
+
+    /// Physical layout of this table.
+    fn kind(&self) -> StoreKind;
+
+    /// Dictionary of a categorical column (`None` for non-categorical).
+    fn dictionary(&self, col: ColumnId) -> Option<&Dictionary>;
+
+    /// Build-time statistics for a column.
+    fn stats(&self, col: ColumnId) -> &ColumnStats;
+
+    /// Random access to a single cell (intended for tests and result
+    /// labelling, not hot loops).
+    fn cell(&self, row: usize, col: ColumnId) -> Cell;
+
+    /// Scans rows `range`, invoking `visitor` once per row with the cells of
+    /// `projection`, in projection order.
+    ///
+    /// The cell slice passed to the visitor is only valid for the duration of
+    /// the call (implementations reuse an internal buffer).
+    fn scan_range(
+        &self,
+        projection: &[ColumnId],
+        range: Range<usize>,
+        visitor: &mut dyn FnMut(&[Cell]),
+    );
+
+    /// Distinct non-NULL value count of a column, `|a_i|` in the paper.
+    /// Never returns 0 (empty columns report 1) so that bin-packing weights
+    /// `log2(|a_i|)` stay finite.
+    fn distinct_count(&self, col: ColumnId) -> usize {
+        self.stats(col).distinct.max(1)
+    }
+
+    /// Human-readable label for a cell of column `col` (dictionary decoding
+    /// for categoricals, plain formatting otherwise).
+    fn cell_label(&self, col: ColumnId, cell: Cell) -> String {
+        match cell {
+            Cell::Null => "NULL".to_owned(),
+            Cell::Cat(code) => self
+                .dictionary(col)
+                .and_then(|d| d.label(code))
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("cat#{code}")),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v}"),
+            Cell::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// Shared, dynamically-typed table handle.
+pub type BoxedTable = Arc<dyn Table>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_kind_labels_match_paper() {
+        assert_eq!(StoreKind::Row.label(), "ROW");
+        assert_eq!(StoreKind::Column.label(), "COL");
+        assert_eq!(StoreKind::Row.to_string(), "ROW");
+    }
+}

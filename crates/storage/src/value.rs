@@ -1,0 +1,205 @@
+//! Logical values ([`Value`]) used at the ingestion boundary and compact
+//! runtime cells ([`Cell`]) used during scans.
+//!
+//! `Value` owns its data (strings in particular) and is what callers push
+//! into a [`crate::TableBuilder`]. `Cell` is the fixed-size representation a
+//! scan yields per projected column: categorical strings appear as dictionary
+//! codes, so a `Cell` is always `Copy` and fits in 16 bytes.
+
+use std::fmt;
+
+/// An owned logical value, as supplied by data generators or SQL literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string (stored dictionary-encoded for categorical columns).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Human-readable name of this value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int64",
+            Value::Float(_) => "Float64",
+            Value::Str(_) => "Str",
+            Value::Bool(_) => "Bool",
+        }
+    }
+
+    /// Returns `true` if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A compact, `Copy` cell produced by table scans.
+///
+/// Categorical values are represented by their per-column dictionary code;
+/// use [`crate::Table::dictionary`] to map codes back to labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// NULL (column validity bit unset).
+    Null,
+    /// Integer payload.
+    Int(i64),
+    /// Float payload.
+    Float(f64),
+    /// Dictionary code of a categorical value.
+    Cat(u32),
+    /// Boolean payload.
+    Bool(bool),
+}
+
+impl Cell {
+    /// Returns `true` if the cell is NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// Numeric view of the cell: integers and booleans widen to `f64`,
+    /// NULL and categorical codes yield `None`.
+    ///
+    /// Aggregates over measures use this; grouping never does.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Float(v) => Some(*v),
+            Cell::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Cell::Null | Cell::Cat(_) => None,
+        }
+    }
+
+    /// Grouping key view: a compact `u64` identifying the cell's group.
+    ///
+    /// NULL gets its own group (`u64::MAX`); integers are bit-cast (so the
+    /// mapping is injective); categorical codes and booleans map directly.
+    /// Floats are bit-cast, which groups by exact bit pattern — acceptable
+    /// because grouping on raw float measures is not meaningful in SeeDB.
+    #[inline]
+    pub fn group_code(&self) -> u64 {
+        match self {
+            Cell::Null => u64::MAX,
+            Cell::Int(v) => *v as u64,
+            Cell::Float(v) => v.to_bits(),
+            Cell::Cat(c) => *c as u64,
+            Cell::Bool(b) => *b as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_type_names() {
+        assert_eq!(Value::Null.type_name(), "Null");
+        assert_eq!(Value::Int(1).type_name(), "Int64");
+        assert_eq!(Value::Float(1.0).type_name(), "Float64");
+        assert_eq!(Value::str("x").type_name(), "Str");
+        assert_eq!(Value::Bool(true).type_name(), "Bool");
+    }
+
+    #[test]
+    fn value_display_formats_sql_style() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("ab").to_string(), "'ab'");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn value_from_conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn cell_as_f64_widens_numerics_only() {
+        assert_eq!(Cell::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Cell::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Cell::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Cell::Bool(false).as_f64(), Some(0.0));
+        assert_eq!(Cell::Null.as_f64(), None);
+        assert_eq!(Cell::Cat(7).as_f64(), None);
+    }
+
+    #[test]
+    fn cell_group_codes_are_distinct_for_distinct_ints() {
+        let a = Cell::Int(-1).group_code();
+        let b = Cell::Int(1).group_code();
+        let c = Cell::Int(0).group_code();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn cell_null_group_is_reserved() {
+        assert_eq!(Cell::Null.group_code(), u64::MAX);
+        assert_ne!(Cell::Cat(0).group_code(), Cell::Null.group_code());
+    }
+
+    #[test]
+    fn cell_is_copy_and_small() {
+        // The scan hot loop copies cells into a reusable buffer; keep them small.
+        assert!(std::mem::size_of::<Cell>() <= 16);
+        let c = Cell::Int(3);
+        let d = c; // Copy
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulated analysts and the expert ground-truth panel.
+//!
+//! §6.1 obtained ground truth by showing five data-analysis experts all 48
+//! Census visualizations; each labelled views interesting/not, and the
+//! majority vote defined the ground truth (6 interesting, 42 not). Humans
+//! are unavailable here, so an [`Analyst`] is a stochastic labeller whose
+//! probability of calling a view interesting is a logistic function of the
+//! view's *true deviation utility* — deliberately **imperfect**: the paper
+//! itself observes experts sometimes disagree with pure deviation
+//! (Figures 14c/14d), which the noise term reproduces.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One simulated expert.
+#[derive(Debug)]
+pub struct Analyst {
+    rng: StdRng,
+    /// Logistic steepness: higher = labels track utility more faithfully.
+    pub steepness: f64,
+    /// Utility at which the expert is 50/50.
+    pub midpoint: f64,
+    /// Probability of an idiosyncratic flip (task-relevance disagreement,
+    /// e.g. "hours-per-week seems worth exploring" despite low deviation).
+    pub flip_prob: f64,
+}
+
+impl Analyst {
+    /// Creates an expert with the default §6-like profile.
+    pub fn new(seed: u64) -> Self {
+        Analyst { rng: StdRng::seed_from_u64(seed), steepness: 14.0, midpoint: 0.25, flip_prob: 0.06 }
+    }
+
+    /// Labels one view given its true utility.
+    pub fn label(&mut self, utility: f64) -> bool {
+        let p = 1.0 / (1.0 + (-self.steepness * (utility - self.midpoint)).exp());
+        let mut interesting = self.rng.gen::<f64>() < p;
+        if self.rng.gen::<f64>() < self.flip_prob {
+            interesting = !interesting;
+        }
+        interesting
+    }
+}
+
+/// Configuration of the expert panel.
+#[derive(Debug, Clone)]
+pub struct PanelConfig {
+    /// Number of experts (paper: 5).
+    pub experts: usize,
+    /// Base RNG seed; expert `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for PanelConfig {
+    fn default() -> Self {
+        PanelConfig { experts: 5, seed: 0 }
+    }
+}
+
+/// Majority-vote ground-truth labels for a slate of views with the given
+/// true utilities. Returns one bool per view.
+pub fn expert_panel_labels(utilities: &[f64], config: &PanelConfig) -> Vec<bool> {
+    let mut votes = vec![0usize; utilities.len()];
+    for e in 0..config.experts {
+        let mut expert = Analyst::new(config.seed + e as u64);
+        for (i, &u) in utilities.iter().enumerate() {
+            if expert.label(u) {
+                votes[i] += 1;
+            }
+        }
+    }
+    let majority = config.experts / 2 + 1;
+    votes.into_iter().map(|v| v >= majority).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_utility_views_get_labelled_interesting() {
+        let mut a = Analyst::new(1);
+        let hits = (0..200).filter(|_| a.label(0.9)).count();
+        assert!(hits > 160, "only {hits}/200 for utility 0.9");
+    }
+
+    #[test]
+    fn low_utility_views_get_labelled_boring() {
+        let mut a = Analyst::new(2);
+        let hits = (0..200).filter(|_| a.label(0.01)).count();
+        assert!(hits < 40, "{hits}/200 for utility 0.01");
+    }
+
+    #[test]
+    fn label_probability_is_monotone_in_utility() {
+        let rate = |u: f64| {
+            let mut a = Analyst::new(3);
+            (0..500).filter(|_| a.label(u)).count()
+        };
+        let lo = rate(0.05);
+        let mid = rate(0.25);
+        let hi = rate(0.6);
+        assert!(lo < mid && mid < hi, "rates: {lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn panel_produces_sparse_interesting_set_like_the_paper() {
+        // 40 views: ~6 with high utility, the rest low — the panel should
+        // label roughly the planted fraction interesting (§6.1: ~10–15%).
+        let mut utilities = vec![0.03; 34];
+        utilities.extend([0.55, 0.5, 0.48, 0.45, 0.42, 0.40]);
+        let labels = expert_panel_labels(&utilities, &PanelConfig::default());
+        let count = labels.iter().filter(|&&b| b).count();
+        assert!(
+            (4..=10).contains(&count),
+            "panel labelled {count}/40 interesting"
+        );
+        // The interesting ones must be (mostly) the planted leaders.
+        let planted_hits = labels[34..].iter().filter(|&&b| b).count();
+        assert!(planted_hits >= 4, "only {planted_hits}/6 leaders labelled");
+    }
+
+    #[test]
+    fn panel_is_deterministic_in_seed() {
+        let utilities = [0.1, 0.5, 0.3, 0.05];
+        let cfg = PanelConfig { experts: 5, seed: 9 };
+        assert_eq!(
+            expert_panel_labels(&utilities, &cfg),
+            expert_panel_labels(&utilities, &cfg)
+        );
+    }
+
+    #[test]
+    fn experts_disagree_sometimes() {
+        // Individual experts must not produce identical labelings on
+        // borderline views (otherwise the majority vote is meaningless).
+        let utilities = vec![0.25; 30]; // exactly at the midpoint
+        let mut a = Analyst::new(10);
+        let mut b = Analyst::new(11);
+        let la: Vec<bool> = utilities.iter().map(|&u| a.label(u)).collect();
+        let lb: Vec<bool> = utilities.iter().map(|&u| b.label(u)).collect();
+        assert_ne!(la, lb);
+    }
+}

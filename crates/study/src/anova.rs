@@ -1,0 +1,164 @@
+//! Two-factor ANOVA for the 2 (tool) × 2 (dataset) within-subjects design
+//! of §6.2.
+//!
+//! The paper reports e.g. *"a significant effect of tool on the number of
+//! bookmarks, F(1,1) = 18.609, p < 0.001"*. This module computes the
+//! classic two-way fixed-effects ANOVA F statistics for a balanced design
+//! (factor A = tool, factor B = dataset), which is what the simulated
+//! Table 2 runs feed.
+
+/// F statistics of a two-factor ANOVA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnovaResult {
+    /// F statistic for factor A (tool).
+    pub f_a: f64,
+    /// F statistic for factor B (dataset).
+    pub f_b: f64,
+    /// F statistic for the A×B interaction.
+    pub f_interaction: f64,
+    /// Degrees of freedom: (df_A, df_B, df_interaction, df_error).
+    pub dof: (usize, usize, usize, usize),
+}
+
+/// Computes a two-factor ANOVA over `data[a][b]` = replicate observations
+/// for level `a` of factor A and level `b` of factor B. The design must be
+/// balanced (equal replicates per cell, ≥ 2).
+///
+/// # Panics
+/// Panics on ragged input or fewer than two replicates per cell.
+pub fn two_factor_anova(data: &[Vec<Vec<f64>>]) -> AnovaResult {
+    let a_levels = data.len();
+    assert!(a_levels >= 2, "need at least two levels of factor A");
+    let b_levels = data[0].len();
+    assert!(b_levels >= 2, "need at least two levels of factor B");
+    let reps = data[0][0].len();
+    assert!(reps >= 2, "need at least two replicates per cell");
+    for row in data {
+        assert_eq!(row.len(), b_levels, "ragged factor-B levels");
+        for cell in row {
+            assert_eq!(cell.len(), reps, "unbalanced design");
+        }
+    }
+
+    let n_total = (a_levels * b_levels * reps) as f64;
+    let grand_sum: f64 = data.iter().flatten().flatten().sum();
+    let grand_mean = grand_sum / n_total;
+
+    let cell_mean = |a: usize, b: usize| -> f64 {
+        data[a][b].iter().sum::<f64>() / reps as f64
+    };
+    let a_mean = |a: usize| -> f64 {
+        data[a].iter().flatten().sum::<f64>() / (b_levels * reps) as f64
+    };
+    let b_mean = |b: usize| -> f64 {
+        data.iter().map(|row| row[b].iter().sum::<f64>()).sum::<f64>()
+            / (a_levels * reps) as f64
+    };
+
+    let ss_a: f64 = (0..a_levels)
+        .map(|a| (b_levels * reps) as f64 * (a_mean(a) - grand_mean).powi(2))
+        .sum();
+    let ss_b: f64 = (0..b_levels)
+        .map(|b| (a_levels * reps) as f64 * (b_mean(b) - grand_mean).powi(2))
+        .sum();
+    let mut ss_int = 0.0;
+    let mut ss_err = 0.0;
+    for a in 0..a_levels {
+        for b in 0..b_levels {
+            let cm = cell_mean(a, b);
+            ss_int += reps as f64
+                * (cm - a_mean(a) - b_mean(b) + grand_mean).powi(2);
+            for &x in &data[a][b] {
+                ss_err += (x - cm).powi(2);
+            }
+        }
+    }
+
+    let df_a = a_levels - 1;
+    let df_b = b_levels - 1;
+    let df_int = df_a * df_b;
+    let df_err = a_levels * b_levels * (reps - 1);
+
+    let ms = |ss: f64, df: usize| ss / df as f64;
+    let ms_err = ms(ss_err, df_err).max(f64::MIN_POSITIVE);
+
+    AnovaResult {
+        f_a: ms(ss_a, df_a) / ms_err,
+        f_b: ms(ss_b, df_b) / ms_err,
+        f_interaction: ms(ss_int, df_int) / ms_err,
+        dof: (df_a, df_b, df_int, df_err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// data[a][b] with a strong A effect, no B effect.
+    fn strong_a_effect() -> Vec<Vec<Vec<f64>>> {
+        vec![
+            vec![vec![10.0, 11.0, 9.0, 10.5], vec![10.2, 9.8, 10.1, 10.3]],
+            vec![vec![3.0, 2.8, 3.2, 3.1], vec![2.9, 3.1, 3.3, 2.7]],
+        ]
+    }
+
+    #[test]
+    fn detects_strong_factor_a_effect() {
+        let r = two_factor_anova(&strong_a_effect());
+        assert!(r.f_a > 50.0, "F_A = {}", r.f_a);
+        assert!(r.f_b < 5.0, "F_B = {}", r.f_b);
+        assert!(r.f_interaction < 5.0);
+        assert_eq!(r.dof, (1, 1, 1, 12));
+    }
+
+    #[test]
+    fn no_effect_gives_small_f() {
+        // Same distribution in every cell.
+        let data = vec![
+            vec![vec![5.0, 6.0, 4.0, 5.5], vec![5.2, 4.8, 6.1, 4.9]],
+            vec![vec![5.1, 5.9, 4.2, 5.6], vec![5.3, 4.7, 6.0, 5.0]],
+        ];
+        let r = two_factor_anova(&data);
+        assert!(r.f_a < 4.0, "F_A = {}", r.f_a);
+        assert!(r.f_b < 4.0);
+    }
+
+    #[test]
+    fn interaction_detected() {
+        // A matters only at one level of B.
+        let data = vec![
+            vec![vec![10.0, 10.2, 9.8, 10.1], vec![5.0, 5.2, 4.9, 5.1]],
+            vec![vec![5.1, 4.9, 5.0, 5.2], vec![5.0, 5.1, 4.8, 5.2]],
+        ];
+        let r = two_factor_anova(&data);
+        assert!(r.f_interaction > 50.0, "F_int = {}", r.f_interaction);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // 2×2, 2 reps. Cells: A0B0={4,6}, A0B1={8,10}, A1B0={10,12}, A1B1={14,16}.
+        // Grand mean = 10. A means: 7, 13 => SS_A = 8*(9+9)/... compute:
+        // SS_A = 4*((7-10)^2+(13-10)^2)= 4*18 = 72. SS_B = 4*((8-10)^2+(12-10)^2)=32.
+        // Cell means: 5, 9, 11, 15. Interaction terms all zero.
+        // SS_err: each cell has (x-mean)^2 = 1+1 = 2, total 8. df_err = 4.
+        // MS_err = 2. F_A = 72/1/2 = 36; F_B = 32/2 = 16; F_int = 0.
+        let data = vec![
+            vec![vec![4.0, 6.0], vec![8.0, 10.0]],
+            vec![vec![10.0, 12.0], vec![14.0, 16.0]],
+        ];
+        let r = two_factor_anova(&data);
+        assert!((r.f_a - 36.0).abs() < 1e-9, "F_A = {}", r.f_a);
+        assert!((r.f_b - 16.0).abs() < 1e-9, "F_B = {}", r.f_b);
+        assert!(r.f_interaction.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_design_panics() {
+        let data = vec![
+            vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]],
+            vec![vec![1.0, 2.0], vec![1.0, 2.0]],
+        ];
+        two_factor_anova(&data);
+    }
+}

@@ -1,0 +1,34 @@
+//! # seedb-study
+//!
+//! The §6 user-study pipeline with **simulated analysts** substituted for
+//! the paper's human participants (see DESIGN.md for the substitution
+//! rationale).
+//!
+//! * [`analyst`] — a parametric interestingness model: an expert labels a
+//!   view "interesting" with probability increasing in its true deviation,
+//!   plus task-relevance noise; a panel of five experts votes, majority
+//!   wins (§6.1's ground-truth protocol).
+//! * [`roc`] — ROC curves and AUROC for SeeDB's utility ranking against
+//!   the panel labels (Figure 15b).
+//! * [`bookmarks`] — the §6.2 SEEDB-vs-MANUAL bookmark simulation
+//!   (Table 2) and a two-factor ANOVA for the tool/dataset design.
+
+pub mod analyst;
+pub mod anova;
+pub mod bookmarks;
+pub mod roc;
+
+pub use analyst::{expert_panel_labels, Analyst, PanelConfig};
+pub use anova::{two_factor_anova, AnovaResult};
+pub use bookmarks::{simulate_study, BookmarkSummary, StudyConfig, ToolCondition};
+pub use roc::{auroc, roc_curve, RocPoint};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard-normal sample (Box–Muller) shared by the study simulators.
+pub(crate) fn normal_sample(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}

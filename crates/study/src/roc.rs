@@ -1,0 +1,160 @@
+//! ROC analysis of SeeDB's deviation ranking against panel labels
+//! (Figure 15b).
+//!
+//! §6.1: *"we ran SEEDB for the study task, varying k between 0…48, and
+//! measured the agreement between SEEDB recommendations and ground truth"*,
+//! reporting TPR/FPR per k and the area under the curve (AUROC = 0.903).
+
+/// One point of the ROC curve (at a particular k).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Number of recommendations returned.
+    pub k: usize,
+    /// True-positive rate.
+    pub tpr: f64,
+    /// False-positive rate.
+    pub fpr: f64,
+}
+
+/// Computes the ROC curve of a utility ranking against boolean labels.
+///
+/// `utilities[i]` is view i's score, `labels[i]` its ground truth. For
+/// every k from 0 to n, the top-k by utility are "returned" and TPR/FPR
+/// computed, exactly as §6.1 sweeps k.
+pub fn roc_curve(utilities: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(utilities.len(), labels.len(), "one label per view required");
+    let n = utilities.len();
+    let positives = labels.iter().filter(|&&b| b).count();
+    let negatives = n - positives;
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        utilities[b].partial_cmp(&utilities[a]).unwrap().then(a.cmp(&b))
+    });
+
+    let mut points = Vec::with_capacity(n + 1);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    points.push(RocPoint { k: 0, tpr: 0.0, fpr: 0.0 });
+    for (rank, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        points.push(RocPoint {
+            k: rank + 1,
+            tpr: if positives > 0 { tp as f64 / positives as f64 } else { 0.0 },
+            fpr: if negatives > 0 { fp as f64 / negatives as f64 } else { 0.0 },
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal rule over the FPR axis).
+pub fn auroc(points: &[RocPoint]) -> f64 {
+    let mut area = 0.0;
+    for pair in points.windows(2) {
+        let dx = pair[1].fpr - pair[0].fpr;
+        area += dx * 0.5 * (pair[0].tpr + pair[1].tpr);
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auroc_one() {
+        let utilities = [0.9, 0.8, 0.7, 0.2, 0.1];
+        let labels = [true, true, true, false, false];
+        let curve = roc_curve(&utilities, &labels);
+        assert!((auroc(&curve) - 1.0).abs() < 1e-12);
+        // Curve passes through (0, 1): all positives found before any FP.
+        assert!(curve.iter().any(|p| p.fpr == 0.0 && (p.tpr - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn inverted_ranking_has_auroc_zero() {
+        let utilities = [0.1, 0.2, 0.9, 0.95];
+        let labels = [true, true, false, false];
+        assert!(auroc(&roc_curve(&utilities, &labels)) < 1e-12);
+    }
+
+    #[test]
+    fn random_ranking_has_auroc_near_half() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let n = 2000;
+        let utilities: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let a = auroc(&roc_curve(&utilities, &labels));
+        assert!((a - 0.5).abs() < 0.05, "auroc {a}");
+    }
+
+    #[test]
+    fn paper_example_k3_and_k5() {
+        // §6.1: 6 interesting of 48; at k=3, 3/3 returned interesting =>
+        // TPR 0.5, FPR 0; at k=5, 4/5 => TPR 4/6, FPR 1/42.
+        let mut utilities = vec![0.0; 48];
+        let mut labels = vec![false; 48];
+        // Six interesting views; the top-3 scores are interesting, the 4th
+        // ranked view is a false positive, ranks 5-6 interesting again.
+        for (rank, (u, l)) in [
+            (0.9, true),
+            (0.85, true),
+            (0.8, true),
+            (0.75, false),
+            (0.7, true),
+            (0.65, true),
+            (0.6, true),
+        ]
+        .iter()
+        .enumerate()
+        {
+            utilities[rank] = *u;
+            labels[rank] = *l;
+        }
+        let curve = roc_curve(&utilities, &labels);
+        let at = |k: usize| curve.iter().find(|p| p.k == k).unwrap();
+        assert!((at(3).tpr - 0.5).abs() < 1e-12);
+        assert_eq!(at(3).fpr, 0.0);
+        assert!((at(5).tpr - 4.0 / 6.0).abs() < 1e-12);
+        assert!((at(5).fpr - 1.0 / 42.0).abs() < 1e-12);
+        // Strong ranking => AUROC in the paper's "excellent" band.
+        assert!(auroc(&curve) > 0.9);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one_one() {
+        let utilities = [0.5, 0.4, 0.6, 0.1, 0.9, 0.2];
+        let labels = [true, false, true, false, false, true];
+        let curve = roc_curve(&utilities, &labels);
+        assert_eq!(curve.first().unwrap().k, 0);
+        let last = curve.last().unwrap();
+        assert!((last.tpr - 1.0).abs() < 1e-12);
+        assert!((last.fpr - 1.0).abs() < 1e-12);
+        for pair in curve.windows(2) {
+            assert!(pair[1].tpr >= pair[0].tpr);
+            assert!(pair[1].fpr >= pair[0].fpr);
+        }
+    }
+
+    #[test]
+    fn degenerate_label_sets() {
+        // All positive: FPR stays 0; AUROC (area over fpr axis) is 0.
+        let curve = roc_curve(&[0.3, 0.2], &[true, true]);
+        assert!(curve.iter().all(|p| p.fpr == 0.0));
+        // All negative: TPR stays 0.
+        let curve = roc_curve(&[0.3, 0.2], &[false, false]);
+        assert!(curve.iter().all(|p| p.tpr == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per view")]
+    fn mismatched_lengths_panic() {
+        roc_curve(&[0.1], &[true, false]);
+    }
+}
