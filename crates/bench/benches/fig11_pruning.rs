@@ -1,1 +1,45 @@
-fn main() {}
+//! Figure 11: latency of the pruning schemes under phased `COMB`
+//! execution — CI and MAB against the NO_PRU upper and RANDOM lower
+//! bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::{bench_dataset, recommend, BENCH_SEED};
+use seedb_core::{ExecutionStrategy, PruningKind, SeeDbConfig};
+use seedb_data::syn::{syn, SynConfig};
+use seedb_storage::StoreKind;
+
+fn pruning_config(pruning: PruningKind) -> SeeDbConfig {
+    let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Comb);
+    cfg.pruning = pruning;
+    cfg
+}
+
+fn fig11(c: &mut Criterion) {
+    let syn_cfg = SynConfig {
+        rows: 10_000,
+        dims: 10,
+        measures: 4,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let datasets = [
+        bench_dataset("CENSUS", 4_200, StoreKind::Column),
+        syn(&syn_cfg, StoreKind::Column),
+    ];
+    let mut group = c.benchmark_group("fig11_pruning");
+    group.sample_size(10);
+    for dataset in &datasets {
+        for pruning in PruningKind::ALL {
+            let cfg = pruning_config(pruning);
+            group.bench_with_input(
+                BenchmarkId::new(pruning.label(), &dataset.name),
+                dataset,
+                |b, ds| b.iter(|| recommend(ds, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,1 +1,30 @@
-fn main() {}
+//! Figure 5: end-to-end latency of the four execution strategies
+//! (`NO_OPT`, `SHARING`, `COMB`, `COMB_EARLY`) across datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::{bench_dataset, recommend};
+use seedb_core::{ExecutionStrategy, SeeDbConfig};
+use seedb_storage::StoreKind;
+
+fn fig5(c: &mut Criterion) {
+    let datasets = [
+        bench_dataset("BANK", 2_000, StoreKind::Column),
+        bench_dataset("CENSUS", 2_100, StoreKind::Column),
+    ];
+    let mut group = c.benchmark_group("fig5_overall");
+    group.sample_size(10);
+    for dataset in &datasets {
+        for strategy in ExecutionStrategy::ALL {
+            let config = SeeDbConfig::for_strategy(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), &dataset.name),
+                dataset,
+                |b, ds| b.iter(|| recommend(ds, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

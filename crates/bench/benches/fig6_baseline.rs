@@ -1,1 +1,25 @@
-fn main() {}
+//! Figure 6: the unoptimized baseline (`NO_OPT`) by dataset and store
+//! layout — the paper's ROW-vs-COL comparison that motivates sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::{bench_dataset, recommend};
+use seedb_core::{ExecutionStrategy, SeeDbConfig};
+use seedb_storage::StoreKind;
+
+fn fig6(c: &mut Criterion) {
+    let config = SeeDbConfig::for_strategy(ExecutionStrategy::NoOpt);
+    let mut group = c.benchmark_group("fig6_baseline");
+    group.sample_size(10);
+    for (name, rows) in [("BANK", 2_000), ("CENSUS", 2_100), ("MOVIES", 1_000)] {
+        for (kind, label) in [(StoreKind::Row, "ROW"), (StoreKind::Column, "COL")] {
+            let dataset = bench_dataset(name, rows, kind);
+            group.bench_with_input(BenchmarkId::new(label, name), &dataset, |b, ds| {
+                b.iter(|| recommend(ds, &config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,1 +1,58 @@
-fn main() {}
+//! Figure 7: sharing micro-sweeps on SYN.
+//!
+//! 7a — combine multiple aggregates: latency as the cap on aggregates per
+//! combined query (`nagg`) grows; 1 is no combining.
+//! 7b — parallel query execution: latency as the worker count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::{recommend, BENCH_SEED};
+use seedb_core::{ExecutionStrategy, SeeDbConfig};
+use seedb_data::syn::{syn, SynConfig};
+use seedb_storage::StoreKind;
+
+fn fig7a_aggregates(c: &mut Criterion) {
+    // Few dimensions, many measures: aggregate combining dominates.
+    let config = SynConfig {
+        rows: 10_000,
+        dims: 2,
+        measures: 10,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&config, StoreKind::Column);
+    let mut group = c.benchmark_group("fig7a_aggregates");
+    group.sample_size(10);
+    for nagg in [1usize, 2, 5, 10] {
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.sharing.combine_group_bys = false;
+        cfg.sharing.max_aggregates_per_query = Some(nagg);
+        group.bench_with_input(BenchmarkId::new("nagg", nagg), &dataset, |b, ds| {
+            b.iter(|| recommend(ds, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn fig7b_parallelism(c: &mut Criterion) {
+    let config = SynConfig {
+        rows: 10_000,
+        dims: 10,
+        measures: 4,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&config, StoreKind::Column);
+    let mut group = c.benchmark_group("fig7b_parallelism");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.sharing.parallelism = threads;
+        group.bench_with_input(BenchmarkId::new("threads", threads), &dataset, |b, ds| {
+            b.iter(|| recommend(ds, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7a_aggregates, fig7b_parallelism);
+criterion_main!(benches);

@@ -1,1 +1,45 @@
-fn main() {}
+//! Figure 8: combining multiple GROUP BYs — the paper's `MAX_GB(n)`
+//! baseline (pack exactly n dimensions per query) against bin packing
+//! (`BP`) under the memory budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::{recommend, BENCH_SEED};
+use seedb_core::{ExecutionStrategy, GroupingPolicy, SeeDbConfig};
+use seedb_data::syn::{syn, SynConfig};
+use seedb_storage::StoreKind;
+
+fn sharing_config(policy: GroupingPolicy) -> SeeDbConfig {
+    let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+    cfg.sharing.combine_group_bys = true;
+    cfg.sharing.grouping_policy = policy;
+    cfg
+}
+
+fn fig8(c: &mut Criterion) {
+    // Many dimensions with the SYN cardinality ladder, so packing choices
+    // actually differ in group counts.
+    let config = SynConfig {
+        rows: 8_000,
+        dims: 12,
+        measures: 2,
+        distinct: None,
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&config, StoreKind::Column);
+    let mut group = c.benchmark_group("fig8_groupby");
+    group.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        let cfg = sharing_config(GroupingPolicy::MaxGb(n));
+        group.bench_with_input(BenchmarkId::new("MAX_GB", n), &dataset, |b, ds| {
+            b.iter(|| recommend(ds, &cfg))
+        });
+    }
+    let bp = sharing_config(GroupingPolicy::BinPack);
+    group.bench_with_input(BenchmarkId::new("BP", "budget"), &dataset, |b, ds| {
+        b.iter(|| recommend(ds, &bp))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

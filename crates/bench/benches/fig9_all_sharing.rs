@@ -1,1 +1,50 @@
-fn main() {}
+//! Figure 9: all sharing optimizations together versus the baseline, on
+//! SYN — the paper's headline speedup before pruning enters the picture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::{recommend, BENCH_SEED};
+use seedb_core::{ExecutionStrategy, SeeDbConfig, SharingConfig};
+use seedb_data::syn::{syn, SynConfig};
+use seedb_storage::StoreKind;
+
+fn fig9(c: &mut Criterion) {
+    let config = SynConfig {
+        rows: 10_000,
+        dims: 10,
+        measures: 5,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&config, StoreKind::Column);
+    let mut group = c.benchmark_group("fig9_all_sharing");
+    group.sample_size(10);
+
+    let no_opt = SeeDbConfig::for_strategy(ExecutionStrategy::NoOpt);
+    group.bench_with_input(BenchmarkId::new("strategy", "NO_OPT"), &dataset, |b, ds| {
+        b.iter(|| recommend(ds, &no_opt))
+    });
+
+    // Sharing with target+reference combining only (the first rung).
+    let mut combine_tr = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+    combine_tr.sharing = SharingConfig {
+        combine_target_reference: true,
+        ..SharingConfig::none()
+    };
+    group.bench_with_input(
+        BenchmarkId::new("strategy", "COMBINE_TR"),
+        &dataset,
+        |b, ds| b.iter(|| recommend(ds, &combine_tr)),
+    );
+
+    let all_sharing = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+    group.bench_with_input(
+        BenchmarkId::new("strategy", "SHARING_ALL"),
+        &dataset,
+        |b, ds| b.iter(|| recommend(ds, &all_sharing)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,1 +1,43 @@
-fn main() {}
+//! Micro-benchmarks of the deviation metrics: every `DistanceKind` over
+//! distributions of increasing width (group counts seen in practice).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_metrics::{normalize, DistanceKind};
+
+fn distributions(len: usize) -> (Vec<f64>, Vec<f64>) {
+    // Deterministic, non-degenerate shapes: power-law vs near-uniform.
+    let p: Vec<f64> = (1..=len).map(|i| 1.0 / i as f64).collect();
+    let q: Vec<f64> = (1..=len).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    (normalize(&p), normalize(&q))
+}
+
+fn metrics_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_micro");
+    group.sample_size(20);
+    for len in [8usize, 64, 1024] {
+        let (p, q) = distributions(len);
+        for kind in DistanceKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), len),
+                &(p.clone(), q.clone()),
+                |b, (p, q)| b.iter(|| kind.compute(black_box(p), black_box(q))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn normalize_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize_micro");
+    group.sample_size(20);
+    for len in [8usize, 64, 1024] {
+        let raw: Vec<f64> = (0..len).map(|i| (i % 13) as f64 + 0.5).collect();
+        group.bench_with_input(BenchmarkId::new("normalize", len), &raw, |b, raw| {
+            b.iter(|| normalize(black_box(raw)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, metrics_micro, normalize_micro);
+criterion_main!(benches);

@@ -1,1 +1,273 @@
-fn main() {}
+//! Figure runner: executes each paper figure's sweep once and emits
+//! per-figure timing JSON (`BENCH_<figure>.json`) so the repo's perf
+//! trajectory is recorded from PR to PR.
+//!
+//! Usage: `cargo run --release -p seedb-bench --bin figures [out_dir]`
+//! (default `out_dir` is the current directory). Pass `--fast` to run a
+//! reduced sweep for smoke-testing.
+
+use std::path::Path;
+
+use seedb_bench::{bench_dataset, recommend, time_ms_prewarmed, Json, BENCH_SEED};
+use seedb_core::{
+    accuracy_at_k, utility_distance, ExecutionStrategy, GroupingPolicy, PruningKind,
+    Recommendation, SeeDbConfig, SharingConfig,
+};
+use seedb_data::syn::{syn, SynConfig};
+use seedb_data::Dataset;
+use seedb_storage::StoreKind;
+
+fn main() {
+    let mut out_dir = String::from(".");
+    let mut fast = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            other if !other.starts_with('-') => out_dir = other.to_owned(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = Path::new(&out_dir);
+    std::fs::create_dir_all(out).expect("create output directory");
+    // --fast shrinks datasets ~4x and repeats each measurement twice
+    // instead of five times; figure structure stays identical.
+    let runs = if fast { 2 } else { 5 };
+    let scale = if fast { 4 } else { 1 };
+
+    emit(out, "fig5_overall", fig5(runs, scale));
+    emit(out, "fig6_baseline", fig6(runs, scale));
+    emit(out, "fig7_sharing", fig7(runs, scale));
+    emit(out, "fig8_groupby", fig8(runs, scale));
+    emit(out, "fig9_all_sharing", fig9(runs, scale));
+    emit(out, "fig11_pruning", fig11(runs, scale));
+}
+
+fn emit(out_dir: &Path, figure: &str, results: Vec<Json>) {
+    let doc = Json::obj()
+        .set("figure", figure)
+        .set("seed", BENCH_SEED)
+        .set("unit", "ms")
+        .set("results", results);
+    let path = out_dir.join(format!("BENCH_{figure}.json"));
+    std::fs::write(&path, doc.pretty()).expect("write figure JSON");
+    println!("wrote {}", path.display());
+}
+
+fn measured(dataset: &Dataset, config: &SeeDbConfig, runs: usize) -> Json {
+    // The stats run doubles as the timing warmup.
+    let rec = recommend(dataset, config);
+    measured_from(dataset, config, runs, &rec)
+}
+
+/// Timing JSON for a configuration whose result `rec` was already
+/// computed (that run serves as the warmup).
+fn measured_from(
+    dataset: &Dataset,
+    config: &SeeDbConfig,
+    runs: usize,
+    rec: &Recommendation,
+) -> Json {
+    let timing = time_ms_prewarmed(runs, || {
+        recommend(dataset, config);
+    });
+    Json::from(timing)
+        .set("queries_issued", rec.stats.queries_issued)
+        .set("rows_scanned", rec.stats.rows_scanned)
+        .set("phases_executed", rec.phases_executed)
+}
+
+fn fig5(runs: usize, scale: usize) -> Vec<Json> {
+    let mut results = Vec::new();
+    for (name, rows) in [("BANK", 4_000), ("DIAB", 4_000), ("CENSUS", 4_200)] {
+        let dataset = bench_dataset(name, rows / scale, StoreKind::Column);
+        for strategy in ExecutionStrategy::ALL {
+            let config = SeeDbConfig::for_strategy(strategy);
+            results.push(
+                Json::obj()
+                    .set("dataset", name)
+                    .set("rows", dataset.rows())
+                    .set("strategy", strategy.label())
+                    .set("timing", measured(&dataset, &config, runs)),
+            );
+        }
+    }
+    results
+}
+
+fn fig6(runs: usize, scale: usize) -> Vec<Json> {
+    let config = SeeDbConfig::for_strategy(ExecutionStrategy::NoOpt);
+    let mut results = Vec::new();
+    for (name, rows) in [("BANK", 4_000), ("CENSUS", 4_200), ("MOVIES", 1_000)] {
+        for (kind, store) in [(StoreKind::Row, "ROW"), (StoreKind::Column, "COL")] {
+            let dataset = bench_dataset(name, rows / scale, kind);
+            results.push(
+                Json::obj()
+                    .set("dataset", name)
+                    .set("rows", dataset.rows())
+                    .set("store", store)
+                    .set("timing", measured(&dataset, &config, runs)),
+            );
+        }
+    }
+    results
+}
+
+fn fig7(runs: usize, scale: usize) -> Vec<Json> {
+    let mut results = Vec::new();
+
+    let agg_cfg = SynConfig {
+        rows: 20_000 / scale,
+        dims: 2,
+        measures: 10,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let agg_ds = syn(&agg_cfg, StoreKind::Column);
+    for nagg in [1usize, 2, 5, 10] {
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.sharing.combine_group_bys = false;
+        cfg.sharing.max_aggregates_per_query = Some(nagg);
+        results.push(
+            Json::obj()
+                .set("sweep", "7a_aggregates")
+                .set("dataset", agg_ds.name.as_str())
+                .set("rows", agg_ds.rows())
+                .set("nagg", nagg)
+                .set("timing", measured(&agg_ds, &cfg, runs)),
+        );
+    }
+
+    let par_cfg = SynConfig {
+        rows: 20_000 / scale,
+        dims: 10,
+        measures: 4,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let par_ds = syn(&par_cfg, StoreKind::Column);
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.sharing.parallelism = threads;
+        results.push(
+            Json::obj()
+                .set("sweep", "7b_parallelism")
+                .set("dataset", par_ds.name.as_str())
+                .set("rows", par_ds.rows())
+                .set("threads", threads)
+                .set("timing", measured(&par_ds, &cfg, runs)),
+        );
+    }
+    results
+}
+
+fn fig8(runs: usize, scale: usize) -> Vec<Json> {
+    let syn_cfg = SynConfig {
+        rows: 16_000 / scale,
+        dims: 12,
+        measures: 2,
+        distinct: None,
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&syn_cfg, StoreKind::Column);
+    let mut results = Vec::new();
+    let mut run_policy = |label: String, policy: GroupingPolicy| {
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.sharing.combine_group_bys = true;
+        cfg.sharing.grouping_policy = policy;
+        results.push(
+            Json::obj()
+                .set("dataset", dataset.name.as_str())
+                .set("rows", dataset.rows())
+                .set("policy", label)
+                .set("timing", measured(&dataset, &cfg, runs)),
+        );
+    };
+    for n in [1usize, 2, 4, 8] {
+        run_policy(format!("MAX_GB({n})"), GroupingPolicy::MaxGb(n));
+    }
+    run_policy("BP".to_owned(), GroupingPolicy::BinPack);
+    results
+}
+
+fn fig9(runs: usize, scale: usize) -> Vec<Json> {
+    let syn_cfg = SynConfig {
+        rows: 20_000 / scale,
+        dims: 10,
+        measures: 5,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&syn_cfg, StoreKind::Column);
+    let mut results = Vec::new();
+
+    let mut run_setup = |label: &str, cfg: &SeeDbConfig| {
+        results.push(
+            Json::obj()
+                .set("dataset", dataset.name.as_str())
+                .set("rows", dataset.rows())
+                .set("setup", label)
+                .set("timing", measured(&dataset, cfg, runs)),
+        );
+    };
+
+    run_setup(
+        "NO_OPT",
+        &SeeDbConfig::for_strategy(ExecutionStrategy::NoOpt),
+    );
+    let mut combine_tr = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+    combine_tr.sharing = SharingConfig {
+        combine_target_reference: true,
+        ..SharingConfig::none()
+    };
+    run_setup("COMBINE_TR", &combine_tr);
+    run_setup(
+        "SHARING_ALL",
+        &SeeDbConfig::for_strategy(ExecutionStrategy::Sharing),
+    );
+    results
+}
+
+fn fig11(runs: usize, scale: usize) -> Vec<Json> {
+    let syn_cfg = SynConfig {
+        rows: 20_000 / scale,
+        dims: 10,
+        measures: 4,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let datasets = [
+        bench_dataset("CENSUS", 8_400 / scale, StoreKind::Column),
+        syn(&syn_cfg, StoreKind::Column),
+    ];
+    let mut results = Vec::new();
+    for dataset in &datasets {
+        // Ground truth for accuracy: unpruned phased execution.
+        let mut truth_cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Comb);
+        truth_cfg.pruning = PruningKind::None;
+        let truth = recommend(dataset, &truth_cfg);
+        let true_top: Vec<usize> = truth.views.iter().map(|v| v.spec.id).collect();
+
+        for pruning in PruningKind::ALL {
+            let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Comb);
+            cfg.pruning = pruning;
+            let rec = recommend(dataset, &cfg);
+            let returned: Vec<usize> = rec.views.iter().map(|v| v.spec.id).collect();
+            results.push(
+                Json::obj()
+                    .set("dataset", dataset.name.as_str())
+                    .set("rows", dataset.rows())
+                    .set("pruning", pruning.label())
+                    .set("accuracy", accuracy_at_k(&true_top, &returned))
+                    .set(
+                        "utility_distance",
+                        utility_distance(&true_top, &returned, &truth.all_utilities),
+                    )
+                    .set("timing", measured_from(dataset, &cfg, runs, &rec)),
+            );
+        }
+    }
+    results
+}

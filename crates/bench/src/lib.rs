@@ -1,1 +1,312 @@
-//! Bench harness (under construction).
+//! Shared harness for the SeeDB benchmark suite.
+//!
+//! The seven Criterion benches (`benches/`) and the `figures` binary
+//! (`src/bin/figures.rs`) reproduce the paper's performance figures on
+//! scaled-down synthetic twins of the Table 1 datasets. This crate holds
+//! what they share: dataset construction at bench scale, configuration
+//! presets, a timing loop for the figure runner, and a dependency-free
+//! JSON writer for the `BENCH_*.json` trajectory files.
+
+use std::time::Instant;
+
+use seedb_core::{Predicate, Recommendation, ReferenceSpec, SeeDb, SeeDbConfig};
+use seedb_data::registry::generate_by_name;
+use seedb_data::{table1, Dataset};
+use seedb_storage::StoreKind;
+
+/// Deterministic seed shared by every bench so runs are comparable.
+pub const BENCH_SEED: u64 = 17;
+
+/// Generates dataset `name` (a Table 1 name) truncated to about
+/// `rows` rows, on the given store layout.
+///
+/// # Panics
+/// Panics if `name` is not a Table 1 dataset.
+pub fn bench_dataset(name: &str, rows: usize, kind: StoreKind) -> Dataset {
+    let info = table1()
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown Table 1 dataset {name}"));
+    let scale = (rows as f64 / info.rows as f64).min(1.0);
+    generate_by_name(name, scale, BENCH_SEED, kind)
+        .unwrap_or_else(|| panic!("no generator for {name}"))
+}
+
+/// Runs one full recommendation pass over a dataset with its canonical
+/// target query and a whole-table reference.
+///
+/// # Panics
+/// Panics if the engine rejects the configuration — benches always pass
+/// validated presets.
+pub fn recommend(dataset: &Dataset, config: &SeeDbConfig) -> Recommendation {
+    recommend_with_target(dataset, &dataset.target, config)
+}
+
+/// [`recommend`] with an explicit target predicate.
+///
+/// # Panics
+/// Panics if the engine rejects the configuration.
+pub fn recommend_with_target(
+    dataset: &Dataset,
+    target: &Predicate,
+    config: &SeeDbConfig,
+) -> Recommendation {
+    SeeDb::with_config(dataset.table.clone(), config.clone())
+        .recommend(target, &ReferenceSpec::WholeTable)
+        .expect("bench recommendation failed")
+}
+
+/// Mean / min / max wall-clock milliseconds of `runs` executions of `f`,
+/// after one untimed warmup execution.
+pub fn time_ms<F: FnMut()>(runs: usize, mut f: F) -> Timing {
+    f(); // warmup: page in the dataset, warm caches
+    time_ms_prewarmed(runs, f)
+}
+
+/// [`time_ms`] without the warmup execution — for callers that have
+/// already run `f` once (e.g. to capture its result).
+pub fn time_ms_prewarmed<F: FnMut()>(runs: usize, mut f: F) -> Timing {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    Timing::from_samples(&samples)
+}
+
+/// Wall-clock summary of repeated runs, in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Mean across runs.
+    pub mean_ms: f64,
+    /// Fastest run.
+    pub min_ms: f64,
+    /// Slowest run.
+    pub max_ms: f64,
+    /// Number of timed runs.
+    pub runs: usize,
+}
+
+impl Timing {
+    fn from_samples(samples: &[f64]) -> Self {
+        let runs = samples.len().max(1);
+        let sum: f64 = samples.iter().sum();
+        Timing {
+            mean_ms: sum / runs as f64,
+            min_ms: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ms: samples.iter().copied().fold(0.0, f64::max),
+            runs,
+        }
+    }
+}
+
+/// A minimal JSON value builder — enough to emit the `BENCH_*.json`
+/// figure files without an external serializer.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (finite; non-finite serializes as `null`).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Json>),
+    /// JSON object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds `key: value` to an object.
+    ///
+    /// # Panics
+    /// Panics when called on a non-object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{}", *x as i64));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+impl From<Timing> for Json {
+    fn from(t: Timing) -> Json {
+        Json::obj()
+            .set("mean_ms", t.mean_ms)
+            .set("min_ms", t.min_ms)
+            .set("max_ms", t.max_ms)
+            .set("runs", t.runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_dataset_scales_rows_and_keeps_shape() {
+        let ds = bench_dataset("BANK", 500, StoreKind::Column);
+        assert_eq!(ds.name, "BANK");
+        assert!(ds.rows() > 0 && ds.rows() <= 1_000, "rows = {}", ds.rows());
+        assert_eq!(ds.shape(), (11, 7, 77)); // Table 1 shape survives scaling
+    }
+
+    #[test]
+    fn recommend_runs_on_a_bench_dataset() {
+        let ds = bench_dataset("HOUSING", 500, StoreKind::Column);
+        let rec = recommend(&ds, &SeeDbConfig::default());
+        assert!(!rec.views.is_empty());
+    }
+
+    #[test]
+    fn timing_summarizes_samples() {
+        let t = time_ms(3, || {
+            std::hint::black_box(vec![0u8; 1024]);
+        });
+        assert_eq!(t.runs, 3);
+        assert!(t.min_ms <= t.mean_ms && t.mean_ms <= t.max_ms);
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let j = Json::obj()
+            .set("name", "a\"b\\c\n")
+            .set("xs", vec![Json::from(1.0), Json::from(2.5)])
+            .set("flag", true)
+            .set("nothing", Json::Null);
+        let s = j.pretty();
+        assert!(s.contains("a\\\"b\\\\c\\n"));
+        assert!(s.contains("2.5"));
+        assert!(s.contains("\"flag\": true"));
+    }
+}

@@ -72,8 +72,12 @@ impl PruningKind {
     }
 
     /// The four schemes §5.4 evaluates.
-    pub const ALL: [PruningKind; 4] =
-        [PruningKind::Ci, PruningKind::Mab, PruningKind::None, PruningKind::Random];
+    pub const ALL: [PruningKind; 4] = [
+        PruningKind::Ci,
+        PruningKind::Mab,
+        PruningKind::None,
+        PruningKind::Random,
+    ];
 }
 
 impl std::fmt::Display for PruningKind {
@@ -84,19 +88,14 @@ impl std::fmt::Display for PruningKind {
 
 /// How dimensions are combined into multi-GROUP-BY queries (Fig 8b's
 /// MAX_GB-vs-BP comparison).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GroupingPolicy {
     /// Bin-pack by `log₂|aᵢ|` under the memory budget (paper's `BP`).
+    #[default]
     BinPack,
     /// Pack exactly `n` dimensions per query in enumeration order,
     /// ignoring cardinalities (paper's `MAX_GB` baseline).
     MaxGb(usize),
-}
-
-impl Default for GroupingPolicy {
-    fn default() -> Self {
-        GroupingPolicy::BinPack
-    }
 }
 
 /// Knobs for the §4.1 sharing optimizations.
@@ -220,8 +219,10 @@ impl SeeDbConfig {
     /// Convenience: a config preset for one of the paper's strategies, with
     /// everything else default.
     pub fn for_strategy(strategy: ExecutionStrategy) -> Self {
-        let mut cfg = SeeDbConfig::default();
-        cfg.strategy = strategy;
+        let mut cfg = SeeDbConfig {
+            strategy,
+            ..Default::default()
+        };
         if strategy == ExecutionStrategy::NoOpt {
             cfg.sharing = SharingConfig::none();
         }
@@ -282,7 +283,10 @@ mod tests {
         let sharing = SharingConfig::default();
         assert_eq!(sharing.effective_budget(StoreKind::Row), 10_000);
         assert_eq!(sharing.effective_budget(StoreKind::Column), 100);
-        let sharing = SharingConfig { memory_budget: Some(42), ..Default::default() };
+        let sharing = SharingConfig {
+            memory_budget: Some(42),
+            ..Default::default()
+        };
         assert_eq!(sharing.effective_budget(StoreKind::Row), 42);
     }
 }

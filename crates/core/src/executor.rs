@@ -64,7 +64,11 @@ impl ExecutionReport {
                 .then(b.2.cmp(&a.2))
                 .then(a.0.cmp(&b.0))
         });
-        candidates.into_iter().take(k).map(|(id, _, _)| id).collect()
+        candidates
+            .into_iter()
+            .take(k)
+            .map(|(id, _, _)| id)
+            .collect()
     }
 }
 
@@ -136,11 +140,8 @@ impl<'a> Executor<'a> {
         for state in &mut states {
             let spec = state.spec;
             let agg = AggSpec::new(spec.func, spec.measure);
-            let t_query = CombinedQuery::single(
-                spec.dim,
-                agg,
-                SplitSpec::TargetOnly(target.clone()),
-            );
+            let t_query =
+                CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(target.clone()));
             let t_result = seedb_engine::execute_combined(self.table, &t_query, &mut stats);
             state.merge_into_side(&t_result, 0, Side::Target);
 
@@ -195,10 +196,8 @@ impl<'a> Executor<'a> {
             // Execute this phase's clusters (in parallel when configured).
             let sharing = &self.config.sharing;
             let combine_tr = sharing.combine_target_reference;
-            let results: Vec<(Vec<GroupedResult>, ExecStats)> = run_parallel(
-                clusters.len(),
-                sharing.parallelism,
-                |ci| {
+            let results: Vec<(Vec<GroupedResult>, ExecStats)> =
+                run_parallel(clusters.len(), sharing.parallelism, |ci| {
                     let cluster = &clusters[ci];
                     let mut local = ExecStats::new();
                     let mut outs = Vec::with_capacity(2);
@@ -228,8 +227,7 @@ impl<'a> Executor<'a> {
                         }
                     }
                     (outs, local)
-                },
-            );
+                });
 
             // Fold results into view states, rolling up multi-GB clusters.
             for (cluster, (outs, local_stats)) in clusters.iter().zip(&results) {
@@ -266,8 +264,7 @@ impl<'a> Executor<'a> {
                 }
             }
             let accepted_so_far = states.iter().filter(|s| s.accepted).count();
-            let decision =
-                pruner.decide(&estimates, accepted_so_far, k, phases_executed, phases);
+            let decision = pruner.decide(&estimates, accepted_so_far, k, phases_executed, phases);
             for id in decision.discard {
                 let s = &mut states[id];
                 s.alive = false;
@@ -279,8 +276,7 @@ impl<'a> Executor<'a> {
 
             if early {
                 let accepted = states.iter().filter(|s| s.accepted).count();
-                let undecided =
-                    states.iter().filter(|s| s.alive && !s.accepted).count();
+                let undecided = states.iter().filter(|s| s.alive && !s.accepted).count();
                 if accepted >= k || accepted + undecided <= k {
                     early_stopped = phases_executed < phases;
                     break;
@@ -335,16 +331,18 @@ impl<'a> Executor<'a> {
                     let budget = sharing.effective_budget(self.table.kind());
                     binpack::first_fit(self.table, &dims, budget).bins
                 }
-                crate::config::GroupingPolicy::MaxGb(n) => dims
-                    .chunks(n.max(1))
-                    .map(|chunk| chunk.to_vec())
-                    .collect(),
+                crate::config::GroupingPolicy::MaxGb(n) => {
+                    dims.chunks(n.max(1)).map(|chunk| chunk.to_vec()).collect()
+                }
             }
         } else {
             dims.iter().map(|&d| vec![d]).collect()
         };
 
-        let nagg_cap = sharing.max_aggregates_per_query.unwrap_or(usize::MAX).max(1);
+        let nagg_cap = sharing
+            .max_aggregates_per_query
+            .unwrap_or(usize::MAX)
+            .max(1);
         let mut clusters = Vec::new();
         for bin in bins {
             // Views of every dim in this bin share one (chunked) cluster.
@@ -362,7 +360,11 @@ impl<'a> Executor<'a> {
                     members.push((*view_id, aggregates.len(), *dim_pos));
                     aggregates.push(*agg);
                 }
-                clusters.push(Cluster { group_by: bin.clone(), aggregates, members });
+                clusters.push(Cluster {
+                    group_by: bin.clone(),
+                    aggregates,
+                    members,
+                });
             }
         }
         clusters
@@ -425,10 +427,18 @@ mod tests {
         for i in 0..400u32 {
             let in_target = i % 4 == 0;
             // d0 correlates with target membership; d1/d2 are noise.
-            let d0 = if in_target { format!("g{}", i % 2) } else { format!("g{}", 2 + i % 2) };
+            let d0 = if in_target {
+                format!("g{}", i % 2)
+            } else {
+                format!("g{}", 2 + i % 2)
+            };
             let d1 = format!("x{}", i % 3);
             let d2 = format!("y{}", i % 5);
-            let m0 = if in_target { 100.0 + (i % 7) as f64 } else { 10.0 + (i % 7) as f64 };
+            let m0 = if in_target {
+                100.0 + (i % 7) as f64
+            } else {
+                10.0 + (i % 7) as f64
+            };
             let m1 = (i % 11) as f64;
             b.push_row(&[
                 Value::str(d0),
@@ -471,7 +481,11 @@ mod tests {
     }
 
     fn utilities(report: &ExecutionReport) -> Vec<f64> {
-        report.states.iter().map(|s| s.utility(DistanceKind::Emd)).collect()
+        report
+            .states
+            .iter()
+            .map(|s| s.utility(DistanceKind::Emd))
+            .collect()
     }
 
     #[test]
@@ -498,7 +512,11 @@ mod tests {
         );
         let (shared, ..) = run_with(
             ExecutionStrategy::Sharing,
-            SharingConfig { parallelism: 1, combine_group_bys: false, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                combine_group_bys: false,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
@@ -545,7 +563,10 @@ mod tests {
     fn separate_target_reference_execution_matches_combined() {
         let (combined, ..) = run_with(
             ExecutionStrategy::Sharing,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
@@ -565,20 +586,29 @@ mod tests {
             assert!((x - y).abs() < 1e-9);
         }
         // Separate execution pays twice the queries.
-        assert_eq!(separate.stats.queries_issued, 2 * combined.stats.queries_issued);
+        assert_eq!(
+            separate.stats.queries_issued,
+            2 * combined.stats.queries_issued
+        );
     }
 
     #[test]
     fn comb_with_no_pruning_matches_sharing() {
         let (sharing, ..) = run_with(
             ExecutionStrategy::Sharing,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
         let (comb, ..) = run_with(
             ExecutionStrategy::Comb,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
@@ -594,13 +624,19 @@ mod tests {
     fn ci_pruning_reduces_work_and_keeps_quality() {
         let (no_pru, cfg, _) = run_with(
             ExecutionStrategy::Comb,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
         let (ci, ..) = run_with(
             ExecutionStrategy::Comb,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::Ci,
             StoreKind::Column,
         );
@@ -610,14 +646,20 @@ mod tests {
         let truth = no_pru.top_k(cfg.k, cfg.metric);
         let got = ci.top_k(cfg.k, cfg.metric);
         let acc = crate::quality::accuracy_at_k(&truth, &got);
-        assert!(acc >= 2.0 / 3.0, "accuracy {acc}, truth {truth:?}, got {got:?}");
+        assert!(
+            acc >= 2.0 / 3.0,
+            "accuracy {acc}, truth {truth:?}, got {got:?}"
+        );
     }
 
     #[test]
     fn comb_early_stops_early_and_returns_k_views() {
         let (early, cfg, _) = run_with(
             ExecutionStrategy::CombEarly,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::Ci,
             StoreKind::Column,
         );
@@ -630,13 +672,19 @@ mod tests {
     fn row_store_and_column_store_agree() {
         let (row, ..) = run_with(
             ExecutionStrategy::Sharing,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Row,
         );
         let (col, ..) = run_with(
             ExecutionStrategy::Sharing,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
@@ -664,7 +712,11 @@ mod tests {
         assert_eq!(capped.stats.queries_issued, 6);
         let (uncapped, ..) = run_with(
             ExecutionStrategy::Sharing,
-            SharingConfig { parallelism: 1, combine_group_bys: false, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                combine_group_bys: false,
+                ..Default::default()
+            },
             PruningKind::None,
             StoreKind::Column,
         );
@@ -696,7 +748,10 @@ mod tests {
     fn random_pruning_scans_less_than_everything() {
         let (random, cfg, _) = run_with(
             ExecutionStrategy::CombEarly,
-            SharingConfig { parallelism: 1, ..Default::default() },
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
             PruningKind::Random,
             StoreKind::Column,
         );

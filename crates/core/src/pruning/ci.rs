@@ -86,16 +86,20 @@ impl Pruner for CiPruner {
 
         for v in estimates {
             // Count live views whose lower bound exceeds v's upper bound.
-            let dominated_by =
-                estimates.iter().filter(|o| o.view_id != v.view_id && lower(o) > upper(v)).count();
+            let dominated_by = estimates
+                .iter()
+                .filter(|o| o.view_id != v.view_id && lower(o) > upper(v))
+                .count();
             if dominated_by >= slots {
                 decision.discard.push(v.view_id);
                 continue;
             }
             // Accept: v's lower bound beats the upper bound of all but
             // fewer than `slots` views — v is certainly in the top-k.
-            let not_dominated =
-                estimates.iter().filter(|o| o.view_id != v.view_id && upper(o) >= lower(v)).count();
+            let not_dominated = estimates
+                .iter()
+                .filter(|o| o.view_id != v.view_id && upper(o) >= lower(v))
+                .count();
             if not_dominated < slots {
                 decision.accept.push(v.view_id);
             }
@@ -129,7 +133,10 @@ mod tests {
         let n = 10;
         let widths: Vec<f64> = (1..=n).map(|m| p.half_width(m, n)).collect();
         for w in widths.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "widths must be non-increasing: {widths:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "widths must be non-increasing: {widths:?}"
+            );
         }
         assert_eq!(widths[n - 1], 0.0, "full scan gives exact estimate");
         assert_eq!(p.half_width(0, n), f64::INFINITY);
@@ -237,6 +244,9 @@ mod tests {
             }
         }
         let rate = violations as f64 / trials as f64;
-        assert!(rate <= delta + 0.05, "violation rate {rate} exceeds delta {delta}");
+        assert!(
+            rate <= delta + 0.05,
+            "violation rate {rate} exceeds delta {delta}"
+        );
     }
 }

@@ -152,7 +152,11 @@ mod tests {
         for phase in 1..=10 {
             let ests: Vec<ViewEstimate> = alive
                 .iter()
-                .map(|&i| ViewEstimate { view_id: i, mean: true_means[i], samples: phase })
+                .map(|&i| ViewEstimate {
+                    view_id: i,
+                    mean: true_means[i],
+                    samples: phase,
+                })
                 .collect();
             let d = p.decide(&ests, accepted.len(), k, phase, 10);
             for a in d.accept {

@@ -66,7 +66,11 @@ pub(crate) fn estimates_from(means: &[f64], samples: usize) -> Vec<ViewEstimate>
     means
         .iter()
         .enumerate()
-        .map(|(i, &m)| ViewEstimate { view_id: i, mean: m, samples })
+        .map(|(i, &m)| ViewEstimate {
+            view_id: i,
+            mean: m,
+            samples,
+        })
         .collect()
 }
 

@@ -20,7 +20,9 @@ pub struct RandomPruner {
 impl RandomPruner {
     /// Creates the pruner with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        RandomPruner { rng: StdRng::seed_from_u64(seed) }
+        RandomPruner {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -100,6 +102,9 @@ mod tests {
             }
         }
         // Expect ≈ 50 of 200; allow generous slack.
-        assert!((20..=90).contains(&hits), "best view accepted {hits}/200 times");
+        assert!(
+            (20..=90).contains(&hits),
+            "best view accepted {hits}/200 times"
+        );
     }
 }

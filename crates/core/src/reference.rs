@@ -7,20 +7,15 @@
 use seedb_engine::{Predicate, SplitSpec};
 
 /// How the reference dataset `D_R` is derived from the table.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum ReferenceSpec {
     /// `D_R = D` — the entire table (paper default).
+    #[default]
     WholeTable,
     /// `D_R = D − D_Q` — everything outside the target.
     Complement,
     /// `D_R = D_{Q'}` — an arbitrary selection.
     Query(Predicate),
-}
-
-impl Default for ReferenceSpec {
-    fn default() -> Self {
-        ReferenceSpec::WholeTable
-    }
 }
 
 impl ReferenceSpec {
@@ -30,9 +25,10 @@ impl ReferenceSpec {
         match self {
             ReferenceSpec::WholeTable => SplitSpec::TargetVsAll(target),
             ReferenceSpec::Complement => SplitSpec::TargetVsComplement(target),
-            ReferenceSpec::Query(q) => {
-                SplitSpec::TargetVsQuery { target, reference: q.clone() }
-            }
+            ReferenceSpec::Query(q) => SplitSpec::TargetVsQuery {
+                target,
+                reference: q.clone(),
+            },
         }
     }
 
@@ -54,7 +50,11 @@ mod tests {
     use seedb_storage::ColumnId;
 
     fn target() -> Predicate {
-        Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Gt, value: 1.0 }
+        Predicate::NumCmp {
+            col: ColumnId(0),
+            op: CmpOp::Gt,
+            value: 1.0,
+        }
     }
 
     #[test]

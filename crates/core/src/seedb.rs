@@ -57,7 +57,10 @@ impl SeeDb {
     /// Creates an engine with the default configuration (§5's COMB setup:
     /// EMD, k=10, CI pruning, 10 phases, all sharing optimizations).
     pub fn new(table: BoxedTable) -> Self {
-        SeeDb { table, config: SeeDbConfig::default() }
+        SeeDb {
+            table,
+            config: SeeDbConfig::default(),
+        }
     }
 
     /// Creates an engine with an explicit configuration.
@@ -100,8 +103,7 @@ impl SeeDb {
         let report = executor.run(&views, target, reference);
 
         let metric = self.config.metric;
-        let all_utilities: Vec<f64> =
-            report.states.iter().map(|s| s.utility(metric)).collect();
+        let all_utilities: Vec<f64> = report.states.iter().map(|s| s.utility(metric)).collect();
         let top_ids = report.top_k(self.config.k, metric);
 
         let ranked = top_ids
@@ -194,7 +196,9 @@ mod tests {
         let table = census();
         let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
         let seedb = SeeDb::new(table);
-        let rec = seedb.recommend(&target, &ReferenceSpec::Complement).unwrap();
+        let rec = seedb
+            .recommend(&target, &ReferenceSpec::Complement)
+            .unwrap();
         assert!(!rec.views.is_empty());
         // The top view must aggregate capital_gain, not age, by sex.
         let top = &rec.views[0];
@@ -216,7 +220,9 @@ mod tests {
         let table = census();
         let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
         let seedb = SeeDb::new(table);
-        let rec = seedb.recommend(&target, &ReferenceSpec::WholeTable).unwrap();
+        let rec = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
         for v in &rec.views {
             let ts: f64 = v.target_distribution.iter().sum();
             let rs: f64 = v.reference_distribution.iter().sum();
@@ -244,7 +250,9 @@ mod tests {
         let mut cfg = SeeDbConfig::default();
         cfg.k = 2;
         let seedb = SeeDb::with_config(table, cfg);
-        let rec = seedb.recommend(&target, &ReferenceSpec::WholeTable).unwrap();
+        let rec = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
         assert_eq!(rec.views.len(), 2);
         // Sorted descending by utility.
         assert!(rec.views[0].utility >= rec.views[1].utility);
@@ -255,7 +263,9 @@ mod tests {
         let table = census();
         let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
         let seedb = SeeDb::new(table);
-        let rec = seedb.recommend(&target, &ReferenceSpec::WholeTable).unwrap();
+        let rec = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
         assert_eq!(rec.all_utilities.len(), seedb.views().len());
     }
 
@@ -275,7 +285,9 @@ mod tests {
     fn empty_target_selection_is_benign() {
         let table = census();
         let seedb = SeeDb::new(table);
-        let rec = seedb.recommend(&Predicate::False, &ReferenceSpec::WholeTable).unwrap();
+        let rec = seedb
+            .recommend(&Predicate::False, &ReferenceSpec::WholeTable)
+            .unwrap();
         // All utilities ~0 (empty target normalizes to uniform vs uniform
         // after zero-sum handling) — no panics, k views returned.
         assert!(!rec.views.is_empty());
@@ -291,7 +303,9 @@ mod tests {
             cfg.k = 3;
             cfg.pruning = PruningKind::Ci;
             let seedb = SeeDb::with_config(table.clone(), cfg);
-            let rec = seedb.recommend(&target, &ReferenceSpec::Complement).unwrap();
+            let rec = seedb
+                .recommend(&target, &ReferenceSpec::Complement)
+                .unwrap();
             tops.push(rec.views[0].spec.id);
         }
         assert!(
@@ -305,8 +319,12 @@ mod tests {
         let table = census();
         let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
         let seedb = SeeDb::new(table);
-        let a = seedb.recommend(&target, &ReferenceSpec::WholeTable).unwrap();
-        let b = seedb.recommend(&target, &ReferenceSpec::WholeTable).unwrap();
+        let a = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
+        let b = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
         let ids_a: Vec<_> = a.views.iter().map(|v| v.spec.id).collect();
         let ids_b: Vec<_> = b.views.iter().map(|v| v.spec.id).collect();
         assert_eq!(ids_a, ids_b);

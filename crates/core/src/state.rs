@@ -144,7 +144,12 @@ mod tests {
     use seedb_storage::{BoxedTable, ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
 
     fn spec() -> ViewSpec {
-        ViewSpec { id: 0, dim: ColumnId(0), measure: ColumnId(1), func: AggFunc::Avg }
+        ViewSpec {
+            id: 0,
+            dim: ColumnId(0),
+            measure: ColumnId(1),
+            func: AggFunc::Avg,
+        }
     }
 
     fn table() -> BoxedTable {

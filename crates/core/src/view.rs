@@ -63,7 +63,11 @@ impl ViewSpec {
 
 impl fmt::Display for ViewSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "V{}({}, {}, {})", self.id, self.dim, self.measure, self.func)
+        write!(
+            f,
+            "V{}({}, {}, {})",
+            self.id, self.dim, self.measure, self.func
+        )
     }
 }
 
@@ -82,7 +86,12 @@ pub fn enumerate_views(table: &dyn Table, funcs: &[AggFunc]) -> Vec<ViewSpec> {
     for &func in funcs {
         for &dim in &dims {
             for &measure in &measures {
-                views.push(ViewSpec { id, dim, measure, func });
+                views.push(ViewSpec {
+                    id,
+                    dim,
+                    measure,
+                    func,
+                });
                 id += 1;
             }
         }
@@ -102,8 +111,13 @@ mod tests {
             ColumnDef::measure("gain"),
             ColumnDef::measure("hours"),
         ]);
-        b.push_row(&[Value::str("F"), Value::str("A"), Value::Float(1.0), Value::Float(2.0)])
-            .unwrap();
+        b.push_row(&[
+            Value::str("F"),
+            Value::str("A"),
+            Value::Float(1.0),
+            Value::Float(2.0),
+        ])
+        .unwrap();
         b.build(StoreKind::Column).unwrap()
     }
 

@@ -27,9 +27,14 @@ pub fn spec() -> TwinSpec {
         DimSpec::cardinality("dest", 60),
         DimSpec::labeled(
             "month",
-            &["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"],
+            &[
+                "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+            ],
         ),
-        DimSpec::labeled("day_of_week", &["mon", "tue", "wed", "thu", "fri", "sat", "sun"]),
+        DimSpec::labeled(
+            "day_of_week",
+            &["mon", "tue", "wed", "thu", "fri", "sat", "sun"],
+        ),
         DimSpec::labeled("dep_block", &["morning", "midday", "evening", "night"]),
         DimSpec::labeled("distance_class", &["short", "medium", "long"]),
         DimSpec::labeled("cancelled", &["no", "yes"]),
@@ -49,15 +54,51 @@ pub fn spec() -> TwinSpec {
         MeasureSpec::new("late_aircraft_delay", 5.0, 9.0),
     ];
     let effects = vec![
-        Effect { dim: 1, measure: 1, strength: 0.9 },  // arr_delay by carrier
-        Effect { dim: 4, measure: 7, strength: 0.75 }, // weather_delay by month
-        Effect { dim: 6, measure: 0, strength: 0.45 }, // dep_delay by dep block
-        Effect { dim: 2, measure: 2, strength: 0.40 }, // taxi_out by origin
-        Effect { dim: 5, measure: 8, strength: 0.38 },
-        Effect { dim: 11, measure: 7, strength: 0.36 },
-        Effect { dim: 7, measure: 4, strength: 0.34 },
-        Effect { dim: 1, measure: 6, strength: 0.32 },
-        Effect { dim: 4, measure: 1, strength: 0.20 },
+        Effect {
+            dim: 1,
+            measure: 1,
+            strength: 0.9,
+        }, // arr_delay by carrier
+        Effect {
+            dim: 4,
+            measure: 7,
+            strength: 0.75,
+        }, // weather_delay by month
+        Effect {
+            dim: 6,
+            measure: 0,
+            strength: 0.45,
+        }, // dep_delay by dep block
+        Effect {
+            dim: 2,
+            measure: 2,
+            strength: 0.40,
+        }, // taxi_out by origin
+        Effect {
+            dim: 5,
+            measure: 8,
+            strength: 0.38,
+        },
+        Effect {
+            dim: 11,
+            measure: 7,
+            strength: 0.36,
+        },
+        Effect {
+            dim: 7,
+            measure: 4,
+            strength: 0.34,
+        },
+        Effect {
+            dim: 1,
+            measure: 6,
+            strength: 0.32,
+        },
+        Effect {
+            dim: 4,
+            measure: 1,
+            strength: 0.20,
+        },
     ];
     TwinSpec {
         name: "AIR".into(),

@@ -24,18 +24,34 @@ pub fn spec() -> TwinSpec {
         DimSpec::labeled("subscribed", &["yes", "no"]),
         DimSpec::labeled(
             "job",
-            &["admin", "blue-collar", "technician", "services", "management", "retired",
-              "entrepreneur", "self-employed", "housemaid", "unemployed", "student"],
+            &[
+                "admin",
+                "blue-collar",
+                "technician",
+                "services",
+                "management",
+                "retired",
+                "entrepreneur",
+                "self-employed",
+                "housemaid",
+                "unemployed",
+                "student",
+            ],
         ),
         DimSpec::labeled("marital", &["married", "single", "divorced"]),
-        DimSpec::labeled("education", &["primary", "secondary", "tertiary", "unknown"]),
+        DimSpec::labeled(
+            "education",
+            &["primary", "secondary", "tertiary", "unknown"],
+        ),
         DimSpec::labeled("default", &["no", "yes"]),
         DimSpec::labeled("housing", &["yes", "no"]),
         DimSpec::labeled("loan", &["no", "yes"]),
         DimSpec::labeled("contact", &["cellular", "telephone", "unknown"]),
         DimSpec::labeled(
             "month",
-            &["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"],
+            &[
+                "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+            ],
         ),
         DimSpec::labeled("poutcome", &["unknown", "failure", "success", "other"]),
         DimSpec::labeled("day_segment", &["early", "mid", "late"]),
@@ -52,16 +68,56 @@ pub fn spec() -> TwinSpec {
     // Two separated leaders, a tight 3..9 cluster, a separated #10 (the
     // ladder below plants 10 effects; remaining views form the noise tail).
     let effects = vec![
-        Effect { dim: 1, measure: 3, strength: 0.95 }, // duration by job (leader 1)
-        Effect { dim: 9, measure: 1, strength: 0.80 }, // balance by poutcome (leader 2)
-        Effect { dim: 2, measure: 1, strength: 0.40 }, // cluster 3..9
-        Effect { dim: 3, measure: 0, strength: 0.39 },
-        Effect { dim: 8, measure: 3, strength: 0.385 },
-        Effect { dim: 1, measure: 4, strength: 0.38 },
-        Effect { dim: 7, measure: 5, strength: 0.375 },
-        Effect { dim: 9, measure: 6, strength: 0.37 },
-        Effect { dim: 2, measure: 0, strength: 0.365 },
-        Effect { dim: 8, measure: 1, strength: 0.22 }, // separated #10
+        Effect {
+            dim: 1,
+            measure: 3,
+            strength: 0.95,
+        }, // duration by job (leader 1)
+        Effect {
+            dim: 9,
+            measure: 1,
+            strength: 0.80,
+        }, // balance by poutcome (leader 2)
+        Effect {
+            dim: 2,
+            measure: 1,
+            strength: 0.40,
+        }, // cluster 3..9
+        Effect {
+            dim: 3,
+            measure: 0,
+            strength: 0.39,
+        },
+        Effect {
+            dim: 8,
+            measure: 3,
+            strength: 0.385,
+        },
+        Effect {
+            dim: 1,
+            measure: 4,
+            strength: 0.38,
+        },
+        Effect {
+            dim: 7,
+            measure: 5,
+            strength: 0.375,
+        },
+        Effect {
+            dim: 9,
+            measure: 6,
+            strength: 0.37,
+        },
+        Effect {
+            dim: 2,
+            measure: 0,
+            strength: 0.365,
+        },
+        Effect {
+            dim: 8,
+            measure: 1,
+            strength: 0.22,
+        }, // separated #10
     ];
     TwinSpec {
         name: "BANK".into(),
@@ -105,15 +161,25 @@ mod tests {
         let mut cfg = SeeDbConfig::default();
         cfg.strategy = ExecutionStrategy::Sharing;
         let seedb = SeeDb::with_config(ds.table.clone(), cfg);
-        let rec = seedb.recommend(&ds.target, &ReferenceSpec::Complement).unwrap();
+        let rec = seedb
+            .recommend(&ds.target, &ReferenceSpec::Complement)
+            .unwrap();
         let mut utils = rec.all_utilities.clone();
         utils.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // Leaders separated from the cluster. Note views grouped by the
         // target dimension itself ("subscribed") have extreme utility by
         // construction; the planted leaders must still clear the cluster.
-        assert!(utils[0] > utils[10] * 1.5, "top not separated: {:?}", &utils[..12]);
+        assert!(
+            utils[0] > utils[10] * 1.5,
+            "top not separated: {:?}",
+            &utils[..12]
+        );
         // Tail is low-utility.
         let tail_mean: f64 = utils[20..].iter().sum::<f64>() / (utils.len() - 20) as f64;
-        assert!(utils[0] > 4.0 * tail_mean, "tail too strong: top {} tail {tail_mean}", utils[0]);
+        assert!(
+            utils[0] > 4.0 * tail_mean,
+            "tail too strong: top {} tail {tail_mean}",
+            utils[0]
+        );
     }
 }

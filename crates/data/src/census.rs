@@ -26,24 +26,60 @@ pub fn spec() -> TwinSpec {
         DimSpec::labeled("sex", &["female", "male"]),
         DimSpec::labeled(
             "workclass",
-            &["private", "self_emp", "self_emp_inc", "federal_gov", "state_gov", "local_gov",
-              "without_pay"],
+            &[
+                "private",
+                "self_emp",
+                "self_emp_inc",
+                "federal_gov",
+                "state_gov",
+                "local_gov",
+                "without_pay",
+            ],
         ),
         DimSpec::labeled(
             "education",
-            &["hs_grad", "some_college", "bachelors", "masters", "doctorate", "assoc", "grade_school"],
+            &[
+                "hs_grad",
+                "some_college",
+                "bachelors",
+                "masters",
+                "doctorate",
+                "assoc",
+                "grade_school",
+            ],
         ),
         DimSpec::labeled(
             "occupation",
-            &["exec_managerial", "prof_specialty", "craft_repair", "sales", "admin_clerical",
-              "other_service", "machine_op", "transport"],
+            &[
+                "exec_managerial",
+                "prof_specialty",
+                "craft_repair",
+                "sales",
+                "admin_clerical",
+                "other_service",
+                "machine_op",
+                "transport",
+            ],
         ),
         DimSpec::labeled(
             "relationship",
-            &["not_in_family", "husband", "wife", "own_child", "unmarried_partner", "other"],
+            &[
+                "not_in_family",
+                "husband",
+                "wife",
+                "own_child",
+                "unmarried_partner",
+                "other",
+            ],
         ),
-        DimSpec::labeled("race", &["white", "black", "asian_pac", "amer_indian", "other"]),
-        DimSpec::labeled("native_region", &["us", "latin_america", "europe", "asia", "other"]),
+        DimSpec::labeled(
+            "race",
+            &["white", "black", "asian_pac", "amer_indian", "other"],
+        ),
+        DimSpec::labeled(
+            "native_region",
+            &["us", "latin_america", "europe", "asia", "other"],
+        ),
         DimSpec::labeled("income_bracket", &["lte_50k", "gt_50k"]),
         DimSpec::labeled("hours_class", &["part_time", "full_time", "over_time"]),
     ];
@@ -58,13 +94,37 @@ pub fn spec() -> TwinSpec {
     // rows by a dimension's group, so the unmarried-vs-married comparison
     // deviates exactly on these views.
     let effects = vec![
-        Effect { dim: 1, measure: 1, strength: 0.90 }, // capital_gain by sex (Figure 1a)
-        Effect { dim: 2, measure: 1, strength: 0.70 }, // capital_gain by workclass (Fig 14a: self-inc)
-        Effect { dim: 3, measure: 3, strength: 0.55 }, // hours_per_week by education
-        Effect { dim: 8, measure: 1, strength: 0.50 }, // capital_gain by income bracket
-        Effect { dim: 4, measure: 3, strength: 0.45 }, // hours_per_week by occupation
-        Effect { dim: 5, measure: 2, strength: 0.40 }, // capital_loss by relationship
-        // NOTE: no effect on (sex, age): Figure 1b must stay flat.
+        Effect {
+            dim: 1,
+            measure: 1,
+            strength: 0.90,
+        }, // capital_gain by sex (Figure 1a)
+        Effect {
+            dim: 2,
+            measure: 1,
+            strength: 0.70,
+        }, // capital_gain by workclass (Fig 14a: self-inc)
+        Effect {
+            dim: 3,
+            measure: 3,
+            strength: 0.55,
+        }, // hours_per_week by education
+        Effect {
+            dim: 8,
+            measure: 1,
+            strength: 0.50,
+        }, // capital_gain by income bracket
+        Effect {
+            dim: 4,
+            measure: 3,
+            strength: 0.45,
+        }, // hours_per_week by occupation
+        Effect {
+            dim: 5,
+            measure: 2,
+            strength: 0.40,
+        }, // capital_loss by relationship
+           // NOTE: no effect on (sex, age): Figure 1b must stay flat.
     ];
     TwinSpec {
         name: "CENSUS".into(),
@@ -102,7 +162,9 @@ mod tests {
         let mut cfg = SeeDbConfig::default();
         cfg.strategy = ExecutionStrategy::Sharing;
         let seedb = SeeDb::with_config(ds.table.clone(), cfg);
-        let rec = seedb.recommend(&ds.target, &ReferenceSpec::Complement).unwrap();
+        let rec = seedb
+            .recommend(&ds.target, &ReferenceSpec::Complement)
+            .unwrap();
         let schema = seedb.table().schema();
         let find = |dim: &str, measure: &str| {
             seedb
@@ -128,13 +190,18 @@ mod tests {
         let mut cfg = SeeDbConfig::default();
         cfg.strategy = ExecutionStrategy::Sharing;
         let seedb = SeeDb::with_config(ds.table.clone(), cfg);
-        let rec = seedb.recommend(&ds.target, &ReferenceSpec::Complement).unwrap();
+        let rec = seedb
+            .recommend(&ds.target, &ReferenceSpec::Complement)
+            .unwrap();
         let mut utils = rec.all_utilities.clone();
         utils.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // Views grouped by the target dim (4 of them) are degenerate; after
         // those, the planted six should sit clearly above the median view.
         let median = utils[utils.len() / 2];
-        let standouts = utils.iter().filter(|&&u| u > 3.0 * median.max(1e-6)).count();
+        let standouts = utils
+            .iter()
+            .filter(|&&u| u > 3.0 * median.max(1e-6))
+            .count();
         assert!(
             (4..=14).contains(&standouts),
             "{standouts} standout views (expected ≈ 4 target-dim + 6 planted), utils: {:?}",

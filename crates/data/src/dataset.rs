@@ -43,7 +43,8 @@ mod tests {
             ColumnDef::dim("b"),
             ColumnDef::measure("m"),
         ]);
-        b.push_row(&[Value::str("x"), Value::str("y"), Value::Float(1.0)]).unwrap();
+        b.push_row(&[Value::str("x"), Value::str("y"), Value::Float(1.0)])
+            .unwrap();
         let ds = Dataset {
             name: "T".into(),
             table: b.build(StoreKind::Column).unwrap(),

@@ -19,22 +19,45 @@ pub const ROWS: usize = 100_000;
 pub fn spec() -> TwinSpec {
     let dims = vec![
         DimSpec::labeled("readmitted", &["yes", "no"]),
-        DimSpec::labeled("race", &["caucasian", "african_american", "hispanic", "asian", "other"]),
+        DimSpec::labeled(
+            "race",
+            &[
+                "caucasian",
+                "african_american",
+                "hispanic",
+                "asian",
+                "other",
+            ],
+        ),
         DimSpec::labeled("gender", &["female", "male"]),
         DimSpec::labeled(
             "age_bracket",
-            &["0-10", "10-20", "20-30", "30-40", "40-50", "50-60", "60-70", "70-80", "80-90",
-              "90-100"],
+            &[
+                "0-10", "10-20", "20-30", "30-40", "40-50", "50-60", "60-70", "70-80", "80-90",
+                "90-100",
+            ],
         ),
-        DimSpec::labeled("admission_type", &["emergency", "urgent", "elective", "newborn", "other"]),
+        DimSpec::labeled(
+            "admission_type",
+            &["emergency", "urgent", "elective", "newborn", "other"],
+        ),
         DimSpec::labeled(
             "discharge_to",
             &["home", "short_term_hospital", "snf", "home_health", "other"],
         ),
-        DimSpec::labeled("admission_source", &["referral", "emergency_room", "transfer", "other"]),
+        DimSpec::labeled(
+            "admission_source",
+            &["referral", "emergency_room", "transfer", "other"],
+        ),
         DimSpec::labeled(
             "specialty",
-            &["internal_medicine", "cardiology", "surgery", "family_practice", "other"],
+            &[
+                "internal_medicine",
+                "cardiology",
+                "surgery",
+                "family_practice",
+                "other",
+            ],
         ),
         DimSpec::labeled("max_glu_serum", &["none", "norm", "gt200", "gt300"]),
         DimSpec::labeled("a1c_result", &["none", "norm", "gt7", "gt8"]),
@@ -52,16 +75,56 @@ pub fn spec() -> TwinSpec {
     ];
     // Ten closely clustered leaders (Δ ≈ 0.003 in strength), sparse after.
     let effects = vec![
-        Effect { dim: 3, measure: 0, strength: 0.500 },
-        Effect { dim: 4, measure: 3, strength: 0.497 },
-        Effect { dim: 5, measure: 0, strength: 0.494 },
-        Effect { dim: 1, measure: 3, strength: 0.491 },
-        Effect { dim: 7, measure: 1, strength: 0.488 },
-        Effect { dim: 3, measure: 6, strength: 0.485 },
-        Effect { dim: 9, measure: 3, strength: 0.482 },
-        Effect { dim: 4, measure: 1, strength: 0.479 },
-        Effect { dim: 6, measure: 0, strength: 0.476 },
-        Effect { dim: 8, measure: 3, strength: 0.473 },
+        Effect {
+            dim: 3,
+            measure: 0,
+            strength: 0.500,
+        },
+        Effect {
+            dim: 4,
+            measure: 3,
+            strength: 0.497,
+        },
+        Effect {
+            dim: 5,
+            measure: 0,
+            strength: 0.494,
+        },
+        Effect {
+            dim: 1,
+            measure: 3,
+            strength: 0.491,
+        },
+        Effect {
+            dim: 7,
+            measure: 1,
+            strength: 0.488,
+        },
+        Effect {
+            dim: 3,
+            measure: 6,
+            strength: 0.485,
+        },
+        Effect {
+            dim: 9,
+            measure: 3,
+            strength: 0.482,
+        },
+        Effect {
+            dim: 4,
+            measure: 1,
+            strength: 0.479,
+        },
+        Effect {
+            dim: 6,
+            measure: 0,
+            strength: 0.476,
+        },
+        Effect {
+            dim: 8,
+            measure: 3,
+            strength: 0.473,
+        },
     ];
     TwinSpec {
         name: "DIAB".into(),
@@ -99,7 +162,9 @@ mod tests {
         let mut cfg = SeeDbConfig::default();
         cfg.strategy = ExecutionStrategy::Sharing;
         let seedb = SeeDb::with_config(ds.table.clone(), cfg);
-        let rec = seedb.recommend(&ds.target, &ReferenceSpec::Complement).unwrap();
+        let rec = seedb
+            .recommend(&ds.target, &ReferenceSpec::Complement)
+            .unwrap();
         let mut utils = rec.all_utilities.clone();
         utils.sort_by(|a, b| b.partial_cmp(a).unwrap());
         // Views by the target dim itself ("readmitted") are degenerate

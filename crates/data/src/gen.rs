@@ -85,7 +85,9 @@ mod tests {
             assert!(pair[0] > pair[1]);
         }
         // s = 0 gives uniform weights.
-        assert!(zipf_weights(3, 0.0).iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        assert!(zipf_weights(3, 0.0)
+            .iter()
+            .all(|&x| (x - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -32,10 +32,26 @@ pub fn spec() -> TwinSpec {
         MeasureSpec::new("days_on_market", 38.0, 20.0),
     ];
     let effects = vec![
-        Effect { dim: 1, measure: 0, strength: 0.85 }, // price by house type
-        Effect { dim: 3, measure: 9, strength: 0.60 }, // days on market by condition
-        Effect { dim: 1, measure: 4, strength: 0.45 }, // lot size by house type
-        Effect { dim: 2, measure: 7, strength: 0.35 }, // tax by heating
+        Effect {
+            dim: 1,
+            measure: 0,
+            strength: 0.85,
+        }, // price by house type
+        Effect {
+            dim: 3,
+            measure: 9,
+            strength: 0.60,
+        }, // days on market by condition
+        Effect {
+            dim: 1,
+            measure: 4,
+            strength: 0.45,
+        }, // lot size by house type
+        Effect {
+            dim: 2,
+            measure: 7,
+            strength: 0.35,
+        }, // tax by heating
     ];
     TwinSpec {
         name: "HOUSING".into(),

@@ -17,12 +17,33 @@ pub fn spec() -> TwinSpec {
         DimSpec::labeled("is_sequel", &["yes", "no"]),
         DimSpec::labeled(
             "genre",
-            &["action", "comedy", "drama", "horror", "scifi", "animation", "documentary"],
+            &[
+                "action",
+                "comedy",
+                "drama",
+                "horror",
+                "scifi",
+                "animation",
+                "documentary",
+            ],
         ),
-        DimSpec::labeled("studio", &["warner", "universal", "disney", "paramount", "sony", "indie"]),
+        DimSpec::labeled(
+            "studio",
+            &[
+                "warner",
+                "universal",
+                "disney",
+                "paramount",
+                "sony",
+                "indie",
+            ],
+        ),
         DimSpec::labeled("rating", &["g", "pg", "pg13", "r"]),
         DimSpec::labeled("decade", &["1990s", "2000s", "2010s"]),
-        DimSpec::labeled("country", &["us", "uk", "france", "korea", "japan", "other"]),
+        DimSpec::labeled(
+            "country",
+            &["us", "uk", "france", "korea", "japan", "other"],
+        ),
         DimSpec::labeled("release_window", &["summer", "holiday", "spring", "fall"]),
         DimSpec::labeled("platform", &["theatrical", "streaming", "hybrid"]),
     ];
@@ -37,11 +58,31 @@ pub fn spec() -> TwinSpec {
         MeasureSpec::new("weeks_in_theaters", 10.0, 4.0),
     ];
     let effects = vec![
-        Effect { dim: 1, measure: 0, strength: 0.85 }, // gross by genre
-        Effect { dim: 2, measure: 1, strength: 0.65 }, // budget by studio
-        Effect { dim: 6, measure: 6, strength: 0.50 }, // screens by release window
-        Effect { dim: 3, measure: 3, strength: 0.40 }, // imdb by rating
-        Effect { dim: 1, measure: 4, strength: 0.30 }, // critic score by genre
+        Effect {
+            dim: 1,
+            measure: 0,
+            strength: 0.85,
+        }, // gross by genre
+        Effect {
+            dim: 2,
+            measure: 1,
+            strength: 0.65,
+        }, // budget by studio
+        Effect {
+            dim: 6,
+            measure: 6,
+            strength: 0.50,
+        }, // screens by release window
+        Effect {
+            dim: 3,
+            measure: 3,
+            strength: 0.40,
+        }, // imdb by rating
+        Effect {
+            dim: 1,
+            measure: 4,
+            strength: 0.30,
+        }, // critic score by genre
     ];
     TwinSpec {
         name: "MOVIES".into(),

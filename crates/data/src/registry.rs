@@ -179,7 +179,12 @@ mod tests {
             let ds = generate_by_name(info.name, scale, 1, StoreKind::Column)
                 .unwrap_or_else(|| panic!("missing generator for {}", info.name));
             let (a, m, v) = ds.shape();
-            assert_eq!((a, m, v), (info.dims, info.measures, info.views), "{}", info.name);
+            assert_eq!(
+                (a, m, v),
+                (info.dims, info.measures, info.views),
+                "{}",
+                info.name
+            );
             assert_eq!(ds.name, info.name);
         }
     }

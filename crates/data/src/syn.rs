@@ -34,7 +34,13 @@ pub struct SynConfig {
 
 impl Default for SynConfig {
     fn default() -> Self {
-        SynConfig { rows: 1_000_000, dims: 50, measures: 20, distinct: None, seed: 42 }
+        SynConfig {
+            rows: 1_000_000,
+            dims: 50,
+            measures: 20,
+            distinct: None,
+            seed: 42,
+        }
     }
 }
 
@@ -89,9 +95,17 @@ pub fn syn(config: &SynConfig, kind: StoreKind) -> Dataset {
         for j in 0..config.measures {
             // Measures correlate mildly with d0 so that views are not all
             // trivially zero-utility under a d0-based target.
-            let shift = if first_code % 2 == 0 { 5.0 } else { -5.0 };
+            let shift = if first_code.is_multiple_of(2) {
+                5.0
+            } else {
+                -5.0
+            };
             let base = 100.0 + 10.0 * (j as f64);
-            row.push(Value::Float(gaussian(&mut rng, base + shift * (j % 3) as f64, 15.0)));
+            row.push(Value::Float(gaussian(
+                &mut rng,
+                base + shift * (j % 3) as f64,
+                15.0,
+            )));
         }
         builder.push_row(&row).expect("syn row matches schema");
     }
@@ -117,8 +131,11 @@ pub fn syn(config: &SynConfig, kind: StoreKind) -> Dataset {
 /// SYN at a given scale of Table 1's 1M rows, with full attribute counts.
 pub fn syn_scaled(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
     let config = SynConfig {
-        rows: ((1_000_000 as f64) * scale).round().max(1.0) as usize,
-        ..SynConfig { seed, ..Default::default() }
+        rows: ((1_000_000_f64) * scale).round().max(1.0) as usize,
+        ..SynConfig {
+            seed,
+            ..Default::default()
+        }
     };
     syn(&config, kind)
 }
@@ -126,7 +143,7 @@ pub fn syn_scaled(scale: f64, seed: u64, kind: StoreKind) -> Dataset {
 /// SYN*-`distinct` at the given scale (20 dims, 1 measure).
 pub fn syn_star(distinct: usize, scale: f64, seed: u64, kind: StoreKind) -> Dataset {
     let config = SynConfig {
-        rows: ((1_000_000 as f64) * scale).round().max(1.0) as usize,
+        rows: ((1_000_000_f64) * scale).round().max(1.0) as usize,
         dims: 20,
         measures: 1,
         distinct: Some(distinct),
@@ -138,12 +155,14 @@ pub fn syn_star(distinct: usize, scale: f64, seed: u64, kind: StoreKind) -> Data
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seedb_storage::Table;
 
     #[test]
     fn syn_shape_matches_table1_at_full_attribute_counts() {
         let ds = syn(
-            &SynConfig { rows: 500, ..Default::default() },
+            &SynConfig {
+                rows: 500,
+                ..Default::default()
+            },
             StoreKind::Column,
         );
         assert_eq!(ds.shape(), (50, 20, 1000)); // Table 1: 1000 views
@@ -167,7 +186,13 @@ mod tests {
     #[test]
     fn syn_cardinalities_vary_widely() {
         let ds = syn(
-            &SynConfig { rows: 3000, dims: 8, measures: 1, distinct: None, seed: 3 },
+            &SynConfig {
+                rows: 3000,
+                dims: 8,
+                measures: 1,
+                distinct: None,
+                seed: 3,
+            },
             StoreKind::Column,
         );
         let cards: Vec<usize> = ds
@@ -180,13 +205,22 @@ mod tests {
         let min = cards.iter().min().unwrap();
         let max = cards.iter().max().unwrap();
         assert_eq!(*min, 1, "ladder includes a 1-distinct dim: {cards:?}");
-        assert!(*max >= 100, "ladder includes high-cardinality dims: {cards:?}");
+        assert!(
+            *max >= 100,
+            "ladder includes high-cardinality dims: {cards:?}"
+        );
     }
 
     #[test]
     fn target_predicate_selects_nonempty_subset() {
         let ds = syn(
-            &SynConfig { rows: 1000, dims: 3, measures: 2, distinct: Some(4), seed: 5 },
+            &SynConfig {
+                rows: 1000,
+                dims: 3,
+                measures: 2,
+                distinct: Some(4),
+                seed: 5,
+            },
             StoreKind::Column,
         );
         assert!(ds.target != Predicate::False);
@@ -194,7 +228,13 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = SynConfig { rows: 100, dims: 3, measures: 1, distinct: Some(5), seed: 11 };
+        let cfg = SynConfig {
+            rows: 100,
+            dims: 3,
+            measures: 1,
+            distinct: Some(5),
+            seed: 11,
+        };
         let a = syn(&cfg, StoreKind::Column);
         let b = syn(&cfg, StoreKind::Column);
         for row in 0..100 {

@@ -76,7 +76,12 @@ pub struct MeasureSpec {
 impl MeasureSpec {
     /// Measure with the given base Gaussian.
     pub fn new(name: &str, mean: f64, sd: f64) -> Self {
-        MeasureSpec { name: name.to_owned(), mean, sd, non_negative: true }
+        MeasureSpec {
+            name: name.to_owned(),
+            mean,
+            sd,
+            non_negative: true,
+        }
     }
 }
 
@@ -124,16 +129,27 @@ impl TwinSpec {
 
         let mut defs: Vec<ColumnDef> = Vec::new();
         for d in &self.dims {
-            defs.push(ColumnDef::new(&d.name, ColumnType::Categorical, ColumnRole::Dimension));
+            defs.push(ColumnDef::new(
+                &d.name,
+                ColumnType::Categorical,
+                ColumnRole::Dimension,
+            ));
         }
         for m in &self.measures {
-            defs.push(ColumnDef::new(&m.name, ColumnType::Float64, ColumnRole::Measure));
+            defs.push(ColumnDef::new(
+                &m.name,
+                ColumnType::Float64,
+                ColumnRole::Measure,
+            ));
         }
         let mut builder = TableBuilder::new(defs);
 
         // Pre-compute per-dimension weights.
-        let weights: Vec<Vec<f64>> =
-            self.dims.iter().map(|d| zipf_weights(d.labels.len(), d.skew)).collect();
+        let weights: Vec<Vec<f64>> = self
+            .dims
+            .iter()
+            .map(|d| zipf_weights(d.labels.len(), d.skew))
+            .collect();
 
         let mut row: Vec<Value> = Vec::with_capacity(self.dims.len() + self.measures.len());
         let mut dim_codes: Vec<usize> = vec![0; self.dims.len()];
@@ -179,7 +195,12 @@ impl TwinSpec {
             &self.dims[self.target_dim].name,
             &target_label,
         );
-        Dataset { name: self.name.clone(), table, target, task: self.task.clone() }
+        Dataset {
+            name: self.name.clone(),
+            table,
+            target,
+            task: self.task.clone(),
+        }
     }
 
     /// A decreasing ladder of effect strengths shaped like the paper's
@@ -204,12 +225,20 @@ impl TwinSpec {
         for i in 0..leaders {
             let (dim, measure) = next_pair(slot);
             slot += 1;
-            effects.push(Effect { dim, measure, strength: 0.9 - 0.15 * i as f64 });
+            effects.push(Effect {
+                dim,
+                measure,
+                strength: 0.9 - 0.15 * i as f64,
+            });
         }
         for i in 0..clustered {
             let (dim, measure) = next_pair(slot);
             slot += 1;
-            effects.push(Effect { dim, measure, strength: 0.35 - 0.004 * i as f64 });
+            effects.push(Effect {
+                dim,
+                measure,
+                strength: 0.35 - 0.004 * i as f64,
+            });
         }
         effects
     }
@@ -218,7 +247,6 @@ impl TwinSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seedb_storage::Table;
 
     fn small_spec() -> TwinSpec {
         TwinSpec {
@@ -228,10 +256,17 @@ mod tests {
                 DimSpec::cardinality("d1", 4),
                 DimSpec::cardinality("d2", 3),
             ],
-            measures: vec![MeasureSpec::new("m0", 100.0, 10.0), MeasureSpec::new("m1", 50.0, 5.0)],
+            measures: vec![
+                MeasureSpec::new("m0", 100.0, 10.0),
+                MeasureSpec::new("m1", 50.0, 5.0),
+            ],
             target_dim: 0,
             target_fraction: 0.3,
-            effects: vec![Effect { dim: 1, measure: 0, strength: 0.8 }],
+            effects: vec![Effect {
+                dim: 1,
+                measure: 0,
+                strength: 0.8,
+            }],
             task: "test task".into(),
         }
     }
@@ -256,7 +291,8 @@ mod tests {
         }
         let c = small_spec().generate(200, 8, StoreKind::Column);
         let differs = (0..200).any(|row| {
-            a.table.cell(row, seedb_storage::ColumnId(3)) != c.table.cell(row, seedb_storage::ColumnId(3))
+            a.table.cell(row, seedb_storage::ColumnId(3))
+                != c.table.cell(row, seedb_storage::ColumnId(3))
         });
         assert!(differs, "different seeds must differ");
     }
@@ -284,21 +320,19 @@ mod tests {
         let mut cfg = SeeDbConfig::default();
         cfg.strategy = seedb_core::ExecutionStrategy::Sharing;
         let seedb = SeeDb::with_config(ds.table.clone(), cfg);
-        let rec = seedb.recommend(&ds.target, &ReferenceSpec::Complement).unwrap();
+        let rec = seedb
+            .recommend(&ds.target, &ReferenceSpec::Complement)
+            .unwrap();
         // Find the utilities of (d1, m0) [planted] and (d2, m1) [not].
         let views = seedb.views();
         let schema = seedb.table().schema();
         let planted = views
             .iter()
-            .find(|v| {
-                schema.column(v.dim).name == "d1" && schema.column(v.measure).name == "m0"
-            })
+            .find(|v| schema.column(v.dim).name == "d1" && schema.column(v.measure).name == "m0")
             .unwrap();
         let unplanted = views
             .iter()
-            .find(|v| {
-                schema.column(v.dim).name == "d2" && schema.column(v.measure).name == "m1"
-            })
+            .find(|v| schema.column(v.dim).name == "d2" && schema.column(v.measure).name == "m1")
             .unwrap();
         let u_planted = rec.all_utilities[planted.id];
         let u_unplanted = rec.all_utilities[unplanted.id];
@@ -320,8 +354,7 @@ mod tests {
         assert!(strengths[0] - strengths[1] > 0.1);
         assert!(strengths[2] - strengths[3] < 0.01);
         // Effects land on distinct (dim, measure) pairs.
-        let mut pairs: Vec<(usize, usize)> =
-            effects.iter().map(|e| (e.dim, e.measure)).collect();
+        let mut pairs: Vec<(usize, usize)> = effects.iter().map(|e| (e.dim, e.measure)).collect();
         pairs.sort();
         pairs.dedup();
         assert_eq!(pairs.len(), 9);

@@ -1,0 +1,107 @@
+//! Per-dataset smoke tests: every generator must produce a non-empty
+//! table, with the dataset's canonical target predicate, that
+//! `SeeDb::recommend` accepts end-to-end.
+
+use seedb_core::{ReferenceSpec, SeeDb, SeeDbConfig};
+use seedb_data::registry::generate_by_name;
+use seedb_data::syn::{syn, SynConfig};
+use seedb_data::table1;
+use seedb_storage::StoreKind;
+
+fn assert_recommendable(ds: &seedb_data::Dataset) {
+    assert!(ds.rows() > 0, "{}: generated an empty table", ds.name);
+    let (dims, measures, views) = ds.shape();
+    assert!(
+        dims > 0 && measures > 0 && views == dims * measures,
+        "{}: bad shape",
+        ds.name
+    );
+
+    let mut cfg = SeeDbConfig::default();
+    cfg.k = 5;
+    let rec = SeeDb::with_config(ds.table.clone(), cfg)
+        .recommend(&ds.target, &ReferenceSpec::WholeTable)
+        .unwrap_or_else(|e| panic!("{}: recommend failed: {e}", ds.name));
+    assert!(!rec.views.is_empty(), "{}: no views recommended", ds.name);
+    assert_eq!(
+        rec.all_utilities.len(),
+        views,
+        "{}: utilities must cover every view",
+        ds.name
+    );
+    assert!(
+        rec.views
+            .iter()
+            .all(|v| v.utility.is_finite() && v.utility >= 0.0),
+        "{}: non-finite or negative utility",
+        ds.name
+    );
+}
+
+macro_rules! dataset_smoke {
+    ($($test:ident => ($name:literal, $rows:expr);)*) => {$(
+        #[test]
+        fn $test() {
+            let info = table1()
+                .into_iter()
+                .find(|d| d.name == $name)
+                .expect("dataset present in Table 1");
+            let scale = ($rows as f64 / info.rows as f64).min(1.0);
+            let ds = generate_by_name($name, scale, 23, StoreKind::Column)
+                .expect("generator exists");
+            assert_eq!(ds.name, $name);
+            assert_recommendable(&ds);
+        }
+    )*};
+}
+
+dataset_smoke! {
+    census_generates_and_recommends => ("CENSUS", 800);
+    bank_generates_and_recommends => ("BANK", 800);
+    air_generates_and_recommends => ("AIR", 800);
+    air10_generates_and_recommends => ("AIR10", 800);
+    diab_generates_and_recommends => ("DIAB", 800);
+    movies_generates_and_recommends => ("MOVIES", 500);
+    housing_generates_and_recommends => ("HOUSING", 500);
+    syn_star10_generates_and_recommends => ("SYN*-10", 800);
+    syn_star100_generates_and_recommends => ("SYN*-100", 800);
+}
+
+#[test]
+fn syn_generates_and_recommends() {
+    // SYN at Table 1 attribute counts (50 dims x 20 measures = 1000 views)
+    // on a small row count; exercises the full view enumeration width.
+    let cfg = SynConfig {
+        rows: 400,
+        dims: 50,
+        measures: 20,
+        distinct: None,
+        seed: 23,
+    };
+    let ds = syn(&cfg, StoreKind::Column);
+    assert_eq!(ds.shape(), (50, 20, 1000));
+    assert_recommendable(&ds);
+}
+
+#[test]
+fn generators_work_on_both_store_layouts() {
+    for kind in [StoreKind::Row, StoreKind::Column] {
+        let ds = generate_by_name("CENSUS", 0.02, 23, kind).expect("generator exists");
+        assert_recommendable(&ds);
+    }
+}
+
+#[test]
+fn generators_are_deterministic_in_seed() {
+    let a = generate_by_name("BANK", 0.01, 5, StoreKind::Column).unwrap();
+    let b = generate_by_name("BANK", 0.01, 5, StoreKind::Column).unwrap();
+    assert_eq!(a.rows(), b.rows());
+    let cfg = SeeDbConfig::default();
+    let rec_a = SeeDb::with_config(a.table.clone(), cfg.clone())
+        .recommend(&a.target, &ReferenceSpec::WholeTable)
+        .unwrap();
+    let rec_b = SeeDb::with_config(b.table.clone(), cfg)
+        .recommend(&b.target, &ReferenceSpec::WholeTable)
+        .unwrap();
+    assert_eq!(rec_a.all_utilities, rec_b.all_utilities);
+}

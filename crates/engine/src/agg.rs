@@ -29,8 +29,13 @@ pub enum AggFunc {
 
 impl AggFunc {
     /// All functions, for sweeps.
-    pub const ALL: [AggFunc; 5] =
-        [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
 
     /// SQL spelling.
     pub fn name(&self) -> &'static str {
@@ -80,7 +85,12 @@ pub struct Accumulator {
 
 impl Default for Accumulator {
     fn default() -> Self {
-        Accumulator { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 }
 
@@ -138,8 +148,14 @@ impl Accumulator {
                     Some(self.sum / self.count as f64)
                 }
             }
-            AggFunc::Min => self.is_empty().then_some(()).map_or(Some(self.min), |_| None),
-            AggFunc::Max => self.is_empty().then_some(()).map_or(Some(self.max), |_| None),
+            AggFunc::Min => self
+                .is_empty()
+                .then_some(())
+                .map_or(Some(self.min), |_| None),
+            AggFunc::Max => self
+                .is_empty()
+                .then_some(())
+                .map_or(Some(self.max), |_| None),
         }
     }
 }

@@ -28,9 +28,9 @@ impl GroupingPlan {
     /// (single-attribute bins are always allowed: they cannot be split
     /// further, matching the paper's treatment of oversized attributes).
     pub fn respects_budget(&self, table: &dyn Table) -> bool {
-        self.bins.iter().all(|bin| {
-            bin.len() == 1 || bin_group_bound(table, bin) <= self.budget
-        })
+        self.bins
+            .iter()
+            .all(|bin| bin.len() == 1 || bin_group_bound(table, bin) <= self.budget)
     }
 }
 
@@ -102,8 +102,9 @@ mod tests {
 
     /// Builds a table whose dimension columns have the given cardinalities.
     fn table_with_cardinalities(cards: &[usize]) -> BoxedTable {
-        let defs: Vec<ColumnDef> =
-            (0..cards.len()).map(|i| ColumnDef::dim(format!("d{i}"))).collect();
+        let defs: Vec<ColumnDef> = (0..cards.len())
+            .map(|i| ColumnDef::dim(format!("d{i}")))
+            .collect();
         let mut b = TableBuilder::new(defs);
         let max_card = cards.iter().copied().max().unwrap_or(1);
         for row in 0..max_card {
@@ -157,11 +158,7 @@ mod tests {
         let t = table_with_cardinalities(&[1000, 2, 2]);
         let plan = first_fit(t.as_ref(), &ids(3), 100);
         // d0 (card 1000 > 100) must be alone; d1,d2 can combine (2*2=4 <= 100).
-        let big_bin = plan
-            .bins
-            .iter()
-            .find(|b| b.contains(&ColumnId(0)))
-            .unwrap();
+        let big_bin = plan.bins.iter().find(|b| b.contains(&ColumnId(0))).unwrap();
         assert_eq!(big_bin.len(), 1);
         assert!(plan.respects_budget(t.as_ref()));
         assert_eq!(plan.num_attributes(), 3);
@@ -172,7 +169,10 @@ mod tests {
         let t = table_with_cardinalities(&[3, 7, 11, 13, 2, 5]);
         for budget in [10, 100, 1000, 10_000] {
             let plan = first_fit(t.as_ref(), &ids(6), budget);
-            assert!(plan.respects_budget(t.as_ref()), "budget {budget}: {plan:?}");
+            assert!(
+                plan.respects_budget(t.as_ref()),
+                "budget {budget}: {plan:?}"
+            );
             assert_eq!(plan.num_attributes(), 6);
         }
     }

@@ -71,7 +71,11 @@ pub enum Predicate {
     /// Boolean column equality.
     BoolEq { col: ColumnId, value: bool },
     /// Numeric comparison (Int64/Float64 columns; ints widen to f64).
-    NumCmp { col: ColumnId, op: CmpOp, value: f64 },
+    NumCmp {
+        col: ColumnId,
+        op: CmpOp,
+        value: f64,
+    },
     /// NULL test.
     IsNull { col: ColumnId },
     /// Conjunction.
@@ -129,25 +133,27 @@ impl Predicate {
         match self {
             Predicate::True => BoundPredicate::True,
             Predicate::False => BoundPredicate::False,
-            Predicate::CatEq { col, code } => {
-                BoundPredicate::CatEq { slot: slot_of(*col), code: *code }
-            }
+            Predicate::CatEq { col, code } => BoundPredicate::CatEq {
+                slot: slot_of(*col),
+                code: *code,
+            },
             Predicate::CatIn { col, codes } => BoundPredicate::CatIn {
                 slot: slot_of(*col),
                 codes: codes.clone(),
             },
-            Predicate::BoolEq { col, value } => {
-                BoundPredicate::BoolEq { slot: slot_of(*col), value: *value }
-            }
+            Predicate::BoolEq { col, value } => BoundPredicate::BoolEq {
+                slot: slot_of(*col),
+                value: *value,
+            },
             Predicate::NumCmp { col, op, value } => BoundPredicate::NumCmp {
                 slot: slot_of(*col),
                 op: *op,
                 value: *value,
             },
-            Predicate::IsNull { col } => BoundPredicate::IsNull { slot: slot_of(*col) },
-            Predicate::And(ps) => {
-                BoundPredicate::And(ps.iter().map(|p| p.bind(slot_of)).collect())
-            }
+            Predicate::IsNull { col } => BoundPredicate::IsNull {
+                slot: slot_of(*col),
+            },
+            Predicate::And(ps) => BoundPredicate::And(ps.iter().map(|p| p.bind(slot_of)).collect()),
             Predicate::Or(ps) => BoundPredicate::Or(ps.iter().map(|p| p.bind(slot_of)).collect()),
             Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(slot_of))),
         }
@@ -197,7 +203,9 @@ impl BoundPredicate {
         match self {
             BoundPredicate::True => true,
             BoundPredicate::False => false,
-            BoundPredicate::CatEq { slot, code } => matches!(cells[*slot], Cell::Cat(c) if c == *code),
+            BoundPredicate::CatEq { slot, code } => {
+                matches!(cells[*slot], Cell::Cat(c) if c == *code)
+            }
             BoundPredicate::CatIn { slot, codes } => {
                 matches!(cells[*slot], Cell::Cat(c) if codes.contains(&c))
             }
@@ -239,10 +247,21 @@ mod tests {
     #[test]
     fn eval_leaf_predicates() {
         let cells = [Cell::Cat(2), Cell::Int(10), Cell::Null, Cell::Bool(true)];
-        assert!(identity_bind(&Predicate::CatEq { col: ColumnId(0), code: 2 }).eval(&cells));
-        assert!(!identity_bind(&Predicate::CatEq { col: ColumnId(0), code: 3 }).eval(&cells));
-        assert!(identity_bind(&Predicate::CatIn { col: ColumnId(0), codes: vec![1, 2] })
-            .eval(&cells));
+        assert!(identity_bind(&Predicate::CatEq {
+            col: ColumnId(0),
+            code: 2
+        })
+        .eval(&cells));
+        assert!(!identity_bind(&Predicate::CatEq {
+            col: ColumnId(0),
+            code: 3
+        })
+        .eval(&cells));
+        assert!(identity_bind(&Predicate::CatIn {
+            col: ColumnId(0),
+            codes: vec![1, 2]
+        })
+        .eval(&cells));
         assert!(identity_bind(&Predicate::NumCmp {
             col: ColumnId(1),
             op: CmpOp::Gt,
@@ -250,23 +269,42 @@ mod tests {
         })
         .eval(&cells));
         assert!(identity_bind(&Predicate::IsNull { col: ColumnId(2) }).eval(&cells));
-        assert!(identity_bind(&Predicate::BoolEq { col: ColumnId(3), value: true }).eval(&cells));
+        assert!(identity_bind(&Predicate::BoolEq {
+            col: ColumnId(3),
+            value: true
+        })
+        .eval(&cells));
     }
 
     #[test]
     fn null_comparisons_are_false() {
         let cells = [Cell::Null];
-        let p = Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Eq, value: 0.0 };
+        let p = Predicate::NumCmp {
+            col: ColumnId(0),
+            op: CmpOp::Eq,
+            value: 0.0,
+        };
         assert!(!identity_bind(&p).eval(&cells));
-        let p = Predicate::CatEq { col: ColumnId(0), code: 0 };
+        let p = Predicate::CatEq {
+            col: ColumnId(0),
+            code: 0,
+        };
         assert!(!identity_bind(&p).eval(&cells));
     }
 
     #[test]
     fn boolean_connectives() {
         let cells = [Cell::Int(5)];
-        let gt3 = Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Gt, value: 3.0 };
-        let lt4 = Predicate::NumCmp { col: ColumnId(0), op: CmpOp::Lt, value: 4.0 };
+        let gt3 = Predicate::NumCmp {
+            col: ColumnId(0),
+            op: CmpOp::Gt,
+            value: 3.0,
+        };
+        let lt4 = Predicate::NumCmp {
+            col: ColumnId(0),
+            op: CmpOp::Lt,
+            value: 4.0,
+        };
         assert!(!identity_bind(&Predicate::And(vec![gt3.clone(), lt4.clone()])).eval(&cells));
         assert!(identity_bind(&Predicate::Or(vec![gt3.clone(), lt4.clone()])).eval(&cells));
         assert!(identity_bind(&Predicate::Not(Box::new(lt4))).eval(&cells));
@@ -285,10 +323,20 @@ mod tests {
     #[test]
     fn collect_columns_dedups_in_order() {
         let p = Predicate::And(vec![
-            Predicate::CatEq { col: ColumnId(2), code: 0 },
+            Predicate::CatEq {
+                col: ColumnId(2),
+                code: 0,
+            },
             Predicate::Or(vec![
-                Predicate::NumCmp { col: ColumnId(1), op: CmpOp::Lt, value: 0.0 },
-                Predicate::CatEq { col: ColumnId(2), code: 1 },
+                Predicate::NumCmp {
+                    col: ColumnId(1),
+                    op: CmpOp::Lt,
+                    value: 0.0,
+                },
+                Predicate::CatEq {
+                    col: ColumnId(2),
+                    code: 1,
+                },
             ]),
         ]);
         let mut cols = Vec::new();
@@ -298,22 +346,39 @@ mod tests {
 
     #[test]
     fn col_eq_str_resolves_through_dictionary() {
-        let mut b = TableBuilder::new(vec![
-            ColumnDef::new("marital", ColumnType::Categorical, ColumnRole::Dimension),
-        ]);
+        let mut b = TableBuilder::new(vec![ColumnDef::new(
+            "marital",
+            ColumnType::Categorical,
+            ColumnRole::Dimension,
+        )]);
         b.push_row(&[Value::str("married")]).unwrap();
         b.push_row(&[Value::str("unmarried")]).unwrap();
         let t = b.build(StoreKind::Column).unwrap();
         let p = Predicate::col_eq_str(t.as_ref(), "marital", "unmarried");
-        assert_eq!(p, Predicate::CatEq { col: ColumnId(0), code: 1 });
+        assert_eq!(
+            p,
+            Predicate::CatEq {
+                col: ColumnId(0),
+                code: 1
+            }
+        );
         // Unknown label and unknown column both collapse to False.
-        assert_eq!(Predicate::col_eq_str(t.as_ref(), "marital", "widowed"), Predicate::False);
-        assert_eq!(Predicate::col_eq_str(t.as_ref(), "ghost", "x"), Predicate::False);
+        assert_eq!(
+            Predicate::col_eq_str(t.as_ref(), "marital", "widowed"),
+            Predicate::False
+        );
+        assert_eq!(
+            Predicate::col_eq_str(t.as_ref(), "ghost", "x"),
+            Predicate::False
+        );
     }
 
     #[test]
     fn bind_remaps_slots() {
-        let p = Predicate::CatEq { col: ColumnId(7), code: 3 };
+        let p = Predicate::CatEq {
+            col: ColumnId(7),
+            code: 3,
+        };
         let bound = p.bind(&|c| if c == ColumnId(7) { 0 } else { panic!() });
         assert!(bound.eval(&[Cell::Cat(3)]));
     }

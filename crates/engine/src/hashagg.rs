@@ -16,6 +16,9 @@ use seedb_storage::{ColumnId, Table};
 use std::ops::Range;
 
 /// Split predicates bound to projection slots.
+// Variant names deliberately mirror the public `SplitSpec` they are
+// lowered from, paper terminology included.
+#[allow(clippy::enum_variant_names)]
 enum BoundSplit {
     TargetVsAll(BoundPredicate),
     TargetVsComplement(BoundPredicate),
@@ -95,8 +98,11 @@ impl PartialAggregation {
                 .expect("column present in projection by construction")
         };
         let group_slots: Vec<usize> = query.group_by.iter().map(|&c| slot_of(c)).collect();
-        let measure_slots: Vec<usize> =
-            query.aggregates.iter().map(|a| slot_of(a.measure)).collect();
+        let measure_slots: Vec<usize> = query
+            .aggregates
+            .iter()
+            .map(|a| slot_of(a.measure))
+            .collect();
         let filter = query.filter.as_ref().map(|f| f.bind(&slot_of));
         let split = match &query.split {
             SplitSpec::TargetVsAll(p) => BoundSplit::TargetVsAll(p.bind(&slot_of)),
@@ -239,7 +245,11 @@ impl PartialAggregation {
             groups: self
                 .entries
                 .into_iter()
-                .map(|g| GroupEntry { key: g.key, target: g.target, reference: g.reference })
+                .map(|g| GroupEntry {
+                    key: g.key,
+                    target: g.target,
+                    reference: g.reference,
+                })
                 .collect(),
         }
     }
@@ -283,7 +293,8 @@ mod tests {
             ("M", "married", 660.0),
         ];
         for (s, m, g) in rows {
-            b.push_row(&[Value::str(s), Value::str(m), Value::Float(g)]).unwrap();
+            b.push_row(&[Value::str(s), Value::str(m), Value::Float(g)])
+                .unwrap();
         }
         b.build(kind).unwrap()
     }
@@ -357,7 +368,10 @@ mod tests {
         let q = CombinedQuery::single(
             ColumnId(0),
             AggSpec::new(AggFunc::Avg, ColumnId(2)),
-            SplitSpec::TargetVsQuery { target: unmarried(t.as_ref()), reference: married },
+            SplitSpec::TargetVsQuery {
+                target: unmarried(t.as_ref()),
+                reference: married,
+            },
         );
         let r = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
         let (target, reference) = r.value_vectors(0);

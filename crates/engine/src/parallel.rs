@@ -4,7 +4,7 @@
 //! precise number of parallel queries needs to be tuned."* Fig 7b sweeps
 //! the degree of parallelism and finds ≈ #cores optimal. This module
 //! provides that knob: run `n` independent tasks on exactly
-//! `threads` workers using crossbeam's scoped threads (no 'static bound on
+//! `threads` workers using `std::thread::scope` (no 'static bound on
 //! the task closure, so tasks can borrow the table).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,11 +31,11 @@ where
 
     // Hand each worker a disjoint set of result slots via raw pointer math
     // is unnecessary: collect (index, result) pairs per worker and merge.
-    let mut per_worker: Vec<Vec<(usize, T)>> = crossbeam::thread::scope(|scope| {
+    let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -48,9 +48,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     for worker_results in per_worker.drain(..) {
         for (i, value) in worker_results {
@@ -66,7 +68,9 @@ where
 /// The default degree of parallelism: the number of available cores
 /// (the paper's empirically optimal setting, Fig 7b).
 pub fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -107,7 +111,7 @@ mod tests {
 
     #[test]
     fn tasks_can_borrow_environment() {
-        let data = vec![10, 20, 30];
+        let data = [10, 20, 30];
         let out = run_parallel(3, 3, |i| data[i] * 2);
         assert_eq!(out, vec![20, 40, 60]);
     }

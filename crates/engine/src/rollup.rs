@@ -6,9 +6,9 @@
 //! is lossless for COUNT/SUM/AVG/MIN/MAX because [`crate::Accumulator`]s
 //! merge exactly.
 
+use crate::groupkey::GroupKey;
 use crate::{GroupEntry, GroupedResult};
 use rustc_hash::FxHashMap;
-use crate::groupkey::GroupKey;
 
 /// Projects `result` (grouped by several attributes) onto the single
 /// grouping attribute at `position`, merging all groups that share that
@@ -75,7 +75,8 @@ mod tests {
             ("x", "p", 16.0),
         ];
         for (a, bb, m) in rows {
-            b.push_row(&[Value::str(a), Value::str(bb), Value::Float(m)]).unwrap();
+            b.push_row(&[Value::str(a), Value::str(bb), Value::Float(m)])
+                .unwrap();
         }
         b.build(StoreKind::Column).unwrap()
     }

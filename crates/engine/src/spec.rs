@@ -97,7 +97,12 @@ impl CombinedQuery {
     /// A simple single-view query: `SELECT a, f(m) ... GROUP BY a` with the
     /// given split.
     pub fn single(dim: ColumnId, agg: AggSpec, split: SplitSpec) -> Self {
-        CombinedQuery { group_by: vec![dim], aggregates: vec![agg], filter: None, split }
+        CombinedQuery {
+            group_by: vec![dim],
+            aggregates: vec![agg],
+            filter: None,
+            split,
+        }
     }
 
     /// Upper bound on the number of distinct groups this query maintains,
@@ -113,7 +118,7 @@ impl CombinedQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seedb_storage::{ColumnDef, ColumnType, ColumnRole, StoreKind, TableBuilder, Value};
+    use seedb_storage::{ColumnDef, ColumnRole, ColumnType, StoreKind, TableBuilder, Value};
 
     #[test]
     fn split_exposes_predicates() {
@@ -121,13 +126,20 @@ mod tests {
         let q = Predicate::False;
         assert_eq!(SplitSpec::TargetVsAll(p.clone()).predicates().len(), 1);
         assert_eq!(
-            SplitSpec::TargetVsQuery { target: p.clone(), reference: q.clone() }
-                .predicates()
-                .len(),
+            SplitSpec::TargetVsQuery {
+                target: p.clone(),
+                reference: q.clone()
+            }
+            .predicates()
+            .len(),
             2
         );
         assert_eq!(
-            SplitSpec::TargetVsQuery { target: p.clone(), reference: q }.target_predicate(),
+            SplitSpec::TargetVsQuery {
+                target: p.clone(),
+                reference: q
+            }
+            .target_predicate(),
             &p
         );
     }
@@ -152,7 +164,8 @@ mod tests {
             ColumnDef::new("m", ColumnType::Float64, ColumnRole::Measure),
         ]);
         for (a, bb) in [("x", "1"), ("y", "2"), ("z", "1")] {
-            b.push_row(&[Value::str(a), Value::str(bb), Value::Float(1.0)]).unwrap();
+            b.push_row(&[Value::str(a), Value::str(bb), Value::Float(1.0)])
+                .unwrap();
         }
         let t = b.build(StoreKind::Column).unwrap();
         let q = CombinedQuery {

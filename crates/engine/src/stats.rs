@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn add_assign_delegates_to_merge() {
         let mut a = ExecStats::new();
-        a += ExecStats { queries_issued: 5, ..Default::default() };
+        a += ExecStats {
+            queries_issued: 5,
+            ..Default::default()
+        };
         assert_eq!(a.queries_issued, 5);
     }
 

@@ -65,8 +65,13 @@ fn vectors_close(x: &(Vec<f64>, Vec<f64>), y: &(Vec<f64>, Vec<f64>)) -> bool {
     close(&x.0, &y.0) && close(&x.1, &y.1)
 }
 
-const FUNCS: [AggFunc; 5] =
-    [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+const FUNCS: [AggFunc; 5] = [
+    AggFunc::Count,
+    AggFunc::Sum,
+    AggFunc::Avg,
+    AggFunc::Min,
+    AggFunc::Max,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

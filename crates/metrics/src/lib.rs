@@ -137,7 +137,10 @@ mod tests {
         let p = normalize(&[1.0, 2.0, 3.0]);
         for kind in DistanceKind::ALL {
             let d = kind.compute(&p, &p);
-            assert!(d.abs() < 1e-12, "{kind} on identical distributions gave {d}");
+            assert!(
+                d.abs() < 1e-12,
+                "{kind} on identical distributions gave {d}"
+            );
         }
     }
 

@@ -27,7 +27,11 @@ pub fn normalize(values: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `values.len() != out.len()`.
 pub fn normalize_into(values: &[f64], out: &mut [f64]) {
-    assert_eq!(values.len(), out.len(), "output buffer length must match input");
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "output buffer length must match input"
+    );
     if values.is_empty() {
         return;
     }

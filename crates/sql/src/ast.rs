@@ -220,7 +220,10 @@ mod tests {
         let q = Query {
             select: vec![
                 SelectItem::Column("sex".into()),
-                SelectItem::Aggregate { func: AggFunc::Avg, arg: "gain".into() },
+                SelectItem::Aggregate {
+                    func: AggFunc::Avg,
+                    arg: "gain".into(),
+                },
             ],
             from: "census".into(),
             where_clause: Some(Expr::Cmp {

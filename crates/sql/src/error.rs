@@ -14,7 +14,10 @@ pub struct SqlError {
 impl SqlError {
     /// Creates an error at `pos`.
     pub fn new(pos: usize, message: impl Into<String>) -> Self {
-        SqlError { pos, message: message.into() }
+        SqlError {
+            pos,
+            message: message.into(),
+        }
     }
 
     /// Renders the error with the offending source line and a caret, e.g.
@@ -27,7 +30,10 @@ impl SqlError {
     pub fn render(&self, source: &str) -> String {
         let pos = self.pos.min(source.len());
         let line_start = source[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
-        let line_end = source[pos..].find('\n').map(|i| pos + i).unwrap_or(source.len());
+        let line_end = source[pos..]
+            .find('\n')
+            .map(|i| pos + i)
+            .unwrap_or(source.len());
         let line = &source[line_start..line_end];
         let col = source[line_start..pos].chars().count();
         format!(

@@ -60,37 +60,61 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                     '*' => "*",
                     _ => ";",
                 };
-                tokens.push(Token { kind: TokenKind::Symbol(sym), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    pos: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Symbol("="), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol("="),
+                    pos: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Symbol("<>"), pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<>"),
+                        pos: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol("<="), pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<="),
+                        pos: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Symbol("<"), pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("<"),
+                        pos: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol(">="), pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(">="),
+                        pos: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Symbol(">"), pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(">"),
+                        pos: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Symbol("!="), pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol("!="),
+                        pos: start,
+                    });
                     i += 2;
                 } else {
                     return Err(SqlError::new(start, "unexpected '!'"));
@@ -118,10 +142,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(out), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    pos: start,
+                });
             }
             _ if c.is_ascii_digit()
-                || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) =>
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())) =>
             {
                 let mut j = i + 1;
                 let mut is_float = false;
@@ -179,11 +209,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                 i = j;
             }
             other => {
-                return Err(SqlError::new(start, format!("unexpected character '{other}'")));
+                return Err(SqlError::new(
+                    start,
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, pos: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
     Ok(tokens)
 }
 

@@ -135,7 +135,12 @@ impl Parser {
                 group_by.push(self.expect_ident()?);
             }
         }
-        Ok(Query { select, from, where_clause, group_by })
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+        })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
@@ -152,9 +157,7 @@ impl Parser {
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
         let name = self.expect_ident()?;
         if self.eat_symbol("(") {
-            let func = name
-                .parse()
-                .map_err(|e: String| self.err_here(e))?;
+            let func = name.parse().map_err(|e: String| self.err_here(e))?;
             let arg = self.expect_ident()?;
             self.expect_symbol(")")?;
             Ok(SelectItem::Aggregate { func, arg })
@@ -172,7 +175,11 @@ impl Parser {
         while self.eat_keyword("OR") {
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Expr::Or(parts)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr, SqlError> {
@@ -180,7 +187,11 @@ impl Parser {
         while self.eat_keyword("AND") {
             parts.push(self.not_expr()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Expr::And(parts)
+        })
     }
 
     fn not_expr(&mut self) -> Result<Expr, SqlError> {
@@ -273,7 +284,10 @@ mod tests {
         assert_eq!(q.select.len(), 3);
         assert_eq!(
             q.select[1],
-            SelectItem::Aggregate { func: AggFunc::Avg, arg: "capital_gain".into() }
+            SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                arg: "capital_gain".into()
+            }
         );
         assert_eq!(q.group_by, vec!["sex".to_owned()]);
         assert!(matches!(q.where_clause, Some(Expr::Cmp { .. })));
@@ -306,10 +320,9 @@ mod tests {
 
     #[test]
     fn parses_in_is_null_not() {
-        let q = parse_query(
-            "SELECT * FROM t WHERE x IN ('a', 'b') AND y IS NOT NULL AND NOT z = 3",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * FROM t WHERE x IN ('a', 'b') AND y IS NOT NULL AND NOT z = 3")
+                .unwrap();
         match q.where_clause.unwrap() {
             Expr::And(parts) => {
                 assert!(matches!(&parts[0], Expr::In { list, .. } if list.len() == 2));

@@ -115,7 +115,12 @@ impl<'a> Planner<'a> {
             .map(|e| self.plan_predicate(e))
             .transpose()?;
 
-        Ok(PlannedQuery { group_by, aggregates, projection, filter })
+        Ok(PlannedQuery {
+            group_by,
+            aggregates,
+            projection,
+            filter,
+        })
     }
 
     /// Lowers a boolean expression to an engine predicate.
@@ -150,7 +155,10 @@ impl<'a> Planner<'a> {
                     .ok_or_else(|| SqlError::new(0, format!("unknown column '{col}'")))?;
                 match schema.column(id).ty {
                     ColumnType::Categorical => {
-                        let dict = self.table.dictionary(id).expect("categorical has dictionary");
+                        let dict = self
+                            .table
+                            .dictionary(id)
+                            .expect("categorical has dictionary");
                         let mut codes = Vec::new();
                         for lit in list {
                             match lit {
@@ -178,7 +186,11 @@ impl<'a> Planner<'a> {
                         let mut arms = Vec::new();
                         for lit in list {
                             let v = numeric_literal(col, lit)?;
-                            arms.push(Predicate::NumCmp { col: id, op: CmpOp::Eq, value: v });
+                            arms.push(Predicate::NumCmp {
+                                col: id,
+                                op: CmpOp::Eq,
+                                value: v,
+                            });
                         }
                         Ok(Predicate::Or(arms))
                     }
@@ -215,12 +227,19 @@ impl<'a> Planner<'a> {
                                 format!("only = and <> are supported for categorical '{col}'"),
                             ));
                         }
-                        let dict = self.table.dictionary(id).expect("categorical has dictionary");
+                        let dict = self
+                            .table
+                            .dictionary(id)
+                            .expect("categorical has dictionary");
                         let base = match dict.code(s) {
                             Some(code) => Predicate::CatEq { col: id, code },
                             None => Predicate::False,
                         };
-                        Ok(if *op == CmpOp::Ne { base.negate() } else { base })
+                        Ok(if *op == CmpOp::Ne {
+                            base.negate()
+                        } else {
+                            base
+                        })
                     }
                     ColumnType::Bool => {
                         let b = match lit {
@@ -239,11 +258,19 @@ impl<'a> Planner<'a> {
                             ));
                         }
                         let base = Predicate::BoolEq { col: id, value: b };
-                        Ok(if *op == CmpOp::Ne { base.negate() } else { base })
+                        Ok(if *op == CmpOp::Ne {
+                            base.negate()
+                        } else {
+                            base
+                        })
                     }
                     ColumnType::Int64 | ColumnType::Float64 => {
                         let v = numeric_literal(col, lit)?;
-                        Ok(Predicate::NumCmp { col: id, op: *op, value: v })
+                        Ok(Predicate::NumCmp {
+                            col: id,
+                            op: *op,
+                            value: v,
+                        })
                     }
                 }
             }
@@ -311,7 +338,10 @@ mod tests {
         .unwrap();
         let planned = Planner::new(t.as_ref()).plan(&q).unwrap();
         assert_eq!(planned.group_by, vec![ColumnId(0)]);
-        assert_eq!(planned.aggregates, vec![AggSpec::new(AggFunc::Avg, ColumnId(2))]);
+        assert_eq!(
+            planned.aggregates,
+            vec![AggSpec::new(AggFunc::Avg, ColumnId(2))]
+        );
         let combined = planned.into_combined();
         let r = execute_combined(t.as_ref(), &combined, &mut ExecStats::new());
         let (target, _) = r.value_vectors(0);
@@ -321,7 +351,13 @@ mod tests {
     #[test]
     fn categorical_equality_resolves_dictionary_code() {
         let p = plan_pred("marital = 'married'").unwrap();
-        assert_eq!(p, Predicate::CatEq { col: ColumnId(1), code: 1 });
+        assert_eq!(
+            p,
+            Predicate::CatEq {
+                col: ColumnId(1),
+                code: 1
+            }
+        );
         // Unknown label collapses to False.
         assert_eq!(plan_pred("marital = 'widowed'").unwrap(), Predicate::False);
         // <> of an unknown label is True (matches every row).
@@ -332,15 +368,26 @@ mod tests {
     fn numeric_and_boolean_comparisons() {
         assert_eq!(
             plan_pred("age >= 40").unwrap(),
-            Predicate::NumCmp { col: ColumnId(3), op: CmpOp::Ge, value: 40.0 }
+            Predicate::NumCmp {
+                col: ColumnId(3),
+                op: CmpOp::Ge,
+                value: 40.0
+            }
         );
         assert_eq!(
             plan_pred("gain < 400.5").unwrap(),
-            Predicate::NumCmp { col: ColumnId(2), op: CmpOp::Lt, value: 400.5 }
+            Predicate::NumCmp {
+                col: ColumnId(2),
+                op: CmpOp::Lt,
+                value: 400.5
+            }
         );
         assert_eq!(
             plan_pred("citizen = TRUE").unwrap(),
-            Predicate::BoolEq { col: ColumnId(4), value: true }
+            Predicate::BoolEq {
+                col: ColumnId(4),
+                value: true
+            }
         );
     }
 
@@ -348,7 +395,10 @@ mod tests {
     fn in_list_lowering() {
         assert_eq!(
             plan_pred("sex IN ('F', 'M', 'X')").unwrap(),
-            Predicate::CatIn { col: ColumnId(0), codes: vec![0, 1] }
+            Predicate::CatIn {
+                col: ColumnId(0),
+                codes: vec![0, 1]
+            }
         );
         assert_eq!(plan_pred("sex IN ('Q')").unwrap(), Predicate::False);
         assert!(matches!(plan_pred("age IN (30, 32)").unwrap(), Predicate::Or(v) if v.len() == 2));
@@ -356,8 +406,14 @@ mod tests {
 
     #[test]
     fn is_null_lowering() {
-        assert_eq!(plan_pred("gain IS NULL").unwrap(), Predicate::IsNull { col: ColumnId(2) });
-        assert!(matches!(plan_pred("gain IS NOT NULL").unwrap(), Predicate::Not(_)));
+        assert_eq!(
+            plan_pred("gain IS NULL").unwrap(),
+            Predicate::IsNull { col: ColumnId(2) }
+        );
+        assert!(matches!(
+            plan_pred("gain IS NOT NULL").unwrap(),
+            Predicate::Not(_)
+        ));
     }
 
     #[test]
@@ -366,8 +422,14 @@ mod tests {
         assert!(plan_pred("age = 'old'").is_err());
         assert!(plan_pred("citizen = 'yes'").is_err());
         assert!(plan_pred("marital < 'a'").is_err());
-        assert!(plan_pred("gain = NULL").unwrap_err().message.contains("IS NULL"));
-        assert!(plan_pred("ghost = 1").unwrap_err().message.contains("ghost"));
+        assert!(plan_pred("gain = NULL")
+            .unwrap_err()
+            .message
+            .contains("IS NULL"));
+        assert!(plan_pred("ghost = 1")
+            .unwrap_err()
+            .message
+            .contains("ghost"));
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl Bitmap {
     pub fn filled(len: usize, value: bool) -> Self {
         let nwords = len.div_ceil(64);
         let word = if value { u64::MAX } else { 0 };
-        let mut bm = Bitmap { words: vec![word; nwords], len };
+        let mut bm = Bitmap {
+            words: vec![word; nwords],
+            len,
+        };
         bm.clear_trailing();
         bm
     }
@@ -48,13 +51,21 @@ impl Bitmap {
     /// Reads bit `idx`. Panics if out of bounds.
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitmap index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of bounds (len {})",
+            self.len
+        );
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
     /// Writes bit `idx`. Panics if out of bounds.
     pub fn set(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.len, "bitmap index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of bounds (len {})",
+            self.len
+        );
         let mask = 1u64 << (idx % 64);
         if value {
             self.words[idx / 64] |= mask;

@@ -94,7 +94,11 @@ impl TableBuilder {
     /// Fallible constructor.
     pub fn try_new(columns: Vec<ColumnDef>) -> Result<Self, StorageError> {
         let schema = Schema::new(columns)?;
-        let staged = schema.columns().iter().map(|c| StagedColumn::new(c.ty)).collect();
+        let staged = schema
+            .columns()
+            .iter()
+            .map(|c| StagedColumn::new(c.ty))
+            .collect();
         let dictionaries = schema
             .columns()
             .iter()
@@ -106,7 +110,12 @@ impl TableBuilder {
                 }
             })
             .collect();
-        Ok(TableBuilder { schema, staged, dictionaries, num_rows: 0 })
+        Ok(TableBuilder {
+            schema,
+            staged,
+            dictionaries,
+            num_rows: 0,
+        })
     }
 
     /// The schema under construction.
@@ -220,7 +229,12 @@ impl TableBuilder {
             .into_iter()
             .map(|s| Column::with_validity(s.data, s.validity))
             .collect();
-        Ok(ColumnStore::from_parts(self.schema, columns, self.dictionaries, stats))
+        Ok(ColumnStore::from_parts(
+            self.schema,
+            columns,
+            self.dictionaries,
+            stats,
+        ))
     }
 
     /// Materializes a [`RowStore`] by packing the staged columns row-wise.
@@ -268,7 +282,13 @@ mod tests {
     fn arity_mismatch_rejected_without_mutation() {
         let mut b = TableBuilder::new(defs());
         let err = b.push_row(&[Value::str("x")]).unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { expected: 4, got: 1 }));
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
         assert_eq!(b.num_rows(), 0);
     }
 
@@ -277,13 +297,23 @@ mod tests {
         let mut b = TableBuilder::new(defs());
         // Third value has the wrong type; the first two must NOT be staged.
         let err = b
-            .push_row(&[Value::str("x"), Value::Int(1), Value::str("oops"), Value::Bool(true)])
+            .push_row(&[
+                Value::str("x"),
+                Value::Int(1),
+                Value::str("oops"),
+                Value::Bool(true),
+            ])
             .unwrap_err();
         assert!(matches!(err, StorageError::TypeMismatch { .. }));
         assert_eq!(b.num_rows(), 0);
         // A subsequent valid push works and the table is consistent.
-        b.push_row(&[Value::str("x"), Value::Int(1), Value::Float(1.0), Value::Bool(true)])
-            .unwrap();
+        b.push_row(&[
+            Value::str("x"),
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Bool(true),
+        ])
+        .unwrap();
         let t = b.build_column_store().unwrap();
         assert_eq!(t.num_rows(), 1);
     }
@@ -299,9 +329,19 @@ mod tests {
     #[test]
     fn both_layouts_agree_cell_for_cell() {
         let rows = vec![
-            vec![Value::str("a"), Value::Int(1), Value::Float(0.1), Value::Bool(true)],
+            vec![
+                Value::str("a"),
+                Value::Int(1),
+                Value::Float(0.1),
+                Value::Bool(true),
+            ],
             vec![Value::str("b"), Value::Null, Value::Float(0.2), Value::Null],
-            vec![Value::str("a"), Value::Int(3), Value::Null, Value::Bool(false)],
+            vec![
+                Value::str("a"),
+                Value::Int(3),
+                Value::Null,
+                Value::Bool(false),
+            ],
         ];
         let mut b1 = TableBuilder::new(defs());
         let mut b2 = TableBuilder::new(defs());
@@ -327,8 +367,13 @@ mod tests {
     #[test]
     fn build_boxed_dispatches_kind() {
         let mut b = TableBuilder::new(defs());
-        b.push_row(&[Value::str("a"), Value::Int(1), Value::Float(0.1), Value::Bool(true)])
-            .unwrap();
+        b.push_row(&[
+            Value::str("a"),
+            Value::Int(1),
+            Value::Float(0.1),
+            Value::Bool(true),
+        ])
+        .unwrap();
         let t = b.build(StoreKind::Row).unwrap();
         assert_eq!(t.kind(), StoreKind::Row);
     }
@@ -337,7 +382,8 @@ mod tests {
     fn stats_track_distinct_and_nulls() {
         let mut b = TableBuilder::new(defs());
         for (s, i) in [("a", 1), ("b", 2), ("a", 2)] {
-            b.push_row(&[Value::str(s), Value::Int(i), Value::Null, Value::Null]).unwrap();
+            b.push_row(&[Value::str(s), Value::Int(i), Value::Null, Value::Null])
+                .unwrap();
         }
         let t = b.build_column_store().unwrap();
         assert_eq!(t.stats(crate::ColumnId(0)).distinct, 2);

@@ -61,7 +61,10 @@ pub struct Column {
 impl Column {
     /// Creates a column with no NULLs.
     pub fn dense(data: ColumnData) -> Self {
-        Column { data, validity: None }
+        Column {
+            data,
+            validity: None,
+        }
     }
 
     /// Creates a column with the given validity bitmap. Panics if lengths differ.
@@ -73,9 +76,15 @@ impl Column {
         );
         // Normalize: an all-valid bitmap is represented as None.
         if validity.count_ones() == validity.len() {
-            Column { data, validity: None }
+            Column {
+                data,
+                validity: None,
+            }
         } else {
-            Column { data, validity: Some(validity) }
+            Column {
+                data,
+                validity: Some(validity),
+            }
         }
     }
 

@@ -31,7 +31,13 @@ impl ColumnStore {
     ) -> Self {
         let num_rows = columns.first().map_or(0, Column::len);
         debug_assert!(columns.iter().all(|c| c.len() == num_rows));
-        ColumnStore { schema, columns, num_rows, dictionaries, stats }
+        ColumnStore {
+            schema,
+            columns,
+            num_rows,
+            dictionaries,
+            stats,
+        }
     }
 
     /// Direct access to a column (tests and micro-benches).
@@ -74,7 +80,10 @@ impl Table for ColumnStore {
     ) {
         let start = range.start.min(self.num_rows);
         let end = range.end.min(self.num_rows);
-        let cols: Vec<&Column> = projection.iter().map(|c| &self.columns[c.index()]).collect();
+        let cols: Vec<&Column> = projection
+            .iter()
+            .map(|c| &self.columns[c.index()])
+            .collect();
         let mut buf = vec![Cell::Null; projection.len()];
         for row in start..end {
             for (slot, col) in cols.iter().enumerate() {

@@ -53,7 +53,10 @@ impl Dictionary {
 
     /// Iterator over `(code, label)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.labels.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
     }
 }
 

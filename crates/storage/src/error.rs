@@ -27,16 +27,29 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
-            StorageError::TypeMismatch { column, expected, got } => {
-                write!(f, "type mismatch in column '{column}': expected {expected}, got {got}")
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in column '{column}': expected {expected}, got {got}"
+                )
             }
             StorageError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
             StorageError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
             StorageError::EmptySchema => write!(f, "schema must contain at least one column"),
             StorageError::RowOutOfBounds { row, num_rows } => {
-                write!(f, "row index {row} out of bounds (table has {num_rows} rows)")
+                write!(
+                    f,
+                    "row index {row} out of bounds (table has {num_rows} rows)"
+                )
             }
         }
     }
@@ -50,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StorageError::ArityMismatch { expected: 3, got: 2 };
+        let e = StorageError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("2"));
 
@@ -65,16 +81,16 @@ mod tests {
         let e = StorageError::UnknownColumn("ghost".into());
         assert!(e.to_string().contains("ghost"));
 
-        let e = StorageError::RowOutOfBounds { row: 10, num_rows: 5 };
+        let e = StorageError::RowOutOfBounds {
+            row: 10,
+            num_rows: 5,
+        };
         assert!(e.to_string().contains("10"));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            StorageError::EmptySchema,
-            StorageError::EmptySchema
-        );
+        assert_eq!(StorageError::EmptySchema, StorageError::EmptySchema);
         assert_ne!(
             StorageError::UnknownColumn("a".into()),
             StorageError::UnknownColumn("b".into())

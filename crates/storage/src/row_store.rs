@@ -42,7 +42,15 @@ impl RowStore {
     ) -> Self {
         let (stride, null_bytes) = Self::layout(&schema);
         debug_assert_eq!(data.len(), num_rows * stride);
-        RowStore { schema, data, stride, null_bytes, num_rows, dictionaries, stats }
+        RowStore {
+            schema,
+            data,
+            stride,
+            null_bytes,
+            num_rows,
+            dictionaries,
+            stats,
+        }
     }
 
     /// Computes `(stride, null_bytes)` for a schema.
@@ -151,12 +159,27 @@ mod tests {
             ColumnDef::new("x", ColumnType::Float64, ColumnRole::Measure),
             ColumnDef::new("flag", ColumnType::Bool, ColumnRole::Dimension),
         ]);
-        b.push_row(&[Value::str("red"), Value::Int(1), Value::Float(0.5), Value::Bool(true)])
-            .unwrap();
-        b.push_row(&[Value::str("blue"), Value::Int(-2), Value::Null, Value::Bool(false)])
-            .unwrap();
-        b.push_row(&[Value::str("red"), Value::Null, Value::Float(2.25), Value::Null])
-            .unwrap();
+        b.push_row(&[
+            Value::str("red"),
+            Value::Int(1),
+            Value::Float(0.5),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        b.push_row(&[
+            Value::str("blue"),
+            Value::Int(-2),
+            Value::Null,
+            Value::Bool(false),
+        ])
+        .unwrap();
+        b.push_row(&[
+            Value::str("red"),
+            Value::Null,
+            Value::Float(2.25),
+            Value::Null,
+        ])
+        .unwrap();
         b.build_row_store().unwrap()
     }
 

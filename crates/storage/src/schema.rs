@@ -85,7 +85,11 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Creates a column definition.
     pub fn new(name: impl Into<String>, ty: ColumnType, role: ColumnRole) -> Self {
-        ColumnDef { name: name.into(), ty, role }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            role,
+        }
     }
 
     /// Shorthand for a categorical dimension.
@@ -100,7 +104,7 @@ impl ColumnDef {
 }
 
 /// Per-column statistics collected at build time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ColumnStats {
     /// Number of distinct non-NULL values (`|a_i|` in the paper).
     pub distinct: usize,
@@ -110,12 +114,6 @@ pub struct ColumnStats {
     pub min: Option<f64>,
     /// Maximum numeric value, if the column is numeric and non-empty.
     pub max: Option<f64>,
-}
-
-impl Default for ColumnStats {
-    fn default() -> Self {
-        ColumnStats { distinct: 0, null_count: 0, min: None, max: None }
-    }
 }
 
 /// An ordered collection of column definitions with by-name lookup.

@@ -64,8 +64,10 @@ fn arb_table() -> impl Strategy<Value = ArbTable> {
             .collect();
         let row_strategy: Vec<BoxedStrategy<Value>> =
             types.iter().map(|&ty| arb_value(ty)).collect();
-        prop::collection::vec(row_strategy, nrows)
-            .prop_map(move |rows| ArbTable { defs: defs.clone(), rows })
+        prop::collection::vec(row_strategy, nrows).prop_map(move |rows| ArbTable {
+            defs: defs.clone(),
+            rows,
+        })
     })
 }
 

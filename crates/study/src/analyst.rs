@@ -29,7 +29,12 @@ pub struct Analyst {
 impl Analyst {
     /// Creates an expert with the default §6-like profile.
     pub fn new(seed: u64) -> Self {
-        Analyst { rng: StdRng::seed_from_u64(seed), steepness: 14.0, midpoint: 0.25, flip_prob: 0.06 }
+        Analyst {
+            rng: StdRng::seed_from_u64(seed),
+            steepness: 14.0,
+            midpoint: 0.25,
+            flip_prob: 0.06,
+        }
     }
 
     /// Labels one view given its true utility.
@@ -54,7 +59,10 @@ pub struct PanelConfig {
 
 impl Default for PanelConfig {
     fn default() -> Self {
-        PanelConfig { experts: 5, seed: 0 }
+        PanelConfig {
+            experts: 5,
+            seed: 0,
+        }
     }
 }
 
@@ -124,7 +132,10 @@ mod tests {
     #[test]
     fn panel_is_deterministic_in_seed() {
         let utilities = [0.1, 0.5, 0.3, 0.05];
-        let cfg = PanelConfig { experts: 5, seed: 9 };
+        let cfg = PanelConfig {
+            experts: 5,
+            seed: 9,
+        };
         assert_eq!(
             expert_panel_labels(&utilities, &cfg),
             expert_panel_labels(&utilities, &cfg)

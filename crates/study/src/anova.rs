@@ -44,14 +44,13 @@ pub fn two_factor_anova(data: &[Vec<Vec<f64>>]) -> AnovaResult {
     let grand_sum: f64 = data.iter().flatten().flatten().sum();
     let grand_mean = grand_sum / n_total;
 
-    let cell_mean = |a: usize, b: usize| -> f64 {
-        data[a][b].iter().sum::<f64>() / reps as f64
-    };
-    let a_mean = |a: usize| -> f64 {
-        data[a].iter().flatten().sum::<f64>() / (b_levels * reps) as f64
-    };
+    let cell_mean = |a: usize, b: usize| -> f64 { data[a][b].iter().sum::<f64>() / reps as f64 };
+    let a_mean =
+        |a: usize| -> f64 { data[a].iter().flatten().sum::<f64>() / (b_levels * reps) as f64 };
     let b_mean = |b: usize| -> f64 {
-        data.iter().map(|row| row[b].iter().sum::<f64>()).sum::<f64>()
+        data.iter()
+            .map(|row| row[b].iter().sum::<f64>())
+            .sum::<f64>()
             / (a_levels * reps) as f64
     };
 
@@ -66,8 +65,7 @@ pub fn two_factor_anova(data: &[Vec<Vec<f64>>]) -> AnovaResult {
     for a in 0..a_levels {
         for b in 0..b_levels {
             let cm = cell_mean(a, b);
-            ss_int += reps as f64
-                * (cm - a_mean(a) - b_mean(b) + grand_mean).powi(2);
+            ss_int += reps as f64 * (cm - a_mean(a) - b_mean(b) + grand_mean).powi(2);
             for &x in &data[a][b] {
                 ss_err += (x - cm).powi(2);
             }

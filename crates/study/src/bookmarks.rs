@@ -20,7 +20,6 @@ use crate::analyst::Analyst;
 use crate::anova::{two_factor_anova, AnovaResult};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
 use rand::SeedableRng;
 
 /// Which tool a session used.
@@ -130,8 +129,8 @@ fn mean_sd(values: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-        / values.len().max(1) as f64;
+    let var =
+        values.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / values.len().max(1) as f64;
     (mean, var.sqrt())
 }
 
@@ -149,7 +148,10 @@ pub fn simulate_study(datasets: &[Vec<f64>; 2], config: &StudyConfig) -> Bookmar
             (ToolCondition::Manual, ToolCondition::SeeDb)
         };
         let first_dataset = (p / 2) % 2;
-        for (tool, dataset) in [(first_tool, first_dataset), (second_tool, 1 - first_dataset)] {
+        for (tool, dataset) in [
+            (first_tool, first_dataset),
+            (second_tool, 1 - first_dataset),
+        ] {
             let utilities = &datasets[dataset];
             let mut analyst = Analyst::new(config.seed.wrapping_add(1000 + p as u64));
 
@@ -178,15 +180,19 @@ pub fn simulate_study(datasets: &[Vec<f64>; 2], config: &StudyConfig) -> Bookmar
                     bookmarks += 1;
                 }
             }
-            sessions.push(SessionResult { tool, dataset, total_viz: n_views, bookmarks });
+            sessions.push(SessionResult {
+                tool,
+                dataset,
+                total_viz: n_views,
+                bookmarks,
+            });
         }
     }
 
     let rows = [ToolCondition::Manual, ToolCondition::SeeDb]
         .into_iter()
         .map(|tool| {
-            let of_tool: Vec<&SessionResult> =
-                sessions.iter().filter(|s| s.tool == tool).collect();
+            let of_tool: Vec<&SessionResult> = sessions.iter().filter(|s| s.tool == tool).collect();
             let viz: Vec<f64> = of_tool.iter().map(|s| s.total_viz as f64).collect();
             let marks: Vec<f64> = of_tool.iter().map(|s| s.bookmarks as f64).collect();
             let rates: Vec<f64> = of_tool.iter().map(|s| s.rate()).collect();
@@ -215,8 +221,14 @@ pub fn simulate_study(datasets: &[Vec<f64>; 2], config: &StudyConfig) -> Bookmar
     };
     let anova_for = |f: &dyn Fn(&SessionResult) -> f64| {
         let data = vec![
-            vec![cell(ToolCondition::Manual, 0, f), cell(ToolCondition::Manual, 1, f)],
-            vec![cell(ToolCondition::SeeDb, 0, f), cell(ToolCondition::SeeDb, 1, f)],
+            vec![
+                cell(ToolCondition::Manual, 0, f),
+                cell(ToolCondition::Manual, 1, f),
+            ],
+            vec![
+                cell(ToolCondition::SeeDb, 0, f),
+                cell(ToolCondition::SeeDb, 1, f),
+            ],
         ];
         two_factor_anova(&data)
     };

@@ -29,13 +29,20 @@ pub fn roc_curve(utilities: &[f64], labels: &[bool]) -> Vec<RocPoint> {
 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        utilities[b].partial_cmp(&utilities[a]).unwrap().then(a.cmp(&b))
+        utilities[b]
+            .partial_cmp(&utilities[a])
+            .unwrap()
+            .then(a.cmp(&b))
     });
 
     let mut points = Vec::with_capacity(n + 1);
     let mut tp = 0usize;
     let mut fp = 0usize;
-    points.push(RocPoint { k: 0, tpr: 0.0, fpr: 0.0 });
+    points.push(RocPoint {
+        k: 0,
+        tpr: 0.0,
+        fpr: 0.0,
+    });
     for (rank, &idx) in order.iter().enumerate() {
         if labels[idx] {
             tp += 1;
@@ -44,8 +51,16 @@ pub fn roc_curve(utilities: &[f64], labels: &[bool]) -> Vec<RocPoint> {
         }
         points.push(RocPoint {
             k: rank + 1,
-            tpr: if positives > 0 { tp as f64 / positives as f64 } else { 0.0 },
-            fpr: if negatives > 0 { fp as f64 / negatives as f64 } else { 0.0 },
+            tpr: if positives > 0 {
+                tp as f64 / positives as f64
+            } else {
+                0.0
+            },
+            fpr: if negatives > 0 {
+                fp as f64 / negatives as f64
+            } else {
+                0.0
+            },
         });
     }
     points
@@ -72,7 +87,9 @@ mod tests {
         let curve = roc_curve(&utilities, &labels);
         assert!((auroc(&curve) - 1.0).abs() < 1e-12);
         // Curve passes through (0, 1): all positives found before any FP.
-        assert!(curve.iter().any(|p| p.fpr == 0.0 && (p.tpr - 1.0).abs() < 1e-12));
+        assert!(curve
+            .iter()
+            .any(|p| p.fpr == 0.0 && (p.tpr - 1.0).abs() < 1e-12));
     }
 
     #[test]

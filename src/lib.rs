@@ -93,7 +93,12 @@ impl std::error::Error for Error {}
 /// `WHERE`-clause body (e.g. `"marital = 'single' AND age >= 18"`), using
 /// the default configuration and `D_R = D` (whole-table reference).
 pub fn recommend_sql(table: BoxedTable, target_where: &str) -> Result<Recommendation, Error> {
-    recommend_sql_with(table, target_where, SeeDbConfig::default(), ReferenceSpec::WholeTable)
+    recommend_sql_with(
+        table,
+        target_where,
+        SeeDbConfig::default(),
+        ReferenceSpec::WholeTable,
+    )
 }
 
 /// [`recommend_sql`] with explicit configuration and reference.
@@ -126,8 +131,13 @@ mod tests {
         for i in 0..100 {
             let grp = if i % 2 == 0 { "a" } else { "b" };
             let flag = if i % 4 == 0 { "t" } else { "f" };
-            let m = if i % 4 == 0 && i % 2 == 0 { 100.0 } else { 10.0 };
-            b.push_row(&[Value::str(grp), Value::str(flag), Value::Float(m)]).unwrap();
+            let m = if i % 4 == 0 && i % 2 == 0 {
+                100.0
+            } else {
+                10.0
+            };
+            b.push_row(&[Value::str(grp), Value::str(flag), Value::Float(m)])
+                .unwrap();
         }
         b.build(StoreKind::Column).unwrap()
     }
@@ -141,9 +151,11 @@ mod tests {
 
     #[test]
     fn recommend_sql_with_custom_config() {
-        let mut cfg = SeeDbConfig::default();
-        cfg.k = 1;
-        cfg.strategy = ExecutionStrategy::NoOpt;
+        let cfg = SeeDbConfig {
+            k: 1,
+            strategy: ExecutionStrategy::NoOpt,
+            ..Default::default()
+        };
         let rec =
             recommend_sql_with(table(), "flag = 't'", cfg, ReferenceSpec::Complement).unwrap();
         assert_eq!(rec.views.len(), 1);

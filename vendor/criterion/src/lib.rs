@@ -1,0 +1,426 @@
+//! Offline shim for the subset of the `criterion` crate API used by
+//! `seedb-bench`. It performs *real* measurements — warmup, adaptive
+//! iteration batching, multiple timed samples, mean/min/max reporting —
+//! but skips criterion's statistical machinery, plots, and HTML reports.
+//!
+//! Supported surface: [`Criterion`] (`bench_function`, `benchmark_group`,
+//! `sample_size`, `measurement_time`, `configure_from_args`),
+//! [`BenchmarkGroup`] (`bench_function`, `bench_with_input`, `throughput`,
+//! `finish`), [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. A positional CLI
+//! argument acts as a substring filter, like real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Input-size annotation; accepted and echoed, no per-element rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("strategy", 42)` → `strategy/42`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter (no function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    config: MeasureConfig,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the CLI: flags are ignored, a positional argument becomes a
+    /// substring filter on benchmark ids (matching `cargo bench -- <pat>`).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Flags cargo's bench runner or users commonly pass.
+                "--bench" | "--test" | "--list" | "--exact" | "--nocapture" | "--quiet" => {}
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                positional => self.filter = Some(positional.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Default time budget per benchmark's measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Default warmup duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, &self.config, &self.filter, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            filter: self.filter.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Criterion prints a summary on drop in the real crate; nothing to do.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: MeasureConfig,
+    filter: Option<String>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Measurement-phase budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warmup duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Records the input size of subsequent benchmarks (echoed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, &self.config, &self.filter, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, &self.config, &self.filter, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Accepted by `bench_function`-style methods: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The `group/…` suffix for this benchmark.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    Warmup { budget: Duration },
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, batching iterations per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BencherMode::Warmup { budget } => {
+                // Calibrate: grow the batch until one batch costs >= ~1/5 of
+                // the per-sample budget, so samples aren't timer-noise.
+                let start = Instant::now();
+                let mut iters: u64 = 1;
+                loop {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = t0.elapsed();
+                    if elapsed * 5 >= budget || start.elapsed() >= budget * 4 {
+                        break;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+                self.iters_per_sample = iters;
+            }
+            BencherMode::Measure => {
+                let t0 = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(routine());
+                }
+                let elapsed = t0.elapsed();
+                self.samples
+                    .push(elapsed / self.iters_per_sample.max(1) as u32);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, config: &MeasureConfig, filter: &Option<String>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let per_sample = config.measurement_time.div_f64(config.sample_size as f64);
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BencherMode::Warmup {
+            budget: per_sample.max(Duration::from_micros(100)),
+        },
+    };
+    // Warmup + calibration pass.
+    let warm_start = Instant::now();
+    f(&mut bencher);
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut bencher);
+    }
+    // Measurement passes.
+    bencher.mode = BencherMode::Measure;
+    for _ in 0..config.sample_size {
+        f(&mut bencher);
+    }
+    let stats = SampleStats::from(&bencher.samples);
+    println!(
+        "{:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        id,
+        format_duration(stats.min),
+        format_duration(stats.mean),
+        format_duration(stats.max),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Min/mean/max over per-iteration sample durations.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleStats {
+    /// Fastest per-iteration sample.
+    pub min: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+    /// Slowest per-iteration sample.
+    pub max: Duration,
+}
+
+impl SampleStats {
+    fn from(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            let zero = Duration::ZERO;
+            return SampleStats {
+                min: zero,
+                mean: zero,
+                max: zero,
+            };
+        }
+        let total: Duration = samples.iter().sum();
+        SampleStats {
+            min: *samples.iter().min().unwrap(),
+            mean: total / samples.len() as u32,
+            max: *samples.iter().max().unwrap(),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(30));
+        c.warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).measurement_time(Duration::from_millis(20));
+        g.warm_up_time(Duration::from_millis(2));
+        g.throughput(Throughput::Elements(4));
+        let data = vec![1u64, 2, 3, 4];
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let config = MeasureConfig::default();
+        let filter = Some("nomatch".to_string());
+        let mut ran = false;
+        run_benchmark("some/bench", &config, &filter, |_b| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,592 @@
+//! Offline shim for the subset of the `proptest` crate API this workspace
+//! uses: the [`proptest!`] test macro, the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `boxed`, range and tuple strategies,
+//! [`collection::vec`], [`option::of`], weighted [`prop_oneof!`], [`any`],
+//! and a miniature character-class regex strategy for `&str` patterns like
+//! `"[a-e]{1,3}"`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! generated input (via `Debug`) and the panic propagates. Generation is
+//! deterministic per test name, so failures reproduce across runs.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives case generation and execution for one test function.
+pub struct TestRunner {
+    rng: StdRng,
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner whose random stream is determined by the test name,
+    /// so failures reproduce deterministically.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// The runner's random source, for strategies.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Generates and runs `config.cases` inputs through `test`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value),
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.new_value(self);
+            let repr = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                test(value);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!("proptest: case {case} failed with input: {repr}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type. `Debug` so failing inputs can be reported.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe core used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn dyn_new_value(&self, runner: &mut TestRunner) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, runner: &mut TestRunner) -> S::Value {
+        self.new_value(runner)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        self.0.dyn_new_value(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> S2::Value {
+        let seed = self.inner.new_value(runner);
+        (self.f)(seed).new_value(runner)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws one unconstrained value.
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut StdRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let magnitude = (rng.gen::<f64>() * 600.0 - 300.0).exp2();
+        if rng.gen::<bool>() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+/// Strategy for an unconstrained value of `T`; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary_value(runner.rng())
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+        self.iter().map(|s| s.new_value(runner)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Weighted union of same-valued strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    branches: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: fmt::Debug> Union<V> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new(branches: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, runner: &mut TestRunner) -> V {
+        let total: u32 = self.branches.iter().map(|(w, _)| *w).sum();
+        let mut pick = runner.rng().gen_range(0..total.max(1));
+        for (w, s) in &self.branches {
+            if pick < *w {
+                return s.new_value(runner);
+            }
+            pick -= w;
+        }
+        self.branches.last().unwrap().1.new_value(runner)
+    }
+}
+
+/// A miniature regex generator: `&str` patterns made of literal characters
+/// and character classes (`[a-e]`, `[abc]`), each optionally quantified by
+/// `{m}`, `{m,n}`, `?`, `+`, or `*` (`+`/`*` bounded at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        generate_from_pattern(self, runner.rng())
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        let count = rng.gen_range(min..max + 1);
+        for _ in 0..count {
+            out.push(choices[rng.gen_range(0..choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                (lo.trim().parse().unwrap(), hi.trim().parse().unwrap())
+            } else {
+                let n = body.trim().parse().unwrap();
+                (n, n)
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` — sized collection strategies.
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Accepted sizes for [`vec`]: an exact `usize` or a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// `Vec` strategy: `size` draws a length, `element` fills it.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into().0,
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                runner.rng().gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `prop::option` — strategies for `Option<T>`.
+
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Yields `Some` (75%) or `None` (25%).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng().gen_bool(0.75) {
+                Some(self.inner.new_value(runner))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@internal ($config) $($rest)*);
+    };
+    (@internal ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strategy,)+);
+            let mut runner = $crate::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(&strategy, |($($pat,)+)| $body);
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@internal ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` inside a [`proptest!`] body (no shrinking, so it just asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// `assert_ne!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strategy))),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u8..4, 2usize..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn flat_map_threads_dependency(
+            (len, v) in (1usize..8).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0i64..100, n))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), len);
+        }
+
+        #[test]
+        fn oneof_and_pattern(s in "[a-c]{1,3}", choice in prop_oneof![2 => Just(true), 1 => Just(false)]) {
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let _ = choice;
+        }
+
+        #[test]
+        fn option_of_generates_both(x in prop::option::of(0u8..10)) {
+            if let Some(v) = x {
+                prop_assert!(v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut runner = crate::TestRunner::new(crate::ProptestConfig::with_cases(8), "exact");
+        let strat = crate::collection::vec(0u8..4, 5usize);
+        runner.run(&strat, |v| assert_eq!(v.len(), 5));
+    }
+}
