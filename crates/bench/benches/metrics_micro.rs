@@ -1,8 +1,15 @@
-//! Micro-benchmarks of the deviation metrics: every `DistanceKind` over
-//! distributions of increasing width (group counts seen in practice).
+//! Micro-benchmarks of the deviation metrics (every `DistanceKind` over
+//! distributions of increasing width) and of the engine's scan→aggregate
+//! hot path (scalar vs vectorized execution modes on both store layouts).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use seedb_bench::BENCH_SEED;
+use seedb_data::syn::{syn, SynConfig};
+use seedb_engine::{
+    execute_combined_with_mode, AggFunc, AggSpec, CombinedQuery, ExecMode, ExecStats, SplitSpec,
+};
 use seedb_metrics::{normalize, DistanceKind};
+use seedb_storage::StoreKind;
 
 fn distributions(len: usize) -> (Vec<f64>, Vec<f64>) {
     // Deterministic, non-degenerate shapes: power-law vs near-uniform.
@@ -39,5 +46,57 @@ fn normalize_micro(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, metrics_micro, normalize_micro);
+/// The scan→aggregate hot path: one single-dimension grouped AVG with a
+/// target/reference split — the query shape SeeDB issues per view — under
+/// both engine modes. The vectorized mode's dense dictionary-direct path
+/// should show its largest advantage on the column store.
+fn scan_aggregate_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_aggregate");
+    group.sample_size(15);
+    for kind in [StoreKind::Column, StoreKind::Row] {
+        let dataset = syn(
+            &SynConfig {
+                rows: 50_000,
+                dims: 4,
+                measures: 2,
+                distinct: Some(10),
+                seed: BENCH_SEED,
+            },
+            kind,
+        );
+        let dim = dataset.table.schema().dimensions()[0];
+        let measure = dataset.table.schema().measures()[0];
+        let query = CombinedQuery {
+            group_by: vec![dim],
+            aggregates: vec![AggSpec::new(AggFunc::Avg, measure)],
+            filter: None,
+            split: SplitSpec::TargetVsAll(dataset.target.clone()),
+        };
+        for mode in ExecMode::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_{}", kind.label(), mode.label()), dataset.rows()),
+                &query,
+                |b, query| {
+                    b.iter(|| {
+                        let mut stats = ExecStats::new();
+                        execute_combined_with_mode(
+                            dataset.table.as_ref(),
+                            black_box(query),
+                            mode,
+                            &mut stats,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    metrics_micro,
+    normalize_micro,
+    scan_aggregate_micro
+);
 criterion_main!(benches);

@@ -8,13 +8,16 @@
 
 use std::path::Path;
 
-use seedb_bench::{bench_dataset, recommend, time_ms_prewarmed, Json, BENCH_SEED};
+use seedb_bench::{bench_dataset, recommend, time_ms, time_ms_prewarmed, Json, BENCH_SEED};
 use seedb_core::{
-    accuracy_at_k, utility_distance, ExecutionStrategy, GroupingPolicy, PruningKind,
+    accuracy_at_k, utility_distance, ExecMode, ExecutionStrategy, GroupingPolicy, PruningKind,
     Recommendation, SeeDbConfig, SharingConfig,
 };
 use seedb_data::syn::{syn, SynConfig};
 use seedb_data::Dataset;
+use seedb_engine::{
+    execute_combined_with_mode, AggFunc, AggSpec, CombinedQuery, ExecStats, SplitSpec,
+};
 use seedb_storage::StoreKind;
 
 fn main() {
@@ -43,6 +46,7 @@ fn main() {
     emit(out, "fig8_groupby", fig8(runs, scale));
     emit(out, "fig9_all_sharing", fig9(runs, scale));
     emit(out, "fig11_pruning", fig11(runs, scale));
+    emit(out, "engine_modes", engine_modes(runs, scale));
 }
 
 fn emit(out_dir: &Path, figure: &str, results: Vec<Json>) {
@@ -74,6 +78,7 @@ fn measured_from(
         recommend(dataset, config);
     });
     Json::from(timing)
+        .set("engine_mode", config.engine_mode.label())
         .set("queries_issued", rec.stats.queries_issued)
         .set("rows_scanned", rec.stats.rows_scanned)
         .set("phases_executed", rec.phases_executed)
@@ -227,6 +232,80 @@ fn fig9(runs: usize, scale: usize) -> Vec<Json> {
         "SHARING_ALL",
         &SeeDbConfig::for_strategy(ExecutionStrategy::Sharing),
     );
+    results
+}
+
+/// Scalar vs vectorized engine mode: the raw single-dimension column-store
+/// scan→aggregate hot path, plus end-to-end recommendation runs. Every
+/// entry is tagged with its engine mode; the micro sweep also records the
+/// vectorized speedup over scalar.
+fn engine_modes(runs: usize, scale: usize) -> Vec<Json> {
+    let mut results = Vec::new();
+
+    // (a) Raw engine hot path: one single-dimension grouped aggregation
+    // over the column store (the dense dictionary-direct case).
+    let syn_cfg = SynConfig {
+        rows: 100_000 / scale,
+        dims: 4,
+        measures: 2,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&syn_cfg, StoreKind::Column);
+    let dim = dataset.table.schema().dimensions()[0];
+    let measure = dataset.table.schema().measures()[0];
+    let query = CombinedQuery {
+        group_by: vec![dim],
+        aggregates: vec![AggSpec::new(AggFunc::Avg, measure)],
+        filter: None,
+        split: SplitSpec::TargetVsAll(dataset.target.clone()),
+    };
+    let mut means = Vec::new();
+    for mode in ExecMode::ALL {
+        let timing = time_ms(runs.max(3), || {
+            let mut stats = ExecStats::new();
+            std::hint::black_box(execute_combined_with_mode(
+                dataset.table.as_ref(),
+                &query,
+                mode,
+                &mut stats,
+            ));
+        });
+        means.push(timing.mean_ms);
+        results.push(
+            Json::obj()
+                .set("sweep", "scan_aggregate_micro")
+                .set("dataset", dataset.name.as_str())
+                .set("rows", dataset.rows())
+                .set("store", "COL")
+                .set("engine_mode", mode.label())
+                .set("timing", timing),
+        );
+    }
+    results.push(
+        Json::obj()
+            .set("sweep", "scan_aggregate_micro")
+            .set("dataset", dataset.name.as_str())
+            .set("vectorized_speedup", means[0] / means[1]),
+    );
+
+    // (b) End-to-end recommendation latency per mode.
+    for (name, rows) in [("BANK", 4_000), ("CENSUS", 4_200)] {
+        let ds = bench_dataset(name, rows / scale, StoreKind::Column);
+        for mode in ExecMode::ALL {
+            let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+            cfg.sharing.parallelism = 1;
+            cfg.engine_mode = mode;
+            results.push(
+                Json::obj()
+                    .set("sweep", "recommend_end_to_end")
+                    .set("dataset", name)
+                    .set("rows", ds.rows())
+                    .set("engine_mode", mode.label())
+                    .set("timing", measured(&ds, &cfg, runs)),
+            );
+        }
+    }
     results
 }
 

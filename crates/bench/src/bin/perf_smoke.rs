@@ -1,0 +1,197 @@
+//! Perf smoke checker: guards fig5/fig6 timings against regressions.
+//!
+//! Reads the `BENCH_fig5_overall.json` / `BENCH_fig6_baseline.json` files a
+//! `figures --fast` run just produced and compares every entry's **minimum**
+//! latency against a committed baseline file, failing (exit 1) when any
+//! entry regressed by more than the tolerance factor. The minimum (not the
+//! mean) is compared because `--fast` takes only two samples and the min of
+//! repeated runs is far more robust to scheduler spikes and cold caches.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_smoke <figures_dir> <baseline.json> [--tolerance <factor>] [--write]
+//! ```
+//!
+//! `--write` regenerates the baseline from `<figures_dir>` instead of
+//! checking (run locally after an intentional perf change and commit the
+//! result). The tolerance defaults to 5.0× — wide enough to absorb the
+//! hardware gap between the machine that wrote the baseline and a noisy
+//! shared CI runner, tight enough to catch an accidental algorithmic
+//! regression (the guarded entries regress ~100× when a sharing
+//! optimization breaks) — and can also be set via `PERF_SMOKE_TOLERANCE`.
+
+use seedb_bench::Json;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The figures the smoke check guards.
+const FIGURES: [&str; 2] = ["fig5_overall", "fig6_baseline"];
+
+/// One comparable measurement: a stable identity string and its fastest
+/// observed latency.
+struct Entry {
+    key: String,
+    min_ms: f64,
+}
+
+fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance: f64 = std::env::var("PERF_SMOKE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let mut write = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write" => write = true,
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance requires a number"));
+            }
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let [figures_dir, baseline_path] = positional.as_slice() else {
+        die("usage: perf_smoke <figures_dir> <baseline.json> [--tolerance <factor>] [--write]");
+    };
+
+    let current = collect_entries(Path::new(figures_dir));
+    if current.is_empty() {
+        die(&format!("no figure entries found under {figures_dir}"));
+    }
+
+    if write {
+        let doc = Json::obj().set("tolerance_hint", tolerance).set(
+            "entries",
+            current
+                .iter()
+                .map(|e| {
+                    Json::obj()
+                        .set("key", e.key.as_str())
+                        .set("min_ms", e.min_ms)
+                })
+                .collect::<Vec<_>>(),
+        );
+        std::fs::write(baseline_path, doc.pretty()).expect("write baseline");
+        println!("wrote {} ({} entries)", baseline_path, current.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| die(&format!("read {baseline_path}: {e}")));
+    let baseline =
+        Json::parse(&baseline_text).unwrap_or_else(|e| die(&format!("parse {baseline_path}: {e}")));
+    let baseline_entries: Vec<Entry> = baseline
+        .get("entries")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| die("baseline has no entries array"))
+        .iter()
+        .filter_map(|e| {
+            Some(Entry {
+                key: e.get("key")?.as_str()?.to_owned(),
+                min_ms: e.get("min_ms")?.as_num()?,
+            })
+        })
+        .collect();
+
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    let mut checked = 0usize;
+    for base in &baseline_entries {
+        match current.iter().find(|e| e.key == base.key) {
+            None => missing.push(base.key.clone()),
+            Some(cur) => {
+                checked += 1;
+                let limit = base.min_ms * tolerance;
+                let verdict = if cur.min_ms > limit {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{verdict:9} {key}: min {cur:.3} ms vs baseline {base_ms:.3} ms (limit {limit:.3})",
+                    key = base.key,
+                    cur = cur.min_ms,
+                    base_ms = base.min_ms,
+                );
+                if cur.min_ms > limit {
+                    regressions.push(base.key.clone());
+                }
+            }
+        }
+    }
+
+    println!(
+        "\nperf smoke: {checked} checked, {} regressed, {} missing (tolerance {tolerance}x)",
+        regressions.len(),
+        missing.len()
+    );
+    if !missing.is_empty() {
+        eprintln!("missing entries (bench layout changed? regenerate with --write): {missing:?}");
+        return ExitCode::FAILURE;
+    }
+    if !regressions.is_empty() {
+        eprintln!("regressed entries: {regressions:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads the guarded figures from `dir` and flattens each result into a
+/// stable string key plus its minimum observed latency (the quantity the
+/// gate compares; see the module docs for why min, not mean).
+fn collect_entries(dir: &Path) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for figure in FIGURES {
+        let path = dir.join(format!("BENCH_{figure}.json"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let doc =
+            Json::parse(&text).unwrap_or_else(|e| die(&format!("parse {}: {e}", path.display())));
+        let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+            continue;
+        };
+        for result in results {
+            let Some(min) = result
+                .get("timing")
+                .and_then(|t| t.get("min_ms"))
+                .and_then(Json::as_num)
+            else {
+                continue;
+            };
+            out.push(Entry {
+                key: entry_key(figure, result),
+                min_ms: min,
+            });
+        }
+    }
+    out
+}
+
+/// Builds a stable identity for one result: the figure name plus every
+/// identifying field the figure runners emit (dataset, strategy, store,
+/// engine mode, row count) that is present on the entry.
+fn entry_key(figure: &str, result: &Json) -> String {
+    let mut parts = vec![figure.to_owned()];
+    for field in ["dataset", "strategy", "store", "sweep", "engine_mode"] {
+        if let Some(v) = result.get(field).and_then(Json::as_str) {
+            parts.push(format!("{field}={v}"));
+        }
+    }
+    if let Some(rows) = result.get("rows").and_then(Json::as_num) {
+        parts.push(format!("rows={rows}"));
+    }
+    parts.join("/")
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf_smoke: {msg}");
+    std::process::exit(2);
+}

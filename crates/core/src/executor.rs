@@ -47,28 +47,50 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
-    /// Ids of the top-k views: accepted views first (by utility), then the
-    /// best remaining live views, all ranked by final utility estimate.
+    /// Ids of the top-k views, ranked purely by final utility estimate,
+    /// descending. Ties break in favour of accepted views (the pruner
+    /// confirmed those), then by view id for determinism. NaN utilities
+    /// (e.g. from NaN measure data) rank below every finite utility instead
+    /// of panicking the sort.
+    ///
+    /// If pruning discarded so aggressively that fewer than `k` views are
+    /// still live or accepted, the tail is backfilled with pruned views
+    /// ranked by their last-known utility, so callers always get
+    /// `min(k, total views)` results.
     pub fn top_k(&self, k: usize, metric: seedb_metrics::DistanceKind) -> Vec<ViewId> {
+        // NaN ⇒ −∞ so that total_cmp ranks unusable views last, not first.
+        let rank = |u: f64| if u.is_nan() { f64::NEG_INFINITY } else { u };
+        let order = |a: &(ViewId, f64, bool), b: &(ViewId, f64, bool)| {
+            rank(b.1)
+                .total_cmp(&rank(a.1))
+                .then(b.2.cmp(&a.2))
+                .then(a.0.cmp(&b.0))
+        };
+
         let mut candidates: Vec<(ViewId, f64, bool)> = self
             .states
             .iter()
             .filter(|s| s.alive || s.accepted)
             .map(|s| (s.spec.id, s.utility(metric), s.accepted))
             .collect();
-        // Accepted views outrank unaccepted ones at equal utility; otherwise
-        // sort by utility descending (ties broken by id for determinism).
-        candidates.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap()
-                .then(b.2.cmp(&a.2))
-                .then(a.0.cmp(&b.0))
-        });
-        candidates
+        candidates.sort_by(order);
+        let mut top: Vec<ViewId> = candidates
             .into_iter()
             .take(k)
             .map(|(id, _, _)| id)
-            .collect()
+            .collect();
+
+        if top.len() < k {
+            let mut pruned: Vec<(ViewId, f64, bool)> = self
+                .states
+                .iter()
+                .filter(|s| !s.alive && !s.accepted)
+                .map(|s| (s.spec.id, s.utility(metric), false))
+                .collect();
+            pruned.sort_by(order);
+            top.extend(pruned.into_iter().take(k - top.len()).map(|(id, _, _)| id));
+        }
+        top
     }
 }
 
@@ -137,17 +159,20 @@ impl<'a> Executor<'a> {
         let ref_pred = reference.reference_predicate(target);
         let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
 
+        let mode = self.config.engine_mode;
         for state in &mut states {
             let spec = state.spec;
             let agg = AggSpec::new(spec.func, spec.measure);
             let t_query =
                 CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(target.clone()));
-            let t_result = seedb_engine::execute_combined(self.table, &t_query, &mut stats);
+            let t_result =
+                seedb_engine::execute_combined_with_mode(self.table, &t_query, mode, &mut stats);
             state.merge_into_side(&t_result, 0, Side::Target);
 
             let r_query =
                 CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(ref_pred.clone()));
-            let r_result = seedb_engine::execute_combined(self.table, &r_query, &mut stats);
+            let r_result =
+                seedb_engine::execute_combined_with_mode(self.table, &r_query, mode, &mut stats);
             state.merge_into_side(&r_result, 0, Side::Reference);
         }
 
@@ -196,6 +221,7 @@ impl<'a> Executor<'a> {
             // Execute this phase's clusters (in parallel when configured).
             let sharing = &self.config.sharing;
             let combine_tr = sharing.combine_target_reference;
+            let mode = self.config.engine_mode;
             let results: Vec<(Vec<GroupedResult>, ExecStats)> =
                 run_parallel(clusters.len(), sharing.parallelism, |ci| {
                     let cluster = &clusters[ci];
@@ -209,7 +235,7 @@ impl<'a> Executor<'a> {
                             split: reference.to_split(target.clone()),
                         };
                         local.queries_issued += 1;
-                        let mut agg = PartialAggregation::new(q);
+                        let mut agg = PartialAggregation::with_mode(q, mode);
                         agg.update(self.table, range.clone(), &mut local);
                         outs.push(agg.finalize());
                     } else {
@@ -221,7 +247,7 @@ impl<'a> Executor<'a> {
                                 split: SplitSpec::TargetOnly(pred),
                             };
                             local.queries_issued += 1;
-                            let mut agg = PartialAggregation::new(q);
+                            let mut agg = PartialAggregation::with_mode(q, mode);
                             agg.update(self.table, range.clone(), &mut local);
                             outs.push(agg.finalize());
                         }
@@ -742,6 +768,136 @@ mod tests {
         );
         // All three dims fit one bin (4 × 3 × 5 = 60 groups « budget).
         assert_eq!(packed.stats.queries_issued, 1);
+    }
+
+    #[test]
+    fn top_k_is_nan_safe_and_ranks_nan_last() {
+        // A measure containing −∞ poisons normalization (the negative-value
+        // shift becomes +∞, so finite groups normalize to ∞/∞ = NaN) and
+        // that NaN propagates into the view's utility. top_k used to panic
+        // on `partial_cmp().unwrap()`; it must now rank the poisoned view
+        // below every finite-utility view.
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("d"),
+            ColumnDef::measure("clean"),
+            ColumnDef::measure("poisoned"),
+        ]);
+        for i in 0..40u32 {
+            let clean = if i % 4 == 0 { 100.0 } else { 1.0 };
+            let poisoned = if i % 2 == 0 { f64::NEG_INFINITY } else { 1.0 };
+            b.push_row(&[
+                Value::str(format!("g{}", i % 2)),
+                Value::Float(clean),
+                Value::Float(poisoned),
+            ])
+            .unwrap();
+        }
+        let table = b.build(StoreKind::Column).unwrap();
+        let mut cfg = SeeDbConfig::default();
+        cfg.strategy = ExecutionStrategy::Sharing;
+        cfg.sharing.parallelism = 1;
+        let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
+        let target = Predicate::NumCmp {
+            col: table.schema().column_id("clean").unwrap(),
+            op: seedb_engine::CmpOp::Ge,
+            value: 50.0,
+        };
+        let exec = Executor::new(table.as_ref(), &cfg);
+        let report = exec.run(&views, &target, &ReferenceSpec::WholeTable);
+
+        let nan_views: Vec<ViewId> = report
+            .states
+            .iter()
+            .filter(|s| s.utility(cfg.metric).is_nan())
+            .map(|s| s.spec.id)
+            .collect();
+        assert!(!nan_views.is_empty(), "test premise: a NaN-utility view");
+
+        let top = report.top_k(views.len(), cfg.metric);
+        assert_eq!(top.len(), views.len());
+        assert!(
+            !nan_views.contains(&top[0]),
+            "NaN-utility view ranked first: {top:?}"
+        );
+        // NaN views occupy exactly the tail positions of the ranking.
+        let tail = &top[top.len() - nan_views.len()..];
+        let mut tail_sorted = tail.to_vec();
+        tail_sorted.sort_unstable();
+        let mut nan_sorted = nan_views.clone();
+        nan_sorted.sort_unstable();
+        assert_eq!(
+            tail_sorted, nan_sorted,
+            "NaN views must rank last: {top:?}, NaN = {nan_views:?}"
+        );
+    }
+
+    #[test]
+    fn top_k_backfills_from_pruned_views_when_over_pruned() {
+        // RANDOM pruning keeps only k views after phase 1 and discards the
+        // rest; asking for more than survived must backfill from the pruned
+        // views (ranked by last-known utility) instead of silently
+        // returning a short list.
+        let (report, cfg, _) = run_with(
+            ExecutionStrategy::CombEarly,
+            SharingConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
+            PruningKind::Random,
+            StoreKind::Column,
+        );
+        let n_views = report.states.len();
+        let survivors = report
+            .states
+            .iter()
+            .filter(|s| s.alive || s.accepted)
+            .count();
+        assert!(
+            survivors < n_views,
+            "test premise: RANDOM pruning must discard some views"
+        );
+
+        let top = report.top_k(n_views, cfg.metric);
+        assert_eq!(top.len(), n_views, "backfill must restore a full list");
+        let mut unique = top.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), n_views, "no duplicate ids: {top:?}");
+        // Surviving views occupy the head of the list; pruned views only
+        // backfill the tail.
+        for (pos, id) in top.iter().enumerate() {
+            let s = &report.states[*id];
+            if pos < survivors {
+                assert!(s.alive || s.accepted, "position {pos} not a survivor");
+            } else {
+                assert!(!s.alive && !s.accepted, "position {pos} not backfill");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_vectorized_modes_agree_bit_for_bit() {
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            for strategy in [ExecutionStrategy::NoOpt, ExecutionStrategy::Sharing] {
+                let table = test_table(kind);
+                let mut per_mode: Vec<Vec<f64>> = Vec::new();
+                for mode in seedb_engine::ExecMode::ALL {
+                    let mut cfg = SeeDbConfig::for_strategy(strategy);
+                    cfg.sharing.parallelism = 1;
+                    cfg.k = 3;
+                    cfg.num_phases = 5;
+                    cfg.engine_mode = mode;
+                    let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
+                    let exec = Executor::new(table.as_ref(), &cfg);
+                    let report =
+                        exec.run(&views, &target(table.as_ref()), &ReferenceSpec::WholeTable);
+                    per_mode.push(utilities(&report));
+                }
+                // Bit-identical, not approximately equal: both modes consume
+                // rows in the same order.
+                assert_eq!(per_mode[0], per_mode[1], "{kind} {strategy}");
+            }
+        }
     }
 
     #[test]

@@ -68,27 +68,39 @@ fn pack(table: &dyn Table, attrs: &[ColumnId], budget: usize) -> GroupingPlan {
     let capacity = (budget as f64).log2();
     let mut bins: Vec<Vec<ColumnId>> = Vec::new();
     let mut loads: Vec<f64> = Vec::new();
+    // Exact distinct-count product per bin. The accumulated `log2` load is
+    // only a heuristic: its rounding error plus the `1e-9` comparison
+    // tolerance can admit a bin whose true group-count product exceeds the
+    // budget, so every placement is additionally validated against the
+    // exact (saturating) product — the same quantity `bin_group_bound`
+    // checks after the fact.
+    let mut products: Vec<usize> = Vec::new();
 
     for &attr in attrs {
-        let weight = (table.distinct_count(attr) as f64).log2();
+        let distinct = table.distinct_count(attr);
+        let weight = (distinct as f64).log2();
         if weight > capacity {
             // Oversized attribute: dedicated bin, not combinable.
             bins.push(vec![attr]);
             loads.push(f64::INFINITY);
+            products.push(distinct);
             continue;
         }
-        // First fit: place in the first bin with room.
-        match loads
-            .iter()
-            .position(|&load| load + weight <= capacity + 1e-9)
-        {
+        // First fit: place in the first bin with room, where "room" means
+        // both the float load heuristic and the exact product bound hold.
+        let fit = (0..bins.len()).find(|&i| {
+            loads[i] + weight <= capacity + 1e-9 && products[i].saturating_mul(distinct) <= budget
+        });
+        match fit {
             Some(i) => {
                 bins[i].push(attr);
                 loads[i] += weight;
+                products[i] = products[i].saturating_mul(distinct);
             }
             None => {
                 bins.push(vec![attr]);
                 loads.push(weight);
+                products.push(distinct);
             }
         }
     }
@@ -186,6 +198,30 @@ mod tests {
             assert!(ffd.bins.len() <= ff.bins.len(), "budget {budget}");
             assert!(ffd.respects_budget(t.as_ref()));
         }
+    }
+
+    #[test]
+    fn float_tolerance_cannot_admit_over_budget_products() {
+        // Regression: with cardinalities 55556 × 54000 the exact group
+        // bound is 3_000_024_000, one over this budget — but the rounded
+        // `log2` weights sum to within the 1e-9 comparison tolerance of
+        // the capacity (log2(product/budget) ≈ 4.8e-10), so the float
+        // heuristic alone would pack both attributes into one bin. The
+        // exact-product validation must keep them apart.
+        let t = table_with_cardinalities(&[55556, 54000]);
+        let budget = 3_000_023_999usize;
+        let w0 = (t.distinct_count(ColumnId(0)) as f64).log2();
+        let w1 = (t.distinct_count(ColumnId(1)) as f64).log2();
+        assert!(
+            w0 + w1 <= (budget as f64).log2() + 1e-9,
+            "test premise: float heuristic admits the pair"
+        );
+        assert!(bin_group_bound(t.as_ref(), &ids(2)) > budget);
+
+        let plan = first_fit(t.as_ref(), &ids(2), budget);
+        assert_eq!(plan.bins.len(), 2, "over-budget pair must be split");
+        assert_eq!(plan.num_attributes(), 2);
+        assert!(plan.respects_budget(t.as_ref()));
     }
 
     #[test]

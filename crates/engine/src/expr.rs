@@ -7,7 +7,7 @@
 //! lowers `WHERE` clauses to it, and the engine evaluates a slot-bound
 //! [`BoundPredicate`] per scanned row.
 
-use seedb_storage::{Cell, ColumnId, Table};
+use seedb_storage::{Batch, BatchColumn, BatchData, Bitmap, Cell, ColumnId, Table};
 
 /// Comparison operators for numeric predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -221,6 +221,121 @@ impl BoundPredicate {
             BoundPredicate::Or(ps) => ps.iter().any(|p| p.eval(cells)),
             BoundPredicate::Not(p) => !p.eval(cells),
         }
+    }
+
+    /// Vectorized evaluation: overwrites `out` with one selection bit per
+    /// batch row. Semantically identical to calling [`BoundPredicate::eval`]
+    /// on every row (SQL NULL comparisons are false, `IsNull` tests
+    /// validity), but operates on the batch's typed slices directly.
+    pub fn eval_batch(&self, batch: &Batch<'_>, out: &mut Bitmap) {
+        let n = batch.len();
+        match self {
+            BoundPredicate::True => out.reset(n, true),
+            BoundPredicate::False => out.reset(n, false),
+            BoundPredicate::CatEq { slot, code } => {
+                leaf_bits(
+                    batch.column(*slot),
+                    n,
+                    out,
+                    |data, i| matches!(data, BatchData::Cat(v) if v[i] == *code),
+                );
+            }
+            BoundPredicate::CatIn { slot, codes } => {
+                leaf_bits(
+                    batch.column(*slot),
+                    n,
+                    out,
+                    |data, i| matches!(data, BatchData::Cat(v) if codes.contains(&v[i])),
+                );
+            }
+            BoundPredicate::BoolEq { slot, value } => {
+                leaf_bits(
+                    batch.column(*slot),
+                    n,
+                    out,
+                    |data, i| matches!(data, BatchData::Bool(v) if v[i] == *value),
+                );
+            }
+            BoundPredicate::NumCmp { slot, op, value } => {
+                let col = batch.column(*slot);
+                match (col.data, col.validity) {
+                    // Dense numeric fast paths: no per-row validity branch.
+                    (BatchData::Float(v), None) => {
+                        word_bits(n, out, |i| op.apply(v[i], *value));
+                    }
+                    (BatchData::Int(v), None) => {
+                        word_bits(n, out, |i| op.apply(v[i] as f64, *value));
+                    }
+                    _ => {
+                        word_bits(n, out, |i| {
+                            col.value_f64(i).is_some_and(|x| op.apply(x, *value))
+                        });
+                    }
+                }
+            }
+            BoundPredicate::IsNull { slot } => {
+                let col = batch.column(*slot);
+                match col.validity {
+                    None => out.reset(n, false),
+                    Some(valid) => word_bits(n, out, |i| !valid[i]),
+                }
+            }
+            BoundPredicate::And(ps) => {
+                out.reset(n, true);
+                let mut tmp = Bitmap::new();
+                for p in ps {
+                    p.eval_batch(batch, &mut tmp);
+                    out.and_assign(&tmp);
+                }
+            }
+            BoundPredicate::Or(ps) => {
+                out.reset(n, false);
+                let mut tmp = Bitmap::new();
+                for p in ps {
+                    p.eval_batch(batch, &mut tmp);
+                    out.or_assign(&tmp);
+                }
+            }
+            BoundPredicate::Not(p) => {
+                p.eval_batch(batch, out);
+                out.invert();
+            }
+        }
+    }
+}
+
+/// Fills `out` (re-initialized to `n` bits) by evaluating `test` per row,
+/// building one `u64` word at a time — much cheaper than a `set` call per
+/// matching row. The final partial word only receives bits below `n`, so
+/// the bitmap's trailing-zero invariant is preserved.
+#[inline]
+fn word_bits(n: usize, out: &mut Bitmap, test: impl Fn(usize) -> bool) {
+    out.reset(n, false);
+    let words = out.words_mut();
+    let mut i = 0usize;
+    for w in words.iter_mut() {
+        let hi = (i + 64).min(n);
+        let mut bits = 0u64;
+        for j in i..hi {
+            bits |= (test(j) as u64) << (j - i);
+        }
+        *w = bits;
+        i = hi;
+    }
+}
+
+/// Evaluates a validity-aware leaf over a batch column: `test` sees only
+/// valid rows; NULL rows yield `false`, matching scalar SQL semantics.
+#[inline]
+fn leaf_bits(
+    col: &BatchColumn<'_>,
+    n: usize,
+    out: &mut Bitmap,
+    test: impl Fn(BatchData<'_>, usize) -> bool,
+) {
+    match col.validity {
+        None => word_bits(n, out, |i| test(col.data, i)),
+        Some(valid) => word_bits(n, out, |i| valid[i] && test(col.data, i)),
     }
 }
 

@@ -1,19 +1,43 @@
-//! Hash-based grouped aggregation with target/reference splitting.
+//! Grouped aggregation with target/reference splitting.
 //!
 //! [`PartialAggregation`] is the phase-aware operator at the heart of the
 //! engine: it can consume any number of row ranges (the phased framework
 //! feeds it one partition per phase) and produce a consistent snapshot
 //! after each. [`execute_combined`] is the one-shot convenience wrapper.
+//!
+//! Two execution modes share one accumulator representation
+//! ([`crate::ExecMode`]):
+//!
+//! * **Scalar** — the original row-at-a-time path: `Table::scan_range`
+//!   yields a `Cell` slice per row and every row pays a hash lookup.
+//! * **Vectorized** (default) — `Table::scan_batches` yields typed column
+//!   slices; predicates evaluate to selection bitmaps
+//!   ([`BoundPredicate::eval_batch`]), and single-attribute group-bys over
+//!   dictionary-encoded columns aggregate through a **dense
+//!   dictionary-direct index** (a `Vec` indexed by dictionary code,
+//!   bypassing the hash map entirely) whenever the attribute's cardinality
+//!   is at most [`DENSE_CARDINALITY_MAX`]. Multi-GROUP-BY clusters and
+//!   non-categorical grouping attributes keep the hash path.
+//!
+//! Both modes consume rows in the same order, so floating-point
+//! accumulation is bit-identical between them — a property the
+//! equivalence test suite asserts exactly.
 
 use crate::agg::Accumulator;
 use crate::expr::BoundPredicate;
 use crate::groupkey::GroupKey;
 use crate::spec::{CombinedQuery, SplitSpec};
 use crate::stats::ExecStats;
-use crate::{GroupEntry, GroupedResult};
+use crate::{ExecMode, GroupEntry, GroupedResult};
 use rustc_hash::FxHashMap;
-use seedb_storage::{ColumnId, Table};
+use seedb_storage::{Batch, Bitmap, ColumnId, Table, DEFAULT_BATCH_SIZE};
 use std::ops::Range;
+
+/// Largest dictionary cardinality for which the vectorized path uses the
+/// dense dictionary-direct group index. Beyond this (64 Ki distinct
+/// values), a mostly-empty dense table would waste more cache than the
+/// hash probes it avoids, so the engine falls back to hashing.
+pub const DENSE_CARDINALITY_MAX: usize = 1 << 16;
 
 /// Split predicates bound to projection slots.
 // Variant names deliberately mirror the public `SplitSpec` they are
@@ -40,6 +64,44 @@ impl BoundSplit {
             BoundSplit::TargetOnly(p) => (p.eval(cells), false),
         }
     }
+
+    /// Vectorized classification: fills per-row `target`/`reference`
+    /// selection bitmaps for a whole batch.
+    fn classify_batch(&self, batch: &Batch<'_>, target: &mut Bitmap, reference: &mut Bitmap) {
+        let n = batch.len();
+        match self {
+            BoundSplit::TargetVsAll(p) => {
+                p.eval_batch(batch, target);
+                reference.reset(n, true);
+            }
+            BoundSplit::TargetVsComplement(p) => {
+                p.eval_batch(batch, target);
+                reference.copy_from(target);
+                reference.invert();
+            }
+            BoundSplit::TargetVsQuery(t, r) => {
+                t.eval_batch(batch, target);
+                r.eval_batch(batch, reference);
+            }
+            BoundSplit::TargetOnly(p) => {
+                p.eval_batch(batch, target);
+                reference.reset(n, false);
+            }
+        }
+    }
+}
+
+/// Group-index strategy of the vectorized path.
+enum DenseIndex {
+    /// Not yet decided (no batch seen); resolved on the first update.
+    Undecided,
+    /// Hash lookups (multi-GROUP-BY, non-categorical attribute, or
+    /// cardinality above [`DENSE_CARDINALITY_MAX`]).
+    Disabled,
+    /// Dense dictionary-direct index: `slots[code + 1]` holds
+    /// `entry_index + 1` (0 = group not yet observed); `slots[0]` is the
+    /// NULL group's slot.
+    Enabled { slots: Vec<u32> },
 }
 
 /// Accumulated state of one group.
@@ -57,15 +119,23 @@ pub struct PartialAggregation {
     measure_slots: Vec<usize>,
     filter: Option<BoundPredicate>,
     split: BoundSplit,
+    mode: ExecMode,
     map: FxHashMap<GroupKey, u32>,
+    dense: DenseIndex,
     entries: Vec<GroupState>,
     rows_consumed: u64,
     target_rows: u64,
 }
 
 impl PartialAggregation {
-    /// Plans the projection and binds predicates for `query`.
+    /// Plans the projection and binds predicates for `query`, executing in
+    /// the default [`ExecMode`].
     pub fn new(query: CombinedQuery) -> Self {
+        Self::with_mode(query, ExecMode::default())
+    }
+
+    /// [`PartialAggregation::new`] with an explicit execution mode.
+    pub fn with_mode(query: CombinedQuery, mode: ExecMode) -> Self {
         // Projection = group-by columns ++ measure columns ++ predicate
         // columns, deduplicated in that order.
         let mut projection: Vec<ColumnId> = Vec::new();
@@ -120,7 +190,9 @@ impl PartialAggregation {
             measure_slots,
             filter,
             split,
+            mode,
             map: FxHashMap::default(),
+            dense: DenseIndex::Undecided,
             entries: Vec::new(),
             rows_consumed: 0,
             target_rows: 0,
@@ -130,6 +202,11 @@ impl PartialAggregation {
     /// The query this aggregation executes.
     pub fn query(&self) -> &CombinedQuery {
         &self.query
+    }
+
+    /// The execution mode this aggregation runs in.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Total rows consumed so far (across all `update` calls).
@@ -149,6 +226,14 @@ impl PartialAggregation {
 
     /// Consumes rows `range` of `table`, updating accumulators and `stats`.
     pub fn update(&mut self, table: &dyn Table, range: Range<usize>, stats: &mut ExecStats) {
+        match self.mode {
+            ExecMode::Scalar => self.update_scalar(table, range, stats),
+            ExecMode::Vectorized => self.update_vectorized(table, range, stats),
+        }
+    }
+
+    /// Row-at-a-time update through [`Table::scan_range`].
+    fn update_scalar(&mut self, table: &dyn Table, range: Range<usize>, stats: &mut ExecStats) {
         let n_aggs = self.query.aggregates.len();
         let proj_width = self.projection.len();
         let start = range.start.min(table.num_rows());
@@ -217,6 +302,191 @@ impl PartialAggregation {
         stats.groups_max = stats.groups_max.max(self.entries.len() as u64);
     }
 
+    /// Picks the vectorized path's group index on the first batch: dense
+    /// dictionary-direct when grouping by one categorical attribute of
+    /// cardinality ≤ [`DENSE_CARDINALITY_MAX`], hash otherwise.
+    fn ensure_group_index(&mut self, table: &dyn Table) {
+        if !matches!(self.dense, DenseIndex::Undecided) {
+            return;
+        }
+        self.dense = if self.group_slots.len() == 1 {
+            match table.dictionary(self.query.group_by[0]) {
+                Some(d) if d.len() <= DENSE_CARDINALITY_MAX => DenseIndex::Enabled {
+                    // Slot 0 is the NULL group; code c maps to slot c + 1.
+                    slots: vec![0; d.len() + 1],
+                },
+                _ => DenseIndex::Disabled,
+            }
+        } else {
+            DenseIndex::Disabled
+        };
+    }
+
+    /// Batched update through [`Table::scan_batches`]: per-batch selection
+    /// bitmaps, then a tight per-row accumulation loop over typed slices.
+    /// Row order matches the scalar path exactly, so results are
+    /// bit-identical.
+    fn update_vectorized(&mut self, table: &dyn Table, range: Range<usize>, stats: &mut ExecStats) {
+        let n_aggs = self.query.aggregates.len();
+        let proj_width = self.projection.len();
+        let start = range.start.min(table.num_rows());
+        let end = range.end.min(table.num_rows());
+
+        self.ensure_group_index(table);
+
+        // Split borrows so the closure can touch disjoint fields.
+        let map = &mut self.map;
+        let dense = &mut self.dense;
+        let entries = &mut self.entries;
+        let group_slots = &self.group_slots;
+        let measure_slots = &self.measure_slots;
+        let filter = &self.filter;
+        let split = &self.split;
+
+        let mut rows = 0u64;
+        let mut target_rows = 0u64;
+
+        // Per-batch scratch, reused across batches.
+        let mut t_bits = Bitmap::new();
+        let mut r_bits = Bitmap::new();
+        let mut f_bits = Bitmap::new();
+        let mut codes: Vec<u64> = vec![0; group_slots.len()];
+
+        table.scan_batches(
+            &self.projection,
+            start..end,
+            DEFAULT_BATCH_SIZE,
+            &mut |batch| {
+                let n = batch.len();
+                rows += n as u64;
+
+                split.classify_batch(batch, &mut t_bits, &mut r_bits);
+                if let Some(f) = filter {
+                    f.eval_batch(batch, &mut f_bits);
+                    t_bits.and_assign(&f_bits);
+                    r_bits.and_assign(&f_bits);
+                }
+
+                let visit = |entries: &mut Vec<GroupState>,
+                             i: usize,
+                             entry_idx: usize,
+                             is_t: bool,
+                             is_r: bool| {
+                    let entry = &mut entries[entry_idx];
+                    for (agg_idx, &slot) in measure_slots.iter().enumerate() {
+                        let v = batch.column(slot).value_f64(i);
+                        if is_t {
+                            entry.target[agg_idx].update(v);
+                        }
+                        if is_r {
+                            entry.reference[agg_idx].update(v);
+                        }
+                    }
+                };
+
+                if let DenseIndex::Enabled { slots } = dense {
+                    // Dense dictionary-direct path: one group attribute,
+                    // entry index looked up by dictionary code. The common
+                    // case — a dense categorical batch slice — reads codes
+                    // straight from the slice without per-row dispatch.
+                    let gcol = *batch.column(group_slots[0]);
+                    let cat_codes = match (gcol.data, gcol.validity) {
+                        (seedb_storage::BatchData::Cat(v), None) => Some(v),
+                        _ => None,
+                    };
+                    for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
+                        if is_t {
+                            target_rows += 1;
+                        }
+                        let code = match cat_codes {
+                            Some(v) => v[i] as u64,
+                            None => gcol.group_code(i),
+                        };
+                        let si = if code == u64::MAX {
+                            0
+                        } else {
+                            code as usize + 1
+                        };
+                        let entry_idx = if si <= DENSE_CARDINALITY_MAX + 1 {
+                            if si >= slots.len() {
+                                // A code beyond the planning-time dictionary
+                                // (e.g. a different table instance): grow,
+                                // bounded by the dense cardinality cap.
+                                slots.resize(si + 1, 0);
+                            }
+                            match slots[si] {
+                                0 => {
+                                    let idx = entries.len();
+                                    slots[si] = idx as u32 + 1;
+                                    entries.push(GroupState {
+                                        key: GroupKey::One(code),
+                                        target: vec![Accumulator::new(); n_aggs],
+                                        reference: vec![Accumulator::new(); n_aggs],
+                                    });
+                                    idx
+                                }
+                                v => v as usize - 1,
+                            }
+                        } else {
+                            // A stray code past the dense cap must not
+                            // force a huge, mostly-empty dense table:
+                            // overflow such groups into the hash map (keys
+                            // stay disjoint — the dense table owns every
+                            // code at or below the cap).
+                            let key = GroupKey::One(code);
+                            match map.get(&key) {
+                                Some(&idx) => idx as usize,
+                                None => {
+                                    let idx = entries.len();
+                                    map.insert(key, idx as u32);
+                                    entries.push(GroupState {
+                                        key: GroupKey::One(code),
+                                        target: vec![Accumulator::new(); n_aggs],
+                                        reference: vec![Accumulator::new(); n_aggs],
+                                    });
+                                    idx
+                                }
+                            }
+                        };
+                        visit(entries, i, entry_idx, is_t, is_r);
+                    });
+                } else {
+                    // Hash path (multi-GROUP-BY or non-dense attribute).
+                    for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
+                        if is_t {
+                            target_rows += 1;
+                        }
+                        for (dst, &slot) in codes.iter_mut().zip(group_slots) {
+                            *dst = batch.column(slot).group_code(i);
+                        }
+                        let key = GroupKey::from_codes(&codes);
+                        let entry_idx = match map.get(&key) {
+                            Some(&idx) => idx as usize,
+                            None => {
+                                let idx = entries.len();
+                                map.insert(key.clone(), idx as u32);
+                                entries.push(GroupState {
+                                    key,
+                                    target: vec![Accumulator::new(); n_aggs],
+                                    reference: vec![Accumulator::new(); n_aggs],
+                                });
+                                idx
+                            }
+                        };
+                        visit(entries, i, entry_idx, is_t, is_r);
+                    });
+                }
+            },
+        );
+
+        self.rows_consumed += rows;
+        self.target_rows += target_rows;
+        stats.scan_passes += 1;
+        stats.rows_scanned += rows;
+        stats.cells_visited += rows * proj_width as u64;
+        stats.groups_max = stats.groups_max.max(self.entries.len() as u64);
+    }
+
     /// Clones the current state into a sorted [`GroupedResult`].
     pub fn snapshot(&self) -> GroupedResult {
         let mut groups: Vec<GroupEntry> = self
@@ -255,14 +525,42 @@ impl PartialAggregation {
     }
 }
 
-/// Executes `query` over the whole table in a single pass.
+/// Calls `body(row, is_target, is_reference)` for every row selected on
+/// either side, walking the two selection bitmaps one word at a time and
+/// skipping unselected rows with bit tricks. Rows are visited in ascending
+/// order, preserving scalar-path accumulation order.
+#[inline]
+fn for_each_selected(t_bits: &Bitmap, r_bits: &Bitmap, mut body: impl FnMut(usize, bool, bool)) {
+    for (w, (&tw, &rw)) in t_bits.words().iter().zip(r_bits.words()).enumerate() {
+        let mut any = tw | rw;
+        while any != 0 {
+            let bit = any.trailing_zeros() as usize;
+            any &= any - 1;
+            let i = (w << 6) | bit;
+            body(i, (tw >> bit) & 1 == 1, (rw >> bit) & 1 == 1);
+        }
+    }
+}
+
+/// Executes `query` over the whole table in a single pass, in the default
+/// [`ExecMode`].
 pub fn execute_combined(
     table: &dyn Table,
     query: &CombinedQuery,
     stats: &mut ExecStats,
 ) -> GroupedResult {
+    execute_combined_with_mode(table, query, ExecMode::default(), stats)
+}
+
+/// [`execute_combined`] with an explicit execution mode.
+pub fn execute_combined_with_mode(
+    table: &dyn Table,
+    query: &CombinedQuery,
+    mode: ExecMode,
+    stats: &mut ExecStats,
+) -> GroupedResult {
     stats.queries_issued += 1;
-    let mut agg = PartialAggregation::new(query.clone());
+    let mut agg = PartialAggregation::with_mode(query.clone(), mode);
     agg.update(table, 0..table.num_rows(), stats);
     agg.finalize()
 }
@@ -493,6 +791,45 @@ mod tests {
         let (target, reference) = r.value_vectors(0);
         assert_eq!(target, vec![0.0, 0.0]); // AVG of empty -> None -> 0.0
         assert!(reference.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn dense_index_overflow_codes_spill_to_hash() {
+        // Plan the dense index against a tiny dictionary, then feed a table
+        // whose dictionary codes run past DENSE_CARDINALITY_MAX: the stray
+        // codes must spill into the hash map (bounding the dense table's
+        // growth at the cap) while producing exactly the scalar result.
+        let build_with_card = |card: usize| -> BoxedTable {
+            let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")]);
+            for i in 0..card {
+                b.push_row(&[Value::str(format!("v{i}")), Value::Float(1.0)])
+                    .unwrap();
+            }
+            b.build(StoreKind::Column).unwrap()
+        };
+        let small = build_with_card(2);
+        let big = build_with_card(DENSE_CARDINALITY_MAX + 40);
+
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Count, ColumnId(1)),
+            SplitSpec::TargetVsAll(Predicate::True),
+        );
+        let run = |mode: crate::ExecMode| -> GroupedResult {
+            let mut agg = PartialAggregation::with_mode(q.clone(), mode);
+            let mut stats = ExecStats::default();
+            agg.update(small.as_ref(), 0..small.num_rows(), &mut stats);
+            agg.update(big.as_ref(), 0..big.num_rows(), &mut stats);
+            agg.finalize()
+        };
+        let vectorized = run(crate::ExecMode::Vectorized);
+        let scalar = run(crate::ExecMode::Scalar);
+        assert_eq!(vectorized.num_groups(), DENSE_CARDINALITY_MAX + 40);
+        assert_eq!(vectorized.num_groups(), scalar.num_groups());
+        for (a, b) in vectorized.groups.iter().zip(&scalar.groups) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.target, b.target);
+        }
     }
 
     #[test]

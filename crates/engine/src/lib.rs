@@ -21,6 +21,13 @@
 //! Execution is *phase-aware*: a [`PartialAggregation`] accepts any number
 //! of row ranges and can snapshot its state between ranges, which is exactly
 //! what the phased pruning framework in `seedb-core` needs.
+//!
+//! Execution is also *mode-aware* ([`ExecMode`]): the default **vectorized**
+//! mode drives the storage layer's batched scan API — selection bitmaps
+//! from [`BoundPredicate::eval_batch`] and a dense dictionary-direct group
+//! index for single-attribute group-bys (see [`DENSE_CARDINALITY_MAX`]) —
+//! while the **scalar** mode keeps the original row-at-a-time path as the
+//! bit-identical equivalence oracle.
 
 pub mod agg;
 pub mod binpack;
@@ -36,10 +43,50 @@ pub use agg::{Accumulator, AggFunc};
 pub use binpack::{first_fit, first_fit_decreasing, GroupingPlan};
 pub use expr::{BoundPredicate, CmpOp, Predicate};
 pub use groupkey::GroupKey;
-pub use hashagg::{execute_combined, PartialAggregation};
+pub use hashagg::{
+    execute_combined, execute_combined_with_mode, PartialAggregation, DENSE_CARDINALITY_MAX,
+};
 pub use rollup::rollup;
 pub use spec::{AggSpec, CombinedQuery, SplitSpec};
 pub use stats::ExecStats;
+
+/// How the engine walks the table: row-at-a-time or in typed batches.
+///
+/// Both modes produce bit-identical results (rows are consumed in the same
+/// order, so float accumulation order is preserved); `Vectorized` is the
+/// default and is substantially faster on the column store, where batches
+/// are zero-copy slices and single-attribute group-bys aggregate straight
+/// into a dense dictionary-indexed table (see
+/// [`DENSE_CARDINALITY_MAX`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Row-at-a-time execution through `Table::scan_range` (the original
+    /// `dyn FnMut(&[Cell])` path; kept as the equivalence oracle).
+    Scalar,
+    /// Batched execution through `Table::scan_batches`: vectorized
+    /// predicate bitmaps and dictionary-direct dense aggregation.
+    #[default]
+    Vectorized,
+}
+
+impl ExecMode {
+    /// Label used in bench output and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Scalar => "SCALAR",
+            ExecMode::Vectorized => "VECTORIZED",
+        }
+    }
+
+    /// Both modes, for sweeps and equivalence tests.
+    pub const ALL: [ExecMode; 2] = [ExecMode::Scalar, ExecMode::Vectorized];
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Result of a grouped aggregation: one entry per observed group, sorted by
 /// key for deterministic downstream consumption.

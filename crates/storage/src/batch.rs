@@ -1,0 +1,285 @@
+//! Batched (vectorized) scan views.
+//!
+//! [`crate::Table::scan_batches`] yields fixed-size [`Batch`]es instead of
+//! one visitor call per row. Each batch exposes the projected columns as
+//! dense typed slices — dictionary code slices for categorical columns,
+//! `i64`/`f64` slices for numeric ones — so the engine's hot
+//! scan→aggregate loop can run without materializing a [`Cell`] per value
+//! or paying a virtual call per row. The column store serves batches
+//! zero-copy straight out of its column vectors; the row store (and any
+//! other [`crate::Table`] implementation) falls back to materializing each
+//! batch through its row-at-a-time scan.
+
+use crate::value::Cell;
+
+/// Default number of rows per batch. Chosen so a handful of projected
+/// `f64` columns stay comfortably inside L1/L2 while amortizing per-batch
+/// overhead.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// One column's payload within a batch: a dense typed slice.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchData<'a> {
+    /// Integer payload.
+    Int(&'a [i64]),
+    /// Float payload.
+    Float(&'a [f64]),
+    /// Dictionary codes of a categorical column.
+    Cat(&'a [u32]),
+    /// Boolean payload (unpacked from the bit-packed column).
+    Bool(&'a [bool]),
+}
+
+impl BatchData<'_> {
+    /// Number of rows in the slice.
+    pub fn len(&self) -> usize {
+        match self {
+            BatchData::Int(v) => v.len(),
+            BatchData::Float(v) => v.len(),
+            BatchData::Cat(v) => v.len(),
+            BatchData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if the slice holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One projected column of a [`Batch`]: typed payload plus optional
+/// per-row validity (`None` = every row valid, the common dense case).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchColumn<'a> {
+    /// Payload slice, one entry per batch row.
+    pub data: BatchData<'a>,
+    /// Validity per batch row; `validity[i] == false` ⇒ row `i` is NULL.
+    pub validity: Option<&'a [bool]>,
+}
+
+impl BatchColumn<'_> {
+    /// Whether row `i` holds a non-NULL value.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.is_none_or(|v| v[i])
+    }
+
+    /// Cell view of row `i`, observing validity. Matches what a
+    /// row-at-a-time scan of the same projection would yield.
+    #[inline]
+    pub fn cell(&self, i: usize) -> Cell {
+        if !self.is_valid(i) {
+            return Cell::Null;
+        }
+        match self.data {
+            BatchData::Int(v) => Cell::Int(v[i]),
+            BatchData::Float(v) => Cell::Float(v[i]),
+            BatchData::Cat(v) => Cell::Cat(v[i]),
+            BatchData::Bool(v) => Cell::Bool(v[i]),
+        }
+    }
+
+    /// Numeric view of row `i`; same semantics as [`Cell::as_f64`]
+    /// (integers and booleans widen, NULL and categorical codes are `None`).
+    #[inline]
+    pub fn value_f64(&self, i: usize) -> Option<f64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match self.data {
+            BatchData::Int(v) => Some(v[i] as f64),
+            BatchData::Float(v) => Some(v[i]),
+            BatchData::Bool(v) => Some(if v[i] { 1.0 } else { 0.0 }),
+            BatchData::Cat(_) => None,
+        }
+    }
+
+    /// Grouping code of row `i`; same semantics as [`Cell::group_code`].
+    #[inline]
+    pub fn group_code(&self, i: usize) -> u64 {
+        if !self.is_valid(i) {
+            return u64::MAX;
+        }
+        match self.data {
+            BatchData::Int(v) => v[i] as u64,
+            BatchData::Float(v) => v[i].to_bits(),
+            BatchData::Cat(v) => v[i] as u64,
+            BatchData::Bool(v) => v[i] as u64,
+        }
+    }
+}
+
+/// A fixed-size horizontal slice of a projected scan: `len` consecutive
+/// rows of every projected column, in projection order.
+#[derive(Debug)]
+pub struct Batch<'a> {
+    /// Absolute row index of the batch's first row within the table.
+    pub start_row: usize,
+    len: usize,
+    columns: Vec<BatchColumn<'a>>,
+}
+
+impl<'a> Batch<'a> {
+    /// Assembles a batch. Panics if any column's length differs from `len`.
+    pub fn new(start_row: usize, len: usize, columns: Vec<BatchColumn<'a>>) -> Self {
+        for (slot, col) in columns.iter().enumerate() {
+            assert_eq!(col.data.len(), len, "batch column {slot} length mismatch");
+            if let Some(v) = col.validity {
+                assert_eq!(v.len(), len, "batch column {slot} validity mismatch");
+            }
+        }
+        Batch {
+            start_row,
+            len,
+            columns,
+        }
+    }
+
+    /// Number of rows in this batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The column at projection slot `slot`.
+    #[inline]
+    pub fn column(&self, slot: usize) -> &BatchColumn<'a> {
+        &self.columns[slot]
+    }
+
+    /// Number of projected columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Typed staging buffers used by the materializing fallback implementation
+/// of [`crate::Table::scan_batches`].
+#[derive(Debug)]
+pub(crate) enum Staging {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Cat(Vec<u32>),
+    Bool(Vec<bool>),
+}
+
+impl Staging {
+    pub(crate) fn for_type(ty: crate::schema::ColumnType) -> Staging {
+        match ty {
+            crate::schema::ColumnType::Int64 => Staging::Int(Vec::new()),
+            crate::schema::ColumnType::Float64 => Staging::Float(Vec::new()),
+            crate::schema::ColumnType::Categorical => Staging::Cat(Vec::new()),
+            crate::schema::ColumnType::Bool => Staging::Bool(Vec::new()),
+        }
+    }
+
+    /// Appends one cell (NULL pushes a placeholder payload).
+    pub(crate) fn push(&mut self, cell: Cell) {
+        match (self, cell) {
+            (Staging::Int(v), Cell::Int(x)) => v.push(x),
+            (Staging::Int(v), Cell::Null) => v.push(0),
+            (Staging::Float(v), Cell::Float(x)) => v.push(x),
+            (Staging::Float(v), Cell::Null) => v.push(0.0),
+            (Staging::Cat(v), Cell::Cat(x)) => v.push(x),
+            (Staging::Cat(v), Cell::Null) => v.push(0),
+            (Staging::Bool(v), Cell::Bool(x)) => v.push(x),
+            (Staging::Bool(v), Cell::Null) => v.push(false),
+            (staging, cell) => panic!("cell {cell:?} does not match staging {staging:?}"),
+        }
+    }
+
+    /// Appends one raw 8-byte payload (as the row store packs it),
+    /// decoding per staging type. Invalid rows push a placeholder.
+    pub(crate) fn push_raw(&mut self, bits: u64, valid: bool) {
+        match self {
+            Staging::Int(v) => v.push(if valid { bits as i64 } else { 0 }),
+            Staging::Float(v) => v.push(if valid { f64::from_bits(bits) } else { 0.0 }),
+            Staging::Cat(v) => v.push(if valid { bits as u32 } else { 0 }),
+            Staging::Bool(v) => v.push(valid && bits != 0),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        match self {
+            Staging::Int(v) => v.clear(),
+            Staging::Float(v) => v.clear(),
+            Staging::Cat(v) => v.clear(),
+            Staging::Bool(v) => v.clear(),
+        }
+    }
+
+    pub(crate) fn as_data(&self) -> BatchData<'_> {
+        match self {
+            Staging::Int(v) => BatchData::Int(v),
+            Staging::Float(v) => BatchData::Float(v),
+            Staging::Cat(v) => BatchData::Cat(v),
+            Staging::Bool(v) => BatchData::Bool(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_column_views_match_cell_semantics() {
+        let data = [1.5f64, 2.5, 3.5];
+        let validity = [true, false, true];
+        let col = BatchColumn {
+            data: BatchData::Float(&data),
+            validity: Some(&validity),
+        };
+        assert_eq!(col.cell(0), Cell::Float(1.5));
+        assert_eq!(col.cell(1), Cell::Null);
+        assert_eq!(col.value_f64(1), None);
+        assert_eq!(col.value_f64(2), Some(3.5));
+        assert_eq!(col.group_code(1), u64::MAX);
+        assert_eq!(col.group_code(2), 3.5f64.to_bits());
+    }
+
+    #[test]
+    fn batch_column_widens_like_cell_as_f64() {
+        let ints = [4i64, -1];
+        let col = BatchColumn {
+            data: BatchData::Int(&ints),
+            validity: None,
+        };
+        for i in 0..2 {
+            assert_eq!(col.value_f64(i), col.cell(i).as_f64());
+            assert_eq!(col.group_code(i), col.cell(i).group_code());
+        }
+        let bools = [true, false];
+        let col = BatchColumn {
+            data: BatchData::Bool(&bools),
+            validity: None,
+        };
+        assert_eq!(col.value_f64(0), Some(1.0));
+        assert_eq!(col.value_f64(1), Some(0.0));
+        let cats = [7u32];
+        let col = BatchColumn {
+            data: BatchData::Cat(&cats),
+            validity: None,
+        };
+        assert_eq!(col.value_f64(0), None);
+        assert_eq!(col.group_code(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn batch_rejects_ragged_columns() {
+        let data = [1i64, 2];
+        Batch::new(
+            0,
+            3,
+            vec![BatchColumn {
+                data: BatchData::Int(&data),
+                validity: None,
+            }],
+        );
+    }
+}

@@ -79,6 +79,73 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Re-initializes the bitmap to `len` bits all set to `value`, reusing
+    /// the word allocation. The engine's vectorized scan resets one
+    /// selection bitmap per batch with this.
+    pub fn reset(&mut self, len: usize, value: bool) {
+        let nwords = len.div_ceil(64);
+        let word = if value { u64::MAX } else { 0 };
+        self.words.clear();
+        self.words.resize(nwords, word);
+        self.len = len;
+        self.clear_trailing();
+    }
+
+    /// Overwrites this bitmap with `other`'s bits, reusing the allocation.
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// `self &= other`. Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in and_assign");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// `self |= other`. Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in or_assign");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Flips every bit in place (trailing bits beyond `len` stay zero).
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_trailing();
+    }
+
+    /// Overwrites `out` with the bits of `range` as plain `bool`s (used to
+    /// materialize per-batch validity slices for batched scans).
+    pub fn fill_bools(&self, range: std::ops::Range<usize>, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(range.map(|i| self.get(i)));
+    }
+
+    /// The backing `u64` words, least-significant bit first. Bits at
+    /// positions `>= len` are always zero. Exposed for word-at-a-time
+    /// consumers (the engine's vectorized selection loops).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words, for word-at-a-time producers.
+    ///
+    /// Callers must keep bits at positions `>= len` zero, or `count_ones`
+    /// (and everything built on it) silently miscounts.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Iterator over all bits in order.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
@@ -174,6 +241,51 @@ mod tests {
         let bm: Bitmap = bits.iter().copied().collect();
         let back: Vec<bool> = bm.iter().collect();
         assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn reset_reuses_and_clears_trailing() {
+        let mut bm = Bitmap::filled(100, true);
+        bm.reset(70, true);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.count_ones(), 70);
+        bm.reset(10, false);
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.len(), 10);
+    }
+
+    #[test]
+    fn logical_ops_combine_wordwise() {
+        let a0: Bitmap = (0..130).map(|i| i % 2 == 0).collect();
+        let b: Bitmap = (0..130).map(|i| i % 3 == 0).collect();
+
+        let mut a = a0.clone();
+        a.and_assign(&b);
+        for i in 0..130 {
+            assert_eq!(a.get(i), i % 2 == 0 && i % 3 == 0, "and bit {i}");
+        }
+
+        let mut a = a0.clone();
+        a.or_assign(&b);
+        for i in 0..130 {
+            assert_eq!(a.get(i), i % 2 == 0 || i % 3 == 0, "or bit {i}");
+        }
+
+        let mut a = a0.clone();
+        a.invert();
+        for i in 0..130 {
+            assert_eq!(a.get(i), i % 2 != 0, "not bit {i}");
+        }
+        // Trailing bits beyond len stay zero after inversion.
+        assert_eq!(a.count_ones(), 65);
+    }
+
+    #[test]
+    fn fill_bools_extracts_range() {
+        let bm: Bitmap = (0..20).map(|i| i % 4 == 0).collect();
+        let mut out = vec![true; 3]; // stale content must be cleared
+        bm.fill_bools(4..9, &mut out);
+        assert_eq!(out, vec![true, false, false, false, true]);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! paper's COL baseline is ~5× faster than ROW on SeeDB's narrow view
 //! queries (§5.2), and the reason sharing optimizations help COL less.
 
-use crate::column::Column;
+use crate::batch::{Batch, BatchColumn, BatchData};
+use crate::column::{Column, ColumnData};
 use crate::dictionary::Dictionary;
 use crate::schema::{ColumnId, ColumnStats, Schema};
 use crate::table::{StoreKind, Table};
@@ -90,6 +91,59 @@ impl Table for ColumnStore {
                 buf[slot] = col.cell(row);
             }
             visitor(&buf);
+        }
+    }
+
+    /// Zero-copy batches: numeric and categorical payloads are served as
+    /// subslices of the column vectors. Only bit-packed data (bool payloads
+    /// and validity bitmaps) is unpacked into per-batch scratch buffers.
+    fn scan_batches(
+        &self,
+        projection: &[ColumnId],
+        range: Range<usize>,
+        batch_size: usize,
+        visitor: &mut dyn FnMut(&Batch<'_>),
+    ) {
+        let batch_size = batch_size.max(1);
+        let start = range.start.min(self.num_rows);
+        let end = range.end.min(self.num_rows);
+        let cols: Vec<&Column> = projection
+            .iter()
+            .map(|c| &self.columns[c.index()])
+            .collect();
+        let mut bool_scratch: Vec<Vec<bool>> = vec![Vec::new(); projection.len()];
+        let mut valid_scratch: Vec<Vec<bool>> = vec![Vec::new(); projection.len()];
+
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + batch_size).min(end);
+            for (slot, col) in cols.iter().enumerate() {
+                if let ColumnData::Bool(bits) = &col.data {
+                    bits.fill_bools(lo..hi, &mut bool_scratch[slot]);
+                }
+                if let Some(v) = &col.validity {
+                    v.fill_bools(lo..hi, &mut valid_scratch[slot]);
+                }
+            }
+            let columns: Vec<BatchColumn<'_>> = cols
+                .iter()
+                .enumerate()
+                .map(|(slot, col)| {
+                    let data = match &col.data {
+                        ColumnData::Int64(v) => BatchData::Int(&v[lo..hi]),
+                        ColumnData::Float64(v) => BatchData::Float(&v[lo..hi]),
+                        ColumnData::Categorical(v) => BatchData::Cat(&v[lo..hi]),
+                        ColumnData::Bool(_) => BatchData::Bool(&bool_scratch[slot]),
+                    };
+                    let validity = col
+                        .validity
+                        .as_ref()
+                        .map(|_| valid_scratch[slot].as_slice());
+                    BatchColumn { data, validity }
+                })
+                .collect();
+            visitor(&Batch::new(lo, hi - lo, columns));
+            lo = hi;
         }
     }
 }

@@ -19,6 +19,15 @@
 //! both compresses storage and gives the engine cheap distinct-value counts
 //! for its memory-budget planning (Problem 4.1 in the paper).
 //!
+//! Scans come in two granularities: the row-at-a-time
+//! [`Table::scan_range`] (a visitor call per row with a [`Cell`] slice) and
+//! the batched [`Table::scan_batches`], which yields fixed-size
+//! [`Batch`]es of typed per-column slices (dictionary codes for
+//! categoricals, raw `i64`/`f64` for numerics). The column store serves
+//! batches zero-copy from its column vectors; the row store materializes
+//! them as a fallback. The batched form is what the engine's vectorized
+//! execution mode runs on.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -34,6 +43,7 @@
 //! assert_eq!(table.num_rows(), 2);
 //! ```
 
+mod batch;
 mod bitmap;
 mod builder;
 mod column;
@@ -45,6 +55,7 @@ mod schema;
 mod table;
 mod value;
 
+pub use batch::{Batch, BatchColumn, BatchData, DEFAULT_BATCH_SIZE};
 pub use bitmap::Bitmap;
 pub use builder::TableBuilder;
 pub use column::{Column, ColumnData};

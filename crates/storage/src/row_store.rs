@@ -13,6 +13,7 @@
 //! exactly the behaviour SeeDB's sharing optimizations exploit (one shared
 //! scan amortizes the full-row cost across many views).
 
+use crate::batch::{Batch, BatchColumn, Staging};
 use crate::dictionary::Dictionary;
 use crate::schema::{ColumnId, ColumnStats, ColumnType, Schema};
 use crate::table::{StoreKind, Table};
@@ -130,6 +131,65 @@ impl Table for RowStore {
                 buf[slot] = self.decode(base, col);
             }
             visitor(&buf);
+        }
+    }
+
+    /// Materializing batches is the row store's only option (its payloads
+    /// are row-interleaved), but this override decodes the packed bytes
+    /// straight into typed staging vectors — no per-row visitor call and no
+    /// intermediate `Cell` — which roughly halves the batching overhead
+    /// versus the generic `scan_range`-based fallback.
+    fn scan_batches(
+        &self,
+        projection: &[ColumnId],
+        range: Range<usize>,
+        batch_size: usize,
+        visitor: &mut dyn FnMut(&Batch<'_>),
+    ) {
+        let batch_size = batch_size.max(1);
+        let start = range.start.min(self.num_rows);
+        let end = range.end.min(self.num_rows);
+        let cols: Vec<usize> = projection.iter().map(|c| c.index()).collect();
+        let mut staging: Vec<Staging> = projection
+            .iter()
+            .map(|c| Staging::for_type(self.schema.column(*c).ty))
+            .collect();
+        let mut validity: Vec<Vec<bool>> = vec![Vec::new(); projection.len()];
+        let mut has_null: Vec<bool> = vec![false; projection.len()];
+
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + batch_size).min(end);
+            for (slot, s) in staging.iter_mut().enumerate() {
+                s.clear();
+                validity[slot].clear();
+                has_null[slot] = false;
+            }
+            for row in lo..hi {
+                let base = row * self.stride;
+                for (slot, &col) in cols.iter().enumerate() {
+                    let valid = self.is_valid(base, col);
+                    let bits = if valid {
+                        let off = base + self.null_bytes + col * 8;
+                        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+                    } else {
+                        0
+                    };
+                    staging[slot].push_raw(bits, valid);
+                    validity[slot].push(valid);
+                    has_null[slot] |= !valid;
+                }
+            }
+            let columns: Vec<BatchColumn<'_>> = staging
+                .iter()
+                .enumerate()
+                .map(|(slot, s)| BatchColumn {
+                    data: s.as_data(),
+                    validity: has_null[slot].then_some(validity[slot].as_slice()),
+                })
+                .collect();
+            visitor(&Batch::new(lo, hi - lo, columns));
+            lo = hi;
         }
     }
 }

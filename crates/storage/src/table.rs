@@ -6,6 +6,7 @@
 //! Both storage layouts implement it, with costs characteristic of their
 //! layout (see crate docs).
 
+use crate::batch::{Batch, BatchColumn, Staging};
 use crate::dictionary::Dictionary;
 use crate::schema::{ColumnId, ColumnStats, Schema};
 use crate::value::Cell;
@@ -69,6 +70,61 @@ pub trait Table: Send + Sync {
         range: Range<usize>,
         visitor: &mut dyn FnMut(&[Cell]),
     );
+
+    /// Scans rows `range` in fixed-size [`Batch`]es of up to `batch_size`
+    /// rows, invoking `visitor` once per batch with typed per-column slices
+    /// (see [`crate::batch`]).
+    ///
+    /// The default implementation materializes each batch through
+    /// [`Table::scan_range`], which is correct for any layout; the column
+    /// store overrides it to serve numeric and categorical columns
+    /// zero-copy. Batches and their slices are only valid for the duration
+    /// of the visitor call.
+    fn scan_batches(
+        &self,
+        projection: &[ColumnId],
+        range: Range<usize>,
+        batch_size: usize,
+        visitor: &mut dyn FnMut(&Batch<'_>),
+    ) {
+        let batch_size = batch_size.max(1);
+        let start = range.start.min(self.num_rows());
+        let end = range.end.min(self.num_rows());
+        let schema = self.schema();
+        let mut staging: Vec<Staging> = projection
+            .iter()
+            .map(|c| Staging::for_type(schema.column(*c).ty))
+            .collect();
+        let mut validity: Vec<Vec<bool>> = vec![Vec::new(); projection.len()];
+        let mut has_null: Vec<bool> = vec![false; projection.len()];
+
+        let mut lo = start;
+        while lo < end {
+            let hi = (lo + batch_size).min(end);
+            for (slot, s) in staging.iter_mut().enumerate() {
+                s.clear();
+                validity[slot].clear();
+                has_null[slot] = false;
+            }
+            self.scan_range(projection, lo..hi, &mut |cells| {
+                for (slot, cell) in cells.iter().enumerate() {
+                    staging[slot].push(*cell);
+                    validity[slot].push(!cell.is_null());
+                    has_null[slot] |= cell.is_null();
+                }
+            });
+            let columns: Vec<BatchColumn<'_>> = staging
+                .iter()
+                .enumerate()
+                .map(|(slot, s)| BatchColumn {
+                    data: s.as_data(),
+                    validity: has_null[slot].then_some(validity[slot].as_slice()),
+                })
+                .collect();
+            visitor(&Batch::new(lo, hi - lo, columns));
+            lo = hi;
+        }
+    }
 
     /// Distinct non-NULL value count of a column, `|a_i|` in the paper.
     /// Never returns 0 (empty columns report 1) so that bin-packing weights

@@ -158,6 +158,52 @@ proptest! {
     }
 
     #[test]
+    fn batched_scan_matches_row_scan(
+        t in arb_table(),
+        batch_size in 1usize..70,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        // scan_batches (zero-copy for COL, materialized fallback for ROW)
+        // must reconstruct exactly what scan_range yields, cell for cell,
+        // for any batch size and sub-range.
+        let (row_t, col_t) = build_both(&t);
+        let projection: Vec<ColumnId> = (0..t.defs.len()).map(|i| ColumnId(i as u32)).collect();
+        let n = row_t.num_rows();
+        let lo = (lo_frac * n as f64) as usize;
+        let hi = (hi_frac * n as f64) as usize;
+        let range = lo.min(hi)..lo.max(hi);
+
+        for table in [&row_t, &col_t] {
+            let mut scan_out: Vec<Vec<Cell>> = Vec::new();
+            table.scan_range(&projection, range.clone(), &mut |cells| {
+                scan_out.push(cells.to_vec());
+            });
+
+            let mut batch_out: Vec<Vec<Cell>> = Vec::new();
+            let mut next_start = range.start;
+            table.scan_batches(&projection, range.clone(), batch_size, &mut |batch| {
+                assert_eq!(batch.start_row, next_start, "batches must be contiguous");
+                assert!(batch.len() <= batch_size && !batch.is_empty());
+                assert_eq!(batch.num_columns(), projection.len());
+                next_start += batch.len();
+                for i in 0..batch.len() {
+                    batch_out.push(
+                        (0..projection.len()).map(|slot| batch.column(slot).cell(i)).collect(),
+                    );
+                }
+            });
+
+            prop_assert_eq!(scan_out.len(), batch_out.len(), "{} row count", table.kind());
+            for (a, b) in scan_out.iter().zip(&batch_out) {
+                for (&x, &y) in a.iter().zip(b) {
+                    prop_assert!(cells_eq(x, y), "{} cell mismatch", table.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn scan_full_range_matches_random_access(t in arb_table()) {
         let (row_t, _) = build_both(&t);
         let projection: Vec<ColumnId> = (0..t.defs.len()).map(|i| ColumnId(i as u32)).collect();
