@@ -3,6 +3,10 @@
 //! 7a — combine multiple aggregates: latency as the cap on aggregates per
 //! combined query (`nagg`) grows; 1 is no combining.
 //! 7b — parallel query execution: latency as the worker count grows.
+//! 7c — morsel-driven parallelism: latency as the morsel size shrinks (the
+//! all-sharing configuration, where whole-cluster parallelism degenerates
+//! to a handful of clusters and intra-query splitting is what keeps the
+//! workers busy).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seedb_bench::{recommend, BENCH_SEED};
@@ -54,5 +58,34 @@ fn fig7b_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig7a_aggregates, fig7b_parallelism);
+fn fig7c_morsels(c: &mut Criterion) {
+    let config = SynConfig {
+        rows: 50_000,
+        dims: 10,
+        measures: 4,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&config, StoreKind::Column);
+    let mut group = c.benchmark_group("fig7c_morsels");
+    group.sample_size(10);
+    // usize::MAX = one whole-range morsel per cluster scan (the pre-morsel
+    // executor's behavior: parallelism across clusters only).
+    for (label, morsel_rows) in [
+        ("whole", usize::MAX),
+        ("64Ki", 64 * 1024),
+        ("16Ki", 16 * 1024),
+        ("4Ki", 4 * 1024),
+    ] {
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.sharing.parallelism = 8;
+        cfg.sharing.morsel_rows = morsel_rows;
+        group.bench_with_input(BenchmarkId::new("morsel", label), &dataset, |b, ds| {
+            b.iter(|| recommend(ds, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7a_aggregates, fig7b_parallelism, fig7c_morsels);
 criterion_main!(benches);

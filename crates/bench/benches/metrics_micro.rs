@@ -93,10 +93,57 @@ fn scan_aggregate_micro(c: &mut Criterion) {
     group.finish();
 }
 
+/// The raw morsel-scheduler hot path: one grouped AVG over the column
+/// store executed through `execute_morsels`, sweeping worker count at the
+/// default morsel size. Overhead relative to `scan_aggregate` at 1 thread
+/// is the scheduler's fixed cost; scaling from 1 → 8 threads is the
+/// intra-query parallelism payoff.
+fn morsel_scan_aggregate(c: &mut Criterion) {
+    use seedb_engine::{execute_morsels, with_pool, DEFAULT_MORSEL_ROWS};
+    let mut group = c.benchmark_group("morsel_scan_aggregate");
+    group.sample_size(15);
+    let dataset = syn(
+        &SynConfig {
+            rows: 50_000,
+            dims: 4,
+            measures: 2,
+            distinct: Some(10),
+            seed: BENCH_SEED,
+        },
+        StoreKind::Column,
+    );
+    let dim = dataset.table.schema().dimensions()[0];
+    let measure = dataset.table.schema().measures()[0];
+    let query = CombinedQuery {
+        group_by: vec![dim],
+        aggregates: vec![AggSpec::new(AggFunc::Avg, measure)],
+        filter: None,
+        split: SplitSpec::TargetVsAll(dataset.target.clone()),
+    };
+    for threads in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &query, |b, query| {
+            with_pool(threads, |pool| {
+                b.iter(|| {
+                    execute_morsels(
+                        pool,
+                        dataset.table.as_ref(),
+                        std::slice::from_ref(black_box(query)),
+                        0..dataset.rows(),
+                        ExecMode::Vectorized,
+                        DEFAULT_MORSEL_ROWS,
+                    )
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     metrics_micro,
     normalize_micro,
-    scan_aggregate_micro
+    scan_aggregate_micro,
+    morsel_scan_aggregate
 );
 criterion_main!(benches);

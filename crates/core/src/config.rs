@@ -116,8 +116,15 @@ pub struct SharingConfig {
     pub memory_budget: Option<usize>,
     /// Execute target and reference in one scan.
     pub combine_target_reference: bool,
-    /// Number of query clusters executed concurrently (Fig 7b); 1 = serial.
+    /// Number of pool workers executing `(cluster, morsel)` work items
+    /// concurrently (Fig 7b); 1 = serial.
     pub parallelism: usize,
+    /// Rows per morsel for intra-query parallelism. Every cluster scan is
+    /// split into morsels of this many rows, so even a single bin-packed
+    /// cluster parallelizes across all workers. Results are bit-identical
+    /// for every value (accumulators merge exactly); `usize::MAX` disables
+    /// splitting (one whole-range morsel per cluster scan).
+    pub morsel_rows: usize,
 }
 
 impl Default for SharingConfig {
@@ -130,6 +137,7 @@ impl Default for SharingConfig {
             memory_budget: None,
             combine_target_reference: true,
             parallelism: seedb_engine::parallel::default_parallelism(),
+            morsel_rows: seedb_engine::DEFAULT_MORSEL_ROWS,
         }
     }
 }
@@ -145,6 +153,7 @@ impl SharingConfig {
             memory_budget: None,
             combine_target_reference: false,
             parallelism: 1,
+            morsel_rows: seedb_engine::DEFAULT_MORSEL_ROWS,
         }
     }
 
@@ -248,6 +257,7 @@ mod tests {
         assert_eq!(cfg.num_phases, 10);
         assert_eq!(cfg.agg_functions, vec![AggFunc::Avg]);
         assert_eq!(cfg.engine_mode, ExecMode::Vectorized);
+        assert_eq!(cfg.sharing.morsel_rows, seedb_engine::DEFAULT_MORSEL_ROWS);
     }
 
     #[test]

@@ -25,10 +25,11 @@ use crate::reference::ReferenceSpec;
 use crate::state::{Side, ViewState};
 use crate::view::{ViewId, ViewSpec};
 use seedb_engine::{
-    binpack, parallel::run_parallel, rollup, AggSpec, CombinedQuery, ExecStats, GroupedResult,
-    PartialAggregation, Predicate, SplitSpec,
+    binpack, execute_morsels, rollup, with_pool, AggSpec, CombinedQuery, ExecStats, GroupedResult,
+    Pool, Predicate, SplitSpec,
 };
 use seedb_storage::{ColumnId, Table};
+use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
 /// Outcome of an execution: final per-view states plus run metadata.
@@ -117,39 +118,49 @@ impl<'a> Executor<'a> {
     }
 
     /// Runs the configured strategy over `views`.
+    ///
+    /// A single scoped worker pool ([`with_pool`]) lives for the whole run:
+    /// every phase's `(cluster, morsel)` work items execute on the same
+    /// workers instead of spawning fresh threads per phase.
     pub fn run(
         &self,
         views: &[ViewSpec],
         target: &Predicate,
         reference: &ReferenceSpec,
     ) -> ExecutionReport {
-        match self.config.strategy {
-            ExecutionStrategy::NoOpt => self.run_no_opt(views, target, reference),
-            ExecutionStrategy::Sharing => {
-                self.run_phased(views, target, reference, 1, PruningKind::None, false)
+        with_pool(self.config.sharing.parallelism, |pool| {
+            match self.config.strategy {
+                ExecutionStrategy::NoOpt => self.run_no_opt(pool, views, target, reference),
+                ExecutionStrategy::Sharing => {
+                    self.run_phased(pool, views, target, reference, 1, PruningKind::None, false)
+                }
+                ExecutionStrategy::Comb => self.run_phased(
+                    pool,
+                    views,
+                    target,
+                    reference,
+                    self.config.num_phases,
+                    self.config.pruning,
+                    false,
+                ),
+                ExecutionStrategy::CombEarly => self.run_phased(
+                    pool,
+                    views,
+                    target,
+                    reference,
+                    self.config.num_phases,
+                    self.config.pruning,
+                    true,
+                ),
             }
-            ExecutionStrategy::Comb => self.run_phased(
-                views,
-                target,
-                reference,
-                self.config.num_phases,
-                self.config.pruning,
-                false,
-            ),
-            ExecutionStrategy::CombEarly => self.run_phased(
-                views,
-                target,
-                reference,
-                self.config.num_phases,
-                self.config.pruning,
-                true,
-            ),
-        }
+        })
     }
 
-    /// The basic execution engine: two serial full-table queries per view.
+    /// The basic execution engine: two full-table queries per view (still
+    /// 2·a·m queries — only the scan of each query is morsel-parallel).
     fn run_no_opt(
         &self,
+        pool: &Pool<'_>,
         views: &[ViewSpec],
         target: &Predicate,
         reference: &ReferenceSpec,
@@ -159,21 +170,32 @@ impl<'a> Executor<'a> {
         let ref_pred = reference.reference_predicate(target);
         let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
 
-        let mode = self.config.engine_mode;
-        for state in &mut states {
-            let spec = state.spec;
-            let agg = AggSpec::new(spec.func, spec.measure);
-            let t_query =
-                CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(target.clone()));
-            let t_result =
-                seedb_engine::execute_combined_with_mode(self.table, &t_query, mode, &mut stats);
-            state.merge_into_side(&t_result, 0, Side::Target);
-
-            let r_query =
-                CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(ref_pred.clone()));
-            let r_result =
-                seedb_engine::execute_combined_with_mode(self.table, &r_query, mode, &mut stats);
-            state.merge_into_side(&r_result, 0, Side::Reference);
+        let queries: Vec<CombinedQuery> = views
+            .iter()
+            .flat_map(|spec| {
+                let agg = AggSpec::new(spec.func, spec.measure);
+                [
+                    CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(target.clone())),
+                    CombinedQuery::single(spec.dim, agg, SplitSpec::TargetOnly(ref_pred.clone())),
+                ]
+            })
+            .collect();
+        let results = execute_morsels(
+            pool,
+            self.table,
+            &queries,
+            0..self.table.num_rows(),
+            self.config.engine_mode,
+            self.config.sharing.morsel_rows,
+        );
+        for (state, pair) in states.iter_mut().zip(results.chunks_exact(2)) {
+            let [(t_result, t_stats), (r_result, r_stats)] = pair else {
+                unreachable!("two queries per view");
+            };
+            stats.merge(t_stats);
+            stats.merge(r_stats);
+            state.merge_into_side(t_result, 0, Side::Target);
+            state.merge_into_side(r_result, 0, Side::Reference);
         }
 
         ExecutionReport {
@@ -186,8 +208,10 @@ impl<'a> Executor<'a> {
     }
 
     /// The phased shared executor described in the module docs.
+    #[allow(clippy::too_many_arguments)] // strategy knobs + the shared pool
     fn run_phased(
         &self,
+        pool: &Pool<'_>,
         views: &[ViewSpec],
         target: &Predicate,
         reference: &ReferenceSpec,
@@ -218,47 +242,52 @@ impl<'a> Executor<'a> {
             }
             let clusters = self.build_clusters(&live);
 
-            // Execute this phase's clusters (in parallel when configured).
+            // Execute this phase's clusters: every cluster query is split
+            // into morsels and all `(cluster, morsel)` work items share the
+            // run-wide worker pool, so even a single bin-packed all-sharing
+            // cluster uses every worker.
             let sharing = &self.config.sharing;
             let combine_tr = sharing.combine_target_reference;
-            let mode = self.config.engine_mode;
-            let results: Vec<(Vec<GroupedResult>, ExecStats)> =
-                run_parallel(clusters.len(), sharing.parallelism, |ci| {
-                    let cluster = &clusters[ci];
-                    let mut local = ExecStats::new();
-                    let mut outs = Vec::with_capacity(2);
+            let queries_per_cluster = if combine_tr { 1 } else { 2 };
+            let queries: Vec<CombinedQuery> = clusters
+                .iter()
+                .flat_map(|cluster| {
+                    let query = |split: SplitSpec| CombinedQuery {
+                        group_by: cluster.group_by.clone(),
+                        aggregates: cluster.aggregates.clone(),
+                        filter: None,
+                        split,
+                    };
                     if combine_tr {
-                        let q = CombinedQuery {
-                            group_by: cluster.group_by.clone(),
-                            aggregates: cluster.aggregates.clone(),
-                            filter: None,
-                            split: reference.to_split(target.clone()),
-                        };
-                        local.queries_issued += 1;
-                        let mut agg = PartialAggregation::with_mode(q, mode);
-                        agg.update(self.table, range.clone(), &mut local);
-                        outs.push(agg.finalize());
+                        vec![query(reference.to_split(target.clone()))]
                     } else {
-                        for pred in [target.clone(), ref_pred.clone()] {
-                            let q = CombinedQuery {
-                                group_by: cluster.group_by.clone(),
-                                aggregates: cluster.aggregates.clone(),
-                                filter: None,
-                                split: SplitSpec::TargetOnly(pred),
-                            };
-                            local.queries_issued += 1;
-                            let mut agg = PartialAggregation::with_mode(q, mode);
-                            agg.update(self.table, range.clone(), &mut local);
-                            outs.push(agg.finalize());
-                        }
+                        vec![
+                            query(SplitSpec::TargetOnly(target.clone())),
+                            query(SplitSpec::TargetOnly(ref_pred.clone())),
+                        ]
                     }
-                    (outs, local)
-                });
+                })
+                .collect();
+            let results = execute_morsels(
+                pool,
+                self.table,
+                &queries,
+                range.clone(),
+                self.config.engine_mode,
+                sharing.morsel_rows,
+            );
 
             // Fold results into view states, rolling up multi-GB clusters.
-            for (cluster, (outs, local_stats)) in clusters.iter().zip(&results) {
-                stats.merge(local_stats);
-                for (dim_pos, out_pair) in roll_cluster(cluster, outs) {
+            for (cluster, cluster_results) in clusters
+                .iter()
+                .zip(results.chunks_exact(queries_per_cluster))
+            {
+                let mut outs = Vec::with_capacity(queries_per_cluster);
+                for (result, local_stats) in cluster_results {
+                    stats.merge(local_stats);
+                    outs.push(result);
+                }
+                for (dim_pos, out_pair) in roll_cluster(cluster, &outs) {
                     for &(view_id, agg_idx, member_dim_pos) in &cluster.members {
                         if member_dim_pos != dim_pos {
                             continue;
@@ -397,17 +426,19 @@ impl<'a> Executor<'a> {
     }
 }
 
-/// A cluster's results rolled up to one of its dimensions.
-enum RolledPair {
+/// A cluster's results rolled up to one of its dimensions. Single-dim
+/// clusters borrow the executed result as-is (no copy); only multi-GB
+/// clusters own freshly rolled-up results.
+enum RolledPair<'a> {
     /// Single combined target+reference result.
-    Combined(GroupedResult),
+    Combined(Cow<'a, GroupedResult>),
     /// Separate target and reference results.
-    Separate(GroupedResult, GroupedResult),
+    Separate(Cow<'a, GroupedResult>, Cow<'a, GroupedResult>),
 }
 
 /// Rolls a cluster's raw outputs up to every dimension position present in
 /// its member list, returning `(dim_pos, rolled results)` pairs.
-fn roll_cluster(cluster: &Cluster, outs: &[GroupedResult]) -> Vec<(usize, RolledPair)> {
+fn roll_cluster<'a>(cluster: &Cluster, outs: &[&'a GroupedResult]) -> Vec<(usize, RolledPair<'a>)> {
     let mut dim_positions: Vec<usize> = cluster.members.iter().map(|m| m.2).collect();
     dim_positions.sort_unstable();
     dim_positions.dedup();
@@ -415,11 +446,11 @@ fn roll_cluster(cluster: &Cluster, outs: &[GroupedResult]) -> Vec<(usize, Rolled
     dim_positions
         .into_iter()
         .map(|dim_pos| {
-            let roll = |r: &GroupedResult| -> GroupedResult {
+            let roll = |r: &'a GroupedResult| -> Cow<'a, GroupedResult> {
                 if cluster.group_by.len() > 1 {
-                    rollup(r, dim_pos)
+                    Cow::Owned(rollup(r, dim_pos))
                 } else {
-                    r.clone()
+                    Cow::Borrowed(r)
                 }
             };
             let pair = match outs {
@@ -898,6 +929,64 @@ mod tests {
                 assert_eq!(per_mode[0], per_mode[1], "{kind} {strategy}");
             }
         }
+    }
+
+    #[test]
+    fn utilities_bit_identical_across_parallelism_and_morsels() {
+        // The morsel-driven executor promises *bit-identical* utilities for
+        // every (worker count, morsel size, store layout, engine mode)
+        // combination — the all-sharing configuration exercises the
+        // composite dense index (vectorized) and the hash path (scalar).
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let mut baseline: Option<Vec<f64>> = None;
+            for mode in seedb_engine::ExecMode::ALL {
+                for parallelism in [1usize, 2, 8] {
+                    for morsel_rows in [1usize, 7, 1024, usize::MAX] {
+                        let table = test_table(kind);
+                        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+                        cfg.sharing.parallelism = parallelism;
+                        cfg.sharing.morsel_rows = morsel_rows;
+                        cfg.sharing.memory_budget = Some(1_000_000);
+                        cfg.engine_mode = mode;
+                        let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
+                        let exec = Executor::new(table.as_ref(), &cfg);
+                        let report =
+                            exec.run(&views, &target(table.as_ref()), &ReferenceSpec::WholeTable);
+                        let utils = utilities(&report);
+                        match &baseline {
+                            None => baseline = Some(utils),
+                            Some(want) => assert_eq!(
+                                want, &utils,
+                                "{kind} {mode} par={parallelism} morsel={morsel_rows}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_opt_runs_morsel_parallel_with_identical_utilities() {
+        let (serial, ..) = run_with(
+            ExecutionStrategy::NoOpt,
+            SharingConfig::none(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        let (parallel, ..) = run_with(
+            ExecutionStrategy::NoOpt,
+            SharingConfig {
+                parallelism: 8,
+                morsel_rows: 64,
+                ..SharingConfig::none()
+            },
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        assert_eq!(utilities(&serial), utilities(&parallel));
+        assert_eq!(serial.stats.queries_issued, parallel.stats.queries_issued);
+        assert_eq!(serial.stats.rows_scanned, parallel.stats.rows_scanned);
     }
 
     #[test]

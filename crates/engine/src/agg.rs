@@ -6,8 +6,23 @@
 //!
 //! A single [`Accumulator`] carries enough state (count, sum, min, max) to
 //! finalize *any* of the functions, and merges losslessly — the property
-//! that makes both the multi-GROUP-BY rollup and the phased partial
-//! execution correct.
+//! that makes the multi-GROUP-BY rollup, the phased partial execution,
+//! *and* morsel-driven parallel execution correct.
+//!
+//! ## Order-invariant summation
+//!
+//! Naive `f64` addition is not associative, so a partition-and-merge
+//! execution (phases, morsels, rollups) would drift from the serial result
+//! by a few ULPs depending on where the partition boundaries fall. The
+//! engine promises **bit-identical** results across execution shapes, so
+//! SUM is kept as an exact Shewchuk-style expansion ([`ExactSum`], the
+//! algorithm behind Python's `math.fsum`): the accumulator state represents
+//! the *exact* real-number sum of everything fed in, and finalization
+//! rounds it correctly once. The rounded value therefore depends only on
+//! the multiset of inputs — never on accumulation or merge order. COUNT,
+//! MIN, and MAX are order-invariant by nature; non-finite inputs are
+//! tracked as flags (any NaN, or both infinities ⇒ NaN; one-sided
+//! infinities saturate), which is again order-independent.
 
 use std::fmt;
 use std::str::FromStr;
@@ -70,13 +85,280 @@ impl FromStr for AggFunc {
     }
 }
 
+/// Error-free transformation: `a + b = s + err` exactly (Knuth's TwoSum,
+/// branchless, magnitude order irrelevant). Produces the same `(s, err)`
+/// values as the compare-and-swap fast-two-sum, so expansions built with it
+/// are identical to CPython `fsum` partials and the proven rounding tail
+/// applies unchanged.
+#[inline(always)]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let err = (a - (s - bb)) + (b - bb);
+    (s, err)
+}
+
+/// Number of expansion partials stored inline (no heap). Well-conditioned
+/// data settles at one or two partials; three covers almost everything
+/// else, and pathological exponent spreads spill to a heap vector.
+const INLINE_PARTIALS: usize = 3;
+
+/// Exact running sum of `f64` values: a Shewchuk expansion of
+/// non-overlapping partials in increasing magnitude order, whose sum is the
+/// exact real sum of all finite inputs, plus flags for non-finite inputs.
+///
+/// Each add is an error-free grow-expansion step (the algorithm behind
+/// CPython's `math.fsum` — TwoSum against each partial, dropping zeros), so
+/// the expansion stays short in practice and lives in the inline buffer on
+/// the hot path.
+///
+/// **Overflow domain**: exactness — and therefore order-invariance — is
+/// guaranteed while `Σ|xᵢ|` stays within `f64` range (a property of the
+/// multiset, not of any particular order). Beyond that, where CPython's
+/// `fsum` raises `OverflowError`, this accumulator saturates to ±∞ exactly
+/// like naive IEEE summation would (the overflowing step's NaN residuals
+/// are scrubbed, never exposed); which side saturates first can then depend
+/// on partition boundaries, just as it depends on input order for a naive
+/// sum. SeeDB measure data is ~600 orders of magnitude away from this
+/// regime.
+#[derive(Debug, Clone, Default)]
+struct ExactSum {
+    /// Inline partials `inline[..len]`, unused once spilled.
+    inline: [f64; INLINE_PARTIALS],
+    /// Live inline partial count (meaningless after spilling).
+    len: u8,
+    /// A `+∞` input was observed.
+    pos_inf: bool,
+    /// A `−∞` input was observed.
+    neg_inf: bool,
+    /// A NaN input was observed.
+    nan: bool,
+    /// Overflow storage once the expansion outgrows the inline buffer
+    /// (sticky: never moves back inline; empty ⇔ not spilled, and a spilled
+    /// expansion always keeps at least one partial).
+    spill: Vec<f64>,
+}
+
+impl ExactSum {
+    #[inline]
+    fn add(&mut self, x: f64) {
+        if x.is_finite() {
+            // Hot path: zero or one live partials, inline.
+            if self.spill.is_empty() && self.len <= 1 {
+                if self.len == 0 {
+                    self.inline[0] = x;
+                    self.len = 1;
+                    return;
+                }
+                let (hi, lo) = two_sum(self.inline[0], x);
+                if !hi.is_finite() {
+                    self.overflowed(hi);
+                    return;
+                }
+                if lo == 0.0 {
+                    self.inline[0] = hi;
+                } else {
+                    self.inline[0] = lo;
+                    self.inline[1] = hi;
+                    self.len = 2;
+                }
+                return;
+            }
+            self.add_general(x);
+        } else if x.is_nan() {
+            self.nan = true;
+        } else if x > 0.0 {
+            self.pos_inf = true;
+        } else {
+            self.neg_inf = true;
+        }
+    }
+
+    /// Grow-expansion over two or more partials (inline or spilled).
+    fn add_general(&mut self, mut x: f64) {
+        if !self.spill.is_empty() {
+            let mut i = 0;
+            for j in 0..self.spill.len() {
+                let (hi, lo) = two_sum(x, self.spill[j]);
+                if lo != 0.0 {
+                    self.spill[i] = lo;
+                    i += 1;
+                }
+                x = hi;
+            }
+            if !x.is_finite() {
+                self.spill.truncate(i);
+                self.overflowed(x);
+                return;
+            }
+            self.spill.truncate(i);
+            self.spill.push(x);
+            return;
+        }
+        if self.len == 2 {
+            // The steady state for well-conditioned data ([error, sum]):
+            // unrolled, branching only on which residuals survive.
+            let (h0, l0) = two_sum(x, self.inline[0]);
+            let (h1, l1) = two_sum(h0, self.inline[1]);
+            if !h1.is_finite() {
+                self.overflowed(h1);
+                return;
+            }
+            match (l0 != 0.0, l1 != 0.0) {
+                (false, false) => {
+                    self.inline[0] = h1;
+                    self.len = 1;
+                }
+                (true, false) => {
+                    self.inline[0] = l0;
+                    self.inline[1] = h1;
+                }
+                (false, true) => {
+                    self.inline[0] = l1;
+                    self.inline[1] = h1;
+                }
+                (true, true) => {
+                    self.inline[0] = l0;
+                    self.inline[1] = l1;
+                    self.inline[2] = h1;
+                    self.len = 3;
+                }
+            }
+            return;
+        }
+        let len = self.len as usize;
+        let mut i = 0;
+        for j in 0..len {
+            let (hi, lo) = two_sum(x, self.inline[j]);
+            if lo != 0.0 {
+                self.inline[i] = lo;
+                i += 1;
+            }
+            x = hi;
+        }
+        if !x.is_finite() {
+            self.len = i as u8;
+            self.overflowed(x);
+            return;
+        }
+        if i < INLINE_PARTIALS {
+            self.inline[i] = x;
+            self.len = (i + 1) as u8;
+        } else {
+            self.spill.reserve(2 * INLINE_PARTIALS);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(x);
+        }
+    }
+
+    /// An intermediate sum overflowed `f64` (only reachable once `Σ|xᵢ|`
+    /// leaves the `f64` range): saturate like naive IEEE summation and
+    /// scrub the overflowing step's non-finite residuals so no NaN partial
+    /// ever lingers in the expansion.
+    #[cold]
+    fn overflowed(&mut self, top: f64) {
+        if top.is_nan() {
+            self.nan = true;
+        } else if top > 0.0 {
+            self.pos_inf = true;
+        } else {
+            self.neg_inf = true;
+        }
+        if self.spill.is_empty() {
+            let mut k = 0;
+            for j in 0..self.len as usize {
+                let p = self.inline[j];
+                if p.is_finite() {
+                    self.inline[k] = p;
+                    k += 1;
+                }
+            }
+            self.len = k as u8;
+        } else {
+            self.spill.retain(|p| p.is_finite());
+            if self.spill.is_empty() {
+                // The scrub emptied the spill, flipping the storage back
+                // to inline mode — the stale inline prefix must not
+                // resurface as live partials.
+                self.len = 0;
+            }
+        }
+    }
+
+    /// The live partials, wherever they are stored.
+    fn partials(&self) -> &[f64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn merge(&mut self, other: &ExactSum) {
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+        self.nan |= other.nan;
+        for &p in other.partials() {
+            self.add(p);
+        }
+    }
+
+    /// Correctly-rounded value of the exact sum. Depends only on the
+    /// multiset of inputs, not the order they were added or merged in.
+    fn value(&self) -> f64 {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            return f64::NAN;
+        }
+        if self.pos_inf {
+            return f64::INFINITY;
+        }
+        if self.neg_inf {
+            return f64::NEG_INFINITY;
+        }
+        // Sum the partials from largest to smallest magnitude, stopping at
+        // the first inexact step, then apply the round-half-even correction
+        // (the `fsum` tail).
+        let p = self.partials();
+        let Some(&last) = p.last() else {
+            return 0.0;
+        };
+        let mut n = p.len() - 1;
+        let mut hi = last;
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = p[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        if n > 0 && ((lo < 0.0 && p[n - 1] < 0.0) || (lo > 0.0 && p[n - 1] > 0.0)) {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+}
+
 /// Mergeable aggregation state sufficient for every [`AggFunc`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality compares *observable* state — count, the rounded sum, min, max
+/// — not the internal expansion, so two accumulators that consumed the same
+/// multiset of values through different partitions compare equal (and NaN
+/// sums compare equal to NaN sums, which the equivalence suites rely on).
+#[derive(Debug, Clone)]
 pub struct Accumulator {
     /// Number of non-NULL values observed.
     pub count: u64,
-    /// Sum of observed values.
-    pub sum: f64,
+    /// Exact sum of observed values.
+    sum: ExactSum,
     /// Minimum observed value (`+inf` when empty).
     pub min: f64,
     /// Maximum observed value (`-inf` when empty).
@@ -87,10 +369,20 @@ impl Default for Accumulator {
     fn default() -> Self {
         Accumulator {
             count: 0,
-            sum: 0.0,
+            sum: ExactSum::default(),
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
+    }
+}
+
+impl PartialEq for Accumulator {
+    fn eq(&self, other: &Self) -> bool {
+        let sum_eq = {
+            let (a, b) = (self.sum.value(), other.sum.value());
+            a == b || (a.is_nan() && b.is_nan())
+        };
+        self.count == other.count && sum_eq && self.min == other.min && self.max == other.max
     }
 }
 
@@ -105,7 +397,7 @@ impl Accumulator {
     pub fn update(&mut self, value: Option<f64>) {
         if let Some(x) = value {
             self.count += 1;
-            self.sum += x;
+            self.sum.add(x);
             if x < self.min {
                 self.min = x;
             }
@@ -115,11 +407,13 @@ impl Accumulator {
         }
     }
 
-    /// Merges another accumulator into this one (for rollups and
-    /// cross-phase merging).
+    /// Merges another accumulator into this one (for rollups, cross-phase
+    /// merging, and morsel-partial folding). Exact: the merged state equals
+    /// the state of a single accumulator fed both input multisets, in any
+    /// order.
     pub fn merge(&mut self, other: &Accumulator) {
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum.merge(&other.sum);
         if other.min < self.min {
             self.min = other.min;
         }
@@ -133,6 +427,11 @@ impl Accumulator {
         self.count == 0
     }
 
+    /// The correctly-rounded sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum.value()
+    }
+
     /// Finalizes the accumulator under `func`. Returns `None` when the
     /// group saw no values and the function has no defined result
     /// (AVG/MIN/MAX of an empty set); `COUNT` and `SUM` of an empty set are
@@ -140,12 +439,12 @@ impl Accumulator {
     pub fn finish(&self, func: AggFunc) -> Option<f64> {
         match func {
             AggFunc::Count => Some(self.count as f64),
-            AggFunc::Sum => Some(self.sum),
+            AggFunc::Sum => Some(self.sum.value()),
             AggFunc::Avg => {
                 if self.count == 0 {
                     None
                 } else {
-                    Some(self.sum / self.count as f64)
+                    Some(self.sum.value() / self.count as f64)
                 }
             }
             AggFunc::Min => self
@@ -213,13 +512,137 @@ mod tests {
     fn merge_with_empty_is_identity() {
         let mut a = Accumulator::new();
         a.update(Some(7.0));
-        let before = a;
+        let before = a.clone();
         a.merge(&Accumulator::new());
         assert_eq!(a, before);
 
         let mut empty = Accumulator::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn summation_is_bit_identical_across_partitions() {
+        // Values chosen so naive left-to-right f64 addition differs by ULPs
+        // from the re-associated (partitioned-and-merged) addition; the
+        // exact accumulator must agree bitwise under every partitioning.
+        let values: Vec<f64> = (0..257)
+            .map(|i| {
+                let x = (i as f64) * 0.1 - 11.7;
+                x * (1.0 + (i % 13) as f64 * 1e-13)
+            })
+            .collect();
+        // Sanity: the naive sums genuinely disagree, so this test has teeth.
+        let naive_whole: f64 = values.iter().sum();
+        let naive_split = values[..100].iter().sum::<f64>() + values[100..].iter().sum::<f64>();
+        assert_ne!(naive_whole.to_bits(), naive_split.to_bits());
+
+        let mut serial = Accumulator::new();
+        for &x in &values {
+            serial.update(Some(x));
+        }
+        for split_at in [1, 7, 100, 256] {
+            let mut left = Accumulator::new();
+            let mut right = Accumulator::new();
+            for &x in &values[..split_at] {
+                left.update(Some(x));
+            }
+            for &x in &values[split_at..] {
+                right.update(Some(x));
+            }
+            left.merge(&right);
+            assert_eq!(
+                serial.finish(AggFunc::Sum).unwrap().to_bits(),
+                left.finish(AggFunc::Sum).unwrap().to_bits(),
+                "split at {split_at}"
+            );
+            assert_eq!(
+                serial.finish(AggFunc::Avg).unwrap().to_bits(),
+                left.finish(AggFunc::Avg).unwrap().to_bits(),
+                "avg split at {split_at}"
+            );
+        }
+        // Merge in the reverse order too: order must not matter.
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &values[..100] {
+            left.update(Some(x));
+        }
+        for &x in &values[100..] {
+            right.update(Some(x));
+        }
+        right.merge(&left);
+        assert_eq!(
+            serial.finish(AggFunc::Sum).unwrap().to_bits(),
+            right.finish(AggFunc::Sum).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_are_order_invariant() {
+        let feed = |values: &[f64]| {
+            let mut a = Accumulator::new();
+            for &x in values {
+                a.update(Some(x));
+            }
+            a.finish(AggFunc::Sum).unwrap()
+        };
+        // One-sided infinity saturates regardless of position.
+        assert_eq!(feed(&[1.0, f64::INFINITY, 2.0]), f64::INFINITY);
+        assert_eq!(feed(&[f64::INFINITY, 1.0, 2.0]), f64::INFINITY);
+        assert_eq!(feed(&[1.0, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        // Both infinities (or any NaN) poison the sum, in any order.
+        assert!(feed(&[f64::INFINITY, f64::NEG_INFINITY, 1.0]).is_nan());
+        assert!(feed(&[1.0, f64::NEG_INFINITY, f64::INFINITY]).is_nan());
+        assert!(feed(&[f64::NAN, 1.0]).is_nan());
+        // Merging non-finite partials behaves identically.
+        let mut a = Accumulator::new();
+        a.update(Some(f64::INFINITY));
+        let mut b = Accumulator::new();
+        b.update(Some(f64::NEG_INFINITY));
+        a.merge(&b);
+        assert!(a.finish(AggFunc::Sum).unwrap().is_nan());
+        // Min/max ignore nothing: infinities participate normally.
+        assert_eq!(a.finish(AggFunc::Min), Some(f64::NEG_INFINITY));
+        assert_eq!(a.finish(AggFunc::Max), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn intermediate_overflow_saturates_like_ieee_summation() {
+        // Σ|xᵢ| exceeds the f64 range, so the exactness contract no longer
+        // applies; the sum must saturate to ±∞ exactly as naive IEEE
+        // addition would — never surface a NaN from the overflowing
+        // TwoSum's residuals.
+        let mut a = Accumulator::new();
+        for x in [1e308, 1e308, -1e308] {
+            a.update(Some(x));
+        }
+        assert_eq!(a.finish(AggFunc::Sum), Some(f64::INFINITY)); // == naive
+                                                                 // Continues to behave after saturation; min/max/count unaffected.
+        a.update(Some(5.0));
+        assert_eq!(a.finish(AggFunc::Sum), Some(f64::INFINITY));
+        assert_eq!(a.count, 4);
+        assert_eq!(a.finish(AggFunc::Min), Some(-1e308));
+
+        // Negative direction saturates to −∞.
+        let mut b = Accumulator::new();
+        for x in [-1e308, -1e308] {
+            b.update(Some(x));
+        }
+        assert_eq!(b.finish(AggFunc::Sum), Some(f64::NEG_INFINITY));
+
+        // Overflow in both directions poisons to NaN, like inf + -inf.
+        b.merge(&a);
+        assert!(b.finish(AggFunc::Sum).unwrap().is_nan());
+
+        // Deeper expansions overflow safely too (spill + general paths).
+        let mut c = Accumulator::new();
+        for i in 0..64 {
+            c.update(Some(1e300 * (1.0 + (i % 9) as f64 * 1e-13)));
+            c.update(Some(1e30 + i as f64));
+            c.update(Some(f64::MAX / 4.0));
+        }
+        assert_eq!(c.finish(AggFunc::Sum), Some(f64::INFINITY));
     }
 
     #[test]

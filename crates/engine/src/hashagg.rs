@@ -12,16 +12,19 @@
 //!   yields a `Cell` slice per row and every row pays a hash lookup.
 //! * **Vectorized** (default) — `Table::scan_batches` yields typed column
 //!   slices; predicates evaluate to selection bitmaps
-//!   ([`BoundPredicate::eval_batch`]), and single-attribute group-bys over
-//!   dictionary-encoded columns aggregate through a **dense
-//!   dictionary-direct index** (a `Vec` indexed by dictionary code,
-//!   bypassing the hash map entirely) whenever the attribute's cardinality
-//!   is at most [`DENSE_CARDINALITY_MAX`]. Multi-GROUP-BY clusters and
-//!   non-categorical grouping attributes keep the hash path.
+//!   ([`BoundPredicate::eval_batch`]), and group lookups go through a
+//!   **dense index** whenever the grouping domain fits
+//!   [`DENSE_CARDINALITY_MAX`]: dictionary-direct for single-attribute
+//!   group-bys, **mixed-radix composite** for bin-packed multi-GROUP-BY
+//!   clusters (per-attribute codes encode into one slot index — no
+//!   `GroupKey` allocation, no hash probe per row). Stray codes spill to
+//!   the hash map; non-categorical attributes and oversized domains keep
+//!   the hash path.
 //!
-//! Both modes consume rows in the same order, so floating-point
-//! accumulation is bit-identical between them — a property the
-//! equivalence test suite asserts exactly.
+//! Both modes consume rows in the same order, and partials
+//! ([`PartialAggregation::merge`]) fold exactly, so results are
+//! bit-identical across modes, phase partitions, and morsel-parallel
+//! execution — a property the equivalence test suites assert exactly.
 
 use crate::agg::Accumulator;
 use crate::expr::BoundPredicate;
@@ -91,17 +94,52 @@ impl BoundSplit {
     }
 }
 
+/// One grouping attribute's place in a composite (mixed-radix) dense
+/// index: `base` radix values per attribute (dictionary cardinality + 1
+/// for the NULL slot) and the attribute's positional `stride`.
+#[derive(Debug, Clone, Copy)]
+struct RadixDim {
+    base: u64,
+    stride: u64,
+}
+
+/// Mixed-radix slot of a code tuple, or `None` when any code falls outside
+/// its planned radix (a stray code — e.g. from a different table instance —
+/// which must spill to the hash map instead).
+#[inline]
+fn composite_slot(dims: &[RadixDim], codes: &[u64]) -> Option<usize> {
+    let mut slot = 0u64;
+    for (d, &code) in dims.iter().zip(codes) {
+        // NULL (code u64::MAX) owns sub-slot 0; code c owns c + 1.
+        let sub = if code == u64::MAX { 0 } else { code + 1 };
+        if sub >= d.base {
+            return None;
+        }
+        slot += sub * d.stride;
+    }
+    Some(slot as usize)
+}
+
 /// Group-index strategy of the vectorized path.
 enum DenseIndex {
     /// Not yet decided (no batch seen); resolved on the first update.
     Undecided,
-    /// Hash lookups (multi-GROUP-BY, non-categorical attribute, or
-    /// cardinality above [`DENSE_CARDINALITY_MAX`]).
+    /// Hash lookups (non-categorical attribute or cardinality above
+    /// [`DENSE_CARDINALITY_MAX`]).
     Disabled,
-    /// Dense dictionary-direct index: `slots[code + 1]` holds
+    /// Single-attribute dictionary-direct index: `slots[code + 1]` holds
     /// `entry_index + 1` (0 = group not yet observed); `slots[0]` is the
-    /// NULL group's slot.
-    Enabled { slots: Vec<u32> },
+    /// NULL group's slot. Grows on demand for codes past the planning-time
+    /// dictionary, up to the dense cap.
+    Single { slots: Vec<u32> },
+    /// Composite dense index for bin-packed multi-GROUP-BY clusters: the
+    /// per-attribute dictionary codes are mixed-radix-encoded into one slot
+    /// index (`Σ (codeᵢ + 1) · strideᵢ`, NULL = 0). Fixed-size — codes
+    /// beyond an attribute's planned radix spill to the hash map.
+    Composite {
+        slots: Vec<u32>,
+        dims: Vec<RadixDim>,
+    },
 }
 
 /// Accumulated state of one group.
@@ -109,6 +147,16 @@ struct GroupState {
     key: GroupKey,
     target: Vec<Accumulator>,
     reference: Vec<Accumulator>,
+}
+
+impl GroupState {
+    fn new(key: GroupKey, n_aggs: usize) -> Self {
+        GroupState {
+            key,
+            target: vec![Accumulator::new(); n_aggs],
+            reference: vec![Accumulator::new(); n_aggs],
+        }
+    }
 }
 
 /// Resumable grouped aggregation over a [`CombinedQuery`].
@@ -302,23 +350,60 @@ impl PartialAggregation {
         stats.groups_max = stats.groups_max.max(self.entries.len() as u64);
     }
 
-    /// Picks the vectorized path's group index on the first batch: dense
-    /// dictionary-direct when grouping by one categorical attribute of
-    /// cardinality ≤ [`DENSE_CARDINALITY_MAX`], hash otherwise.
+    /// Picks the vectorized path's group index on the first batch:
+    ///
+    /// * one categorical attribute of cardinality ≤
+    ///   [`DENSE_CARDINALITY_MAX`] → the growable single-attribute
+    ///   dictionary-direct index;
+    /// * several attributes, all dictionary-encoded, whose mixed-radix
+    ///   domain `Π (|aᵢ| + 1)` fits the dense cap → the composite
+    ///   dense index (the bin-packed cluster case: the §4.1 memory budget
+    ///   already bounds `Π |aᵢ|`, so packed clusters qualify whenever the
+    ///   budget is within the cap);
+    /// * anything else → hash lookups.
     fn ensure_group_index(&mut self, table: &dyn Table) {
         if !matches!(self.dense, DenseIndex::Undecided) {
             return;
         }
         self.dense = if self.group_slots.len() == 1 {
             match table.dictionary(self.query.group_by[0]) {
-                Some(d) if d.len() <= DENSE_CARDINALITY_MAX => DenseIndex::Enabled {
+                Some(d) if d.len() <= DENSE_CARDINALITY_MAX => DenseIndex::Single {
                     // Slot 0 is the NULL group; code c maps to slot c + 1.
                     slots: vec![0; d.len() + 1],
                 },
                 _ => DenseIndex::Disabled,
             }
         } else {
-            DenseIndex::Disabled
+            let mut bases = Vec::with_capacity(self.group_slots.len());
+            let mut domain: u128 = 1;
+            for &col in &self.query.group_by {
+                match table.dictionary(col) {
+                    Some(d) => {
+                        let base = d.len() as u64 + 1; // + NULL slot
+                        domain = domain.saturating_mul(base as u128);
+                        bases.push(base);
+                    }
+                    None => {
+                        domain = u128::MAX;
+                        break;
+                    }
+                }
+            }
+            if domain <= DENSE_CARDINALITY_MAX as u128 + 1 {
+                // Last attribute varies fastest (row-major radix layout).
+                let mut dims = vec![RadixDim { base: 0, stride: 0 }; bases.len()];
+                let mut stride = 1u64;
+                for (i, &base) in bases.iter().enumerate().rev() {
+                    dims[i] = RadixDim { base, stride };
+                    stride *= base;
+                }
+                DenseIndex::Composite {
+                    slots: vec![0; domain as usize],
+                    dims,
+                }
+            } else {
+                DenseIndex::Disabled
+            }
         };
     }
 
@@ -367,14 +452,31 @@ impl PartialAggregation {
                     r_bits.and_assign(&f_bits);
                 }
 
+                // Hoist each measure's typed slice when it is a dense
+                // `f64` column (the overwhelmingly common measure shape) so
+                // the per-row loop skips the `BatchData` dispatch.
+                let measures: Vec<(usize, Option<&[f64]>)> = measure_slots
+                    .iter()
+                    .map(|&slot| {
+                        let col = batch.column(slot);
+                        let fast = match (col.data, col.validity) {
+                            (seedb_storage::BatchData::Float(v), None) => Some(v),
+                            _ => None,
+                        };
+                        (slot, fast)
+                    })
+                    .collect();
                 let visit = |entries: &mut Vec<GroupState>,
                              i: usize,
                              entry_idx: usize,
                              is_t: bool,
                              is_r: bool| {
                     let entry = &mut entries[entry_idx];
-                    for (agg_idx, &slot) in measure_slots.iter().enumerate() {
-                        let v = batch.column(slot).value_f64(i);
+                    for (agg_idx, &(slot, fast)) in measures.iter().enumerate() {
+                        let v = match fast {
+                            Some(values) => Some(values[i]),
+                            None => batch.column(slot).value_f64(i),
+                        };
                         if is_t {
                             entry.target[agg_idx].update(v);
                         }
@@ -384,97 +486,132 @@ impl PartialAggregation {
                     }
                 };
 
-                if let DenseIndex::Enabled { slots } = dense {
-                    // Dense dictionary-direct path: one group attribute,
-                    // entry index looked up by dictionary code. The common
-                    // case — a dense categorical batch slice — reads codes
-                    // straight from the slice without per-row dispatch.
-                    let gcol = *batch.column(group_slots[0]);
-                    let cat_codes = match (gcol.data, gcol.validity) {
-                        (seedb_storage::BatchData::Cat(v), None) => Some(v),
-                        _ => None,
-                    };
-                    for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
-                        if is_t {
-                            target_rows += 1;
-                        }
-                        let code = match cat_codes {
-                            Some(v) => v[i] as u64,
-                            None => gcol.group_code(i),
+                match dense {
+                    DenseIndex::Single { slots } => {
+                        // Dense dictionary-direct path: one group attribute,
+                        // entry index looked up by dictionary code. The common
+                        // case — a dense categorical batch slice — reads codes
+                        // straight from the slice without per-row dispatch.
+                        let gcol = *batch.column(group_slots[0]);
+                        let cat_codes = match (gcol.data, gcol.validity) {
+                            (seedb_storage::BatchData::Cat(v), None) => Some(v),
+                            _ => None,
                         };
-                        let si = if code == u64::MAX {
-                            0
-                        } else {
-                            code as usize + 1
-                        };
-                        let entry_idx = if si <= DENSE_CARDINALITY_MAX + 1 {
-                            if si >= slots.len() {
-                                // A code beyond the planning-time dictionary
-                                // (e.g. a different table instance): grow,
-                                // bounded by the dense cardinality cap.
-                                slots.resize(si + 1, 0);
+                        for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
+                            if is_t {
+                                target_rows += 1;
                             }
-                            match slots[si] {
-                                0 => {
-                                    let idx = entries.len();
-                                    slots[si] = idx as u32 + 1;
-                                    entries.push(GroupState {
-                                        key: GroupKey::One(code),
-                                        target: vec![Accumulator::new(); n_aggs],
-                                        reference: vec![Accumulator::new(); n_aggs],
-                                    });
-                                    idx
+                            let code = match cat_codes {
+                                Some(v) => v[i] as u64,
+                                None => gcol.group_code(i),
+                            };
+                            let si = if code == u64::MAX {
+                                0
+                            } else {
+                                code as usize + 1
+                            };
+                            let entry_idx = if si <= DENSE_CARDINALITY_MAX + 1 {
+                                if si >= slots.len() {
+                                    // A code beyond the planning-time dictionary
+                                    // (e.g. a different table instance): grow,
+                                    // bounded by the dense cardinality cap.
+                                    slots.resize(si + 1, 0);
                                 }
-                                v => v as usize - 1,
+                                match slots[si] {
+                                    0 => {
+                                        let idx = entries.len();
+                                        slots[si] = idx as u32 + 1;
+                                        entries.push(GroupState::new(GroupKey::One(code), n_aggs));
+                                        idx
+                                    }
+                                    v => v as usize - 1,
+                                }
+                            } else {
+                                // A stray code past the dense cap must not
+                                // force a huge, mostly-empty dense table:
+                                // overflow such groups into the hash map (keys
+                                // stay disjoint — the dense table owns every
+                                // code at or below the cap).
+                                let key = GroupKey::One(code);
+                                match map.get(&key) {
+                                    Some(&idx) => idx as usize,
+                                    None => {
+                                        let idx = entries.len();
+                                        map.insert(key, idx as u32);
+                                        entries.push(GroupState::new(GroupKey::One(code), n_aggs));
+                                        idx
+                                    }
+                                }
+                            };
+                            visit(entries, i, entry_idx, is_t, is_r);
+                        });
+                    }
+                    DenseIndex::Composite { slots, dims } => {
+                        // Composite dense path: the bin-packed multi-GROUP-BY
+                        // cluster. Per-attribute codes are mixed-radix-encoded
+                        // into one slot — no `GroupKey` allocation and no hash
+                        // probe per row. Stray codes (outside an attribute's
+                        // planned radix) spill to the hash map; the two key
+                        // spaces are disjoint because the dense table owns
+                        // exactly the in-radix tuples.
+                        for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
+                            if is_t {
+                                target_rows += 1;
                             }
-                        } else {
-                            // A stray code past the dense cap must not
-                            // force a huge, mostly-empty dense table:
-                            // overflow such groups into the hash map (keys
-                            // stay disjoint — the dense table owns every
-                            // code at or below the cap).
-                            let key = GroupKey::One(code);
-                            match map.get(&key) {
+                            for (dst, &slot) in codes.iter_mut().zip(group_slots) {
+                                *dst = batch.column(slot).group_code(i);
+                            }
+                            let entry_idx = match composite_slot(dims, &codes) {
+                                Some(si) => match slots[si] {
+                                    0 => {
+                                        let idx = entries.len();
+                                        slots[si] = idx as u32 + 1;
+                                        entries.push(GroupState::new(
+                                            GroupKey::from_codes(&codes),
+                                            n_aggs,
+                                        ));
+                                        idx
+                                    }
+                                    v => v as usize - 1,
+                                },
+                                None => {
+                                    let key = GroupKey::from_codes(&codes);
+                                    match map.get(&key) {
+                                        Some(&idx) => idx as usize,
+                                        None => {
+                                            let idx = entries.len();
+                                            map.insert(key.clone(), idx as u32);
+                                            entries.push(GroupState::new(key, n_aggs));
+                                            idx
+                                        }
+                                    }
+                                }
+                            };
+                            visit(entries, i, entry_idx, is_t, is_r);
+                        });
+                    }
+                    DenseIndex::Disabled | DenseIndex::Undecided => {
+                        // Hash path (non-dense attribute or oversized domain).
+                        for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
+                            if is_t {
+                                target_rows += 1;
+                            }
+                            for (dst, &slot) in codes.iter_mut().zip(group_slots) {
+                                *dst = batch.column(slot).group_code(i);
+                            }
+                            let key = GroupKey::from_codes(&codes);
+                            let entry_idx = match map.get(&key) {
                                 Some(&idx) => idx as usize,
                                 None => {
                                     let idx = entries.len();
-                                    map.insert(key, idx as u32);
-                                    entries.push(GroupState {
-                                        key: GroupKey::One(code),
-                                        target: vec![Accumulator::new(); n_aggs],
-                                        reference: vec![Accumulator::new(); n_aggs],
-                                    });
+                                    map.insert(key.clone(), idx as u32);
+                                    entries.push(GroupState::new(key, n_aggs));
                                     idx
                                 }
-                            }
-                        };
-                        visit(entries, i, entry_idx, is_t, is_r);
-                    });
-                } else {
-                    // Hash path (multi-GROUP-BY or non-dense attribute).
-                    for_each_selected(&t_bits, &r_bits, |i, is_t, is_r| {
-                        if is_t {
-                            target_rows += 1;
-                        }
-                        for (dst, &slot) in codes.iter_mut().zip(group_slots) {
-                            *dst = batch.column(slot).group_code(i);
-                        }
-                        let key = GroupKey::from_codes(&codes);
-                        let entry_idx = match map.get(&key) {
-                            Some(&idx) => idx as usize,
-                            None => {
-                                let idx = entries.len();
-                                map.insert(key.clone(), idx as u32);
-                                entries.push(GroupState {
-                                    key,
-                                    target: vec![Accumulator::new(); n_aggs],
-                                    reference: vec![Accumulator::new(); n_aggs],
-                                });
-                                idx
-                            }
-                        };
-                        visit(entries, i, entry_idx, is_t, is_r);
-                    });
+                            };
+                            visit(entries, i, entry_idx, is_t, is_r);
+                        });
+                    }
                 }
             },
         );
@@ -485,6 +622,101 @@ impl PartialAggregation {
         stats.rows_scanned += rows;
         stats.cells_visited += rows * proj_width as u64;
         stats.groups_max = stats.groups_max.max(self.entries.len() as u64);
+    }
+
+    /// Looks up (or creates) the entry for `key`, routing through whichever
+    /// group index this aggregation runs — the merge-path twin of the
+    /// per-row lookups in `update_vectorized`. Dense-vs-hash ownership is
+    /// identical to the update path, so merging partials that used the same
+    /// plan keeps the two key spaces disjoint.
+    fn entry_index_for_key(&mut self, key: &GroupKey, n_aggs: usize) -> usize {
+        let dense_slot = match &self.dense {
+            DenseIndex::Single { .. } => {
+                let code = key.code(0);
+                let si = if code == u64::MAX {
+                    0
+                } else {
+                    code as usize + 1
+                };
+                (si <= DENSE_CARDINALITY_MAX + 1).then_some(si)
+            }
+            DenseIndex::Composite { dims, .. } => {
+                let codes: Vec<u64> = (0..key.arity()).map(|i| key.code(i)).collect();
+                composite_slot(dims, &codes)
+            }
+            DenseIndex::Disabled | DenseIndex::Undecided => None,
+        };
+        match (&mut self.dense, dense_slot) {
+            (DenseIndex::Single { slots }, Some(si)) => {
+                if si >= slots.len() {
+                    slots.resize(si + 1, 0);
+                }
+                match slots[si] {
+                    0 => {
+                        let idx = self.entries.len();
+                        slots[si] = idx as u32 + 1;
+                        self.entries.push(GroupState::new(key.clone(), n_aggs));
+                        idx
+                    }
+                    v => v as usize - 1,
+                }
+            }
+            (DenseIndex::Composite { slots, .. }, Some(si)) => match slots[si] {
+                0 => {
+                    let idx = self.entries.len();
+                    slots[si] = idx as u32 + 1;
+                    self.entries.push(GroupState::new(key.clone(), n_aggs));
+                    idx
+                }
+                v => v as usize - 1,
+            },
+            _ => match self.map.get(key) {
+                Some(&idx) => idx as usize,
+                None => {
+                    let idx = self.entries.len();
+                    self.map.insert(key.clone(), idx as u32);
+                    self.entries.push(GroupState::new(key.clone(), n_aggs));
+                    idx
+                }
+            },
+        }
+    }
+
+    /// Folds another partial aggregation of the **same plan** (query shape
+    /// and mode) into this one, merging per-group accumulators. Because
+    /// accumulators merge exactly (see [`Accumulator::merge`]), folding
+    /// morsel partials — in any order — produces results bit-identical to a
+    /// single serial scan; the morsel scheduler still folds in ascending
+    /// first-morsel order for deterministic entry discovery.
+    ///
+    /// # Panics
+    /// Debug-asserts that both sides execute the same group-by and
+    /// aggregate list.
+    pub fn merge(&mut self, other: PartialAggregation) {
+        debug_assert_eq!(self.query.group_by, other.query.group_by, "plan mismatch");
+        debug_assert_eq!(
+            self.query.aggregates, other.query.aggregates,
+            "plan mismatch"
+        );
+        self.rows_consumed += other.rows_consumed;
+        self.target_rows += other.target_rows;
+        if self.entries.is_empty() && matches!(self.dense, DenseIndex::Undecided) {
+            // This side never consumed a batch: adopt the other side's
+            // state wholesale (index structure included).
+            self.dense = other.dense;
+            self.map = other.map;
+            self.entries = other.entries;
+            return;
+        }
+        let n_aggs = self.query.aggregates.len();
+        for group in other.entries {
+            let idx = self.entry_index_for_key(&group.key, n_aggs);
+            let entry = &mut self.entries[idx];
+            for agg in 0..n_aggs {
+                entry.target[agg].merge(&group.target[agg]);
+                entry.reference[agg].merge(&group.reference[agg]);
+            }
+        }
     }
 
     /// Clones the current state into a sorted [`GroupedResult`].
@@ -830,6 +1062,141 @@ mod tests {
             assert_eq!(a.key, b.key);
             assert_eq!(a.target, b.target);
         }
+    }
+
+    #[test]
+    fn composite_dense_matches_scalar_for_multi_group_by() {
+        // sex × marital fits the mixed-radix dense cap easily, so the
+        // vectorized path uses the composite index; results must be
+        // bit-identical to the (hash-only) scalar oracle.
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let t = census_mini(kind);
+            let q = CombinedQuery {
+                group_by: vec![ColumnId(0), ColumnId(1)],
+                aggregates: vec![
+                    AggSpec::new(AggFunc::Avg, ColumnId(2)),
+                    AggSpec::new(AggFunc::Sum, ColumnId(2)),
+                ],
+                filter: None,
+                split: SplitSpec::TargetVsComplement(unmarried(t.as_ref())),
+            };
+            let vectorized = execute_combined_with_mode(
+                t.as_ref(),
+                &q,
+                crate::ExecMode::Vectorized,
+                &mut ExecStats::default(),
+            );
+            let scalar = execute_combined_with_mode(
+                t.as_ref(),
+                &q,
+                crate::ExecMode::Scalar,
+                &mut ExecStats::default(),
+            );
+            assert_eq!(vectorized.num_groups(), 4);
+            assert_eq!(vectorized.num_groups(), scalar.num_groups());
+            for (a, b) in vectorized.groups.iter().zip(&scalar.groups) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.target, b.target);
+                assert_eq!(a.reference, b.reference);
+            }
+        }
+    }
+
+    #[test]
+    fn composite_dense_stray_codes_spill_to_hash() {
+        // Plan the composite index against tiny dictionaries, then feed a
+        // table whose codes exceed the planned radix on both attributes:
+        // the strays must spill to the hash map while matching the scalar
+        // result exactly.
+        let build = |card_a: usize, card_b: usize| -> BoxedTable {
+            let mut b = TableBuilder::new(vec![
+                ColumnDef::dim("a"),
+                ColumnDef::dim("b"),
+                ColumnDef::measure("m"),
+            ]);
+            let rows = card_a.max(card_b);
+            for i in 0..rows {
+                b.push_row(&[
+                    Value::str(format!("a{}", i % card_a)),
+                    Value::str(format!("b{}", i % card_b)),
+                    Value::Float(i as f64 + 0.5),
+                ])
+                .unwrap();
+            }
+            b.build(StoreKind::Column).unwrap()
+        };
+        let small = build(2, 2);
+        let big = build(9, 5);
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(0), ColumnId(1)],
+            aggregates: vec![AggSpec::new(AggFunc::Sum, ColumnId(2))],
+            filter: None,
+            split: SplitSpec::TargetVsAll(Predicate::True),
+        };
+        let run = |mode: crate::ExecMode| -> GroupedResult {
+            let mut agg = PartialAggregation::with_mode(q.clone(), mode);
+            let mut stats = ExecStats::default();
+            agg.update(small.as_ref(), 0..small.num_rows(), &mut stats);
+            agg.update(big.as_ref(), 0..big.num_rows(), &mut stats);
+            agg.finalize()
+        };
+        let vectorized = run(crate::ExecMode::Vectorized);
+        let scalar = run(crate::ExecMode::Scalar);
+        assert_eq!(vectorized.num_groups(), scalar.num_groups());
+        for (a, b) in vectorized.groups.iter().zip(&scalar.groups) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.target, b.target);
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_partials_equals_single_pass() {
+        // Split the table into three ranges, aggregate each into its own
+        // partial, merge in order — must equal the one-shot result bitwise,
+        // for both the dense single-dim and composite shapes.
+        for group_by in [vec![ColumnId(0)], vec![ColumnId(0), ColumnId(1)]] {
+            let t = census_mini(StoreKind::Column);
+            let q = CombinedQuery {
+                group_by,
+                aggregates: vec![AggSpec::new(AggFunc::Avg, ColumnId(2))],
+                filter: None,
+                split: SplitSpec::TargetVsAll(unmarried(t.as_ref())),
+            };
+            let one_shot = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+            let part = |range: Range<usize>| -> PartialAggregation {
+                let mut agg = PartialAggregation::new(q.clone());
+                agg.update(t.as_ref(), range, &mut ExecStats::default());
+                agg
+            };
+            let mut merged = part(0..2);
+            merged.merge(part(2..4));
+            merged.merge(part(4..6));
+            assert_eq!(merged.rows_consumed(), 6);
+            let merged = merged.finalize();
+            assert_eq!(merged.num_groups(), one_shot.num_groups());
+            for (a, b) in merged.groups.iter().zip(&one_shot.groups) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.target, b.target);
+                assert_eq!(a.reference, b.reference);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_into_untouched_partial_adopts_state() {
+        let t = census_mini(StoreKind::Column);
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Count, ColumnId(2)),
+            SplitSpec::TargetVsAll(Predicate::True),
+        );
+        let mut full = PartialAggregation::new(q.clone());
+        full.update(t.as_ref(), 0..6, &mut ExecStats::default());
+        let mut empty = PartialAggregation::new(q);
+        empty.merge(full);
+        assert_eq!(empty.rows_consumed(), 6);
+        let (target, _) = empty.finalize().value_vectors(0);
+        assert_eq!(target, vec![3.0, 3.0]);
     }
 
     #[test]

@@ -15,8 +15,14 @@
 //! * **Combine target and reference view** — a [`SplitSpec`] classifies each
 //!   scanned row as target and/or reference, so one scan feeds both sides
 //!   of the deviation computation.
-//! * **Parallel query execution** — [`parallel::run_parallel`] fans a batch
-//!   of queries across a bounded worker pool.
+//! * **Parallel query execution** — a persistent scoped worker pool
+//!   ([`parallel::with_pool`]) executes `(query, morsel)` work items
+//!   ([`morsel::execute_morsels`]): every query's scan range splits into
+//!   fixed-size morsels, workers aggregate thread-local partials, and
+//!   [`PartialAggregation::merge`] folds them — bit-identically to a
+//!   serial scan, because accumulator sums are exact
+//!   (see [`Accumulator`]). [`parallel::run_parallel`] keeps the simple
+//!   one-round fan-out API.
 //!
 //! Execution is *phase-aware*: a [`PartialAggregation`] accepts any number
 //! of row ranges and can snapshot its state between ranges, which is exactly
@@ -24,16 +30,18 @@
 //!
 //! Execution is also *mode-aware* ([`ExecMode`]): the default **vectorized**
 //! mode drives the storage layer's batched scan API — selection bitmaps
-//! from [`BoundPredicate::eval_batch`] and a dense dictionary-direct group
-//! index for single-attribute group-bys (see [`DENSE_CARDINALITY_MAX`]) —
-//! while the **scalar** mode keeps the original row-at-a-time path as the
-//! bit-identical equivalence oracle.
+//! from [`BoundPredicate::eval_batch`], a dense dictionary-direct group
+//! index for single-attribute group-bys, and a composite mixed-radix dense
+//! index for bin-packed multi-GROUP-BY clusters (see
+//! [`DENSE_CARDINALITY_MAX`]) — while the **scalar** mode keeps the
+//! original row-at-a-time path as the bit-identical equivalence oracle.
 
 pub mod agg;
 pub mod binpack;
 pub mod expr;
 pub mod groupkey;
 pub mod hashagg;
+pub mod morsel;
 pub mod parallel;
 pub mod rollup;
 pub mod spec;
@@ -46,17 +54,19 @@ pub use groupkey::GroupKey;
 pub use hashagg::{
     execute_combined, execute_combined_with_mode, PartialAggregation, DENSE_CARDINALITY_MAX,
 };
+pub use morsel::{execute_morsels, DEFAULT_MORSEL_ROWS};
+pub use parallel::{with_pool, Pool};
 pub use rollup::rollup;
 pub use spec::{AggSpec, CombinedQuery, SplitSpec};
 pub use stats::ExecStats;
 
 /// How the engine walks the table: row-at-a-time or in typed batches.
 ///
-/// Both modes produce bit-identical results (rows are consumed in the same
-/// order, so float accumulation order is preserved); `Vectorized` is the
-/// default and is substantially faster on the column store, where batches
-/// are zero-copy slices and single-attribute group-bys aggregate straight
-/// into a dense dictionary-indexed table (see
+/// Both modes produce bit-identical results (accumulators are exact, so
+/// neither row order nor partition boundaries can perturb a single bit);
+/// `Vectorized` is the default and is substantially faster on the column
+/// store, where batches are zero-copy slices and group lookups go through
+/// the dense dictionary-direct or composite mixed-radix index (see
 /// [`DENSE_CARDINALITY_MAX`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecMode {

@@ -1,0 +1,256 @@
+//! Morsel-driven intra-query parallelism (Leis et al., SIGMOD 2014).
+//!
+//! The coarse unit of SeeDB parallelism — one worker per query cluster —
+//! collapses exactly when the sharing optimizer works best: the all-sharing
+//! configuration bin-packs every view into a handful of clusters, leaving
+//! most workers idle. This module splits each cluster's scan range into
+//! fixed-size **morsels** ([`seedb_storage::morsel_ranges`], batch-aligned
+//! by default) and schedules `(job, morsel)` work items over a shared
+//! worker pool ([`crate::parallel::Pool`]): every worker aggregates the
+//! morsels it claims into a **thread-local [`PartialAggregation`]** per
+//! job, and the partials are folded deterministically — ascending
+//! first-morsel order — once the pool drains.
+//!
+//! Because accumulators merge exactly (order-invariant sums, see
+//! [`crate::Accumulator`]), the folded result is **bit-identical** to a
+//! serial scan of the same range, for every `(worker count, morsel size)`
+//! combination.
+
+use crate::parallel::Pool;
+use crate::spec::CombinedQuery;
+use crate::stats::ExecStats;
+use crate::{ExecMode, GroupedResult, PartialAggregation};
+use seedb_storage::{morsel_ranges, Table};
+use std::ops::Range;
+use std::sync::Mutex;
+
+pub use seedb_storage::DEFAULT_MORSEL_ROWS;
+
+/// One worker's partial state for one job.
+struct WorkerPartial {
+    /// Index of the first morsel this worker claimed for the job — the
+    /// deterministic fold key (workers claim items in ascending order, so
+    /// this is also the smallest).
+    first_morsel: usize,
+    agg: PartialAggregation,
+    stats: ExecStats,
+}
+
+/// Executes every query in `queries` over rows `range` of `table`,
+/// morsel-parallel across `pool`, returning one `(result, stats)` pair per
+/// query in input order. Results are bit-identical to running each query
+/// serially over the same range, regardless of pool size or `morsel_rows`.
+///
+/// Each query counts as one issued query in its stats; `scan_passes`
+/// reflects the number of morsel scans.
+pub fn execute_morsels(
+    pool: &Pool<'_>,
+    table: &dyn Table,
+    queries: &[CombinedQuery],
+    range: Range<usize>,
+    mode: ExecMode,
+    morsel_rows: usize,
+) -> Vec<(GroupedResult, ExecStats)> {
+    let morsels = morsel_ranges(range, morsel_rows);
+    let n_jobs = queries.len();
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+
+    // Per-worker, per-job partials. Each worker only ever touches its own
+    // slot, so the mutexes are uncontended; they exist to keep the hot path
+    // in safe code.
+    let workers = pool.threads();
+    let locals: Vec<Mutex<Vec<Option<WorkerPartial>>>> = (0..workers)
+        .map(|_| {
+            let mut slots = Vec::with_capacity(n_jobs);
+            slots.resize_with(n_jobs, || None);
+            Mutex::new(slots)
+        })
+        .collect();
+
+    // Work items are (job, morsel) pairs, job-major: workers drain one
+    // job's morsels before the next, and a worker's morsels per job are
+    // ascending (the pool claims indices in ascending order).
+    let n_items = n_jobs.saturating_mul(morsels.len());
+    pool.run(n_items, |worker, item| {
+        let job = item / morsels.len();
+        let morsel = item % morsels.len();
+        let mut slots = locals[worker].lock().expect("worker slot poisoned");
+        let partial = slots[job].get_or_insert_with(|| WorkerPartial {
+            first_morsel: morsel,
+            agg: PartialAggregation::with_mode(queries[job].clone(), mode),
+            stats: ExecStats::new(),
+        });
+        partial
+            .agg
+            .update(table, morsels[morsel].clone(), &mut partial.stats);
+    });
+
+    // Deterministic fold: per job, merge worker partials in ascending
+    // first-morsel order. (Accumulator merges are exact, so any order
+    // yields the same bits; the fixed order additionally makes group
+    // discovery order — and thus internal state — reproducible.)
+    (0..n_jobs)
+        .map(|job| {
+            let mut parts: Vec<WorkerPartial> = locals
+                .iter()
+                .filter_map(|slots| slots.lock().expect("worker slot poisoned")[job].take())
+                .collect();
+            parts.sort_by_key(|p| p.first_morsel);
+
+            let mut stats = ExecStats::new();
+            stats.queries_issued = 1;
+            let mut parts = parts.into_iter();
+            let agg = match parts.next() {
+                // Empty range (or all-empty morsels): an untouched plan
+                // finalizes to the empty result.
+                None => PartialAggregation::with_mode(queries[job].clone(), mode),
+                Some(first) => {
+                    stats.merge(&first.stats);
+                    let mut base = first.agg;
+                    for part in parts {
+                        stats.merge(&part.stats);
+                        base.merge(part.agg);
+                    }
+                    base
+                }
+            };
+            // Per-partial group counts under-report the final footprint.
+            stats.groups_max = stats.groups_max.max(agg.num_groups() as u64);
+            (agg.finalize(), stats)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::Predicate;
+    use crate::parallel::with_pool;
+    use crate::spec::{AggSpec, SplitSpec};
+    use seedb_storage::{BoxedTable, ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
+
+    fn table(rows: usize) -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("d"),
+            ColumnDef::dim("e"),
+            ColumnDef::measure("m"),
+        ]);
+        for i in 0..rows {
+            b.push_row(&[
+                Value::str(format!("d{}", i % 7)),
+                Value::str(format!("e{}", i % 3)),
+                Value::Float((i as f64) * 0.37 - 11.0),
+            ])
+            .unwrap();
+        }
+        b.build(StoreKind::Column).unwrap()
+    }
+
+    fn queries(t: &dyn Table) -> Vec<CombinedQuery> {
+        let split = SplitSpec::TargetVsAll(Predicate::col_eq_str(t, "e", "e0"));
+        vec![
+            CombinedQuery::single(
+                ColumnId(0),
+                AggSpec::new(AggFunc::Avg, ColumnId(2)),
+                split.clone(),
+            ),
+            CombinedQuery {
+                group_by: vec![ColumnId(0), ColumnId(1)],
+                aggregates: vec![
+                    AggSpec::new(AggFunc::Sum, ColumnId(2)),
+                    AggSpec::new(AggFunc::Count, ColumnId(2)),
+                ],
+                filter: None,
+                split,
+            },
+        ]
+    }
+
+    #[test]
+    fn morsel_execution_matches_serial_bitwise() {
+        let t = table(501);
+        let qs = queries(t.as_ref());
+        let serial: Vec<GroupedResult> = qs
+            .iter()
+            .map(|q| {
+                crate::execute_combined_with_mode(
+                    t.as_ref(),
+                    q,
+                    ExecMode::Vectorized,
+                    &mut ExecStats::new(),
+                )
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            for morsel in [1usize, 7, 64, usize::MAX] {
+                let got = with_pool(threads, |pool| {
+                    execute_morsels(
+                        pool,
+                        t.as_ref(),
+                        &qs,
+                        0..t.num_rows(),
+                        ExecMode::Vectorized,
+                        morsel,
+                    )
+                });
+                assert_eq!(got.len(), serial.len());
+                for ((result, stats), want) in got.iter().zip(&serial) {
+                    assert_eq!(stats.queries_issued, 1);
+                    assert_eq!(stats.rows_scanned, t.num_rows() as u64);
+                    assert_eq!(result.num_groups(), want.num_groups());
+                    for (a, b) in result.groups.iter().zip(&want.groups) {
+                        assert_eq!(a.key, b.key, "threads {threads} morsel {morsel}");
+                        assert_eq!(a.target, b.target, "threads {threads} morsel {morsel}");
+                        assert_eq!(a.reference, b.reference);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_yields_empty_results() {
+        let t = table(10);
+        let qs = queries(t.as_ref());
+        let got = with_pool(4, |pool| {
+            execute_morsels(pool, t.as_ref(), &qs, 5..5, ExecMode::Vectorized, 2)
+        });
+        assert_eq!(got.len(), 2);
+        for (result, stats) in &got {
+            assert_eq!(result.num_groups(), 0);
+            assert_eq!(stats.rows_scanned, 0);
+            assert_eq!(stats.queries_issued, 1);
+        }
+    }
+
+    #[test]
+    fn no_queries_is_fine() {
+        let t = table(10);
+        let got = with_pool(2, |pool| {
+            execute_morsels(pool, t.as_ref(), &[], 0..10, ExecMode::Vectorized, 4)
+        });
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn scalar_mode_morsels_agree_with_vectorized() {
+        let t = table(333);
+        let qs = queries(t.as_ref());
+        let a = with_pool(4, |pool| {
+            execute_morsels(pool, t.as_ref(), &qs, 0..333, ExecMode::Scalar, 50)
+        });
+        let b = with_pool(3, |pool| {
+            execute_morsels(pool, t.as_ref(), &qs, 0..333, ExecMode::Vectorized, 128)
+        });
+        for ((ra, _), (rb, _)) in a.iter().zip(&b) {
+            for (ga, gb) in ra.groups.iter().zip(&rb.groups) {
+                assert_eq!(ga.key, gb.key);
+                assert_eq!(ga.target, gb.target);
+                assert_eq!(ga.reference, gb.reference);
+            }
+        }
+    }
+}

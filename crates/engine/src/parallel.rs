@@ -1,68 +1,328 @@
-//! Bounded-parallelism task execution for view-query batches.
+//! Bounded-parallelism execution: a persistent scoped worker pool.
 //!
 //! §4.1: *"SeeDB executes multiple view queries in parallel … however, the
 //! precise number of parallel queries needs to be tuned."* Fig 7b sweeps
-//! the degree of parallelism and finds ≈ #cores optimal. This module
-//! provides that knob: run `n` independent tasks on exactly
-//! `threads` workers using `std::thread::scope` (no 'static bound on
-//! the task closure, so tasks can borrow the table).
+//! the degree of parallelism and finds ≈ #cores optimal. Earlier revisions
+//! spawned fresh OS threads for every batch of tasks (per cluster batch,
+//! per phase); this module now provides a **persistent scoped pool**
+//! ([`with_pool`]): workers are spawned once, live for the whole scope
+//! (e.g. an entire phased execution), and pull work items from a shared
+//! atomic queue round after round. Tasks may borrow the environment (the
+//! table, cluster plans, scratch buffers) because the workers are
+//! `std::thread::scope` threads.
+//!
+//! [`run_parallel`] keeps the original free-function API, now implemented
+//! as a single-round pool.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Type-erased pointer to the current round's task closure.
+///
+/// The lifetime is erased so persistent workers (spawned before any round's
+/// closure exists) can call it; soundness is argued at the single
+/// `transmute` site in [`Pool::run`].
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize, usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and the pointer is
+// only dereferenced while `Pool::run` — which owns the closure — is blocked
+// waiting for the round to finish.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// Round-dispatch state shared between the pool owner and its workers.
+struct Ctl {
+    /// Monotonic round counter; workers join a round when it changes.
+    round: u64,
+    /// Number of work items in the current round.
+    total: usize,
+    /// The current round's task, present only while a round is live.
+    task: Option<TaskRef>,
+    /// Work items finished so far in the current round.
+    completed: usize,
+    /// Workers currently inside the current round's claim loop.
+    active: usize,
+    /// A task panicked during the current round.
+    panicked: bool,
+    /// The scope is ending; workers must exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    ctl: Mutex<Ctl>,
+    /// Wakes workers when a round is published (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes the owner when the round completes and workers quiesce.
+    done_cv: Condvar,
+    /// Next unclaimed work-item index of the current round.
+    next: AtomicUsize,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            ctl: Mutex::new(Ctl {
+                round: 0,
+                total: 0,
+                task: None,
+                completed: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.ctl.lock().expect("pool lock poisoned").shutdown = true;
+        self.work_cv.notify_all();
+    }
+}
+
+/// Ends the worker scope even if the closure passed to [`with_pool`]
+/// unwinds — otherwise `std::thread::scope` would join workers that are
+/// still waiting for work, deadlocking the panic.
+struct ShutdownGuard<'a>(&'a Shared);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut seen_round = 0u64;
+    loop {
+        // Wait for a new round (or shutdown), then check in as active.
+        let (task, total) = {
+            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            loop {
+                if ctl.shutdown {
+                    return;
+                }
+                if ctl.round != seen_round && ctl.task.is_some() {
+                    seen_round = ctl.round;
+                    ctl.active += 1;
+                    break (ctl.task.expect("checked above"), ctl.total);
+                }
+                ctl = shared.work_cv.wait(ctl).expect("pool lock poisoned");
+            }
+        };
+        // Claim and run work items until the round is drained.
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            // SAFETY: `Pool::run` keeps the closure alive (it blocks until
+            // this worker checks out of the round) — see that method.
+            let ok = catch_unwind(AssertUnwindSafe(|| (unsafe { &*task.0 })(worker, i))).is_ok();
+            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            if !ok {
+                ctl.panicked = true;
+            }
+            ctl.completed += 1;
+            if ctl.completed == total {
+                shared.done_cv.notify_all();
+            }
+        }
+        // Check out; the round owner waits for active == 0 before returning.
+        let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+        ctl.active -= 1;
+        if ctl.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Handle to a live worker pool (see [`with_pool`]). `None` shared state
+/// means the single-threaded pool, which runs everything inline.
+pub struct Pool<'env> {
+    shared: Option<&'env Shared>,
+    threads: usize,
+}
+
+impl Pool<'_> {
+    /// Number of workers, including the calling thread (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `num_tasks` work items of `task(worker, item)` across the pool,
+    /// returning once all have finished. The calling thread participates as
+    /// worker 0; spawned workers are `1..threads()`. Item indices are
+    /// claimed in ascending order, so the items a given worker executes for
+    /// any subsequence are ascending — the property the morsel scheduler's
+    /// deterministic fold relies on.
+    ///
+    /// Not reentrant: `task` must not call back into this pool.
+    ///
+    /// # Panics
+    /// Propagates a panic from any task after the round has fully drained
+    /// (no task is silently lost).
+    pub fn run(&self, num_tasks: usize, task: impl Fn(usize, usize) + Sync) {
+        let Some(shared) = self.shared else {
+            for i in 0..num_tasks {
+                task(0, i);
+            }
+            return;
+        };
+        if num_tasks == 0 {
+            return;
+        }
+
+        // Publish the round. SAFETY of the lifetime erasure: `task` lives
+        // until this function returns, and this function does not return
+        // until every worker has checked out of the round (`active == 0`)
+        // and all claimed items completed — after which no worker can
+        // dereference the pointer again (claims of later rounds re-read
+        // `ctl.task`).
+        let wide: *const (dyn Fn(usize, usize) + Sync) = &task;
+        let task_ref = TaskRef(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync + 'static),
+            >(wide)
+        });
+        {
+            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            debug_assert!(ctl.task.is_none() && ctl.active == 0, "pool is reentrant");
+            ctl.round += 1;
+            ctl.total = num_tasks;
+            ctl.completed = 0;
+            ctl.panicked = false;
+            shared.next.store(0, Ordering::Relaxed);
+            ctl.task = Some(task_ref);
+        }
+        shared.work_cv.notify_all();
+
+        // Participate as worker 0.
+        let mut caller_panic = None;
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_tasks {
+                break;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| task(0, i)));
+            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            if let Err(payload) = result {
+                ctl.panicked = true;
+                caller_panic.get_or_insert(payload);
+            }
+            ctl.completed += 1;
+            if ctl.completed == num_tasks {
+                shared.done_cv.notify_all();
+            }
+        }
+
+        // Wait for completion AND worker check-out (a worker may still be
+        // between its last claim attempt and checking out; the next round
+        // must not start until it has).
+        let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+        while ctl.completed < num_tasks || ctl.active > 0 {
+            ctl = shared.done_cv.wait(ctl).expect("pool lock poisoned");
+        }
+        ctl.task = None;
+        let panicked = ctl.panicked;
+        drop(ctl);
+        if let Some(payload) = caller_panic {
+            resume_unwind(payload);
+        }
+        if panicked {
+            panic!("pool worker task panicked");
+        }
+    }
+
+    /// [`Pool::run`] collecting each item's result, in item order.
+    pub fn map<T, F>(&self, num_tasks: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(num_tasks);
+        slots.resize_with(num_tasks, || None);
+        {
+            let out = SlotWriter(slots.as_mut_ptr());
+            self.run(num_tasks, move |worker, i| {
+                // Bind the wrapper itself so the closure captures the
+                // `Sync` `SlotWriter`, not its raw-pointer field (Rust 2021
+                // disjoint capture would otherwise grab `out.0`).
+                let out = out;
+                let value = task(worker, i);
+                // SAFETY: each item index is claimed exactly once, so the
+                // writes target disjoint slots; `slots` is not touched
+                // until `run` returns.
+                unsafe { (*out.0.add(i)) = Some(value) };
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index executed exactly once"))
+            .collect()
+    }
+}
+
+/// Raw slot pointer made shareable for disjoint-index writes.
+struct SlotWriter<T>(*mut Option<T>);
+
+// Manual impls: the derive would add an unwanted `T: Copy` bound.
+impl<T> Clone for SlotWriter<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlotWriter<T> {}
+
+// SAFETY: tasks write disjoint indices only (argued at the write site).
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+/// Spawns a scoped worker pool of `threads` workers (1 = fully inline, no
+/// threads spawned) and runs `f` with a handle to it. Workers persist for
+/// the whole call, executing every [`Pool::run`] round `f` issues — this is
+/// what lets a phased execution reuse one set of OS threads across all of
+/// its phases and cluster batches.
+pub fn with_pool<R>(threads: usize, f: impl FnOnce(&Pool<'_>) -> R) -> R {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return f(&Pool {
+            shared: None,
+            threads: 1,
+        });
+    }
+    let shared = Shared::new();
+    std::thread::scope(|scope| {
+        let _guard = ShutdownGuard(&shared);
+        for worker in 1..threads {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared, worker));
+        }
+        f(&Pool {
+            shared: Some(&shared),
+            threads,
+        })
+    })
+}
 
 /// Runs `num_tasks` tasks produced by `task(i)` on at most `threads`
 /// worker threads; returns the results in task order.
 ///
 /// `threads == 1` executes inline on the caller's thread (zero overhead,
-/// deterministic), which is also the fallback for empty input.
+/// deterministic), which is also the fallback for empty input. For
+/// repeated batches, prefer [`with_pool`] + [`Pool::map`], which reuses
+/// workers instead of spawning per call.
 pub fn run_parallel<T, F>(num_tasks: usize, threads: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.max(1).min(num_tasks.max(1));
-    if threads == 1 {
-        return (0..num_tasks).map(task).collect();
-    }
-
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(num_tasks);
-    slots.resize_with(num_tasks, || None);
-    let next = AtomicUsize::new(0);
-    let task = &task;
-
-    // Hand each worker a disjoint set of result slots via raw pointer math
-    // is unnecessary: collect (index, result) pairs per worker and merge.
-    let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_tasks {
-                            break;
-                        }
-                        local.push((i, task(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-
-    for worker_results in per_worker.drain(..) {
-        for (i, value) in worker_results {
-            slots[i] = Some(value);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every task index executed exactly once"))
-        .collect()
+    with_pool(threads, |pool| pool.map(num_tasks, |_, i| task(i)))
 }
 
 /// The default degree of parallelism: the number of available cores
@@ -126,5 +386,72 @@ mod tests {
     #[test]
     fn default_parallelism_is_positive() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_rounds() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        with_pool(4, |pool| {
+            for round in 0..50 {
+                let sums: Vec<usize> = pool.map(8, |_, i| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    round * 8 + i
+                });
+                let expect: Vec<usize> = (0..8).map(|i| round * 8 + i).collect();
+                assert_eq!(sums, expect, "round {round}");
+            }
+        });
+        // 50 rounds on a 4-thread pool touch at most 4 distinct threads —
+        // workers persisted instead of being respawned per round.
+        assert!(seen.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn pool_worker_ids_are_in_range() {
+        with_pool(3, |pool| {
+            let ids = pool.map(64, |worker, _| worker);
+            assert!(ids.iter().all(|&w| w < 3));
+        });
+    }
+
+    #[test]
+    fn pool_tasks_can_borrow_and_mutate_disjoint_state() {
+        let data: Vec<AtomicU64> = (0..32).map(|_| AtomicU64::new(0)).collect();
+        with_pool(4, |pool| {
+            pool.run(32, |_, i| {
+                data[i].fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        for (i, slot) in data.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), i as u64);
+        }
+    }
+
+    #[test]
+    fn pool_propagates_task_panics() {
+        let result = std::panic::catch_unwind(|| {
+            with_pool(4, |pool| {
+                pool.run(16, |_, i| {
+                    if i == 7 {
+                        panic!("task 7 exploded");
+                    }
+                });
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn inline_pool_is_deterministic_and_ordered() {
+        with_pool(1, |pool| {
+            let order = Mutex::new(Vec::new());
+            pool.run(5, |worker, i| {
+                assert_eq!(worker, 0);
+                order.lock().unwrap().push(i);
+            });
+            assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        });
     }
 }

@@ -5,8 +5,16 @@
 //! `GROUP BY a_i` by merging accumulators over the other attributes. This
 //! is lossless for COUNT/SUM/AVG/MIN/MAX because [`crate::Accumulator`]s
 //! merge exactly.
+//!
+//! Position codes are read straight out of each group key (no sub-key
+//! re-projection/allocation per group), and when the position's codes are
+//! small — always true for the dictionary-coded attributes bin-packing
+//! produces, whose radix the composite dense index already bounded — the
+//! merge goes through a dense code-indexed table instead of a hash map, so
+//! the bin-packed cluster path stays hash-free end to end.
 
 use crate::groupkey::GroupKey;
+use crate::hashagg::DENSE_CARDINALITY_MAX;
 use crate::{GroupEntry, GroupedResult};
 use rustc_hash::FxHashMap;
 
@@ -23,22 +31,64 @@ pub fn rollup(result: &GroupedResult, position: usize) -> GroupedResult {
         result.group_by.len()
     );
     let n_aggs = result.aggregates.len();
-    let mut map: FxHashMap<GroupKey, usize> = FxHashMap::default();
     let mut merged: Vec<GroupEntry> = Vec::new();
 
-    for entry in &result.groups {
-        let sub_key = entry.key.project(&[position]);
-        let idx = *map.entry(sub_key.clone()).or_insert_with(|| {
-            merged.push(GroupEntry {
-                key: sub_key,
-                target: vec![Default::default(); n_aggs],
-                reference: vec![Default::default(); n_aggs],
-            });
-            merged.len() - 1
-        });
+    // Dense merge when every code at `position` is small (dictionary codes
+    // are; float-bit or wide integer codes are not). NULL (u64::MAX) owns
+    // slot 0, code c owns slot c + 1 — the radix layout the composite dense
+    // index uses.
+    let max_code = result
+        .groups
+        .iter()
+        .map(|e| e.key.code(position))
+        .filter(|&c| c != u64::MAX)
+        .max();
+    let dense_slots = match max_code {
+        None => Some(1),
+        Some(c) if (c as usize) < DENSE_CARDINALITY_MAX => Some(c as usize + 2),
+        Some(_) => None,
+    };
+
+    let fold = |merged: &mut Vec<GroupEntry>, entry: &GroupEntry, idx: usize| {
         for agg in 0..n_aggs {
             merged[idx].target[agg].merge(&entry.target[agg]);
             merged[idx].reference[agg].merge(&entry.reference[agg]);
+        }
+    };
+    let new_entry = |code: u64| GroupEntry {
+        key: GroupKey::One(code),
+        target: vec![Default::default(); n_aggs],
+        reference: vec![Default::default(); n_aggs],
+    };
+
+    if let Some(len) = dense_slots {
+        let mut slots: Vec<u32> = vec![0; len];
+        for entry in &result.groups {
+            let code = entry.key.code(position);
+            let si = if code == u64::MAX {
+                0
+            } else {
+                code as usize + 1
+            };
+            let idx = match slots[si] {
+                0 => {
+                    merged.push(new_entry(code));
+                    slots[si] = merged.len() as u32;
+                    merged.len() - 1
+                }
+                v => v as usize - 1,
+            };
+            fold(&mut merged, entry, idx);
+        }
+    } else {
+        let mut map: FxHashMap<u64, usize> = FxHashMap::default();
+        for entry in &result.groups {
+            let code = entry.key.code(position);
+            let idx = *map.entry(code).or_insert_with(|| {
+                merged.push(new_entry(code));
+                merged.len() - 1
+            });
+            fold(&mut merged, entry, idx);
         }
     }
     merged.sort_by(|a, b| a.key.cmp(&b.key));
@@ -145,6 +195,39 @@ mod tests {
         let t = table();
         let multi = multi_query(t.as_ref());
         rollup(&multi, 2);
+    }
+
+    #[test]
+    fn rollup_over_wide_codes_takes_hash_fallback() {
+        // Grouping by a float measure produces `f64::to_bits` group codes
+        // far past the dense cap; the rollup must fall back to hashing and
+        // still merge correctly.
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::new("f", ColumnType::Float64, ColumnRole::Dimension),
+            ColumnDef::dim("d"),
+            ColumnDef::new("m", ColumnType::Float64, ColumnRole::Measure),
+        ]);
+        for (f, d, m) in [
+            (1.5, "x", 10.0),
+            (2.5, "y", 20.0),
+            (1.5, "y", 30.0),
+            (2.5, "x", 40.0),
+        ] {
+            b.push_row(&[Value::Float(f), Value::str(d), Value::Float(m)])
+                .unwrap();
+        }
+        let t = b.build(StoreKind::Column).unwrap();
+        let q = CombinedQuery {
+            group_by: vec![ColumnId(0), ColumnId(1)],
+            aggregates: vec![AggSpec::new(AggFunc::Sum, ColumnId(2))],
+            filter: None,
+            split: SplitSpec::TargetVsAll(Predicate::True),
+        };
+        let multi = execute_combined(t.as_ref(), &q, &mut ExecStats::default());
+        let rolled = rollup(&multi, 0);
+        assert_eq!(rolled.num_groups(), 2);
+        let (target, _) = rolled.value_vectors(0);
+        assert_eq!(target, vec![40.0, 60.0]); // keys sort by to_bits: 1.5 < 2.5
     }
 
     #[test]

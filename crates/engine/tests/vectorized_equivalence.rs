@@ -1,18 +1,20 @@
 //! Property tests: the vectorized (batched) execution path is **exactly**
-//! equivalent to the scalar row-at-a-time path.
+//! equivalent to the scalar row-at-a-time path, and morsel-driven parallel
+//! execution is **exactly** equivalent to serial execution.
 //!
-//! Both paths consume rows in the same order, so the equivalence is
-//! bit-level, not approximate: for arbitrary tables (including NULLs in
-//! dimensions and measures), arbitrary predicates, every split kind, both
-//! store layouts, single- and multi-attribute group-bys (i.e. the dense
-//! dictionary-direct index *and* the hash fallback), and arbitrary phase
-//! partitions, every accumulator — count, sum, min, max — must be
-//! identical under `==`.
+//! The equivalence is bit-level, not approximate: for arbitrary tables
+//! (including NULLs in dimensions and measures), arbitrary predicates,
+//! every split kind, both store layouts, single- and multi-attribute
+//! group-bys (i.e. the dense dictionary-direct index, the composite
+//! mixed-radix index, *and* the hash fallback), arbitrary phase
+//! partitions, and every `(worker count, morsel size)` combination, every
+//! accumulator — count, sum, min, max — must be identical under `==`
+//! (which for sums compares the correctly-rounded exact value).
 
 use proptest::prelude::*;
 use seedb_engine::{
-    AggFunc, AggSpec, CmpOp, CombinedQuery, ExecMode, ExecStats, GroupedResult, PartialAggregation,
-    Predicate, SplitSpec,
+    execute_morsels, with_pool, AggFunc, AggSpec, CmpOp, CombinedQuery, ExecMode, ExecStats,
+    GroupedResult, PartialAggregation, Predicate, SplitSpec,
 };
 use seedb_storage::{
     BoxedTable, ColumnDef, ColumnId, ColumnRole, ColumnType, StoreKind, TableBuilder, Value,
@@ -232,6 +234,51 @@ proptest! {
         let a = run(&row_t, &query, ExecMode::Vectorized, phases);
         let b = run(&col_t, &query, ExecMode::Vectorized, phases);
         prop_assert_identical!(a, b, "ROW vs COL");
+    }
+
+    /// Morsel-driven parallel execution is bit-identical to the serial
+    /// scalar oracle across the full cross product of worker counts,
+    /// morsel sizes (including single-row and whole-range), store layouts,
+    /// and group-index shapes (`arb_group_by` spans the dense single-dim
+    /// index, the composite mixed-radix index, and the hash fallback).
+    #[test]
+    fn morsel_parallel_execution_is_bit_identical(
+        ds in arb_dataset(),
+        query in arb_query(),
+    ) {
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let t = build(&ds, kind);
+            let serial = run(&t, &query, ExecMode::Scalar, 1);
+            for threads in [1usize, 2, 8] {
+                const MORSELS: [usize; 4] = [1, 7, 1024, usize::MAX];
+                // One pool per worker count; all morsel sweeps reuse it.
+                let per_morsel: Vec<(GroupedResult, ExecStats)> = with_pool(threads, |pool| {
+                    MORSELS
+                        .iter()
+                        .map(|&morsel_rows| {
+                            execute_morsels(
+                                pool,
+                                t.as_ref(),
+                                std::slice::from_ref(&query),
+                                0..t.num_rows(),
+                                ExecMode::Vectorized,
+                                morsel_rows,
+                            )
+                            .pop()
+                            .expect("one query in, one result out")
+                        })
+                        .collect()
+                });
+                for (morsel_rows, (morsel_result, stats)) in MORSELS.iter().zip(&per_morsel) {
+                    prop_assert_eq!(stats.rows_scanned, t.num_rows() as u64);
+                    prop_assert_identical!(
+                        serial,
+                        *morsel_result,
+                        format!("{kind} threads={threads} morsel={morsel_rows}")
+                    );
+                }
+            }
+        }
     }
 
     /// Mid-stream snapshots are identical across modes after every phase.

@@ -11,11 +11,40 @@
 //! batch through its row-at-a-time scan.
 
 use crate::value::Cell;
+use std::ops::Range;
 
 /// Default number of rows per batch. Chosen so a handful of projected
 /// `f64` columns stay comfortably inside L1/L2 while amortizing per-batch
 /// overhead.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Default number of rows per **morsel** — the unit of work the engine's
+/// morsel-driven scheduler hands to pool workers. A multiple of
+/// [`DEFAULT_BATCH_SIZE`] so every batch of a morsel-granular scan is full
+/// (except the last), i.e. morsel boundaries are batch-aligned; large
+/// enough to amortize per-morsel scheduling, small enough that a ~100 K-row
+/// scan still splits across 8 workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 16 * DEFAULT_BATCH_SIZE;
+
+/// Splits a row `range` into contiguous morsels of at most `morsel_rows`
+/// rows (clamped to ≥ 1; pass `usize::MAX` for a single whole-range
+/// morsel). An empty range yields no morsels.
+///
+/// Morsel boundaries fall at fixed offsets from `range.start`, so the
+/// partitioning depends only on `(range, morsel_rows)` — never on worker
+/// count or scheduling — which is what keeps morsel-parallel execution
+/// deterministic.
+pub fn morsel_ranges(range: Range<usize>, morsel_rows: usize) -> Vec<Range<usize>> {
+    let step = morsel_rows.max(1);
+    let mut out = Vec::new();
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = lo.saturating_add(step).min(range.end);
+        out.push(lo..hi);
+        lo = hi;
+    }
+    out
+}
 
 /// One column's payload within a batch: a dense typed slice.
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +254,37 @@ impl Staging {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn morsel_ranges_partition_exactly() {
+        for (range, morsel) in [
+            (0..100, 7usize),
+            (3..103, 10),
+            (0..1, 1),
+            (5..5, 4),
+            (0..100_000, DEFAULT_MORSEL_ROWS),
+            (0..10, usize::MAX),
+        ] {
+            let morsels = morsel_ranges(range.clone(), morsel);
+            let mut expected = range.start;
+            for m in &morsels {
+                assert_eq!(m.start, expected);
+                assert!(m.end > m.start && m.end - m.start <= morsel);
+                expected = m.end;
+            }
+            assert_eq!(expected, range.end.max(range.start));
+        }
+    }
+
+    #[test]
+    fn morsel_ranges_clamp_zero_to_one() {
+        assert_eq!(morsel_ranges(0..3, 0).len(), 3);
+    }
+
+    #[test]
+    fn default_morsel_is_batch_aligned() {
+        assert_eq!(DEFAULT_MORSEL_ROWS % DEFAULT_BATCH_SIZE, 0);
+    }
 
     #[test]
     fn batch_column_views_match_cell_semantics() {

@@ -55,7 +55,9 @@ mod schema;
 mod table;
 mod value;
 
-pub use batch::{Batch, BatchColumn, BatchData, DEFAULT_BATCH_SIZE};
+pub use batch::{
+    morsel_ranges, Batch, BatchColumn, BatchData, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_ROWS,
+};
 pub use bitmap::Bitmap;
 pub use builder::TableBuilder;
 pub use column::{Column, ColumnData};
