@@ -139,11 +139,64 @@ fn morsel_scan_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving layer's cross-request cache, measured through real HTTP
+/// round trips against an in-process `seedbd`: `cold` clears the cache
+/// before every request (full engine run), `warm` repeats one request
+/// (response-cache hit), `overlap` asks for a different `k` after
+/// clearing only responses — the per-view partial-reuse path. The warm
+/// hit should beat the cold miss by well over an order of magnitude.
+fn server_cache(c: &mut Criterion) {
+    use seedb_server::{client, Server, ServerConfig};
+    let mut group = c.benchmark_group("server_cache");
+    group.sample_size(10);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_rows: 10_000,
+        default_rows: 4_200,
+        ..Default::default()
+    };
+    let handle = Server::bind(config).unwrap().spawn().unwrap();
+    let addr = handle.addr();
+    let state = handle.state();
+    let post = |body: &str| {
+        let (status, _) = client::request(addr, "POST", "/recommend", Some(body)).expect("request");
+        assert_eq!(status, 200);
+    };
+    let body = r#"{"dataset": "CENSUS", "rows": 4200, "k": 5}"#;
+
+    group.bench_function("cold_miss", |b| {
+        b.iter(|| {
+            state.cache.clear();
+            post(black_box(body));
+        })
+    });
+    post(body); // prime
+    group.bench_function("warm_hit", |b| b.iter(|| post(black_box(body))));
+
+    // Partials are primed (by the k=5 requests above); every iteration
+    // asks for a k this process has never served, so each request is a
+    // response-cache miss whose views all come from partials — the
+    // partial-reuse path in isolation, no cold engine run in the loop.
+    let next_k = std::cell::Cell::new(100usize);
+    group.bench_function("overlap_partial_reuse", |b| {
+        b.iter(|| {
+            let k = next_k.get();
+            next_k.set(k + 1);
+            let overlap = format!(r#"{{"dataset": "CENSUS", "rows": 4200, "k": {k}}}"#);
+            post(black_box(&overlap));
+        })
+    });
+    group.finish();
+    handle.shutdown();
+}
+
 criterion_group!(
     benches,
     metrics_micro,
     normalize_micro,
     scan_aggregate_micro,
-    morsel_scan_aggregate
+    morsel_scan_aggregate,
+    server_cache
 );
 criterion_main!(benches);

@@ -21,7 +21,7 @@
 //! regression (the guarded entries regress ~100× when a sharing
 //! optimization breaks) — and can also be set via `PERF_SMOKE_TOLERANCE`.
 
-use seedb_bench::Json;
+use seedb_util::Json;
 use std::path::Path;
 use std::process::ExitCode;
 

@@ -1,0 +1,146 @@
+//! Cross-request reuse hook: a cache of exact per-view aggregates.
+//!
+//! SeeDB's intra-query sharing (§4.1) reuses scans *within* one
+//! recommendation run; a serving layer wants the cross-request twin of
+//! that idea — when an analyst re-issues an overlapping query (same
+//! target, different `k` or metric; or a repeat of the same query), the
+//! per-view aggregates are already known and the scan can be skipped
+//! entirely.
+//!
+//! [`ViewCache`] is the hook the engine calls through:
+//! [`SeeDb::recommend_cached`](crate::SeeDb::recommend_cached) probes it
+//! per view with a canonical key (see [`crate::signature`]) and fills it
+//! with exact full-table combined results. The trait is deliberately
+//! tiny so serving layers can back it with any eviction policy (the
+//! `seedb-server` crate uses a memory-budgeted LRU); [`MemoryViewCache`]
+//! is an unbounded reference implementation for tests and embedding.
+
+use seedb_engine::GroupedResult;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A store of exact full-table per-view combined (target + reference)
+/// aggregation results, keyed by canonical signature strings.
+///
+/// Implementations must return values bit-identical to what was `put`
+/// (share the `Arc`, don't re-derive) — the cached-recommendation path
+/// relies on exact round-trips for its bit-identity guarantee.
+pub trait ViewCache: Sync {
+    /// Looks up the result cached under `key`, if any.
+    fn get(&self, key: &str) -> Option<Arc<GroupedResult>>;
+    /// Stores `value` under `key`.
+    fn put(&self, key: &str, value: Arc<GroupedResult>);
+}
+
+/// How a cached recommendation run used the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheUse {
+    /// Whether the configuration was eligible for per-view reuse at all
+    /// (see [`crate::SeeDbConfig::exact_per_view`]). Ineligible runs
+    /// execute exactly like [`SeeDb::recommend`](crate::SeeDb::recommend).
+    pub eligible: bool,
+    /// Views answered from the cache (no scan).
+    pub hits: usize,
+    /// Views computed by executing queries (and then cached).
+    pub misses: usize,
+}
+
+impl CacheUse {
+    /// A run that bypassed the cache entirely.
+    pub fn ineligible() -> Self {
+        CacheUse::default()
+    }
+
+    /// True when every view came from the cache (the request touched no
+    /// table data at all).
+    pub fn fully_cached(&self) -> bool {
+        self.eligible && self.misses == 0 && self.hits > 0
+    }
+}
+
+/// Unbounded thread-safe in-memory [`ViewCache`] — the reference
+/// implementation for tests and simple embeddings.
+#[derive(Default)]
+pub struct MemoryViewCache {
+    map: Mutex<HashMap<String, Arc<GroupedResult>>>,
+}
+
+impl MemoryViewCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ViewCache for MemoryViewCache {
+    fn get(&self, key: &str) -> Option<Arc<GroupedResult>> {
+        self.map
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn put(&self, key: &str, value: Arc<GroupedResult>) {
+        self.map
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key.to_owned(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_engine::AggSpec;
+
+    fn result() -> Arc<GroupedResult> {
+        Arc::new(GroupedResult {
+            group_by: vec![seedb_storage::ColumnId(0)],
+            aggregates: vec![AggSpec::new(
+                seedb_engine::AggFunc::Avg,
+                seedb_storage::ColumnId(1),
+            )],
+            groups: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn memory_cache_round_trips_shared_arcs() {
+        let cache = MemoryViewCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        let v = result();
+        cache.put("a", v.clone());
+        let got = cache.get("a").expect("present");
+        assert!(Arc::ptr_eq(&v, &got), "must share, not copy");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_use_flags() {
+        assert!(!CacheUse::ineligible().eligible);
+        let full = CacheUse {
+            eligible: true,
+            hits: 3,
+            misses: 0,
+        };
+        assert!(full.fully_cached());
+        let partial = CacheUse {
+            eligible: true,
+            hits: 3,
+            misses: 1,
+        };
+        assert!(!partial.fully_cached());
+    }
+}

@@ -44,6 +44,7 @@
 //! assert!(!rec.views.is_empty());
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod executor;
@@ -52,15 +53,18 @@ pub mod pruning;
 pub mod quality;
 pub mod reference;
 pub mod seedb;
+pub mod signature;
 pub mod state;
 pub mod view;
 
+pub use cache::{CacheUse, MemoryViewCache, ViewCache};
 pub use config::{ExecutionStrategy, GroupingPolicy, PruningKind, SeeDbConfig, SharingConfig};
 pub use error::CoreError;
 pub use executor::{ExecutionReport, Executor};
 pub use quality::{accuracy_at_k, utility_distance};
 pub use reference::ReferenceSpec;
 pub use seedb::{RankedView, Recommendation, SeeDb};
+pub use signature::{predicate_signature, reference_signature};
 pub use view::{ViewId, ViewSpec};
 
 // Re-exported for downstream convenience: the types callers need to drive

@@ -1,13 +1,17 @@
 //! The public SeeDB facade: table in, ranked visualizations out.
 
+use crate::cache::{CacheUse, ViewCache};
 use crate::config::SeeDbConfig;
 use crate::error::CoreError;
-use crate::executor::Executor;
+use crate::executor::{ExecutionReport, Executor};
 use crate::reference::ReferenceSpec;
+use crate::signature::{predicate_signature, reference_signature};
+use crate::state::ViewState;
 use crate::view::{enumerate_views, ViewSpec};
-use seedb_engine::{ExecStats, Predicate};
+use seedb_engine::{ExecStats, GroupedResult, Predicate};
 use seedb_storage::{BoxedTable, Cell, Table};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One recommended visualization: the view, its utility, and the aligned
 /// target/reference distributions ready to render as a bar chart.
@@ -90,18 +94,108 @@ impl SeeDb {
         target: &Predicate,
         reference: &ReferenceSpec,
     ) -> Result<Recommendation, CoreError> {
-        self.config.validate()?;
+        self.check_runnable()?;
         let views = self.views();
+        let executor = Executor::new(self.table.as_ref(), &self.config);
+        let report = executor.run(&views, target, reference);
+        Ok(self.build_recommendation(report))
+    }
+
+    /// [`SeeDb::recommend`] with cross-request reuse of exact per-view
+    /// aggregates through `cache` (see [`crate::cache`]).
+    ///
+    /// For configurations where every view's result is an exact full-table
+    /// aggregate ([`SeeDbConfig::exact_per_view`]), each view is first
+    /// probed in the cache under its canonical signature (target predicate
+    /// × reference × view identity — deliberately *excluding* `k` and the
+    /// metric, which don't change aggregates); only the missing views are
+    /// executed, and their results are stored back. The returned
+    /// recommendation is bit-identical to what [`SeeDb::recommend`] would
+    /// produce: exports round-trip exactly and each view's aggregates are
+    /// independent of which other views execute alongside it.
+    ///
+    /// Ineligible configurations (anything that prunes) fall back to a
+    /// plain `recommend` and report [`CacheUse::ineligible`].
+    pub fn recommend_cached(
+        &self,
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        cache: &dyn ViewCache,
+    ) -> Result<(Recommendation, CacheUse), CoreError> {
+        self.check_runnable()?;
+        if !self.config.exact_per_view() {
+            return Ok((self.recommend(target, reference)?, CacheUse::ineligible()));
+        }
+
+        let start = Instant::now();
+        let views = self.views();
+        let pred_sig = predicate_signature(target);
+        let ref_sig = reference_signature(reference);
+        let keys: Vec<String> = views
+            .iter()
+            .map(|v| format!("{pred_sig}|{ref_sig}|{}", v.signature()))
+            .collect();
+        let mut cached: Vec<Option<Arc<GroupedResult>>> =
+            keys.iter().map(|k| cache.get(k)).collect();
+        let hits = cached.iter().filter(|c| c.is_some()).count();
+        let misses = views.len() - hits;
+
+        let mut stats = ExecStats::new();
+        let mut phases_executed = 0;
+        if misses > 0 {
+            // Execute only the missing views. The executor indexes states
+            // by view id, so the subset is re-enumerated densely; results
+            // are keyed back to the original positions afterwards.
+            let missing: Vec<usize> = (0..views.len()).filter(|&i| cached[i].is_none()).collect();
+            let dense: Vec<ViewSpec> = missing
+                .iter()
+                .enumerate()
+                .map(|(j, &i)| ViewSpec { id: j, ..views[i] })
+                .collect();
+            let executor = Executor::new(self.table.as_ref(), &self.config);
+            let report = executor.run(&dense, target, reference);
+            stats.merge(&report.stats);
+            phases_executed = report.phases_executed;
+            for (j, &i) in missing.iter().enumerate() {
+                let result = Arc::new(report.states[j].to_combined_result());
+                cache.put(&keys[i], result.clone());
+                cached[i] = Some(result);
+            }
+        }
+
+        let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
+        for (state, entry) in states.iter_mut().zip(&cached) {
+            state.merge_both(entry.as_ref().expect("every view filled above"), 0);
+        }
+        let report = ExecutionReport {
+            states,
+            stats,
+            elapsed: start.elapsed(),
+            phases_executed,
+            early_stopped: false,
+        };
+        let outcome = CacheUse {
+            eligible: true,
+            hits,
+            misses,
+        };
+        Ok((self.build_recommendation(report), outcome))
+    }
+
+    /// Shared validation for every recommendation entry point.
+    fn check_runnable(&self) -> Result<(), CoreError> {
+        self.config.validate()?;
         if self.table.schema().dimensions().is_empty() {
             return Err(CoreError::NoDimensions);
         }
         if self.table.schema().measures().is_empty() {
             return Err(CoreError::NoMeasures);
         }
+        Ok(())
+    }
 
-        let executor = Executor::new(self.table.as_ref(), &self.config);
-        let report = executor.run(&views, target, reference);
-
+    /// Ranks an execution report and materializes the public result.
+    fn build_recommendation(&self, report: ExecutionReport) -> Recommendation {
         let metric = self.config.metric;
         let all_utilities: Vec<f64> = report.states.iter().map(|s| s.utility(metric)).collect();
         let top_ids = report.top_k(self.config.k, metric);
@@ -128,14 +222,14 @@ impl SeeDb {
             })
             .collect();
 
-        Ok(Recommendation {
+        Recommendation {
             views: ranked,
             all_utilities,
             stats: report.stats,
             elapsed: report.elapsed,
             phases_executed: report.phases_executed,
             early_stopped: report.early_stopped,
-        })
+        }
     }
 
     /// Resolves a group code of a view's dimension back to a display label.
@@ -312,6 +406,141 @@ mod tests {
             tops.windows(2).all(|w| w[0] == w[1]),
             "strategies disagree on the top view: {tops:?}"
         );
+    }
+
+    /// Bit-level equality of the response-visible parts of two
+    /// recommendations.
+    fn assert_same_recommendation(a: &Recommendation, b: &Recommendation) {
+        assert_eq!(a.views.len(), b.views.len());
+        for (x, y) in a.views.iter().zip(&b.views) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.utility.to_bits(), y.utility.to_bits());
+            assert_eq!(x.group_labels, y.group_labels);
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&x.target_distribution), bits(&y.target_distribution));
+            assert_eq!(
+                bits(&x.reference_distribution),
+                bits(&y.reference_distribution)
+            );
+            assert_eq!(bits(&x.target_values), bits(&y.target_values));
+            assert_eq!(bits(&x.reference_values), bits(&y.reference_values));
+        }
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.all_utilities), bits(&b.all_utilities));
+    }
+
+    #[test]
+    fn cached_recommendation_is_bit_identical_to_direct() {
+        use crate::cache::MemoryViewCache;
+        let table = census();
+        let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
+        for strategy in [ExecutionStrategy::NoOpt, ExecutionStrategy::Sharing] {
+            let cfg = SeeDbConfig::for_strategy(strategy);
+            let seedb = SeeDb::with_config(table.clone(), cfg);
+            let direct = seedb
+                .recommend(&target, &ReferenceSpec::WholeTable)
+                .unwrap();
+
+            let cache = MemoryViewCache::new();
+            // Cold: everything misses, gets computed and cached.
+            let (cold, use1) = seedb
+                .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+                .unwrap();
+            assert!(use1.eligible);
+            assert_eq!(use1.hits, 0);
+            assert_eq!(use1.misses, seedb.views().len());
+            assert_same_recommendation(&direct, &cold);
+
+            // Warm: everything hits; no rows are scanned.
+            let (warm, use2) = seedb
+                .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+                .unwrap();
+            assert!(use2.fully_cached());
+            assert_eq!(warm.stats.rows_scanned, 0);
+            assert_eq!(warm.stats.queries_issued, 0);
+            assert_same_recommendation(&direct, &warm);
+        }
+    }
+
+    #[test]
+    fn cached_partials_survive_k_and_metric_changes() {
+        use crate::cache::MemoryViewCache;
+        let table = census();
+        let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
+        let cache = MemoryViewCache::new();
+
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        let seedb = SeeDb::with_config(table.clone(), cfg.clone());
+        let _ = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+
+        // A follow-up with different k and metric reuses every partial.
+        cfg.k = 1;
+        cfg.metric = seedb_metrics::DistanceKind::L1;
+        let seedb2 = SeeDb::with_config(table.clone(), cfg.clone());
+        let (rec, usage) = seedb2
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert!(usage.fully_cached(), "{usage:?}");
+        assert_same_recommendation(
+            &seedb2
+                .recommend(&target, &ReferenceSpec::WholeTable)
+                .unwrap(),
+            &rec,
+        );
+
+        // A different target misses.
+        let other = Predicate::col_eq_str(table.as_ref(), "marital", "married");
+        let (_, usage) = seedb2
+            .recommend_cached(&other, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert_eq!(usage.hits, 0);
+    }
+
+    #[test]
+    fn partial_overlap_executes_only_missing_views() {
+        use crate::cache::MemoryViewCache;
+        let table = census();
+        let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
+        let cache = MemoryViewCache::new();
+        // Warm the cache with AVG views only.
+        let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+        cfg.agg_functions = vec![seedb_engine::AggFunc::Avg];
+        let seedb = SeeDb::with_config(table.clone(), cfg.clone());
+        let _ = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        let avg_views = seedb.views().len();
+
+        // AVG+SUM overlaps on the AVG half.
+        cfg.agg_functions = vec![seedb_engine::AggFunc::Avg, seedb_engine::AggFunc::Sum];
+        let seedb2 = SeeDb::with_config(table.clone(), cfg.clone());
+        let direct = seedb2
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
+        let (rec, usage) = seedb2
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert_eq!(usage.hits, avg_views);
+        assert_eq!(usage.misses, seedb2.views().len() - avg_views);
+        assert_same_recommendation(&direct, &rec);
+    }
+
+    #[test]
+    fn pruning_configs_bypass_the_cache() {
+        use crate::cache::MemoryViewCache;
+        let table = census();
+        let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
+        let cache = MemoryViewCache::new();
+        let cfg = SeeDbConfig::default(); // COMB + CI pruning
+        let seedb = SeeDb::with_config(table, cfg);
+        let (rec, usage) = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert_eq!(usage, crate::cache::CacheUse::ineligible());
+        assert!(cache.is_empty());
+        assert!(!rec.views.is_empty());
     }
 
     #[test]

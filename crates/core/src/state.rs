@@ -7,7 +7,7 @@
 //! pruning schemes consume.
 
 use crate::view::ViewSpec;
-use seedb_engine::{Accumulator, GroupKey, GroupedResult};
+use seedb_engine::{Accumulator, AggSpec, GroupEntry, GroupKey, GroupedResult};
 use seedb_metrics::{normalize, DistanceKind};
 use std::collections::BTreeMap;
 
@@ -79,6 +79,28 @@ impl ViewState {
                 Side::Target => pair.target.merge(&entry.target[agg_idx]),
                 Side::Reference => pair.reference.merge(&entry.target[agg_idx]),
             }
+        }
+    }
+
+    /// Exports the accumulated state as a combined (target + reference)
+    /// [`GroupedResult`] for this view's single dimension and aggregate —
+    /// the shape [`ViewState::merge_both`] re-imports losslessly.
+    /// Accumulator merges are exact, so `export → merge_both` into a fresh
+    /// state reproduces this state's value vectors bit-for-bit; this is
+    /// what makes per-view results safe to cache across requests.
+    pub fn to_combined_result(&self) -> GroupedResult {
+        GroupedResult {
+            group_by: vec![self.spec.dim],
+            aggregates: vec![AggSpec::new(self.spec.func, self.spec.measure)],
+            groups: self
+                .groups
+                .iter()
+                .map(|(key, pair)| GroupEntry {
+                    key: key.clone(),
+                    target: vec![pair.target.clone()],
+                    reference: vec![pair.reference.clone()],
+                })
+                .collect(),
         }
     }
 
@@ -234,6 +256,28 @@ mod tests {
         assert_eq!(u1, u2);
         assert_eq!(state.estimates.len(), 2);
         assert!((state.estimate_mean() - u1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_reimport_round_trips_bit_for_bit() {
+        let t = table();
+        let pred = Predicate::col_eq_str(t.as_ref(), "d", "a");
+        let result = run(SplitSpec::TargetVsAll(pred));
+        let mut state = ViewState::new(spec());
+        state.merge_both(&result, 0);
+
+        let exported = state.to_combined_result();
+        assert_eq!(exported.group_by, vec![ColumnId(0)]);
+        assert_eq!(exported.aggregates.len(), 1);
+
+        let mut reimported = ViewState::new(spec());
+        reimported.merge_both(&exported, 0);
+        assert_eq!(state.value_vectors(), reimported.value_vectors());
+        assert_eq!(state.group_keys(), reimported.group_keys());
+        assert_eq!(
+            state.utility(DistanceKind::Emd).to_bits(),
+            reimported.utility(DistanceKind::Emd).to_bits()
+        );
     }
 
     #[test]

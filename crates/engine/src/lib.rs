@@ -55,7 +55,7 @@ pub use hashagg::{
     execute_combined, execute_combined_with_mode, PartialAggregation, DENSE_CARDINALITY_MAX,
 };
 pub use morsel::{execute_morsels, DEFAULT_MORSEL_ROWS};
-pub use parallel::{with_pool, Pool};
+pub use parallel::{with_pool, BudgetLease, Pool, WorkerBudget};
 pub use rollup::rollup;
 pub use spec::{AggSpec, CombinedQuery, SplitSpec};
 pub use stats::ExecStats;

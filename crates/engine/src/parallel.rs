@@ -333,6 +333,84 @@ pub fn default_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// A counting semaphore over morsel-worker slots, for sharing the
+/// machine's worker budget across concurrent recommendation runs.
+///
+/// One run's pool ([`with_pool`]) sizes itself to ≈ #cores; N concurrent
+/// server requests each doing that would oversubscribe the machine N×.
+/// A `WorkerBudget` of `total` permits fixes the global degree: each
+/// request leases as many worker slots as are available (at least one —
+/// a request never deadlocks waiting for full parallelism) and sizes its
+/// pool to the lease. Dropping the [`BudgetLease`] returns the permits.
+pub struct WorkerBudget {
+    permits: Mutex<usize>,
+    cv: Condvar,
+    total: usize,
+}
+
+impl WorkerBudget {
+    /// A budget of `total` worker slots (clamped to ≥ 1).
+    pub fn new(total: usize) -> Self {
+        let total = total.max(1);
+        WorkerBudget {
+            permits: Mutex::new(total),
+            cv: Condvar::new(),
+            total,
+        }
+    }
+
+    /// The configured total number of slots.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Slots currently unleased (for observability; racy by nature).
+    pub fn available(&self) -> usize {
+        *self.permits.lock().expect("budget lock poisoned")
+    }
+
+    /// Leases between 1 and `desired` slots, blocking only while *no*
+    /// slot is free: as soon as at least one permit is available the
+    /// lease takes `min(desired, available)` and returns. `desired` is
+    /// clamped to ≥ 1.
+    pub fn lease(&self, desired: usize) -> BudgetLease<'_> {
+        let desired = desired.max(1);
+        let mut permits = self.permits.lock().expect("budget lock poisoned");
+        while *permits == 0 {
+            permits = self.cv.wait(permits).expect("budget lock poisoned");
+        }
+        let granted = desired.min(*permits);
+        *permits -= granted;
+        BudgetLease {
+            budget: self,
+            granted,
+        }
+    }
+}
+
+/// RAII lease of worker slots from a [`WorkerBudget`]; returns them on
+/// drop.
+pub struct BudgetLease<'a> {
+    budget: &'a WorkerBudget,
+    granted: usize,
+}
+
+impl BudgetLease<'_> {
+    /// Number of worker slots this lease holds — the parallelism the
+    /// holder should run with.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for BudgetLease<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.budget.permits.lock().expect("budget lock poisoned");
+        *permits += self.granted;
+        self.budget.cv.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +519,54 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn worker_budget_grants_up_to_available() {
+        let budget = WorkerBudget::new(4);
+        assert_eq!(budget.total(), 4);
+        let a = budget.lease(3);
+        assert_eq!(a.granted(), 3);
+        // Only one slot left: a desired-4 lease gets 1 without blocking.
+        let b = budget.lease(4);
+        assert_eq!(b.granted(), 1);
+        assert_eq!(budget.available(), 0);
+        drop(a);
+        assert_eq!(budget.available(), 3);
+        drop(b);
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn worker_budget_clamps_degenerate_inputs() {
+        let budget = WorkerBudget::new(0);
+        assert_eq!(budget.total(), 1);
+        let lease = budget.lease(0);
+        assert_eq!(lease.granted(), 1);
+    }
+
+    #[test]
+    fn worker_budget_never_oversubscribes_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        let budget = WorkerBudget::new(3);
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        let lease = budget.lease(2);
+                        let now = in_flight.fetch_add(lease.granted(), Ordering::SeqCst)
+                            + lease.granted();
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        in_flight.fetch_sub(lease.granted(), Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "budget exceeded");
+        assert_eq!(budget.available(), 3);
     }
 
     #[test]

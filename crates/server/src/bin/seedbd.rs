@@ -1,0 +1,100 @@
+//! `seedbd` — the SeeDB recommendation daemon.
+//!
+//! ```text
+//! seedbd [--addr HOST:PORT] [--max-rows N] [--default-rows N]
+//!        [--cache-mb N] [--seed N] [--workers N]
+//! seedbd request ADDR METHOD PATH [BODY]
+//! ```
+//!
+//! The first form serves the JSON API (see the crate docs for endpoints).
+//! The second form is a std-only HTTP client for smoke checks: it prints
+//! the response body and exits non-zero unless the status is 200 — CI
+//! uses it instead of curl.
+
+use seedb_server::{client, Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("request") {
+        return run_client(&args[1..]);
+    }
+    run_daemon(&args)
+}
+
+fn run_daemon(args: &[String]) -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--max-rows" => config.max_rows = parse_num(&value("--max-rows"), "--max-rows"),
+            "--default-rows" => {
+                config.default_rows = parse_num(&value("--default-rows"), "--default-rows")
+            }
+            "--cache-mb" => {
+                config.cache_bytes = parse_num(&value("--cache-mb"), "--cache-mb") << 20
+            }
+            "--seed" => config.seed = parse_num(&value("--seed"), "--seed") as u64,
+            "--workers" => config.worker_budget = parse_num(&value("--workers"), "--workers"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: seedbd [--addr HOST:PORT] [--max-rows N] [--default-rows N] \
+                     [--cache-mb N] [--seed N] [--workers N]\n       \
+                     seedbd request ADDR METHOD PATH [BODY]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let server = match Server::bind(config.clone()) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind {}: {e}", config.addr)),
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "seedbd listening on {addr} (max_rows={}, cache={} MiB, workers={})",
+            config.max_rows,
+            config.cache_bytes >> 20,
+            config.worker_budget
+        ),
+        Err(e) => die(&format!("local_addr: {e}")),
+    }
+    server.run();
+    ExitCode::SUCCESS
+}
+
+fn run_client(args: &[String]) -> ExitCode {
+    let [addr, method, path, rest @ ..] = args else {
+        die("usage: seedbd request ADDR METHOD PATH [BODY]");
+    };
+    let body = rest.first().map(String::as_str);
+    match client::request(addr.as_str(), method, path, body) {
+        Ok((status, body)) => {
+            println!("{body}");
+            if status == 200 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("seedbd request: HTTP {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => die(&format!("request {method} {path} against {addr}: {e}")),
+    }
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse()
+        .unwrap_or_else(|_| die(&format!("{flag} expects a number, got '{text}'")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("seedbd: {msg}");
+    std::process::exit(2);
+}

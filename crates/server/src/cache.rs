@@ -1,0 +1,315 @@
+//! The cross-request recommendation cache: one memory-budgeted LRU
+//! holding both finished `/recommend` response payloads and reusable
+//! per-view aggregate partials.
+//!
+//! Keys are canonical signatures (`seedb_core::signature`) namespaced by
+//! kind — `R|…` for rendered responses, `P|…` for per-view
+//! [`GroupedResult`] partials — so the two layers share one budget and
+//! one eviction order. Recency is tracked with a monotonic clock and a
+//! `BTreeMap` index, which makes eviction order fully deterministic: the
+//! entry with the oldest last-touch tick always goes first.
+
+use seedb_core::cache::ViewCache;
+use seedb_engine::GroupedResult;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached value: either a finished response body or a per-view partial.
+#[derive(Clone)]
+pub enum CacheValue {
+    /// A rendered `/recommend` response payload (the deterministic part of
+    /// the body, shared verbatim on every future hit).
+    Response(Arc<String>),
+    /// An exact full-table combined aggregate for one view, reusable by
+    /// any overlapping request (see `SeeDb::recommend_cached`).
+    Partial(Arc<GroupedResult>),
+}
+
+impl CacheValue {
+    /// Approximate heap footprint in bytes, for budget accounting. An
+    /// estimate is fine: the budget bounds order-of-magnitude memory use,
+    /// not exact allocation.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            CacheValue::Response(body) => body.len(),
+            CacheValue::Partial(result) => {
+                let per_group = 32 + result.group_by.len() * 8 + result.aggregates.len() * 2 * 48;
+                64 + result.groups.len() * per_group
+            }
+        }
+    }
+}
+
+/// One resident entry.
+struct Slot {
+    value: CacheValue,
+    /// `key.len() + value.approx_size()` at insert time.
+    size: usize,
+    /// Last-touch tick (key into the recency index).
+    tick: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Slot>,
+    /// tick → key, ordered oldest-first; the eviction queue.
+    recency: BTreeMap<u64, String>,
+    clock: u64,
+    bytes: usize,
+}
+
+/// Monotonic counters exposed at `GET /statz`.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing.
+    pub misses: AtomicU64,
+    /// Entries evicted to make room.
+    pub evictions: AtomicU64,
+    /// Entries inserted.
+    pub insertions: AtomicU64,
+    /// Inserts rejected because a single entry exceeded the whole budget.
+    pub rejected: AtomicU64,
+}
+
+/// Memory-budgeted LRU over [`CacheValue`]s. All operations are
+/// `Mutex`-serialized; entries are shared out as `Arc`s so hits are
+/// zero-copy.
+pub struct RecCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+    stats: CacheStats,
+}
+
+impl RecCache {
+    /// A cache bounded to roughly `budget_bytes` of entry payload.
+    pub fn new(budget_bytes: usize) -> Self {
+        RecCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+            budget: budget_bytes.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Counter snapshot access.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").bytes
+    }
+
+    /// Looks `key` up, refreshing its recency on hit.
+    pub fn get(&self, key: &str) -> Option<CacheValue> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let tick = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                let old = std::mem::replace(&mut slot.tick, tick);
+                let value = slot.value.clone();
+                inner.recency.remove(&old);
+                inner.recency.insert(tick, key.to_owned());
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+    /// until the budget holds. An entry larger than the whole budget is
+    /// rejected rather than flushing everything else.
+    pub fn put(&self, key: &str, value: CacheValue) {
+        let size = key.len() + value.approx_size();
+        if size > self.budget {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if let Some(old) = inner.map.remove(key) {
+            inner.recency.remove(&old.tick);
+            inner.bytes -= old.size;
+        }
+        while inner.bytes + size > self.budget {
+            let Some((&oldest, _)) = inner.recency.iter().next() else {
+                break;
+            };
+            let victim_key = inner.recency.remove(&oldest).expect("tick present");
+            let victim = inner.map.remove(&victim_key).expect("key present");
+            inner.bytes -= victim.size;
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.clock += 1;
+        let tick = inner.clock;
+        inner.recency.insert(tick, key.to_owned());
+        inner.map.insert(key.to_owned(), Slot { value, size, tick });
+        inner.bytes += size;
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.recency.clear();
+        inner.bytes = 0;
+    }
+
+    /// Resident keys ordered least- to most-recently used (test/debug aid).
+    pub fn keys_lru_order(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        inner.recency.values().cloned().collect()
+    }
+}
+
+/// Adapter giving `SeeDb::recommend_cached` a view into one [`RecCache`],
+/// namespaced under a dataset-instance prefix so partials from different
+/// datasets (or row counts) can never alias.
+pub struct PartialCache {
+    cache: Arc<RecCache>,
+    prefix: String,
+}
+
+impl PartialCache {
+    /// A view of `cache` scoped to `prefix` (e.g. `CENSUS@5000#seed17`).
+    pub fn new(cache: Arc<RecCache>, prefix: String) -> Self {
+        PartialCache { cache, prefix }
+    }
+
+    fn full_key(&self, key: &str) -> String {
+        format!("P|{}|{}", self.prefix, key)
+    }
+}
+
+impl ViewCache for PartialCache {
+    fn get(&self, key: &str) -> Option<Arc<GroupedResult>> {
+        match self.cache.get(&self.full_key(key)) {
+            Some(CacheValue::Partial(result)) => Some(result),
+            _ => None,
+        }
+    }
+
+    fn put(&self, key: &str, value: Arc<GroupedResult>) {
+        self.cache
+            .put(&self.full_key(key), CacheValue::Partial(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(body: &str) -> CacheValue {
+        CacheValue::Response(Arc::new(body.to_owned()))
+    }
+
+    #[test]
+    fn get_put_and_stats() {
+        let cache = RecCache::new(10_000);
+        assert!(cache.get("a").is_none());
+        cache.put("a", response("hello"));
+        assert!(matches!(cache.get("a"), Some(CacheValue::Response(b)) if *b == "hello"));
+        assert_eq!(cache.stats().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().misses.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().insertions.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        // Budget fits exactly two ~105-byte entries.
+        let cache = RecCache::new(220);
+        cache.put("k1", response(&"x".repeat(100)));
+        cache.put("k2", response(&"y".repeat(100)));
+        assert_eq!(cache.len(), 2);
+        // Touch k1 so k2 is the LRU victim.
+        let _ = cache.get("k1");
+        cache.put("k3", response(&"z".repeat(100)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("k2").is_none(), "LRU entry must be evicted");
+        assert!(cache.get("k1").is_some());
+        assert!(cache.get("k3").is_some());
+        assert_eq!(cache.stats().evictions.load(Ordering::Relaxed), 1);
+        assert!(cache.bytes() <= cache.budget());
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_thrashed() {
+        let cache = RecCache::new(100);
+        cache.put("small", response("ok"));
+        cache.put("huge", response(&"x".repeat(500)));
+        assert!(cache.get("huge").is_none());
+        assert!(cache.get("small").is_some(), "resident entries survive");
+        assert_eq!(cache.stats().rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_size_and_recency() {
+        let cache = RecCache::new(1_000);
+        cache.put("a", response(&"x".repeat(100)));
+        let before = cache.bytes();
+        cache.put("a", response("tiny"));
+        assert!(cache.bytes() < before);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_order_is_observable() {
+        let cache = RecCache::new(10_000);
+        cache.put("a", response("1"));
+        cache.put("b", response("2"));
+        cache.put("c", response("3"));
+        let _ = cache.get("a");
+        assert_eq!(cache.keys_lru_order(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn partial_cache_is_namespaced() {
+        use seedb_core::cache::ViewCache as _;
+        let shared = Arc::new(RecCache::new(100_000));
+        let a = PartialCache::new(shared.clone(), "DS@100".into());
+        let b = PartialCache::new(shared.clone(), "DS@200".into());
+        let result = Arc::new(GroupedResult {
+            group_by: vec![seedb_storage::ColumnId(0)],
+            aggregates: vec![seedb_engine::AggSpec::new(
+                seedb_engine::AggFunc::Avg,
+                seedb_storage::ColumnId(1),
+            )],
+            groups: Vec::new(),
+        });
+        a.put("key", result.clone());
+        assert!(a.get("key").is_some());
+        assert!(b.get("key").is_none(), "prefixes must isolate instances");
+        // A response entry under the same raw key is not a partial.
+        shared.put("P|DS@100|other", response("body"));
+        assert!(a.get("other").is_none());
+    }
+}

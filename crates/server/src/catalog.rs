@@ -1,0 +1,197 @@
+//! The dataset catalog: lazily generated Table 1 datasets shared
+//! immutably across requests.
+//!
+//! `seedbd` serves the paper's Table 1 inventory (`seedb_data::registry`).
+//! Generating a dataset is expensive, so the catalog builds each
+//! `(name, rows)` instance once, on first use, and hands out `Arc`s; the
+//! tables themselves are immutable, so every concurrent request can scan
+//! the same storage. A row cap protects the daemon from a request
+//! demanding a 60-million-row AIR10 build.
+
+use seedb_data::registry::{generate_by_name, table1};
+use seedb_data::Dataset;
+use seedb_storage::StoreKind;
+use seedb_util::Json;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Lazily populated, thread-safe dataset store.
+pub struct Catalog {
+    /// Hard cap on rows per generated dataset instance.
+    max_rows: usize,
+    /// Default rows when a request does not say (≤ `max_rows`).
+    default_rows: usize,
+    /// Generation seed (fixed so instances are deterministic).
+    seed: u64,
+    /// Store layout for generated tables.
+    kind: StoreKind,
+    /// Built instances, keyed by `(name, rows)`.
+    built: Mutex<HashMap<(String, usize), Arc<Dataset>>>,
+}
+
+impl Catalog {
+    /// A catalog capping generated instances at `max_rows` rows.
+    pub fn new(max_rows: usize, default_rows: usize, seed: u64) -> Self {
+        let max_rows = max_rows.max(1);
+        Catalog {
+            max_rows,
+            default_rows: default_rows.clamp(1, max_rows),
+            seed,
+            kind: StoreKind::Column,
+            built: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The row cap.
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Effective row count for a request: `requested` clamped to the cap,
+    /// or the default when unspecified.
+    pub fn resolve_rows(&self, name: &str, requested: Option<usize>) -> usize {
+        let full = table1()
+            .into_iter()
+            .find(|d| d.name == name)
+            .map(|d| d.rows)
+            .unwrap_or(self.max_rows);
+        requested
+            .unwrap_or(self.default_rows)
+            .clamp(1, self.max_rows)
+            .min(full)
+    }
+
+    /// The dataset instance for `(name, rows)`, generating it on first
+    /// use. `rows` is clamped to the row cap (and the dataset's full
+    /// size) *here*, where the expensive build happens — the cap must
+    /// hold for every caller, not just the HTTP route that goes through
+    /// [`Catalog::resolve_rows`]. `Err` carries a message for unknown
+    /// dataset names.
+    pub fn dataset(&self, name: &str, rows: usize) -> Result<Arc<Dataset>, String> {
+        let info = table1()
+            .into_iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| format!("unknown dataset '{name}'"))?;
+        let rows = rows.clamp(1, self.max_rows).min(info.rows);
+        let key = (name.to_owned(), rows);
+        if let Some(ds) = self.built.lock().expect("catalog lock poisoned").get(&key) {
+            return Ok(ds.clone());
+        }
+        // Generate outside the lock: builds take seconds at large scales
+        // and must not block requests for other datasets. Two racing
+        // requests may both build; the second insert wins and both Arcs
+        // are valid (generation is deterministic).
+        let scale = (rows as f64 / info.rows as f64).min(1.0);
+        let ds = generate_by_name(name, scale, self.seed, self.kind)
+            .ok_or_else(|| format!("no generator for '{name}'"))?;
+        let ds = Arc::new(ds);
+        self.built
+            .lock()
+            .expect("catalog lock poisoned")
+            .insert(key, ds.clone());
+        Ok(ds)
+    }
+
+    /// Names of instances built so far, as `name@rows`, sorted.
+    pub fn loaded(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .built
+            .lock()
+            .expect("catalog lock poisoned")
+            .keys()
+            .map(|(name, rows)| format!("{name}@{rows}"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The `GET /datasets` body: the Table 1 inventory plus what this
+    /// process has materialized.
+    pub fn list_json(&self) -> Json {
+        let datasets: Vec<Json> = table1()
+            .into_iter()
+            .map(|d| {
+                Json::obj()
+                    .set("name", d.name)
+                    .set("description", d.description)
+                    .set("category", d.category)
+                    .set("full_rows", d.rows)
+                    .set("dims", d.dims)
+                    .set("measures", d.measures)
+                    .set("views", d.views)
+            })
+            .collect();
+        let loaded: Vec<Json> = self.loaded().into_iter().map(Json::from).collect();
+        Json::obj()
+            .set("datasets", datasets)
+            .set("max_rows", self.max_rows)
+            .set("default_rows", self.default_rows)
+            .set("loaded", loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::new(2_000, 1_000, 17)
+    }
+
+    #[test]
+    fn builds_lazily_and_shares_instances() {
+        let c = catalog();
+        assert!(c.loaded().is_empty());
+        let a = c.dataset("HOUSING", 500).unwrap();
+        let b = c.dataset("HOUSING", 500).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same instance must be shared");
+        assert_eq!(c.loaded(), vec!["HOUSING@500".to_owned()]);
+        // A different row count is a different instance.
+        let d = c.dataset("HOUSING", 200).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert!(d.rows() <= a.rows());
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let err = match catalog().dataset("NOPE", 100) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown dataset must fail"),
+        };
+        assert!(err.contains("NOPE"));
+    }
+
+    #[test]
+    fn dataset_enforces_the_row_cap_itself() {
+        // The cap must hold even for callers that bypass resolve_rows —
+        // a direct 60M-row AIR10 demand builds the capped instance.
+        let c = catalog();
+        let ds = c.dataset("CENSUS", 60_000_000).unwrap();
+        assert!(ds.rows() <= 2_100, "rows = {}", ds.rows());
+        assert_eq!(c.loaded(), vec!["CENSUS@2000".to_owned()]);
+        // And it shares the instance with the equivalent clamped request.
+        let same = c.dataset("CENSUS", 2_000).unwrap();
+        assert!(Arc::ptr_eq(&ds, &same));
+    }
+
+    #[test]
+    fn resolve_rows_clamps_to_cap_and_full_size() {
+        let c = catalog();
+        assert_eq!(c.resolve_rows("CENSUS", None), 1_000);
+        assert_eq!(c.resolve_rows("CENSUS", Some(99_999)), 2_000);
+        assert_eq!(c.resolve_rows("CENSUS", Some(0)), 1);
+        // HOUSING only has 500 rows in Table 1.
+        assert_eq!(c.resolve_rows("HOUSING", Some(99_999)), 500);
+    }
+
+    #[test]
+    fn list_json_inventories_table1() {
+        let c = catalog();
+        c.dataset("HOUSING", 500).unwrap();
+        let j = c.list_json();
+        assert_eq!(j.get("datasets").unwrap().as_arr().unwrap().len(), 10);
+        assert_eq!(j.get("max_rows").unwrap().as_u64(), Some(2_000));
+        let loaded = j.get("loaded").unwrap().as_arr().unwrap();
+        assert_eq!(loaded.len(), 1);
+    }
+}

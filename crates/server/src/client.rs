@@ -1,0 +1,77 @@
+//! A tiny std-only HTTP client — enough to exercise `seedbd` from tests,
+//! examples, and the CI smoke job without curl or an HTTP crate.
+
+use seedb_util::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Issues one HTTP/1.1 request and returns `(status, body)`.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other("no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: seedbd\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw).map_err(std::io::Error::other)
+}
+
+/// [`request`], parsing the body as JSON.
+pub fn request_json(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, Json)> {
+    let (status, body) = request(addr, method, path, body)?;
+    let json = Json::parse(&body)
+        .map_err(|e| std::io::Error::other(format!("unparseable body: {e}: {body}")))?;
+    Ok((status, json))
+}
+
+/// Splits a raw HTTP/1.1 response into status code and body.
+fn parse_response(raw: &str) -> Result<(u16, String), String> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("no header/body separator in response: {raw:.120}"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_response_frames() {
+        let (status, body) =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{}");
+        assert!(parse_response("garbage").is_err());
+        assert!(parse_response("HTTP/1.1 abc\r\n\r\nx").is_err());
+    }
+}

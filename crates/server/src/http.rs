@@ -1,0 +1,309 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for a
+//! JSON API daemon: request-line + headers + `Content-Length` bodies in,
+//! status + headers + body out, one request per connection
+//! (`Connection: close`). Hand-rolled because the registry is unreachable;
+//! limits on header and body sizes keep a malicious peer from ballooning
+//! memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Per-connection socket timeout; a stalled peer cannot pin a worker.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string included (the router splits it).
+    pub path: String,
+    /// Raw body bytes decoded to UTF-8 (empty when absent).
+    pub body: String,
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body text (JSON for every API route).
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            body: seedb_util::Json::obj().set("error", message).compact(),
+            content_type: "application/json",
+        }
+    }
+
+    /// Standard reason phrase for the status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, and body to `out`.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+/// Why a request could not be parsed. Each maps to a 4xx the connection
+/// handler sends before closing.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line or headers.
+    Bad(String),
+    /// Head or body exceeded its size limit.
+    TooLarge,
+    /// The peer closed or stalled before a full request arrived.
+    Incomplete,
+}
+
+impl ParseError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Bad(_) => 400,
+            ParseError::TooLarge => 413,
+            ParseError::Incomplete => 408,
+        }
+    }
+
+    /// Human-readable description for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            ParseError::Bad(m) => format!("malformed request: {m}"),
+            ParseError::TooLarge => "request too large".to_owned(),
+            ParseError::Incomplete => "incomplete request".to_owned(),
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    // The head budget is enforced *during* reads via `Take`: a peer
+    // streaming a newline-free flood hits the limit after 16 KiB instead
+    // of being buffered unboundedly until a '\n' arrives.
+    let mut reader = BufReader::new(stream).take(MAX_HEAD_BYTES as u64);
+
+    let mut line = String::new();
+    read_line(&mut reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing path".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version {version}")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        read_line(&mut reader, &mut line)?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ParseError::Bad(format!("bad header line '{trimmed}'")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Bad("bad Content-Length".into()))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(ParseError::TooLarge);
+            }
+        }
+    }
+
+    // Re-purpose the limiter for the body (already checked ≤ the body
+    // cap, so the read itself can never balloon).
+    reader.set_limit(content_length as u64);
+    let mut body_bytes = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body_bytes)
+        .map_err(|_| ParseError::Incomplete)?;
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| ParseError::Bad("body is not valid UTF-8".into()))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// Reads one CRLF-terminated line from the head-budgeted reader. A line
+/// cut short by the byte limit (no trailing newline, limiter exhausted)
+/// is an oversized head, not a truncated request.
+fn read_line(
+    reader: &mut std::io::Take<impl BufRead>,
+    line: &mut String,
+) -> Result<(), ParseError> {
+    let n = reader.read_line(line).map_err(|_| ParseError::Incomplete)?;
+    if n == 0 {
+        return Err(ParseError::Incomplete);
+    }
+    if !line.ends_with('\n') && reader.limit() == 0 {
+        return Err(ParseError::TooLarge);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw bytes through a real socket into `read_request`.
+    fn parse_raw(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Keep the socket open briefly so reads see EOF, not reset.
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse_raw(
+            b"POST /recommend HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 9\r\n\r\n{\"k\": 3}\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"k\": 3}\n");
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(matches!(
+            parse_raw(b"NONSENSE\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET /x SPDY/99\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn newline_free_flood_is_rejected_at_the_budget() {
+        // A head with no '\n' at all must be cut off at MAX_HEAD_BYTES,
+        // not buffered until the peer deigns to send a newline.
+        // Sized to clear the budget while fitting loopback socket buffers
+        // (the writer thread must not block once the parser bails out).
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 8 * 1024));
+        assert!(matches!(parse_raw(&raw), Err(ParseError::TooLarge)));
+        // Same for many well-formed header lines totalling too much.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..300 {
+            raw.extend(format!("X-Filler-{i}: {}\r\n", "v".repeat(64)).into_bytes());
+        }
+        raw.extend(b"\r\n");
+        assert!(matches!(parse_raw(&raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_raw(raw.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_incomplete() {
+        assert!(matches!(
+            parse_raw(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ParseError::Incomplete)
+        ));
+    }
+
+    #[test]
+    fn response_serialization_includes_frame() {
+        let mut out = Vec::new();
+        Response::json("{\"a\":1}".to_owned())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+        let mut out = Vec::new();
+        Response::error(404, "no such route")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("no such route"));
+    }
+}

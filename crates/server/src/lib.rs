@@ -1,0 +1,61 @@
+//! # seedb-server
+//!
+//! `seedbd` — a dependency-free serving layer for the SeeDB reproduction.
+//!
+//! The paper frames SeeDB as interactive *middleware* that analysts query
+//! repeatedly with small variations over the same dataset (§3); this crate
+//! is that long-lived process: a multi-threaded HTTP/1.1 JSON API daemon
+//! over `std::net` only (the registry is unreachable, so the HTTP framing
+//! is hand-rolled the same way `seedb-util` hand-rolls JSON).
+//!
+//! ## Endpoints
+//!
+//! | method & path | body | response |
+//! |---|---|---|
+//! | `GET /healthz` | — | `{"status":"ok", …}` |
+//! | `GET /statz` | — | cache + request counters |
+//! | `GET /datasets` | — | the Table 1 catalog and what's loaded |
+//! | `POST /recommend` | request JSON (below) | ranked views |
+//!
+//! A `/recommend` body names a catalog dataset and a target selection, and
+//! may override any result-affecting config knob:
+//!
+//! ```json
+//! {"dataset": "CENSUS", "rows": 5000,
+//!  "where": "marital_status = 'unmarried'",
+//!  "reference": "whole", "k": 5, "metric": "EMD",
+//!  "strategy": "SHARING", "exec_mode": "VECTORIZED"}
+//! ```
+//!
+//! ## Cross-request cache
+//!
+//! All responses and per-view aggregates flow through one memory-budgeted
+//! LRU ([`cache::RecCache`]) keyed by canonical signatures
+//! (`seedb_core::signature`): a repeated query returns its cached response
+//! without touching the engine, and an *overlapping* query (same dataset +
+//! predicate, different `k`/metric) reuses the cached per-view
+//! [`GroupedResult`](seedb_engine::GroupedResult) partials through
+//! [`SeeDb::recommend_cached`](seedb_core::SeeDb::recommend_cached) and
+//! skips the scan entirely. Responses are bit-identical to direct library
+//! calls in every case.
+//!
+//! ## Concurrency
+//!
+//! Connections are handled by a bounded set of threads; recommendation
+//! work inside a request rides the engine's persistent scoped worker pool,
+//! and concurrent requests share the machine through an admission lease on
+//! [`WorkerBudget`](seedb_engine::WorkerBudget) so N parallel `/recommend`
+//! calls never oversubscribe the morsel workers.
+
+pub mod api;
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use cache::{CacheStats, CacheValue, RecCache};
+pub use catalog::Catalog;
+pub use http::{Request, Response};
+pub use server::{Server, ServerConfig, ServerHandle};

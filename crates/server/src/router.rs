@@ -1,0 +1,383 @@
+//! Request routing: the four API endpoints over shared server state.
+
+use crate::api::{self, RecommendRequest};
+use crate::cache::{CacheValue, PartialCache, RecCache};
+use crate::catalog::Catalog;
+use crate::http::{Request, Response};
+use seedb_core::{predicate_signature, reference_signature, ReferenceSpec, SeeDb};
+use seedb_engine::{Predicate, WorkerBudget};
+use seedb_sql::{parser::parse_expr, Planner};
+use seedb_util::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Request/latency counters exposed at `GET /statz`.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Total HTTP requests handled (any route).
+    pub requests: AtomicU64,
+    /// Successful `/recommend` responses.
+    pub recommends_ok: AtomicU64,
+    /// Failed `/recommend` requests (client or server error).
+    pub recommends_err: AtomicU64,
+    /// `/recommend` responses served from the response cache.
+    pub response_hits: AtomicU64,
+    /// `/recommend` responses that ran the engine.
+    pub response_misses: AtomicU64,
+    /// Cumulative latency of cache-miss recommends, microseconds.
+    pub miss_us_total: AtomicU64,
+    /// Cumulative latency of response-cache hits, microseconds.
+    pub hit_us_total: AtomicU64,
+}
+
+/// Everything a request handler needs, shared across connections.
+pub struct AppState {
+    /// Lazily generated dataset instances.
+    pub catalog: Catalog,
+    /// The cross-request response + partials cache.
+    pub cache: Arc<RecCache>,
+    /// Admission budget over morsel-worker slots.
+    pub budget: WorkerBudget,
+    /// Request counters.
+    pub stats: ServerStats,
+    /// Catalog generation seed (part of cache-key namespaces).
+    pub seed: u64,
+}
+
+/// Dispatches one request.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/statz") => statz(state),
+        ("GET", "/datasets") => Response::json(state.catalog.list_json().compact()),
+        ("POST", "/recommend") => recommend(state, req),
+        ("GET", "/recommend") => Response::error(405, "use POST for /recommend"),
+        _ => Response::error(404, &format!("no route for {} {}", req.method, path)),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    Response::json(
+        Json::obj()
+            .set("status", "ok")
+            .set("requests", state.stats.requests.load(Ordering::Relaxed))
+            .set("cache_entries", state.cache.len())
+            .compact(),
+    )
+}
+
+fn statz(state: &AppState) -> Response {
+    let s = &state.stats;
+    let c = state.cache.stats();
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    Response::json(
+        Json::obj()
+            .set("requests", load(&s.requests))
+            .set(
+                "recommend",
+                Json::obj()
+                    .set("ok", load(&s.recommends_ok))
+                    .set("errors", load(&s.recommends_err))
+                    .set("response_hits", load(&s.response_hits))
+                    .set("response_misses", load(&s.response_misses))
+                    .set("hit_us_total", load(&s.hit_us_total))
+                    .set("miss_us_total", load(&s.miss_us_total)),
+            )
+            .set(
+                "cache",
+                Json::obj()
+                    .set("entries", state.cache.len())
+                    .set("bytes", state.cache.bytes())
+                    .set("budget_bytes", state.cache.budget())
+                    .set("hits", load(&c.hits))
+                    .set("misses", load(&c.misses))
+                    .set("evictions", load(&c.evictions))
+                    .set("insertions", load(&c.insertions))
+                    .set("rejected", load(&c.rejected)),
+            )
+            .set(
+                "workers",
+                Json::obj()
+                    .set("total", state.budget.total())
+                    .set("available", state.budget.available()),
+            )
+            .compact(),
+    )
+}
+
+/// The `/recommend` flow: parse → resolve dataset → plan SQL → probe the
+/// response cache → (on miss) lease workers, run the engine through the
+/// partials cache, store the rendered payload.
+fn recommend(state: &AppState, req: &Request) -> Response {
+    let start = Instant::now();
+    let result = recommend_inner(state, req, start);
+    match result {
+        Ok(response) => {
+            state.stats.recommends_ok.fetch_add(1, Ordering::Relaxed);
+            response
+        }
+        Err(response) => {
+            state.stats.recommends_err.fetch_add(1, Ordering::Relaxed);
+            response
+        }
+    }
+}
+
+fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Response, Response> {
+    let parsed = RecommendRequest::from_json(&req.body).map_err(|e| Response::error(400, &e))?;
+    let rows = state.catalog.resolve_rows(&parsed.dataset, parsed.rows);
+    let dataset = state
+        .catalog
+        .dataset(&parsed.dataset, rows)
+        .map_err(|e| Response::error(400, &e))?;
+    let table = dataset.table.as_ref();
+
+    // Target predicate: the request's WHERE body, or the dataset's
+    // canonical target query.
+    let (target, where_desc): (Predicate, String) = match &parsed.where_sql {
+        Some(sql) => (plan_where(table, sql)?, sql.clone()),
+        None => (
+            dataset.target.clone(),
+            format!("<default: {}>", dataset.task),
+        ),
+    };
+    let reference = match parsed.reference.as_str() {
+        "whole" => ReferenceSpec::WholeTable,
+        "complement" => ReferenceSpec::Complement,
+        sql => ReferenceSpec::Query(plan_where(table, sql)?),
+    };
+
+    // One canonical signature covers dataset instance + query + config.
+    let instance = format!("{}@{}#s{}", dataset.name, rows, state.seed);
+    let signature = format!(
+        "{instance}|{}|{}|{}",
+        predicate_signature(&target),
+        reference_signature(&reference),
+        parsed.config.result_signature()
+    );
+    let response_key = format!("R|{signature}");
+
+    if let Some(CacheValue::Response(payload)) = state.cache.get(&response_key) {
+        let us = start.elapsed().as_micros() as u64;
+        state.stats.response_hits.fetch_add(1, Ordering::Relaxed);
+        state.stats.hit_us_total.fetch_add(us, Ordering::Relaxed);
+        return Ok(Response::json(envelope(
+            &payload,
+            &where_desc,
+            "hit",
+            0,
+            0,
+            us,
+        )));
+    }
+
+    // Admission: lease worker slots so concurrent requests share the
+    // machine's morsel workers instead of each spawning a full pool.
+    let mut config = parsed.config.clone();
+    let lease = state.budget.lease(config.sharing.parallelism);
+    config.sharing.parallelism = lease.granted();
+
+    let partials = PartialCache::new(state.cache.clone(), instance.clone());
+    let seedb = SeeDb::with_config(dataset.table.clone(), config);
+    let (rec, usage) = seedb
+        .recommend_cached(&target, &reference, &partials)
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    drop(lease);
+
+    let payload = api::render_recommendation(&dataset, &rec).compact();
+    state.cache.put(
+        &response_key,
+        CacheValue::Response(Arc::new(payload.clone())),
+    );
+
+    let us = start.elapsed().as_micros() as u64;
+    state.stats.response_misses.fetch_add(1, Ordering::Relaxed);
+    state.stats.miss_us_total.fetch_add(us, Ordering::Relaxed);
+    Ok(Response::json(envelope(
+        &payload,
+        &where_desc,
+        if usage.hits > 0 { "partial" } else { "miss" },
+        usage.hits as u64,
+        usage.misses as u64,
+        us,
+    )))
+}
+
+/// Parses and plans a SQL `WHERE` body against the dataset schema,
+/// rendering parse errors with their caret diagnostics.
+fn plan_where(table: &dyn seedb_storage::Table, sql: &str) -> Result<Predicate, Response> {
+    let expr = parse_expr(sql).map_err(|e| Response::error(400, &e.render(sql)))?;
+    Planner::new(table)
+        .plan_predicate(&expr)
+        .map_err(|e| Response::error(400, &e.render(sql)))
+}
+
+/// Wraps the cached deterministic payload with per-request fields (cache
+/// disposition, latency, and the request's own WHERE spelling — the
+/// cached payload is shared by every spelling that normalizes to the
+/// same signature) without re-parsing it: both sides are compact JSON
+/// objects, so the envelope splices at the braces.
+fn envelope(
+    payload: &str,
+    where_desc: &str,
+    cache: &str,
+    view_hits: u64,
+    view_misses: u64,
+    us: u64,
+) -> String {
+    let extra = Json::obj()
+        .set("where", where_desc)
+        .set("cache", cache)
+        .set("view_hits", view_hits)
+        .set("view_misses", view_misses)
+        .set("elapsed_us", us)
+        .compact();
+    debug_assert!(payload.starts_with('{') && extra.ends_with('}'));
+    if payload.len() <= 2 {
+        return extra;
+    }
+    format!("{},{}", &extra[..extra.len() - 1], &payload[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seedb_engine::parallel::default_parallelism;
+
+    fn state() -> AppState {
+        AppState {
+            catalog: Catalog::new(2_000, 500, 17),
+            cache: Arc::new(RecCache::new(4 << 20)),
+            budget: WorkerBudget::new(default_parallelism()),
+            stats: ServerStats::default(),
+            seed: 17,
+        }
+    }
+
+    fn post(state: &AppState, path: &str, body: &str) -> Response {
+        handle(
+            state,
+            &Request {
+                method: "POST".into(),
+                path: path.into(),
+                body: body.into(),
+            },
+        )
+    }
+
+    fn get(state: &AppState, path: &str) -> Response {
+        handle(
+            state,
+            &Request {
+                method: "GET".into(),
+                path: path.into(),
+                body: String::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn healthz_and_statz_are_parseable() {
+        let s = state();
+        let r = get(&s, "/healthz");
+        assert_eq!(r.status, 200);
+        let j = Json::parse(&r.body).unwrap();
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        let r = get(&s, "/statz");
+        assert_eq!(r.status, 200);
+        let j = Json::parse(&r.body).unwrap();
+        assert!(j.get("cache").unwrap().get("budget_bytes").is_some());
+        assert!(j.get("workers").unwrap().get("total").is_some());
+    }
+
+    #[test]
+    fn unknown_routes_404_and_recommend_requires_post() {
+        let s = state();
+        assert_eq!(get(&s, "/nope").status, 404);
+        assert_eq!(get(&s, "/recommend").status, 405);
+    }
+
+    #[test]
+    fn recommend_round_trip_and_response_cache() {
+        let s = state();
+        let body = r#"{"dataset": "HOUSING", "rows": 300, "k": 3}"#;
+        let r1 = post(&s, "/recommend", body);
+        assert_eq!(r1.status, 200, "{}", r1.body);
+        let j1 = Json::parse(&r1.body).unwrap();
+        assert_eq!(j1.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(j1.get("views").unwrap().as_arr().unwrap().len(), 3);
+
+        // The repeat is a response-cache hit with an identical payload.
+        let r2 = post(&s, "/recommend", body);
+        let j2 = Json::parse(&r2.body).unwrap();
+        assert_eq!(j2.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(j1.get("views"), j2.get("views"));
+        assert_eq!(j1.get("all_utilities"), j2.get("all_utilities"));
+
+        // An overlapping query (different k) reuses every partial.
+        let r3 = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 5}"#,
+        );
+        let j3 = Json::parse(&r3.body).unwrap();
+        assert_eq!(j3.get("cache").unwrap().as_str(), Some("partial"));
+        assert_eq!(j3.get("view_misses").unwrap().as_u64(), Some(0));
+        assert_eq!(j3.get("views").unwrap().as_arr().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn cached_responses_echo_each_requests_own_where_spelling() {
+        // CENSUS's default target IS `marital_status = 'unmarried'`, so an
+        // explicit spelling of it normalizes to the same signature and the
+        // second request hits the response cache — yet each response must
+        // echo its own request's WHERE text, not the other one's.
+        let s = state();
+        let default_body = r#"{"dataset": "CENSUS", "rows": 500, "k": 2}"#;
+        let explicit_body = r#"{"dataset": "CENSUS", "rows": 500, "k": 2,
+                                "where": "marital_status = 'unmarried'"}"#;
+        let j1 = Json::parse(&post(&s, "/recommend", default_body).body).unwrap();
+        let j2 = Json::parse(&post(&s, "/recommend", explicit_body).body).unwrap();
+        assert_eq!(j2.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(j1.get("views"), j2.get("views"));
+        assert!(j1
+            .get("where")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("<default:"));
+        assert_eq!(
+            j2.get("where").unwrap().as_str(),
+            Some("marital_status = 'unmarried'")
+        );
+    }
+
+    #[test]
+    fn recommend_errors_are_client_errors() {
+        let s = state();
+        for body in [
+            "not json",
+            r#"{"dataset": "NOPE"}"#,
+            r#"{"dataset": "HOUSING", "where": "ghost = 1"}"#,
+            r#"{"dataset": "HOUSING", "where": "price >"}"#,
+            r#"{"dataset": "HOUSING", "k": 0}"#,
+        ] {
+            let r = post(&s, "/recommend", body);
+            assert_eq!(r.status, 400, "body {body} → {}", r.body);
+            assert!(Json::parse(&r.body).unwrap().get("error").is_some());
+        }
+        assert_eq!(s.stats.recommends_err.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn envelope_splices_compact_objects() {
+        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 7);
+        let j = Json::parse(&spliced).unwrap();
+        assert_eq!(j.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(j.get("view_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("a").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,215 @@
+//! The `seedbd` daemon: TCP accept loop, bounded connection workers,
+//! graceful shutdown.
+
+use crate::cache::RecCache;
+use crate::catalog::Catalog;
+use crate::http::{read_request, Response};
+use crate::router::{handle, AppState, ServerStats};
+use seedb_engine::parallel::default_parallelism;
+use seedb_engine::WorkerBudget;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Hard cap on rows per generated dataset instance.
+    pub max_rows: usize,
+    /// Instance size when a request does not specify `rows`.
+    pub default_rows: usize,
+    /// Cache memory budget in bytes (responses + partials share it).
+    pub cache_bytes: usize,
+    /// Dataset generation seed.
+    pub seed: u64,
+    /// Maximum concurrent connections (excess waits in the accept queue).
+    pub max_connections: usize,
+    /// Morsel-worker slots shared by all concurrent `/recommend` runs;
+    /// defaults to the core count.
+    pub worker_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8642".to_owned(),
+            max_rows: 50_000,
+            default_rows: 5_000,
+            cache_bytes: 64 << 20,
+            seed: 17,
+            max_connections: 32,
+            worker_budget: default_parallelism(),
+        }
+    }
+}
+
+/// A bound (but not yet serving) daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    max_connections: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. Serving starts
+    /// with [`Server::run`] or [`Server::spawn`].
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(AppState {
+            catalog: Catalog::new(config.max_rows, config.default_rows, config.seed),
+            cache: Arc::new(RecCache::new(config.cache_bytes)),
+            budget: WorkerBudget::new(config.worker_budget),
+            stats: ServerStats::default(),
+            seed: config.seed,
+        });
+        Ok(Server {
+            listener,
+            state,
+            max_connections: config.max_connections.max(1),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (tests and benches peek at counters through it).
+    pub fn state(&self) -> Arc<AppState> {
+        self.state.clone()
+    }
+
+    /// Serves until `stop` is set (checked after each accepted
+    /// connection). Connection handlers run on scoped threads, at most
+    /// `max_connections` at a time; excess connections queue in the OS
+    /// accept backlog.
+    pub fn run_until(self, stop: Arc<AtomicBool>) {
+        let conn_slots = WorkerBudget::new(self.max_connections);
+        std::thread::scope(|scope| {
+            for conn in self.listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let lease = conn_slots.lease(1);
+                let state = &self.state;
+                scope.spawn(move || {
+                    let _lease = lease;
+                    handle_connection(state, stream);
+                });
+            }
+        });
+    }
+
+    /// Serves forever on the calling thread.
+    pub fn run(self) {
+        self.run_until(Arc::new(AtomicBool::new(false)));
+    }
+
+    /// Serves on a background thread; the returned handle shuts the
+    /// daemon down when asked (or when dropped).
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = self.state();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_thread = stop.clone();
+        let thread = std::thread::spawn(move || self.run_until(stop_for_thread));
+        Ok(ServerHandle {
+            addr,
+            state,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a daemon running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's shared state.
+    pub fn state(&self) -> Arc<AppState> {
+        self.state.clone()
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One connection: read a request, route it, write the response, close.
+fn handle_connection(state: &AppState, mut stream: TcpStream) {
+    let response = match read_request(&mut stream) {
+        Ok(request) => handle(state, &request),
+        Err(err) => Response::error(err.status(), &err.message()),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_rows: 2_000,
+            default_rows: 500,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn spawn_serve_shutdown() {
+        let server = Server::bind(test_config()).unwrap();
+        let handle = server.spawn().unwrap();
+        let (status, body) = client::request(handle.addr(), "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_not_a_hang() {
+        use std::io::{Read, Write};
+        let handle = Server::bind(test_config()).unwrap().spawn().unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        handle.shutdown();
+    }
+}

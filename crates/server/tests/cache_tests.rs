@@ -1,0 +1,243 @@
+//! The ISSUE-mandated cache guarantees, tested end to end:
+//!
+//! 1. deterministic LRU eviction under a fixed memory budget,
+//! 2. signature collision-freedom across differing predicates/configs
+//!    (property-based),
+//! 3. responses under 8 parallel clients bit-identical to direct
+//!    `SeeDb::recommend` on the same inputs.
+
+use proptest::prelude::*;
+use seedb_core::{
+    predicate_signature, DistanceKind, ExecutionStrategy, Predicate, ReferenceSpec, SeeDb,
+    SeeDbConfig,
+};
+use seedb_engine::CmpOp;
+use seedb_server::{client, Server, ServerConfig};
+use seedb_storage::ColumnId;
+use seedb_util::Json;
+
+fn boot(cache_bytes: usize) -> seedb_server::ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_rows: 3_000,
+        default_rows: 800,
+        cache_bytes,
+        ..Default::default()
+    };
+    Server::bind(config).unwrap().spawn().unwrap()
+}
+
+/// 1a. Server-level: a cache squeezed far below the working set must
+/// evict (deterministically, oldest first) yet stay correct — a re-issued
+/// query recomputes and matches its original response exactly.
+#[test]
+fn tiny_budget_evicts_but_stays_correct() {
+    let handle = boot(8 * 1024); // far too small for several responses
+    let addr = handle.addr();
+
+    let bodies: Vec<String> = (1..=6)
+        .map(|k| format!(r#"{{"dataset": "HOUSING", "rows": 300, "k": {k}}}"#))
+        .collect();
+    let mut first: Vec<Json> = Vec::new();
+    for body in &bodies {
+        let (status, j) = client::request_json(addr, "POST", "/recommend", Some(body)).unwrap();
+        assert_eq!(status, 200);
+        first.push(j);
+    }
+    let state = handle.state();
+    assert!(
+        state
+            .cache
+            .stats()
+            .evictions
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "six responses + partials cannot fit 8 KiB without eviction"
+    );
+    assert!(state.cache.bytes() <= state.cache.budget());
+
+    // Replay: some will be misses (evicted), but every payload must be
+    // byte-identical to the first pass.
+    for (body, want) in bodies.iter().zip(&first) {
+        let (status, j) = client::request_json(addr, "POST", "/recommend", Some(body)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(want.get("views"), j.get("views"));
+        assert_eq!(want.get("all_utilities"), j.get("all_utilities"));
+    }
+    handle.shutdown();
+}
+
+/// 2. Property: distinct predicates and distinct result-affecting configs
+///    never collide in signature space.
+fn arb_leaf() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        Just(Predicate::True),
+        Just(Predicate::False),
+        (0u32..4, 0u32..5).prop_map(|(col, code)| Predicate::CatEq {
+            col: ColumnId(col),
+            code,
+        }),
+        (0u32..4, prop::collection::vec(0u32..6, 1..4)).prop_map(|(col, codes)| {
+            Predicate::CatIn {
+                col: ColumnId(col),
+                codes,
+            }
+        }),
+        (0u32..4, any::<bool>()).prop_map(|(col, value)| Predicate::BoolEq {
+            col: ColumnId(col),
+            value,
+        }),
+        (0u32..4, 0usize..6, -50.0f64..50.0).prop_map(|(col, op, value)| {
+            let op = [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][op];
+            Predicate::NumCmp {
+                col: ColumnId(col),
+                op,
+                value,
+            }
+        }),
+        (0u32..4).prop_map(|col| Predicate::IsNull { col: ColumnId(col) }),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    // One level of structure on top of leaves.
+    prop_oneof![
+        arb_leaf().boxed(),
+        prop::collection::vec(arb_leaf(), 2..4)
+            .prop_map(Predicate::And)
+            .boxed(),
+        prop::collection::vec(arb_leaf(), 2..4)
+            .prop_map(Predicate::Or)
+            .boxed(),
+        arb_leaf().prop_map(|p| Predicate::Not(Box::new(p))).boxed(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn signatures_collide_only_for_canonically_equal_predicates(
+        a in arb_predicate(),
+        b in arb_predicate(),
+    ) {
+        let sa = predicate_signature(&a);
+        let sb = predicate_signature(&b);
+        if sa == sb {
+            // Equal signatures are only allowed for inputs the canonical
+            // form identifies: re-canonicalizing must agree, and both
+            // predicates must reference the same columns.
+            let mut cols_a = Vec::new();
+            let mut cols_b = Vec::new();
+            a.collect_columns(&mut cols_a);
+            b.collect_columns(&mut cols_b);
+            cols_a.sort_unstable_by_key(|c| c.0);
+            cols_b.sort_unstable_by_key(|c| c.0);
+            cols_a.dedup();
+            cols_b.dedup();
+            prop_assert_eq!(cols_a, cols_b, "signature collided across columns");
+        }
+    }
+
+    #[test]
+    fn config_signatures_separate_result_affecting_knobs(
+        k in 1usize..8,
+        metric in 0usize..7,
+        strategy in 0usize..3,
+    ) {
+        let mut cfg = SeeDbConfig::for_strategy(
+            [ExecutionStrategy::NoOpt, ExecutionStrategy::Sharing, ExecutionStrategy::Comb][strategy],
+        );
+        cfg.k = k;
+        cfg.metric = DistanceKind::ALL[metric];
+        let sig = cfg.result_signature();
+
+        // Any single result-affecting change must move the signature.
+        let mut other = cfg.clone();
+        other.k += 1;
+        prop_assert_ne!(sig.clone(), other.result_signature());
+        let mut other = cfg.clone();
+        other.metric = DistanceKind::ALL[(metric + 1) % DistanceKind::ALL.len()];
+        prop_assert_ne!(sig.clone(), other.result_signature());
+
+        // Execution-shape changes must NOT move it.
+        let mut same = cfg.clone();
+        same.engine_mode = seedb_core::ExecMode::Scalar;
+        same.sharing.parallelism = 5;
+        same.sharing.morsel_rows = 3;
+        same.sharing.combine_group_bys = false;
+        prop_assert_eq!(sig, same.result_signature());
+    }
+}
+
+/// 3. Eight parallel clients, mixed repeated/overlapping queries: every
+///    response must be bit-identical to a direct `SeeDb::recommend` with
+///    the same inputs (rendered through the same pipeline).
+#[test]
+fn concurrent_responses_match_direct_library_calls() {
+    let handle = boot(32 << 20);
+    let addr = handle.addr();
+
+    // The server's exact dataset instance: same name/rows/seed/layout.
+    let catalog = seedb_server::Catalog::new(3_000, 800, 17);
+    let dataset = catalog.dataset("CENSUS", 800).unwrap();
+
+    // Direct library ground truth for k = 1..4, rendered with the same
+    // renderer the server uses.
+    let truth: Vec<Json> = (1..=4)
+        .map(|k| {
+            let mut cfg = seedb_server::api::default_config();
+            cfg.k = k;
+            let seedb = SeeDb::with_config(dataset.table.clone(), cfg);
+            let rec = seedb
+                .recommend(&dataset.target, &ReferenceSpec::WholeTable)
+                .unwrap();
+            seedb_server::api::render_recommendation(&dataset, &rec)
+        })
+        .collect();
+
+    let responses: Vec<(usize, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|client_id| {
+                let truth = &truth;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..3 {
+                        // Overlapping ks: same partials, different top-k.
+                        let k = 1 + (client_id + round) % truth.len();
+                        let body = format!(r#"{{"dataset": "CENSUS", "rows": 800, "k": {k}}}"#);
+                        let (status, j) =
+                            client::request_json(addr, "POST", "/recommend", Some(&body)).unwrap();
+                        assert_eq!(status, 200);
+                        out.push((k, j));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    assert_eq!(responses.len(), 24);
+    for (k, response) in responses {
+        let want = &truth[k - 1];
+        assert_eq!(
+            want.get("views"),
+            response.get("views"),
+            "k={k}: server response diverged from direct SeeDb::recommend"
+        );
+        assert_eq!(want.get("all_utilities"), response.get("all_utilities"));
+        assert_eq!(want.get("rows"), response.get("rows"));
+    }
+    handle.shutdown();
+}

@@ -121,7 +121,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                 }
             }
             '\'' => {
-                // String literal with '' escaping.
+                // String literal with '' escaping. Content is consumed one
+                // UTF-8 scalar at a time so multi-byte labels survive
+                // intact (byte-wise `as char` would mangle them).
                 let mut out = String::new();
                 i += 1;
                 loop {
@@ -136,9 +138,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                                 break;
                             }
                         }
-                        Some(&b) => {
-                            out.push(b as char);
-                            i += 1;
+                        Some(_) => {
+                            let ch = src[i..]
+                                .chars()
+                                .next()
+                                .ok_or_else(|| SqlError::new(i, "invalid UTF-8 in string"))?;
+                            out.push(ch);
+                            i += ch.len_utf8();
                         }
                     }
                 }
@@ -286,6 +292,18 @@ mod tests {
             })
             .collect();
         assert_eq!(syms, vec!["=", "<>", "!=", "<", "<=", ">", ">="]);
+    }
+
+    #[test]
+    fn multibyte_string_content_survives() {
+        assert_eq!(kinds("'café'")[0], TokenKind::Str("café".into()));
+        assert_eq!(kinds("'日本語'")[0], TokenKind::Str("日本語".into()));
+    }
+
+    #[test]
+    fn multibyte_outside_strings_is_a_clean_error() {
+        let err = lex("a = é").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
     }
 
     #[test]

@@ -26,7 +26,11 @@ use seedb_engine::CmpOp;
 /// Parses a single `SELECT` statement.
 pub fn parse_query(src: &str) -> Result<Query, SqlError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let q = p.query()?;
     p.expect_eof()?;
     Ok(q)
@@ -36,15 +40,27 @@ pub fn parse_query(src: &str) -> Result<Query, SqlError> {
 /// the interactive front-ends to parse user filters.
 pub fn parse_expr(src: &str) -> Result<Expr, SqlError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect_eof()?;
     Ok(e)
 }
 
+/// Maximum boolean-expression nesting (parentheses and `NOT` chains).
+/// The parser and the planner both recurse over the AST, so unbounded
+/// nesting from untrusted input (a network request body) would overflow
+/// the stack — an abort, not a catchable error. 128 levels is far beyond
+/// any real filter.
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -167,7 +183,16 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, SqlError> {
-        self.or_expr()
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(self.err_here(format!(
+                "expression nested deeper than {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        let e = self.or_expr();
+        self.depth -= 1;
+        e
     }
 
     fn or_expr(&mut self) -> Result<Expr, SqlError> {
@@ -176,7 +201,7 @@ impl Parser {
             parts.push(self.and_expr()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+            parts.swap_remove(0)
         } else {
             Expr::Or(parts)
         })
@@ -188,18 +213,30 @@ impl Parser {
             parts.push(self.not_expr()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+            parts.swap_remove(0)
         } else {
             Expr::And(parts)
         })
     }
 
+    /// `NOT` chains parse iteratively (no parser recursion), but the
+    /// resulting AST nesting still counts against [`MAX_EXPR_DEPTH`] —
+    /// everything downstream (planner, printer) recurses over it.
     fn not_expr(&mut self) -> Result<Expr, SqlError> {
-        if self.eat_keyword("NOT") {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
-        } else {
-            self.primary()
+        let mut negations = 0usize;
+        while self.eat_keyword("NOT") {
+            negations += 1;
+            if self.depth + negations > MAX_EXPR_DEPTH {
+                return Err(self.err_here(format!(
+                    "expression nested deeper than {MAX_EXPR_DEPTH} levels"
+                )));
+            }
         }
+        let mut e = self.primary()?;
+        for _ in 0..negations {
+            e = Expr::Not(Box::new(e));
+        }
+        Ok(e)
     }
 
     fn primary(&mut self) -> Result<Expr, SqlError> {
@@ -365,6 +402,22 @@ mod tests {
         let e = parse_expr("age >= 18 AND sex = 'F'").unwrap();
         assert!(matches!(e, Expr::And(_)));
         assert!(parse_expr("age >= ").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded_not_a_stack_overflow() {
+        // Parenthesized nesting: 100k opens must error cleanly.
+        let deep = format!("{}x = 1{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse_expr(&deep).unwrap_err();
+        assert!(err.message.contains("nested"), "{}", err.message);
+        // NOT chains build AST depth even without parser recursion.
+        let nots = format!("{}TRUE", "NOT ".repeat(100_000));
+        let err = parse_expr(&nots).unwrap_err();
+        assert!(err.message.contains("nested"), "{}", err.message);
+        // Reasonable nesting still parses.
+        let ok = format!("{}x = 1{}", "(".repeat(50), ")".repeat(50));
+        assert!(parse_expr(&ok).is_ok());
+        assert!(parse_expr("NOT NOT NOT x = 1").is_ok());
     }
 
     #[test]

@@ -155,10 +155,9 @@ impl<'a> Planner<'a> {
                     .ok_or_else(|| SqlError::new(0, format!("unknown column '{col}'")))?;
                 match schema.column(id).ty {
                     ColumnType::Categorical => {
-                        let dict = self
-                            .table
-                            .dictionary(id)
-                            .expect("categorical has dictionary");
+                        let dict = self.table.dictionary(id).ok_or_else(|| {
+                            SqlError::new(0, format!("no dictionary for categorical '{col}'"))
+                        })?;
                         let mut codes = Vec::new();
                         for lit in list {
                             match lit {
@@ -227,10 +226,9 @@ impl<'a> Planner<'a> {
                                 format!("only = and <> are supported for categorical '{col}'"),
                             ));
                         }
-                        let dict = self
-                            .table
-                            .dictionary(id)
-                            .expect("categorical has dictionary");
+                        let dict = self.table.dictionary(id).ok_or_else(|| {
+                            SqlError::new(0, format!("no dictionary for categorical '{col}'"))
+                        })?;
                         let base = match dict.code(s) {
                             Some(code) => Predicate::CatEq { col: id, code },
                             None => Predicate::False,

@@ -1,0 +1,99 @@
+//! Serving layer tour: boot `seedbd` on an ephemeral port, fire three
+//! overlapping `/recommend` queries, and watch the cross-request cache at
+//! work — a cold miss, a per-view partial reuse, and a full response hit.
+//!
+//! Run with: `cargo run --release --example serve`
+
+use seedb::server::{client, Server, ServerConfig};
+
+fn main() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(), // ephemeral port
+        max_rows: 10_000,
+        default_rows: 4_200,
+        ..Default::default()
+    };
+    let handle = Server::bind(config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn seedbd");
+    let addr = handle.addr();
+    println!("seedbd listening on {addr}\n");
+
+    let queries = [
+        (
+            "cold: first sight of this predicate — full engine run",
+            r#"{"dataset": "CENSUS", "k": 5, "where": "marital_status = 'unmarried'"}"#,
+        ),
+        (
+            "overlap: same predicate, different k — partials reused, no scan",
+            r#"{"dataset": "CENSUS", "k": 8, "where": "marital_status = 'unmarried'"}"#,
+        ),
+        (
+            "repeat: identical request — response served from the cache",
+            r#"{"dataset": "CENSUS", "k": 5, "where": "marital_status = 'unmarried'"}"#,
+        ),
+    ];
+
+    for (label, body) in queries {
+        let (status, response) =
+            client::request_json(addr, "POST", "/recommend", Some(body)).expect("recommend");
+        assert_eq!(status, 200, "{response:?}");
+        let cache = response
+            .get("cache")
+            .and_then(|c| c.as_str())
+            .unwrap_or("?");
+        let us = response
+            .get("elapsed_us")
+            .and_then(|e| e.as_u64())
+            .unwrap_or(0);
+        let hits = response
+            .get("view_hits")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        let misses = response
+            .get("view_misses")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        println!("{label}");
+        println!("  cache={cache} view_hits={hits} view_misses={misses} elapsed={us} µs");
+        if let Some(views) = response.get("views").and_then(|v| v.as_arr()) {
+            if let Some(top) = views.first() {
+                println!(
+                    "  top view: {} (utility {:.4})",
+                    top.get("view").and_then(|v| v.as_str()).unwrap_or("?"),
+                    top.get("utility").and_then(|u| u.as_num()).unwrap_or(0.0),
+                );
+            }
+        }
+        println!();
+    }
+
+    let (_, stats) = client::request_json(addr, "GET", "/statz", None).expect("statz");
+    let rec = stats.get("recommend").expect("recommend stats");
+    let cache = stats.get("cache").expect("cache stats");
+    println!("server totals:");
+    println!(
+        "  /recommend: {} ok, {} response hits, {} misses",
+        rec.get("ok").and_then(|v| v.as_u64()).unwrap_or(0),
+        rec.get("response_hits")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0),
+        rec.get("response_misses")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0),
+    );
+    println!(
+        "  cache: {} entries, {} bytes used of {} budget, {} lookups hit / {} missed",
+        cache.get("entries").and_then(|v| v.as_u64()).unwrap_or(0),
+        cache.get("bytes").and_then(|v| v.as_u64()).unwrap_or(0),
+        cache
+            .get("budget_bytes")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0),
+        cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0),
+        cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0),
+    );
+
+    handle.shutdown();
+}
