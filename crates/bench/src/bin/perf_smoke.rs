@@ -20,6 +20,13 @@
 //! shared CI runner, tight enough to catch an accidental algorithmic
 //! regression (the guarded entries regress ~100× when a sharing
 //! optimization breaks) — and can also be set via `PERF_SMOKE_TOLERANCE`.
+//!
+//! Besides the baseline comparison, the checker gates the serving
+//! layer's *within-run* cache ratios from `BENCH_server.json`: these are
+//! machine-independent (cold and warm ran on the same host seconds
+//! apart), so they are absolute floors, not baseline-relative — the
+//! pruned default configuration's warm path must be ≥ 5× faster than
+//! cold, or the response cache has stopped covering pruned runs.
 
 use seedb_util::Json;
 use std::path::Path;
@@ -27,6 +34,10 @@ use std::process::ExitCode;
 
 /// The figures the smoke check guards.
 const FIGURES: [&str; 2] = ["fig5_overall", "fig6_baseline"];
+
+/// Within-run speedup ratios gated as absolute floors: `(field, min)`
+/// over the entries of `BENCH_server.json`.
+const SERVER_RATIO_GATES: [(&str, f64); 1] = [("speedup_warm_over_cold_pruned", 5.0)];
 
 /// One comparable measurement: a stable identity string and its fastest
 /// observed latency.
@@ -140,7 +151,46 @@ fn main() -> ExitCode {
         eprintln!("regressed entries: {regressions:?}");
         return ExitCode::FAILURE;
     }
+    if !check_server_ratios(Path::new(figures_dir)) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Gates the serving layer's within-run cache speedups (see module docs).
+/// Absolute floors over `BENCH_server.json` — no baseline involved.
+fn check_server_ratios(dir: &Path) -> bool {
+    let path = dir.join("BENCH_server.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "perf_smoke: {} missing — the figures run no longer emits the \
+             server cache sweeps",
+            path.display()
+        );
+        return false;
+    };
+    let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("parse {}: {e}", path.display())));
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        eprintln!("perf_smoke: {} has no results array", path.display());
+        return false;
+    };
+    let mut ok = true;
+    for (field, floor) in SERVER_RATIO_GATES {
+        let Some(value) = results
+            .iter()
+            .find_map(|r| r.get(field).and_then(Json::as_num))
+        else {
+            eprintln!("perf_smoke: no entry in {} carries {field}", path.display());
+            ok = false;
+            continue;
+        };
+        let verdict = if value < floor { "REGRESSED" } else { "ok" };
+        println!("{verdict:9} server/{field}: {value:.1}x (floor {floor}x)");
+        if value < floor {
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// Loads the guarded figures from `dir` and flattens each result into a

@@ -18,6 +18,7 @@
 //! `NO_OPT` bypasses the loop: two serial full-table queries per view,
 //! exactly the paper's basic execution engine (2·f·a·m queries).
 
+use crate::cache::CachedPartial;
 use crate::config::{ExecutionStrategy, PruningKind, SeeDbConfig};
 use crate::phase::phase_ranges;
 use crate::pruning::{make_pruner, ViewEstimate};
@@ -30,6 +31,7 @@ use seedb_engine::{
 };
 use seedb_storage::{ColumnId, Table};
 use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of an execution: final per-view states plus run metadata.
@@ -41,10 +43,29 @@ pub struct ExecutionReport {
     pub stats: ExecStats,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Phases actually executed (< `num_phases` when early-stopped).
+    /// Non-empty phases actually executed (< the effective phase count
+    /// when early-stopped). Empty tail ranges from `phases > rows` are
+    /// never executed and never counted.
     pub phases_executed: usize,
     /// Whether `COMB_EARLY` stopped before the final phase.
     pub early_stopped: bool,
+}
+
+/// A phased run's report plus the resumability byproducts
+/// [`Executor::run_resumable`] captures for the cross-request cache.
+#[derive(Debug)]
+pub struct ResumableRun {
+    /// The execution report (identical to what [`Executor::run`] yields).
+    pub report: ExecutionReport,
+    /// Per-view, per-phase combined deltas, covering exactly the phases
+    /// each view participated in (view-id indexed). Replayed phases share
+    /// the seed's `Arc`s; freshly scanned phases own new results.
+    pub deltas: Vec<Vec<Arc<GroupedResult>>>,
+    /// Per-view count of phases answered by scanning (vs seed replay).
+    pub scanned_phases: Vec<usize>,
+    /// The effective (non-empty) phase count of the partition — the
+    /// granularity cached prefixes must match to be replayable.
+    pub total_phases: usize,
 }
 
 impl ExecutionReport {
@@ -132,8 +153,88 @@ impl<'a> Executor<'a> {
             match self.config.strategy {
                 ExecutionStrategy::NoOpt => self.run_no_opt(pool, views, target, reference),
                 ExecutionStrategy::Sharing => {
-                    self.run_phased(pool, views, target, reference, 1, PruningKind::None, false)
+                    self.run_phased(
+                        pool,
+                        views,
+                        target,
+                        reference,
+                        1,
+                        PruningKind::None,
+                        false,
+                        None,
+                    )
+                    .report
                 }
+                ExecutionStrategy::Comb => {
+                    self.run_phased(
+                        pool,
+                        views,
+                        target,
+                        reference,
+                        self.config.num_phases,
+                        self.config.pruning,
+                        false,
+                        None,
+                    )
+                    .report
+                }
+                ExecutionStrategy::CombEarly => {
+                    self.run_phased(
+                        pool,
+                        views,
+                        target,
+                        reference,
+                        self.config.num_phases,
+                        self.config.pruning,
+                        true,
+                        None,
+                    )
+                    .report
+                }
+            }
+        })
+    }
+
+    /// [`Executor::run`] for the phased strategies, with cross-request
+    /// resume support: `seeds[i]` (when present, and when its
+    /// `total_phases` matches this run's effective partition) replays view
+    /// `i`'s cached phase prefix without scanning and resumes the scan at
+    /// `phases_done`; every view's per-phase deltas are captured for
+    /// depositing back into the cache.
+    ///
+    /// The report is **bit-identical** to [`Executor::run`] on the same
+    /// inputs: replayed deltas merge exactly, so cumulative states — and
+    /// therefore utility estimates and pruning decisions — reproduce the
+    /// unseeded run's bits phase by phase.
+    ///
+    /// Only meaningful for `SHARING`/`COMB`/`COMB_EARLY`; a `NO_OPT`
+    /// configuration runs unseeded and captures nothing.
+    pub fn run_resumable(
+        &self,
+        views: &[ViewSpec],
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        seeds: &[Option<Arc<CachedPartial>>],
+    ) -> ResumableRun {
+        debug_assert_eq!(seeds.len(), views.len());
+        with_pool(self.config.sharing.parallelism, |pool| {
+            match self.config.strategy {
+                ExecutionStrategy::NoOpt => ResumableRun {
+                    report: self.run_no_opt(pool, views, target, reference),
+                    deltas: vec![Vec::new(); views.len()],
+                    scanned_phases: vec![1; views.len()],
+                    total_phases: 1,
+                },
+                ExecutionStrategy::Sharing => self.run_phased(
+                    pool,
+                    views,
+                    target,
+                    reference,
+                    1,
+                    PruningKind::None,
+                    false,
+                    Some(seeds),
+                ),
                 ExecutionStrategy::Comb => self.run_phased(
                     pool,
                     views,
@@ -142,6 +243,7 @@ impl<'a> Executor<'a> {
                     self.config.num_phases,
                     self.config.pruning,
                     false,
+                    Some(seeds),
                 ),
                 ExecutionStrategy::CombEarly => self.run_phased(
                     pool,
@@ -151,6 +253,7 @@ impl<'a> Executor<'a> {
                     self.config.num_phases,
                     self.config.pruning,
                     true,
+                    Some(seeds),
                 ),
             }
         })
@@ -208,6 +311,12 @@ impl<'a> Executor<'a> {
     }
 
     /// The phased shared executor described in the module docs.
+    ///
+    /// `seeds` (when provided) switches on resume mode: a view whose seed
+    /// covers phase `j` *replays* the cached delta instead of scanning,
+    /// and every view's per-phase deltas are captured for the cache.
+    /// Empty tail ranges (`phases > rows`) are skipped entirely so they
+    /// never advance the pruner's sample count `m`.
     #[allow(clippy::too_many_arguments)] // strategy knobs + the shared pool
     fn run_phased(
         &self,
@@ -218,28 +327,69 @@ impl<'a> Executor<'a> {
         phases: usize,
         pruning: PruningKind,
         early: bool,
-    ) -> ExecutionReport {
+        seeds: Option<&[Option<Arc<CachedPartial>>]>,
+    ) -> ResumableRun {
         let start = Instant::now();
         let mut stats = ExecStats::new();
         let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
         let mut pruner = make_pruner(pruning, self.config.delta, self.config.seed);
-        let ranges = phase_ranges(self.table.num_rows(), phases);
+        // Only non-empty ranges are phases: an empty range would advance
+        // the pruner's sample count m — tightening the Hoeffding–Serfling
+        // interval — without contributing a single row of evidence.
+        let ranges: Vec<std::ops::Range<usize>> = phase_ranges(self.table.num_rows(), phases)
+            .into_iter()
+            .filter(|r| !r.is_empty())
+            .collect();
+        let total_phases = ranges.len();
         let k = self.config.k;
         let metric = self.config.metric;
         let ref_pred = reference.reference_predicate(target);
+
+        let capture = seeds.is_some();
+        // A seed is replayable only when it was computed under the same
+        // partition granularity; anything else is ignored (cache miss).
+        let usable_seed = |i: usize| -> Option<&Arc<CachedPartial>> {
+            seeds
+                .and_then(|s| s[i].as_ref())
+                .filter(|p| p.total_phases == total_phases && !p.deltas.is_empty())
+        };
+        let resume_phase: Vec<usize> = (0..views.len())
+            .map(|i| usable_seed(i).map_or(0, |p| p.phases_done()))
+            .collect();
+        let mut captured: Vec<Vec<Arc<GroupedResult>>> = vec![Vec::new(); views.len()];
+        let mut scanned_phases: Vec<usize> = vec![0; views.len()];
 
         let mut phases_executed = 0;
         let mut early_stopped = false;
 
         for (phase_idx, range) in ranges.iter().enumerate() {
-            let live: Vec<&ViewSpec> = states
+            // Replay cached deltas for participating views whose seed
+            // covers this phase; they need no scan.
+            for (i, state) in states.iter_mut().enumerate() {
+                if !(state.alive || state.accepted) || phase_idx >= resume_phase[i] {
+                    continue;
+                }
+                let delta =
+                    usable_seed(i).expect("resume_phase implies a seed").deltas[phase_idx].clone();
+                state.merge_both(&delta, 0);
+                if capture {
+                    captured[i].push(delta);
+                }
+            }
+
+            // Scan for the participating views this phase's seed does not
+            // cover (all of them, in an unseeded run).
+            let scanning: Vec<ViewSpec> = states
                 .iter()
-                .filter(|s| s.alive || s.accepted)
-                .map(|s| &s.spec)
+                .enumerate()
+                .filter(|(i, s)| (s.alive || s.accepted) && phase_idx >= resume_phase[*i])
+                .map(|(_, s)| s.spec)
                 .collect();
-            if live.is_empty() {
+            let any_participating = states.iter().any(|s| s.alive || s.accepted);
+            if !any_participating {
                 break;
             }
+            let live: Vec<&ViewSpec> = scanning.iter().collect();
             let clusters = self.build_clusters(&live);
 
             // Execute this phase's clusters: every cluster query is split
@@ -277,6 +427,9 @@ impl<'a> Executor<'a> {
                 sharing.morsel_rows,
             );
 
+            // Per-view single-phase delta states, captured for the cache.
+            let mut delta_states: Vec<Option<ViewState>> = vec![None; views.len()];
+
             // Fold results into view states, rolling up multi-GB clusters.
             for (cluster, cluster_results) in clusters
                 .iter()
@@ -293,14 +446,44 @@ impl<'a> Executor<'a> {
                             continue;
                         }
                         let state = &mut states[view_id];
+                        let delta = if capture {
+                            Some(
+                                delta_states[view_id]
+                                    .get_or_insert_with(|| ViewState::new(views[view_id])),
+                            )
+                        } else {
+                            None
+                        };
                         match &out_pair {
-                            RolledPair::Combined(r) => state.merge_both(r, agg_idx),
+                            RolledPair::Combined(r) => {
+                                state.merge_both(r, agg_idx);
+                                if let Some(d) = delta {
+                                    d.merge_both(r, agg_idx);
+                                }
+                            }
                             RolledPair::Separate(t, rf) => {
                                 state.merge_into_side(t, agg_idx, Side::Target);
                                 state.merge_into_side(rf, agg_idx, Side::Reference);
+                                if let Some(d) = delta {
+                                    d.merge_into_side(t, agg_idx, Side::Target);
+                                    d.merge_into_side(rf, agg_idx, Side::Reference);
+                                }
                             }
                         }
                     }
+                }
+            }
+
+            // Every scanned view covered one more phase — even a view
+            // whose groups were absent from this range must occupy the
+            // phase slot, or replay indices would shift.
+            for spec in &scanning {
+                scanned_phases[spec.id] += 1;
+                if capture {
+                    let delta = delta_states[spec.id]
+                        .take()
+                        .unwrap_or_else(|| ViewState::new(*spec));
+                    captured[spec.id].push(Arc::new(delta.to_combined_result()));
                 }
             }
 
@@ -319,7 +502,13 @@ impl<'a> Executor<'a> {
                 }
             }
             let accepted_so_far = states.iter().filter(|s| s.accepted).count();
-            let decision = pruner.decide(&estimates, accepted_so_far, k, phases_executed, phases);
+            let decision = pruner.decide(
+                &estimates,
+                accepted_so_far,
+                k,
+                phases_executed,
+                total_phases,
+            );
             for id in decision.discard {
                 let s = &mut states[id];
                 s.alive = false;
@@ -333,18 +522,23 @@ impl<'a> Executor<'a> {
                 let accepted = states.iter().filter(|s| s.accepted).count();
                 let undecided = states.iter().filter(|s| s.alive && !s.accepted).count();
                 if accepted >= k || accepted + undecided <= k {
-                    early_stopped = phases_executed < phases;
+                    early_stopped = phases_executed < total_phases;
                     break;
                 }
             }
         }
 
-        ExecutionReport {
-            states,
-            stats,
-            elapsed: start.elapsed(),
-            phases_executed,
-            early_stopped,
+        ResumableRun {
+            report: ExecutionReport {
+                states,
+                stats,
+                elapsed: start.elapsed(),
+                phases_executed,
+                early_stopped,
+            },
+            deltas: captured,
+            scanned_phases,
+            total_phases,
         }
     }
 
@@ -987,6 +1181,45 @@ mod tests {
         assert_eq!(utilities(&serial), utilities(&parallel));
         assert_eq!(serial.stats.queries_issued, parallel.stats.queries_issued);
         assert_eq!(serial.stats.rows_scanned, parallel.stats.rows_scanned);
+    }
+
+    #[test]
+    fn empty_phases_are_skipped_and_do_not_advance_the_pruner() {
+        // 3 rows under 8 configured phases: only 3 ranges carry rows. The
+        // executor must run exactly those — an executed empty phase would
+        // advance the pruner's sample count m and tighten the
+        // Hoeffding–Serfling interval with no new data (and `m = total`
+        // would claim exactness before the scan is complete).
+        let build = || {
+            let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")]);
+            for (d, m) in [("a", 10.0), ("a", 90.0), ("b", 30.0)] {
+                b.push_row(&[Value::str(d), Value::Float(m)]).unwrap();
+            }
+            b.build(StoreKind::Column).unwrap()
+        };
+        let run = |phases: usize| {
+            let table = build();
+            let mut cfg = SeeDbConfig::default();
+            cfg.strategy = ExecutionStrategy::Comb;
+            cfg.pruning = PruningKind::Ci;
+            cfg.sharing.parallelism = 1;
+            cfg.num_phases = phases;
+            cfg.k = 1;
+            let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
+            let target = Predicate::col_eq_str(table.as_ref(), "d", "a");
+            let exec = Executor::new(table.as_ref(), &cfg);
+            exec.run(&views, &target, &ReferenceSpec::WholeTable)
+        };
+        let oversubscribed = run(8);
+        assert_eq!(
+            oversubscribed.phases_executed, 3,
+            "empty tail phases must not execute"
+        );
+        // An 8-phase run over 3 rows is the same partition as a 3-phase
+        // run — estimates, decisions, and utilities are bit-identical.
+        let exact = run(3);
+        assert_eq!(utilities(&oversubscribed), utilities(&exact));
+        assert_eq!(oversubscribed.phases_executed, exact.phases_executed);
     }
 
     #[test]

@@ -57,10 +57,11 @@ pub mod signature;
 pub mod state;
 pub mod view;
 
-pub use cache::{CacheUse, MemoryViewCache, ViewCache};
+pub use cache::{CacheUse, CachedPartial, Exactness, MemoryViewCache, ViewCache};
 pub use config::{ExecutionStrategy, GroupingPolicy, PruningKind, SeeDbConfig, SharingConfig};
 pub use error::CoreError;
-pub use executor::{ExecutionReport, Executor};
+pub use executor::{ExecutionReport, Executor, ResumableRun};
+pub use phase::{effective_phases, phase_ranges};
 pub use quality::{accuracy_at_k, utility_distance};
 pub use reference::ReferenceSpec;
 pub use seedb::{RankedView, Recommendation, SeeDb};

@@ -25,6 +25,17 @@ pub fn phase_ranges(num_rows: usize, phases: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Number of *non-empty* ranges [`phase_ranges`] produces — the phases
+/// that actually carry data. When `phases > num_rows` the tail ranges are
+/// empty; executing them would contribute no rows yet advance the
+/// pruner's sample count `m`, tightening the Hoeffding–Serfling interval
+/// with no new evidence. The executor therefore iterates only the first
+/// `effective_phases` ranges and reports this count as the partition
+/// granularity.
+pub fn effective_phases(num_rows: usize, phases: usize) -> usize {
+    phases.min(num_rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +78,14 @@ mod tests {
         let ranges = phase_ranges(3, 5);
         assert_eq!(ranges.iter().filter(|r| r.is_empty()).count(), 2);
         assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn effective_phases_counts_non_empty_ranges() {
+        for (n, p) in [(0, 1), (1, 1), (3, 5), (5, 3), (10, 10), (103, 10)] {
+            let expected = phase_ranges(n, p).iter().filter(|r| !r.is_empty()).count();
+            assert_eq!(effective_phases(n, p), expected, "n={n} p={p}");
+        }
     }
 
     #[test]

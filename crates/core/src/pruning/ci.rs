@@ -26,14 +26,34 @@
 //! what lets `COMB_EARLY` stop before the final phase.
 //!
 //! The bound treats per-phase utility estimates as values in `[0, 1]`.
-//! Deviation utilities on normalized distributions stay within this range
-//! in practice (L1-family metrics are ≤ 2 in the worst case; EMD over many
-//! bins can exceed it only for pathological mass transport). As the paper
-//! notes (§4.2, "Consistent Distance Functions"), the guarantees do not
-//! carry over exactly anyway; what matters — and what §5.4 measures — is
-//! that pruning with these intervals is accurate in practice.
+//! Every supported L1-family metric on normalized distributions is ≤ 2,
+//! so estimates are rescaled into `[0, 1]` by that constant — **and then
+//! clamped**, because EMD over many bins can exceed 2 for pathological
+//! mass transport (all target mass in the last bin, all reference mass in
+//! the first gives EMD = bins − 1), which would silently violate the
+//! bound's `[0, 1]` precondition. Clamping keeps such estimates inside
+//! the bound's domain at the cost of not distinguishing utilities beyond
+//! 2 from one another — conservative, never unsound. As the paper notes
+//! (§4.2, "Consistent Distance Functions"), the guarantees do not carry
+//! over exactly anyway; what matters — and what §5.4 measures — is that
+//! pruning with these intervals is accurate in practice.
 
 use super::{PruneDecision, Pruner, ViewEstimate};
+
+/// Every supported metric on normalized distributions is bounded by this
+/// constant — except EMD over many bins, which [`scale01`] clamps.
+const UTILITY_SCALE: f64 = 2.0;
+
+/// Maps a raw utility estimate into the Hoeffding–Serfling bound's
+/// `[0, 1]` domain: rescale by [`UTILITY_SCALE`], then clamp. NaN passes
+/// through: comparisons against it are false, so a NaN-utility view
+/// never dominates nor is dominated, and the accept branch explicitly
+/// skips it — it stays undecided. (Unreachable through the normal
+/// pipeline — `normalize` yields finite distributions — but poisoned
+/// measure data must not be "certainly top-k".)
+fn scale01(u: f64) -> f64 {
+    (u / UTILITY_SCALE).clamp(0.0, 1.0)
+}
 
 /// Hoeffding–Serfling confidence-interval pruner.
 #[derive(Debug, Clone)]
@@ -81,8 +101,8 @@ impl Pruner for CiPruner {
             return decision;
         }
         let eps = self.half_width(phase, total_phases);
-        let lower = |e: &ViewEstimate| e.mean - eps;
-        let upper = |e: &ViewEstimate| e.mean + eps;
+        let lower = |e: &ViewEstimate| scale01(e.mean) - eps;
+        let upper = |e: &ViewEstimate| scale01(e.mean) + eps;
 
         for v in estimates {
             // Count live views whose lower bound exceeds v's upper bound.
@@ -95,12 +115,15 @@ impl Pruner for CiPruner {
                 continue;
             }
             // Accept: v's lower bound beats the upper bound of all but
-            // fewer than `slots` views — v is certainly in the top-k.
+            // fewer than `slots` views — v is certainly in the top-k. A
+            // NaN mean makes every comparison above false, which would
+            // read as "dominates everything"; such a view is never
+            // certain, so it stays undecided instead.
             let not_dominated = estimates
                 .iter()
                 .filter(|o| o.view_id != v.view_id && upper(o) >= lower(v))
                 .count();
-            if not_dominated < slots {
+            if not_dominated < slots && !v.mean.is_nan() {
                 decision.accept.push(v.view_id);
             }
         }
@@ -152,12 +175,63 @@ mod tests {
     #[test]
     fn clearly_dominated_views_are_discarded() {
         let mut p = CiPruner::new(0.05);
-        // One view far below k=2 others, near the end of the scan (tight CI).
-        let means = [0.9, 0.8, 0.05];
+        // One view far below k=2 others, near the end of the scan (tight
+        // CI). Means are raw utilities in [0, 2]; the pruner rescales.
+        let means = [1.8, 1.6, 0.05];
         let d = p.decide(&estimates_from(&means, 9), 0, 2, 9, 10);
         assert!(d.discard.contains(&2), "{d:?}");
         assert!(!d.discard.contains(&0));
         assert!(!d.discard.contains(&1));
+    }
+
+    #[test]
+    fn oversized_emd_estimates_clamp_into_the_bound() {
+        // EMD over many bins can exceed the rescaling constant 2 (all
+        // target mass in the last bin vs all reference mass in the first
+        // over B bins gives EMD = B − 1). Unclamped, a mean of 100 would
+        // put its lower bound at 49.8 and instantly discard everything
+        // else; clamped, both oversized means saturate at 1.0 and neither
+        // can dominate the other.
+        let mut p = CiPruner::new(0.05);
+        let means = [100.0, 4.0];
+        let d = p.decide(&estimates_from(&means, 9), 0, 1, 9, 10);
+        assert!(d.discard.is_empty(), "{d:?}");
+        // Against a genuinely low view the clamped estimate still prunes.
+        let means = [100.0, 0.01];
+        let d = p.decide(&estimates_from(&means, 9), 0, 1, 9, 10);
+        assert_eq!(d.discard, vec![1], "{d:?}");
+    }
+
+    #[test]
+    fn nan_means_stay_undecided() {
+        // A NaN mean defeats every bound comparison; it must be neither
+        // accepted ("certainly top-k") nor discarded.
+        let mut p = CiPruner::new(0.05);
+        let estimates = vec![
+            ViewEstimate {
+                view_id: 0,
+                mean: f64::NAN,
+                samples: 9,
+            },
+            ViewEstimate {
+                view_id: 1,
+                mean: 0.4,
+                samples: 9,
+            },
+        ];
+        let d = p.decide(&estimates, 0, 1, 9, 10);
+        assert!(!d.accept.contains(&0), "{d:?}");
+        assert!(!d.discard.contains(&0), "{d:?}");
+    }
+
+    #[test]
+    fn scale01_maps_into_unit_interval() {
+        assert_eq!(scale01(0.0), 0.0);
+        assert_eq!(scale01(1.0), 0.5);
+        assert_eq!(scale01(2.0), 1.0);
+        assert_eq!(scale01(7.5), 1.0, "oversized EMD clamps");
+        assert_eq!(scale01(-0.5), 0.0, "rounding noise clamps at zero");
+        assert!(scale01(f64::NAN).is_nan());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The public SeeDB facade: table in, ranked visualizations out.
 
-use crate::cache::{CacheUse, ViewCache};
-use crate::config::SeeDbConfig;
+use crate::cache::{CacheUse, CachedPartial, ViewCache};
+use crate::config::{ExecutionStrategy, SeeDbConfig};
 use crate::error::CoreError;
 use crate::executor::{ExecutionReport, Executor};
+use crate::phase::effective_phases;
 use crate::reference::ReferenceSpec;
 use crate::signature::{predicate_signature, reference_signature};
 use crate::state::ViewState;
@@ -101,21 +102,39 @@ impl SeeDb {
         Ok(self.build_recommendation(report))
     }
 
-    /// [`SeeDb::recommend`] with cross-request reuse of exact per-view
+    /// [`SeeDb::recommend`] with cross-request reuse of per-view
     /// aggregates through `cache` (see [`crate::cache`]).
     ///
-    /// For configurations where every view's result is an exact full-table
-    /// aggregate ([`SeeDbConfig::exact_per_view`]), each view is first
-    /// probed in the cache under its canonical signature (target predicate
-    /// × reference × view identity — deliberately *excluding* `k` and the
+    /// **Exact configurations** ([`SeeDbConfig::exact_per_view`]): each
+    /// view is probed under its canonical signature (target predicate ×
+    /// reference × view identity — deliberately *excluding* `k` and the
     /// metric, which don't change aggregates); only the missing views are
-    /// executed, and their results are stored back. The returned
-    /// recommendation is bit-identical to what [`SeeDb::recommend`] would
-    /// produce: exports round-trip exactly and each view's aggregates are
-    /// independent of which other views execute alongside it.
+    /// executed, and their full-table results are stored back.
     ///
-    /// Ineligible configurations (anything that prunes) fall back to a
-    /// plain `recommend` and report [`CacheUse::ineligible`].
+    /// **Pruned configurations** (`COMB`/`COMB_EARLY` with any pruning
+    /// scheme): each view is probed under a phase-partition key (the same
+    /// signature plus the effective phase count). A cached entry holds
+    /// the view's *per-phase* deltas over the prefix it accumulated
+    /// before being pruned (or all phases, tagged
+    /// [`Exact`](crate::cache::Exactness::Exact), if it survived):
+    /// covered phases are **replayed** without scanning and a view that
+    /// outlives its prefix **resumes** scanning at `phases_done` instead
+    /// of row 0. Deltas carry no pruning decisions, so entries are
+    /// reusable across runs differing in `k`, `delta`, or pruning scheme;
+    /// views that end a run with full-table coverage are additionally
+    /// deposited under the exact key for the pruning-free configurations
+    /// to reuse.
+    ///
+    /// In both paths the returned recommendation is **bit-identical** to
+    /// what [`SeeDb::recommend`] would produce with the same seed:
+    /// exports round-trip exactly, each view's aggregates are independent
+    /// of which other views execute alongside it, and replayed cumulative
+    /// states reproduce every utility estimate — and therefore every
+    /// pruning decision — bit for bit. (Seeding a pruned run from a bare
+    /// full-table aggregate would *break* that guarantee: without the
+    /// per-phase structure the pruner would see a zero-width interval
+    /// from phase 1, changing decisions relative to the uncached run, so
+    /// plain exact entries are deliberately invisible to pruned runs.)
     pub fn recommend_cached(
         &self,
         target: &Predicate,
@@ -123,10 +142,25 @@ impl SeeDb {
         cache: &dyn ViewCache,
     ) -> Result<(Recommendation, CacheUse), CoreError> {
         self.check_runnable()?;
-        if !self.config.exact_per_view() {
-            return Ok((self.recommend(target, reference)?, CacheUse::ineligible()));
+        if self.config.exact_per_view() {
+            return self.recommend_cached_exact(target, reference, cache);
         }
+        if matches!(
+            self.config.strategy,
+            ExecutionStrategy::Comb | ExecutionStrategy::CombEarly
+        ) {
+            return self.recommend_cached_phased(target, reference, cache);
+        }
+        Ok((self.recommend(target, reference)?, CacheUse::ineligible()))
+    }
 
+    /// The exact-configuration arm of [`SeeDb::recommend_cached`].
+    fn recommend_cached_exact(
+        &self,
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        cache: &dyn ViewCache,
+    ) -> Result<(Recommendation, CacheUse), CoreError> {
         let start = Instant::now();
         let views = self.views();
         let pred_sig = predicate_signature(target);
@@ -135,8 +169,10 @@ impl SeeDb {
             .iter()
             .map(|v| format!("{pred_sig}|{ref_sig}|{}", v.signature()))
             .collect();
-        let mut cached: Vec<Option<Arc<GroupedResult>>> =
-            keys.iter().map(|k| cache.get(k)).collect();
+        let mut cached: Vec<Option<Arc<GroupedResult>>> = keys
+            .iter()
+            .map(|k| cache.get(k).and_then(|p| p.as_exact_result().cloned()))
+            .collect();
         let hits = cached.iter().filter(|c| c.is_some()).count();
         let misses = views.len() - hits;
 
@@ -158,7 +194,7 @@ impl SeeDb {
             phases_executed = report.phases_executed;
             for (j, &i) in missing.iter().enumerate() {
                 let result = Arc::new(report.states[j].to_combined_result());
-                cache.put(&keys[i], result.clone());
+                cache.put(&keys[i], Arc::new(CachedPartial::exact(result.clone())));
                 cached[i] = Some(result);
             }
         }
@@ -178,8 +214,71 @@ impl SeeDb {
             eligible: true,
             hits,
             misses,
+            resumed: 0,
         };
         Ok((self.build_recommendation(report), outcome))
+    }
+
+    /// The pruned-configuration arm of [`SeeDb::recommend_cached`]:
+    /// replay cached phase prefixes, resume their scans, deposit back
+    /// whatever each view accumulated this time.
+    fn recommend_cached_phased(
+        &self,
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        cache: &dyn ViewCache,
+    ) -> Result<(Recommendation, CacheUse), CoreError> {
+        let views = self.views();
+        let pred_sig = predicate_signature(target);
+        let ref_sig = reference_signature(reference);
+        let total = effective_phases(self.table.num_rows(), self.config.num_phases);
+        let exact_key = |v: &ViewSpec| format!("{pred_sig}|{ref_sig}|{}", v.signature());
+        let keys: Vec<String> = views
+            .iter()
+            .map(|v| format!("{}|ph{total}", exact_key(v)))
+            .collect();
+        let seeds: Vec<Option<Arc<CachedPartial>>> = keys
+            .iter()
+            .map(|k| {
+                cache
+                    .get(k)
+                    .filter(|p| p.total_phases == total && !p.deltas.is_empty())
+            })
+            .collect();
+
+        let executor = Executor::new(self.table.as_ref(), &self.config);
+        let run = executor.run_resumable(&views, target, reference, &seeds);
+
+        let mut outcome = CacheUse {
+            eligible: true,
+            ..CacheUse::default()
+        };
+        for (i, view) in views.iter().enumerate() {
+            match (&seeds[i], run.scanned_phases[i]) {
+                (Some(_), 0) => outcome.hits += 1,
+                (Some(_), _) => outcome.resumed += 1,
+                (None, _) => outcome.misses += 1,
+            }
+            // Deposit: never shrink an existing prefix — a run that
+            // pruned this view earlier than the cached run did has
+            // nothing new to contribute.
+            let covered = run.deltas[i].len();
+            let prev = seeds[i].as_ref().map_or(0, |p| p.phases_done());
+            if covered > prev {
+                cache.put(
+                    &keys[i],
+                    Arc::new(CachedPartial::prefix(run.deltas[i].clone(), total)),
+                );
+            }
+            // A view with full-table coverage is exact: cross-deposit it
+            // under the unphased key so pruning-free configurations can
+            // skip its scan too.
+            if covered == total && prev < total {
+                let full = Arc::new(run.report.states[i].to_combined_result());
+                cache.put(&exact_key(view), Arc::new(CachedPartial::exact(full)));
+            }
+        }
+        Ok((self.build_recommendation(run.report), outcome))
     }
 
     /// Shared validation for every recommendation entry point.
@@ -527,20 +626,288 @@ mod tests {
         assert_same_recommendation(&direct, &rec);
     }
 
+    /// Strongly separated 6-view table (3 dims × 2 measures). The target
+    /// (`d0 ∈ {g0, g1}`) puts all of its mass on the first half of `d0`'s
+    /// domain while the reference spreads evenly, so the `BY d0` views
+    /// score EMD ≈ 1.0 and the `d1`/`d2` views ≈ 0 — far enough apart
+    /// that CI pruning discards the noise views *before* the final phase
+    /// and pruned cache entries include genuine prefixes, not just
+    /// full-coverage views.
+    fn separated() -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("d0"),
+            ColumnDef::dim("d1"),
+            ColumnDef::dim("d2"),
+            ColumnDef::measure("m0"),
+            ColumnDef::measure("m1"),
+        ]);
+        for i in 0..400u32 {
+            b.push_row(&[
+                Value::str(format!("g{}", i % 4)),
+                Value::str(format!("x{}", i % 3)),
+                Value::str(format!("y{}", i % 5)),
+                Value::Float(50.0),
+                Value::Float((i % 11) as f64),
+            ])
+            .unwrap();
+        }
+        b.build(StoreKind::Column).unwrap()
+    }
+
+    fn separated_target(t: &dyn Table) -> Predicate {
+        Predicate::Or(vec![
+            Predicate::col_eq_str(t, "d0", "g0"),
+            Predicate::col_eq_str(t, "d0", "g1"),
+        ])
+    }
+
     #[test]
-    fn pruning_configs_bypass_the_cache() {
+    fn pruned_config_warm_cache_is_bit_identical_and_scan_free() {
         use crate::cache::MemoryViewCache;
-        let table = census();
-        let target = Predicate::col_eq_str(table.as_ref(), "marital", "unmarried");
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        for pruning in [PruningKind::Ci, PruningKind::Mab] {
+            let mut cfg = SeeDbConfig::default(); // COMB
+            cfg.pruning = pruning;
+            cfg.k = 2;
+            let seedb = SeeDb::with_config(table.clone(), cfg);
+            let direct = seedb
+                .recommend(&target, &ReferenceSpec::WholeTable)
+                .unwrap();
+
+            let cache = MemoryViewCache::new();
+            let (cold, use1) = seedb
+                .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+                .unwrap();
+            assert!(use1.eligible);
+            assert_eq!(use1.misses, seedb.views().len());
+            assert_same_recommendation(&direct, &cold);
+            assert!(!cache.is_empty(), "pruned runs must deposit partials");
+
+            // Warm repeat with the identical config: every phase replays,
+            // no row is scanned, and the result is still bit-identical.
+            let (warm, use2) = seedb
+                .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+                .unwrap();
+            assert!(use2.fully_cached(), "{use2:?}");
+            assert_eq!(warm.stats.rows_scanned, 0);
+            assert_eq!(warm.stats.queries_issued, 0);
+            assert_same_recommendation(&direct, &warm);
+            assert_eq!(warm.phases_executed, direct.phases_executed);
+            assert_eq!(warm.early_stopped, direct.early_stopped);
+        }
+    }
+
+    #[test]
+    fn pruned_cache_deposits_prefixes_for_pruned_views() {
+        use crate::cache::{Exactness, MemoryViewCache};
+        use crate::signature::{predicate_signature, reference_signature};
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let mut cfg = SeeDbConfig::default();
+        cfg.k = 1; // aggressive: noise views get discarded pre-final-phase
+        let seedb = SeeDb::with_config(table.clone(), cfg.clone());
         let cache = MemoryViewCache::new();
-        let cfg = SeeDbConfig::default(); // COMB + CI pruning
-        let seedb = SeeDb::with_config(table, cfg);
-        let (rec, usage) = seedb
+        let _ = seedb
             .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
             .unwrap();
-        assert_eq!(usage, crate::cache::CacheUse::ineligible());
-        assert!(cache.is_empty());
-        assert!(!rec.views.is_empty());
+
+        let pred_sig = predicate_signature(&target);
+        let ref_sig = reference_signature(&ReferenceSpec::WholeTable);
+        let total = crate::phase::effective_phases(seedb.table().num_rows(), cfg.num_phases);
+        let mut exact = 0;
+        let mut prefix = 0;
+        for v in seedb.views() {
+            let key = format!("{pred_sig}|{ref_sig}|{}|ph{total}", v.signature());
+            let entry = cache.get(&key).expect("every view deposits an entry");
+            match entry.exactness() {
+                Exactness::Exact => exact += 1,
+                Exactness::Prefix {
+                    phases_done,
+                    total_phases,
+                } => {
+                    assert!(phases_done > 0 && phases_done < total_phases);
+                    assert_eq!(total_phases, total);
+                    prefix += 1;
+                }
+            }
+        }
+        assert!(exact >= 1, "the surviving view covers every phase");
+        assert!(
+            prefix >= 1,
+            "pruned views must keep their prefix work instead of discarding it"
+        );
+    }
+
+    #[test]
+    fn pruned_cache_resumes_truncated_prefixes_bit_identically() {
+        use crate::cache::{CachedPartial, MemoryViewCache};
+        use crate::signature::{predicate_signature, reference_signature};
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let cfg = SeeDbConfig::default(); // COMB + CI
+        let seedb = SeeDb::with_config(table.clone(), cfg.clone());
+        let direct = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
+
+        let cache = MemoryViewCache::new();
+        let (cold, _) = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert_same_recommendation(&direct, &cold);
+
+        // Truncate every cached entry to its first 4 phases: the warm run
+        // must replay those and resume scanning at phase 4, not row 0.
+        let pred_sig = predicate_signature(&target);
+        let ref_sig = reference_signature(&ReferenceSpec::WholeTable);
+        let total = crate::phase::effective_phases(seedb.table().num_rows(), cfg.num_phases);
+        for v in seedb.views() {
+            let key = format!("{pred_sig}|{ref_sig}|{}|ph{total}", v.signature());
+            let entry = cache.get(&key).expect("deposited by the cold run");
+            let cut: Vec<_> = entry.deltas.iter().take(4).cloned().collect();
+            cache.put(&key, Arc::new(CachedPartial::prefix(cut, total)));
+        }
+
+        let (resumed, usage) = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert!(usage.resumed >= 1, "{usage:?}");
+        assert_eq!(usage.misses, 0);
+        assert_same_recommendation(&direct, &resumed);
+        assert!(
+            resumed.stats.rows_scanned < cold.stats.rows_scanned,
+            "resume must scan strictly less than a cold run: {} vs {}",
+            resumed.stats.rows_scanned,
+            cold.stats.rows_scanned
+        );
+        // And the deposits are healed back to full coverage: a second
+        // warm run replays everything.
+        let (warm, usage) = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert!(usage.fully_cached(), "{usage:?}");
+        assert_same_recommendation(&direct, &warm);
+    }
+
+    #[test]
+    fn pruned_cache_is_reusable_across_k_and_pruning_scheme() {
+        use crate::cache::MemoryViewCache;
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let cache = MemoryViewCache::new();
+
+        // Warm the cache with k=1 + CI (prunes hard, leaves prefixes).
+        let mut cfg = SeeDbConfig::default();
+        cfg.k = 1;
+        let seedb = SeeDb::with_config(table.clone(), cfg.clone());
+        let _ = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+
+        // A follow-up with different k and a different pruning scheme
+        // reuses the same phase-partition entries: replay what's covered,
+        // resume what isn't, and stay bit-identical to an uncached run.
+        for (k, pruning) in [(3, PruningKind::Ci), (2, PruningKind::Mab)] {
+            let mut cfg2 = SeeDbConfig::default();
+            cfg2.k = k;
+            cfg2.pruning = pruning;
+            let seedb2 = SeeDb::with_config(table.clone(), cfg2);
+            let direct = seedb2
+                .recommend(&target, &ReferenceSpec::WholeTable)
+                .unwrap();
+            let (rec, usage) = seedb2
+                .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+                .unwrap();
+            assert!(usage.eligible);
+            assert_eq!(usage.misses, 0, "{usage:?}");
+            assert_same_recommendation(&direct, &rec);
+        }
+    }
+
+    #[test]
+    fn pruned_survivors_feed_the_exact_cache() {
+        use crate::cache::MemoryViewCache;
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let cache = MemoryViewCache::new();
+
+        // A pruned run whose survivors cover the full table…
+        let mut cfg = SeeDbConfig::default();
+        cfg.k = 2;
+        let seedb = SeeDb::with_config(table.clone(), cfg);
+        let _ = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+
+        // …lets a pruning-free SHARING run skip those views' scans.
+        let sharing = SeeDb::with_config(
+            table.clone(),
+            SeeDbConfig::for_strategy(ExecutionStrategy::Sharing),
+        );
+        let direct = sharing
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
+        let (rec, usage) = sharing
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        assert!(usage.hits >= 1, "{usage:?}");
+        assert_same_recommendation(&direct, &rec);
+    }
+
+    #[test]
+    fn pathological_emd_view_exceeding_two_is_handled() {
+        // EMD over many bins can exceed 2: all target mass lands in the
+        // last group while the complement reference's mass sits in the
+        // first, giving EMD = bins − 1. Such a utility violates the
+        // Hoeffding–Serfling bound's [0, 1] precondition unless the CI
+        // pruner clamps it (see `pruning::ci`); this run must neither
+        // misrank nor destabilize pruning.
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("flag"),
+            ColumnDef::dim("d"),
+            ColumnDef::measure("m"),
+            ColumnDef::measure("noise"),
+        ]);
+        for i in 0..160u32 {
+            let group = i % 8;
+            b.push_row(&[
+                Value::str(if group == 7 { "yes" } else { "no" }),
+                Value::str(format!("a{group}")),
+                Value::Float(if group == 0 || group == 7 { 100.0 } else { 0.0 }),
+                Value::Float((i % 3) as f64),
+            ])
+            .unwrap();
+        }
+        let table = b.build(StoreKind::Column).unwrap();
+        let target = Predicate::col_eq_str(table.as_ref(), "flag", "yes");
+        let mut cfg = SeeDbConfig::default(); // COMB + CI
+        cfg.k = 2;
+        let seedb = SeeDb::with_config(table, cfg.clone());
+        let rec = seedb
+            .recommend(&target, &ReferenceSpec::Complement)
+            .unwrap();
+
+        let top = &rec.views[0];
+        assert!(
+            top.utility > 2.0,
+            "test premise: a pathological EMD view beyond the rescaling \
+             constant (got {})",
+            top.utility
+        );
+        assert!(top.utility.is_finite());
+        assert_eq!(
+            seedb.table().schema().column(top.spec.dim).name,
+            "d",
+            "the pathological view must still rank first"
+        );
+        // The same table under NO_PRU agrees on the winner.
+        cfg.pruning = PruningKind::None;
+        let seedb2 = SeeDb::with_config(seedb.table.clone(), cfg);
+        let exact = seedb2
+            .recommend(&target, &ReferenceSpec::Complement)
+            .unwrap();
+        assert_eq!(exact.views[0].spec, top.spec);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   like `a = 1 AND b = 2` vs `b = 2 AND a = 1` normalize to one key.
 //! * [`reference_signature`] — the same for a [`ReferenceSpec`].
 //! * [`ViewSpec::signature`] — identifies a view `(a, m, f)` independent
-//!   of its enumeration id.
+//!   of its enumeration id. Per-view cache keys compose
+//!   `predicate|reference|view`; pruned runs append a `|phN` suffix (the
+//!   effective phase count, [`crate::phase::effective_phases`]) because
+//!   their phase-prefix entries are only replayable under the same
+//!   partition granularity (see [`crate::cache`]).
 //! * [`SeeDbConfig::result_signature`] — exactly the configuration knobs
 //!   that can change the *content* of a recommendation. Knobs that are
 //!   bit-identical by engine contract (`engine_mode`, every sharing knob,
@@ -323,6 +327,17 @@ mod tests {
         let mut phases_changed = comb.clone();
         phases_changed.num_phases = 4;
         assert_ne!(comb.result_signature(), phases_changed.result_signature());
+        // Probabilistic results never cross-contaminate deterministic
+        // ones: the pruning kind is part of the response signature.
+        let mut pruning_kind_changed = comb.clone();
+        pruning_kind_changed.pruning = PruningKind::None;
+        assert_ne!(
+            comb.result_signature(),
+            pruning_kind_changed.result_signature()
+        );
+        let mut mab = comb.clone();
+        mab.pruning = PruningKind::Mab;
+        assert_ne!(comb.result_signature(), mab.result_signature());
     }
 
     #[test]

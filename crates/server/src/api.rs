@@ -15,6 +15,19 @@ use seedb_data::Dataset;
 use seedb_engine::AggFunc;
 use seedb_util::Json;
 
+/// How a `/recommend` request wants the cross-request cache used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Probe and fill the response and partials caches (the default).
+    #[default]
+    Auto,
+    /// Skip the cache entirely: run the engine directly, store nothing.
+    /// The response envelope reports `"cache": "bypass"` and the run
+    /// increments the `/statz` bypass counter — the operator-visible
+    /// signal that the cache was not in play.
+    Bypass,
+}
+
 /// A parsed `/recommend` request body.
 #[derive(Debug, Clone)]
 pub struct RecommendRequest {
@@ -28,15 +41,19 @@ pub struct RecommendRequest {
     /// Reference: `"whole"` (default), `"complement"`, or a SQL `WHERE`
     /// body for an arbitrary reference selection.
     pub reference: String,
+    /// Cache disposition override (`"cache_mode"`: `"auto"`/`"bypass"`).
+    pub cache_mode: CacheMode,
     /// Result-affecting config overrides applied over the server default.
     pub config: SeeDbConfig,
 }
 
-/// The server's default per-request configuration: `SHARING` — the
-/// pruning-free strategy whose per-view results are exact and therefore
-/// reusable across requests (`SeeDbConfig::exact_per_view`).
+/// The server's default per-request configuration: the paper's §5 `COMB`
+/// setup (EMD, k = 10, CI pruning, 10 phases, all sharing optimizations)
+/// — [`SeeDbConfig::default`]. Pruned runs are fully cache-eligible:
+/// repeats hit the response cache and overlapping requests replay or
+/// resume per-view phase prefixes (`SeeDb::recommend_cached`).
 pub fn default_config() -> SeeDbConfig {
-    SeeDbConfig::for_strategy(ExecutionStrategy::Sharing)
+    SeeDbConfig::default()
 }
 
 impl RecommendRequest {
@@ -60,6 +77,18 @@ impl RecommendRequest {
         let reference = match doc.get("reference") {
             None | Some(Json::Null) => "whole".to_owned(),
             Some(v) => v.as_str().ok_or("'reference' must be a string")?.to_owned(),
+        };
+        let cache_mode = match doc.get("cache_mode") {
+            None | Some(Json::Null) => CacheMode::Auto,
+            Some(v) => match v.as_str().ok_or("'cache_mode' must be a string")? {
+                "auto" => CacheMode::Auto,
+                "bypass" => CacheMode::Bypass,
+                other => {
+                    return Err(format!(
+                        "unknown cache_mode '{other}' (expected 'auto' or 'bypass')"
+                    ))
+                }
+            },
         };
 
         let mut config = default_config();
@@ -106,6 +135,7 @@ impl RecommendRequest {
             rows,
             where_sql,
             reference,
+            cache_mode,
             config,
         })
     }
@@ -228,7 +258,21 @@ mod tests {
         assert_eq!(r.rows, None);
         assert_eq!(r.where_sql, None);
         assert_eq!(r.reference, "whole");
-        assert_eq!(r.config.strategy, ExecutionStrategy::Sharing);
+        assert_eq!(r.cache_mode, CacheMode::Auto);
+        // The default is the paper's fastest configuration, not a
+        // cache-convenient downgrade.
+        assert_eq!(r.config.strategy, ExecutionStrategy::Comb);
+        assert_eq!(r.config.pruning, PruningKind::Ci);
+    }
+
+    #[test]
+    fn parses_cache_mode() {
+        let r = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "cache_mode": "bypass"}"#)
+            .unwrap();
+        assert_eq!(r.cache_mode, CacheMode::Bypass);
+        let err = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "cache_mode": "maybe"}"#)
+            .unwrap_err();
+        assert!(err.contains("cache_mode"), "{err}");
     }
 
     #[test]
@@ -279,6 +323,13 @@ mod tests {
 
     #[test]
     fn default_config_is_cache_eligible() {
-        assert!(default_config().exact_per_view());
+        // COMB + CI is not exact-per-view — it is cacheable through the
+        // phased resume path, which the core asserts is bit-identical.
+        let cfg = default_config();
+        assert!(!cfg.exact_per_view());
+        assert!(matches!(
+            cfg.strategy,
+            ExecutionStrategy::Comb | ExecutionStrategy::CombEarly
+        ));
     }
 }

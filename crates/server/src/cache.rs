@@ -9,7 +9,7 @@
 //! `BTreeMap` index, which makes eviction order fully deterministic: the
 //! entry with the oldest last-touch tick always goes first.
 
-use seedb_core::cache::ViewCache;
+use seedb_core::cache::{CachedPartial, ViewCache};
 use seedb_engine::GroupedResult;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,9 +21,10 @@ pub enum CacheValue {
     /// A rendered `/recommend` response payload (the deterministic part of
     /// the body, shared verbatim on every future hit).
     Response(Arc<String>),
-    /// An exact full-table combined aggregate for one view, reusable by
-    /// any overlapping request (see `SeeDb::recommend_cached`).
-    Partial(Arc<GroupedResult>),
+    /// A per-view combined aggregate — exact full-table, or a resumable
+    /// phase prefix from a pruned run — reusable by any overlapping
+    /// request (see `SeeDb::recommend_cached`).
+    Partial(Arc<CachedPartial>),
 }
 
 impl CacheValue {
@@ -33,9 +34,13 @@ impl CacheValue {
     pub fn approx_size(&self) -> usize {
         match self {
             CacheValue::Response(body) => body.len(),
-            CacheValue::Partial(result) => {
-                let per_group = 32 + result.group_by.len() * 8 + result.aggregates.len() * 2 * 48;
-                64 + result.groups.len() * per_group
+            CacheValue::Partial(partial) => {
+                let result_size = |result: &GroupedResult| {
+                    let per_group =
+                        32 + result.group_by.len() * 8 + result.aggregates.len() * 2 * 48;
+                    64 + result.groups.len() * per_group
+                };
+                32 + partial.deltas.iter().map(|d| result_size(d)).sum::<usize>()
             }
         }
     }
@@ -209,14 +214,14 @@ impl PartialCache {
 }
 
 impl ViewCache for PartialCache {
-    fn get(&self, key: &str) -> Option<Arc<GroupedResult>> {
+    fn get(&self, key: &str) -> Option<Arc<CachedPartial>> {
         match self.cache.get(&self.full_key(key)) {
-            Some(CacheValue::Partial(result)) => Some(result),
+            Some(CacheValue::Partial(partial)) => Some(partial),
             _ => None,
         }
     }
 
-    fn put(&self, key: &str, value: Arc<GroupedResult>) {
+    fn put(&self, key: &str, value: Arc<CachedPartial>) {
         self.cache
             .put(&self.full_key(key), CacheValue::Partial(value));
     }
@@ -305,11 +310,34 @@ mod tests {
             )],
             groups: Vec::new(),
         });
-        a.put("key", result.clone());
+        let partial = Arc::new(CachedPartial::exact(result));
+        a.put("key", partial.clone());
         assert!(a.get("key").is_some());
         assert!(b.get("key").is_none(), "prefixes must isolate instances");
         // A response entry under the same raw key is not a partial.
         shared.put("P|DS@100|other", response("body"));
         assert!(a.get("other").is_none());
+    }
+
+    #[test]
+    fn partial_sizes_scale_with_phase_deltas() {
+        // Budget accounting must see every per-phase delta, not just one
+        // result, or pruned-run prefixes would be under-billed.
+        let result = || {
+            Arc::new(GroupedResult {
+                group_by: vec![seedb_storage::ColumnId(0)],
+                aggregates: vec![seedb_engine::AggSpec::new(
+                    seedb_engine::AggFunc::Avg,
+                    seedb_storage::ColumnId(1),
+                )],
+                groups: Vec::new(),
+            })
+        };
+        let one = CacheValue::Partial(Arc::new(CachedPartial::prefix(vec![result()], 10)));
+        let five = CacheValue::Partial(Arc::new(CachedPartial::prefix(
+            (0..5).map(|_| result()).collect(),
+            10,
+        )));
+        assert!(five.approx_size() > one.approx_size());
     }
 }

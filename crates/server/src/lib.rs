@@ -33,11 +33,15 @@
 //! LRU ([`cache::RecCache`]) keyed by canonical signatures
 //! (`seedb_core::signature`): a repeated query returns its cached response
 //! without touching the engine, and an *overlapping* query (same dataset +
-//! predicate, different `k`/metric) reuses the cached per-view
-//! [`GroupedResult`](seedb_engine::GroupedResult) partials through
-//! [`SeeDb::recommend_cached`](seedb_core::SeeDb::recommend_cached) and
-//! skips the scan entirely. Responses are bit-identical to direct library
-//! calls in every case.
+//! predicate, different `k`/metric/pruning knobs) reuses the cached
+//! per-view partials ([`CachedPartial`](seedb_core::CachedPartial)) —
+//! exact full-table results for the pruning-free configurations, replay-
+//! and-resume phase prefixes for the pruned ones (the server default,
+//! COMB + CI) — through
+//! [`SeeDb::recommend_cached`](seedb_core::SeeDb::recommend_cached).
+//! Responses are bit-identical to direct library calls in every case; a
+//! request can opt out with `"cache_mode": "bypass"`, which `/statz`
+//! counts separately so operators can see when the cache is not in play.
 //!
 //! ## Concurrency
 //!

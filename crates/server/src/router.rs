@@ -25,10 +25,18 @@ pub struct ServerStats {
     pub response_hits: AtomicU64,
     /// `/recommend` responses that ran the engine.
     pub response_misses: AtomicU64,
+    /// `/recommend` runs that skipped the cache entirely (request-level
+    /// `cache_mode: "bypass"` or a cache-ineligible configuration). The
+    /// operator signal that the cache was not in play: for the default
+    /// configuration this counter must stay 0.
+    pub response_bypass: AtomicU64,
     /// Cumulative latency of cache-miss recommends, microseconds.
     pub miss_us_total: AtomicU64,
     /// Cumulative latency of response-cache hits, microseconds.
     pub hit_us_total: AtomicU64,
+    /// Cumulative latency of bypassed recommends, microseconds — kept out
+    /// of `miss_us_total` so the derived mean miss latency stays honest.
+    pub bypass_us_total: AtomicU64,
 }
 
 /// Everything a request handler needs, shared across connections.
@@ -83,8 +91,10 @@ fn statz(state: &AppState) -> Response {
                     .set("errors", load(&s.recommends_err))
                     .set("response_hits", load(&s.response_hits))
                     .set("response_misses", load(&s.response_misses))
+                    .set("bypass", load(&s.response_bypass))
                     .set("hit_us_total", load(&s.hit_us_total))
-                    .set("miss_us_total", load(&s.miss_us_total)),
+                    .set("miss_us_total", load(&s.miss_us_total))
+                    .set("bypass_us_total", load(&s.bypass_us_total)),
             )
             .set(
                 "cache",
@@ -151,6 +161,9 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
     };
 
     // One canonical signature covers dataset instance + query + config.
+    // The config part (`result_signature`) includes the pruning kind,
+    // delta, and phase count for the pruning strategies, so probabilistic
+    // results never cross-contaminate deterministic ones.
     let instance = format!("{}@{}#s{}", dataset.name, rows, state.seed);
     let signature = format!(
         "{instance}|{}|{}|{}",
@@ -160,6 +173,31 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
     );
     let response_key = format!("R|{signature}");
 
+    // Operator-requested bypass: run the engine directly, cache nothing.
+    if parsed.cache_mode == api::CacheMode::Bypass {
+        let mut config = parsed.config.clone();
+        let lease = state.budget.lease(config.sharing.parallelism);
+        config.sharing.parallelism = lease.granted();
+        let seedb = SeeDb::with_config(dataset.table.clone(), config);
+        let rec = seedb
+            .recommend(&target, &reference)
+            .map_err(|e| Response::error(400, &e.to_string()))?;
+        drop(lease);
+        let payload = api::render_recommendation(&dataset, &rec).compact();
+        let us = start.elapsed().as_micros() as u64;
+        state.stats.response_bypass.fetch_add(1, Ordering::Relaxed);
+        state.stats.bypass_us_total.fetch_add(us, Ordering::Relaxed);
+        return Ok(Response::json(envelope(
+            &payload,
+            &where_desc,
+            "bypass",
+            0,
+            0,
+            0,
+            us,
+        )));
+    }
+
     if let Some(CacheValue::Response(payload)) = state.cache.get(&response_key) {
         let us = start.elapsed().as_micros() as u64;
         state.stats.response_hits.fetch_add(1, Ordering::Relaxed);
@@ -168,6 +206,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             &payload,
             &where_desc,
             "hit",
+            0,
             0,
             0,
             us,
@@ -188,20 +227,35 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
     drop(lease);
 
     let payload = api::render_recommendation(&dataset, &rec).compact();
-    state.cache.put(
-        &response_key,
-        CacheValue::Response(Arc::new(payload.clone())),
-    );
-
     let us = start.elapsed().as_micros() as u64;
-    state.stats.response_misses.fetch_add(1, Ordering::Relaxed);
-    state.stats.miss_us_total.fetch_add(us, Ordering::Relaxed);
+    let cache_label = if !usage.eligible {
+        // No built-in configuration is ineligible today, but a future one
+        // must surface as a bypass, not masquerade as a miss — and its
+        // response must not be cached, or a repeat would report a cache
+        // hit while the bypass counter claims the cache was not in play.
+        state.stats.response_bypass.fetch_add(1, Ordering::Relaxed);
+        state.stats.bypass_us_total.fetch_add(us, Ordering::Relaxed);
+        "bypass"
+    } else {
+        state.cache.put(
+            &response_key,
+            CacheValue::Response(Arc::new(payload.clone())),
+        );
+        state.stats.response_misses.fetch_add(1, Ordering::Relaxed);
+        state.stats.miss_us_total.fetch_add(us, Ordering::Relaxed);
+        if usage.hits > 0 || usage.resumed > 0 {
+            "partial"
+        } else {
+            "miss"
+        }
+    };
     Ok(Response::json(envelope(
         &payload,
         &where_desc,
-        if usage.hits > 0 { "partial" } else { "miss" },
+        cache_label,
         usage.hits as u64,
         usage.misses as u64,
+        usage.resumed as u64,
         us,
     )))
 }
@@ -216,16 +270,18 @@ fn plan_where(table: &dyn seedb_storage::Table, sql: &str) -> Result<Predicate, 
 }
 
 /// Wraps the cached deterministic payload with per-request fields (cache
-/// disposition, latency, and the request's own WHERE spelling — the
-/// cached payload is shared by every spelling that normalizes to the
-/// same signature) without re-parsing it: both sides are compact JSON
-/// objects, so the envelope splices at the braces.
+/// disposition — `hit`/`partial`/`miss`/`bypass` — latency, and the
+/// request's own WHERE spelling; the cached payload is shared by every
+/// spelling that normalizes to the same signature) without re-parsing it:
+/// both sides are compact JSON objects, so the envelope splices at the
+/// braces.
 fn envelope(
     payload: &str,
     where_desc: &str,
     cache: &str,
     view_hits: u64,
     view_misses: u64,
+    view_resumed: u64,
     us: u64,
 ) -> String {
     let extra = Json::obj()
@@ -233,6 +289,7 @@ fn envelope(
         .set("cache", cache)
         .set("view_hits", view_hits)
         .set("view_misses", view_misses)
+        .set("view_resumed", view_resumed)
         .set("elapsed_us", us)
         .compact();
     debug_assert!(payload.starts_with('{') && extra.ends_with('}'));
@@ -374,10 +431,52 @@ mod tests {
 
     #[test]
     fn envelope_splices_compact_objects() {
-        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 7);
+        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 1, 7);
         let j = Json::parse(&spliced).unwrap();
         assert_eq!(j.get("cache").unwrap().as_str(), Some("hit"));
         assert_eq!(j.get("view_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("view_resumed").unwrap().as_u64(), Some(1));
         assert_eq!(j.get("a").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn bypass_mode_skips_the_cache_and_counts() {
+        let s = state();
+        let body = r#"{"dataset": "HOUSING", "rows": 300, "k": 3, "cache_mode": "bypass"}"#;
+        let r1 = post(&s, "/recommend", body);
+        assert_eq!(r1.status, 200, "{}", r1.body);
+        let j1 = Json::parse(&r1.body).unwrap();
+        assert_eq!(j1.get("cache").unwrap().as_str(), Some("bypass"));
+        assert!(s.cache.is_empty(), "bypass must store nothing");
+        assert_eq!(s.stats.response_bypass.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats.response_hits.load(Ordering::Relaxed), 0);
+        assert_eq!(s.stats.response_misses.load(Ordering::Relaxed), 0);
+
+        // A bypass repeat is another engine run — and bit-identical.
+        let j2 = Json::parse(&post(&s, "/recommend", body).body).unwrap();
+        assert_eq!(j2.get("cache").unwrap().as_str(), Some("bypass"));
+        assert_eq!(j1.get("views"), j2.get("views"));
+        assert_eq!(s.stats.response_bypass.load(Ordering::Relaxed), 2);
+
+        // Statz surfaces the counter.
+        let statz = Json::parse(&get(&s, "/statz").body).unwrap();
+        assert_eq!(
+            statz
+                .get("recommend")
+                .unwrap()
+                .get("bypass")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+
+        // The default configuration never bypasses: an auto repeat is a
+        // response-cache hit and the bypass counter stays put.
+        let auto_body = r#"{"dataset": "HOUSING", "rows": 300, "k": 3}"#;
+        let _ = post(&s, "/recommend", auto_body);
+        let j = Json::parse(&post(&s, "/recommend", auto_body).body).unwrap();
+        assert_eq!(j.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(j1.get("views"), j.get("views"), "bypass ≡ cached bits");
+        assert_eq!(s.stats.response_bypass.load(Ordering::Relaxed), 2);
     }
 }

@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use seedb_core::{
-    predicate_signature, DistanceKind, ExecutionStrategy, Predicate, ReferenceSpec, SeeDb,
-    SeeDbConfig,
+    predicate_signature, DistanceKind, ExecutionStrategy, MemoryViewCache, Predicate, PruningKind,
+    Recommendation, ReferenceSpec, SeeDb, SeeDbConfig,
 };
 use seedb_engine::CmpOp;
 use seedb_server::{client, Server, ServerConfig};
@@ -174,6 +174,129 @@ proptest! {
         same.sharing.morsel_rows = 3;
         same.sharing.combine_group_bys = false;
         prop_assert_eq!(sig, same.result_signature());
+    }
+}
+
+/// 4. Property (the ISSUE's pruned-cache guarantee): `recommend_cached`
+///    is bit-identical to `recommend` for *pruned* configurations, across
+///    pruning scheme (CI/MAB), parallelism (1/8), and cache state
+///    (cold / warm / prefix-resume — the cache warmed by a *different* k,
+///    which leaves shorter prefixes that the run must resume, not
+///    restart).
+mod pruned_equivalence {
+    use super::*;
+    use seedb_storage::{BoxedTable, ColumnDef, StoreKind, TableBuilder, Value};
+
+    /// A 6-view table whose `BY d0` views deviate maximally (EMD ≈ 1)
+    /// while `d1`/`d2` are noise — separated enough for CI to discard
+    /// noise views before the final phase, so prefix entries are real.
+    fn table() -> BoxedTable {
+        let mut b = TableBuilder::new(vec![
+            ColumnDef::dim("d0"),
+            ColumnDef::dim("d1"),
+            ColumnDef::dim("d2"),
+            ColumnDef::measure("m0"),
+            ColumnDef::measure("m1"),
+        ]);
+        for i in 0..240u32 {
+            b.push_row(&[
+                Value::str(format!("g{}", i % 4)),
+                Value::str(format!("x{}", i % 3)),
+                Value::str(format!("y{}", i % 5)),
+                Value::Float(50.0),
+                Value::Float((i % 11) as f64),
+            ])
+            .unwrap();
+        }
+        b.build(StoreKind::Column).unwrap()
+    }
+
+    fn target(t: &dyn seedb_storage::Table) -> Predicate {
+        Predicate::Or(vec![
+            Predicate::col_eq_str(t, "d0", "g0"),
+            Predicate::col_eq_str(t, "d0", "g1"),
+        ])
+    }
+
+    fn config(k: usize, pruning: PruningKind, parallelism: usize) -> SeeDbConfig {
+        let mut cfg = SeeDbConfig::default(); // COMB
+        cfg.k = k;
+        cfg.pruning = pruning;
+        cfg.num_phases = 6;
+        cfg.sharing.parallelism = parallelism;
+        cfg
+    }
+
+    fn assert_bitwise_equal(a: &Recommendation, b: &Recommendation, ctx: &str) {
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(a.views.len(), b.views.len(), "{ctx}");
+        for (x, y) in a.views.iter().zip(&b.views) {
+            assert_eq!(x.spec, y.spec, "{ctx}");
+            assert_eq!(x.utility.to_bits(), y.utility.to_bits(), "{ctx}");
+            assert_eq!(x.group_labels, y.group_labels, "{ctx}");
+            assert_eq!(bits(&x.target_values), bits(&y.target_values), "{ctx}");
+            assert_eq!(
+                bits(&x.reference_values),
+                bits(&y.reference_values),
+                "{ctx}"
+            );
+            assert_eq!(
+                bits(&x.target_distribution),
+                bits(&y.target_distribution),
+                "{ctx}"
+            );
+            assert_eq!(
+                bits(&x.reference_distribution),
+                bits(&y.reference_distribution),
+                "{ctx}"
+            );
+        }
+        assert_eq!(bits(&a.all_utilities), bits(&b.all_utilities), "{ctx}");
+        assert_eq!(a.phases_executed, b.phases_executed, "{ctx}");
+        assert_eq!(a.early_stopped, b.early_stopped, "{ctx}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn recommend_cached_is_bit_identical_for_pruned_configs(
+            k in 1usize..4,
+            warm_k in 1usize..4,
+            pruning in prop_oneof![Just(PruningKind::Ci), Just(PruningKind::Mab)],
+            parallelism in prop_oneof![Just(1usize), Just(8usize)],
+        ) {
+            let table = table();
+            let reference = ReferenceSpec::WholeTable;
+            let t = target(table.as_ref());
+            let cfg = config(k, pruning, parallelism);
+            let seedb = SeeDb::with_config(table.clone(), cfg);
+            let direct = seedb.recommend(&t, &reference).unwrap();
+
+            // Cold: an empty cache.
+            let cache = MemoryViewCache::new();
+            let (cold, u) = seedb.recommend_cached(&t, &reference, &cache).unwrap();
+            prop_assert!(u.eligible);
+            assert_bitwise_equal(&direct, &cold, "cold");
+
+            // Warm: the same configuration replays everything — zero rows
+            // scanned — and still matches bit for bit.
+            let (warm, u) = seedb.recommend_cached(&t, &reference, &cache).unwrap();
+            prop_assert!(u.fully_cached(), "{u:?}");
+            prop_assert_eq!(warm.stats.rows_scanned, 0);
+            assert_bitwise_equal(&direct, &warm, "warm");
+
+            // Prefix-resume: a cache warmed under a *different* k (and CI)
+            // holds shorter prefixes for views that k prunes later; the
+            // run must resume them mid-scan and still match bit for bit.
+            let resume_cache = MemoryViewCache::new();
+            let warm_cfg = config(warm_k, PruningKind::Ci, parallelism);
+            let warmer = SeeDb::with_config(table.clone(), warm_cfg);
+            let _ = warmer.recommend_cached(&t, &reference, &resume_cache).unwrap();
+            let (resumed, u) = seedb.recommend_cached(&t, &reference, &resume_cache).unwrap();
+            prop_assert_eq!(u.misses, 0, "every view has at least a prefix: {:?}", u);
+            assert_bitwise_equal(&direct, &resumed, "prefix-resume");
+        }
     }
 }
 

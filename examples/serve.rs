@@ -20,13 +20,16 @@ fn main() {
     let addr = handle.addr();
     println!("seedbd listening on {addr}\n");
 
+    // The server default is the paper's COMB + CI configuration: pruned
+    // runs deposit per-phase prefixes, so the overlapping query replays
+    // (and where needed resumes) them instead of rescanning from row 0.
     let queries = [
         (
             "cold: first sight of this predicate — full engine run",
             r#"{"dataset": "CENSUS", "k": 5, "where": "marital_status = 'unmarried'"}"#,
         ),
         (
-            "overlap: same predicate, different k — partials reused, no scan",
+            "overlap: same predicate, different k — phase prefixes replayed/resumed",
             r#"{"dataset": "CENSUS", "k": 8, "where": "marital_status = 'unmarried'"}"#,
         ),
         (
@@ -55,8 +58,15 @@ fn main() {
             .get("view_misses")
             .and_then(|v| v.as_u64())
             .unwrap_or(0);
+        let resumed = response
+            .get("view_resumed")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
         println!("{label}");
-        println!("  cache={cache} view_hits={hits} view_misses={misses} elapsed={us} µs");
+        println!(
+            "  cache={cache} view_hits={hits} view_misses={misses} \
+             view_resumed={resumed} elapsed={us} µs"
+        );
         if let Some(views) = response.get("views").and_then(|v| v.as_arr()) {
             if let Some(top) = views.first() {
                 println!(
