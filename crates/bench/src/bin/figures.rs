@@ -16,9 +16,10 @@ use seedb_core::{
 use seedb_data::syn::{syn, SynConfig};
 use seedb_data::Dataset;
 use seedb_engine::{
-    execute_combined_with_mode, AggFunc, AggSpec, CombinedQuery, ExecStats, SplitSpec,
+    execute_combined_with_mode, execute_morsels, with_pool, AggFunc, AggSpec, CmpOp, CombinedQuery,
+    ExecStats, Predicate, SplitSpec,
 };
-use seedb_storage::StoreKind;
+use seedb_storage::{ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
 use seedb_util::Json;
 
 fn main() {
@@ -49,6 +50,7 @@ fn main() {
     emit(out, "fig11_pruning", fig11(runs, scale));
     emit(out, "engine_modes", engine_modes(runs, scale));
     emit(out, "morsels", morsels(runs, scale));
+    emit(out, "partitions", partitions(runs, scale));
     emit(out, "server", server_cache(runs, scale));
 }
 
@@ -396,6 +398,111 @@ fn morsels(runs: usize, scale: usize) -> Vec<Json> {
                 .set("dataset", dataset.name.as_str())
                 .set("rows", dataset.rows())
                 .set("timing", measured(&dataset, &cfg, runs)),
+        );
+    }
+    results
+}
+
+/// Zone-map partition pruning: one grouped aggregation whose target
+/// predicate selects a prefix of a value-sorted table, over (a) the table
+/// partitioned every 2 048 rows and (b) the same rows sealed as a single
+/// whole-table partition that zone maps cannot prune. Sweeps selectivity
+/// 1% → 100%; each selectivity records a within-run
+/// `speedup_pruned_over_full_sel<pct>` ratio. Like the server cache
+/// ratios these are machine-independent (both variants ran on the same
+/// host seconds apart), so `perf_smoke` gates the 10%-selectivity one as
+/// an absolute floor (≥ 2×): if pruned execution stops skipping cold
+/// partitions, the ratio collapses to ~1× and the gate trips.
+fn partitions(runs: usize, scale: usize) -> Vec<Json> {
+    let rows = 65_536 / scale;
+    let partition_rows = 2_048;
+    let build = |partition_rows: usize| {
+        let mut b = TableBuilder::new(vec![ColumnDef::dim("bucket"), ColumnDef::measure("value")])
+            .with_partition_rows(partition_rows);
+        for i in 0..rows {
+            b.push_row(&[
+                Value::str(format!("b{:02}", i % 50)),
+                Value::Float(i as f64),
+            ])
+            .expect("push bench row");
+        }
+        b.build(StoreKind::Column).expect("build bench table")
+    };
+    let variants = [
+        ("pruned", build(partition_rows)),
+        ("full", build(usize::MAX)),
+    ];
+
+    let mut results = Vec::new();
+    for pct in [1u64, 10, 50, 100] {
+        let query = CombinedQuery {
+            group_by: vec![ColumnId(0)],
+            aggregates: vec![AggSpec::new(AggFunc::Count, ColumnId(1))],
+            filter: None,
+            // A band predicate (`0 ≤ value < t`), the shape of an
+            // analyst's range filter: both sides are checked per scanned
+            // row, and zone maps answer `Never` for every partition
+            // entirely outside the band.
+            split: SplitSpec::TargetOnly(Predicate::And(vec![
+                Predicate::NumCmp {
+                    col: ColumnId(1),
+                    op: CmpOp::Ge,
+                    value: 0.0,
+                },
+                Predicate::NumCmp {
+                    col: ColumnId(1),
+                    op: CmpOp::Lt,
+                    value: rows as f64 * pct as f64 / 100.0,
+                },
+            ])),
+        };
+        let mut mins = Vec::new();
+        for (variant, table) in &variants {
+            // One pool per variant, created outside the timed loop —
+            // thread spawn would otherwise swamp the scan itself. One
+            // worker: the comparison is total work (rows touched), not
+            // scheduling — with N workers the full variant hides its
+            // extra rows behind parallelism the pruned variant's single
+            // surviving morsel cannot use.
+            let (stats, timing) = with_pool(1, |pool| {
+                let run = || {
+                    execute_morsels(
+                        pool,
+                        table.as_ref(),
+                        std::slice::from_ref(&query),
+                        0..table.num_rows(),
+                        ExecMode::Vectorized,
+                        partition_rows,
+                    )
+                };
+                let stats = run()[0].1;
+                let timing = time_ms((runs * 5).max(10), || {
+                    std::hint::black_box(run());
+                });
+                (stats, timing)
+            });
+            mins.push(timing.min_ms);
+            results.push(
+                Json::obj()
+                    .set("sweep", *variant)
+                    .set("dataset", "SORTED_SYN")
+                    .set("rows", rows as u64)
+                    .set("selectivity_pct", pct)
+                    .set("rows_scanned", stats.rows_scanned)
+                    .set("partitions_scanned", stats.partitions_scanned)
+                    .set("partitions_pruned", stats.partitions_pruned)
+                    .set("timing", Json::from(timing)),
+            );
+        }
+        results.push(
+            Json::obj()
+                .set("sweep", "summary")
+                .set("dataset", "SORTED_SYN")
+                .set("rows", rows as u64)
+                .set(
+                    format!("speedup_pruned_over_full_sel{pct}").as_str(),
+                    mins[1] / mins[0],
+                ),
         );
     }
     results

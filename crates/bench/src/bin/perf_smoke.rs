@@ -21,12 +21,16 @@
 //! regression (the guarded entries regress ~100× when a sharing
 //! optimization breaks) — and can also be set via `PERF_SMOKE_TOLERANCE`.
 //!
-//! Besides the baseline comparison, the checker gates the serving
-//! layer's *within-run* cache ratios from `BENCH_server.json`: these are
-//! machine-independent (cold and warm ran on the same host seconds
-//! apart), so they are absolute floors, not baseline-relative — the
-//! pruned default configuration's warm path must be ≥ 5× faster than
-//! cold, or the response cache has stopped covering pruned runs.
+//! Besides the baseline comparison, the checker gates *within-run*
+//! speedup ratios: both sides of each ratio ran on the same host seconds
+//! apart, so they are machine-independent absolute floors, not
+//! baseline-relative. From `BENCH_server.json`, the pruned default
+//! configuration's warm path must be ≥ 5× faster than cold, or the
+//! response cache has stopped covering pruned runs. From
+//! `BENCH_partitions.json`, a 10%-selectivity scan over a partitioned
+//! value-sorted table must be ≥ 2× faster than the same scan with zone
+//! maps disabled (one whole-table partition), or partition pruning has
+//! stopped skipping cold partitions.
 
 use seedb_util::Json;
 use std::path::Path;
@@ -38,6 +42,10 @@ const FIGURES: [&str; 2] = ["fig5_overall", "fig6_baseline"];
 /// Within-run speedup ratios gated as absolute floors: `(field, min)`
 /// over the entries of `BENCH_server.json`.
 const SERVER_RATIO_GATES: [(&str, f64); 1] = [("speedup_warm_over_cold_pruned", 5.0)];
+
+/// Absolute floors over the entries of `BENCH_partitions.json`: zone-map
+/// pruning must win ≥ 2× at 10% selectivity.
+const PARTITION_RATIO_GATES: [(&str, f64); 1] = [("speedup_pruned_over_full_sel10", 2.0)];
 
 /// One comparable measurement: a stable identity string and its fastest
 /// observed latency.
@@ -151,20 +159,22 @@ fn main() -> ExitCode {
         eprintln!("regressed entries: {regressions:?}");
         return ExitCode::FAILURE;
     }
-    if !check_server_ratios(Path::new(figures_dir)) {
+    let dir = Path::new(figures_dir);
+    let mut gates_ok = check_ratios(dir, "BENCH_server.json", &SERVER_RATIO_GATES);
+    gates_ok &= check_ratios(dir, "BENCH_partitions.json", &PARTITION_RATIO_GATES);
+    if !gates_ok {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-/// Gates the serving layer's within-run cache speedups (see module docs).
-/// Absolute floors over `BENCH_server.json` — no baseline involved.
-fn check_server_ratios(dir: &Path) -> bool {
-    let path = dir.join("BENCH_server.json");
+/// Gates within-run speedup ratios from one figure file (see module
+/// docs). Absolute floors — no baseline involved.
+fn check_ratios(dir: &Path, file: &str, gates: &[(&str, f64)]) -> bool {
+    let path = dir.join(file);
     let Ok(text) = std::fs::read_to_string(&path) else {
         eprintln!(
-            "perf_smoke: {} missing — the figures run no longer emits the \
-             server cache sweeps",
+            "perf_smoke: {} missing — the figures run no longer emits its sweeps",
             path.display()
         );
         return false;
@@ -175,7 +185,7 @@ fn check_server_ratios(dir: &Path) -> bool {
         return false;
     };
     let mut ok = true;
-    for (field, floor) in SERVER_RATIO_GATES {
+    for &(field, floor) in gates {
         let Some(value) = results
             .iter()
             .find_map(|r| r.get(field).and_then(Json::as_num))
@@ -185,7 +195,7 @@ fn check_server_ratios(dir: &Path) -> bool {
             continue;
         };
         let verdict = if value < floor { "REGRESSED" } else { "ok" };
-        println!("{verdict:9} server/{field}: {value:.1}x (floor {floor}x)");
+        println!("{verdict:9} {file}/{field}: {value:.1}x (floor {floor}x)");
         if value < floor {
             ok = false;
         }

@@ -65,7 +65,9 @@ pub use phase::{effective_phases, phase_ranges};
 pub use quality::{accuracy_at_k, utility_distance};
 pub use reference::ReferenceSpec;
 pub use seedb::{RankedView, Recommendation, SeeDb};
-pub use signature::{predicate_signature, reference_signature};
+pub use signature::{
+    ingested_instance_signature, instance_signature, predicate_signature, reference_signature,
+};
 pub use view::{ViewId, ViewSpec};
 
 // Re-exported for downstream convenience: the types callers need to drive

@@ -38,6 +38,23 @@ pub fn predicate_signature(p: &Predicate) -> String {
     render(&canonicalize(p))
 }
 
+/// Canonical identity of a built-in (seeded synthetic) dataset instance:
+/// name, row count, and generator seed. Two instances with the same
+/// signature hold identical rows, so serving-layer caches may share
+/// entries across them.
+pub fn instance_signature(name: &str, rows: usize, seed: u64) -> String {
+    format!("{name}@{rows}#s{seed}")
+}
+
+/// Canonical identity of an *ingested* dataset instance: name, row count,
+/// and a fingerprint of the raw bytes it was loaded from. The fingerprint
+/// keys the content (not a generator), so re-ingesting different data
+/// under the same name can never alias a stale cache entry; the `#f`
+/// namespace keeps ingested instances disjoint from seeded ones.
+pub fn ingested_instance_signature(name: &str, rows: usize, fingerprint: u64) -> String {
+    format!("{name}@{rows}#f{fingerprint:016x}")
+}
+
 /// Canonical signature of a reference specification.
 pub fn reference_signature(r: &ReferenceSpec) -> String {
     match r {
@@ -284,6 +301,25 @@ mod tests {
             codes: vec![1, 2, 3],
         };
         assert_eq!(predicate_signature(&a), predicate_signature(&b));
+    }
+
+    #[test]
+    fn instance_signatures_never_alias_across_namespaces() {
+        assert_eq!(instance_signature("census", 1000, 42), "census@1000#s42");
+        assert_eq!(
+            ingested_instance_signature("census", 1000, 0xABCD),
+            "census@1000#f000000000000abcd"
+        );
+        // Same name and rows, seeded vs ingested: distinct key spaces.
+        assert_ne!(
+            instance_signature("d", 10, 7),
+            ingested_instance_signature("d", 10, 7)
+        );
+        // Different content under the same name re-keys the instance.
+        assert_ne!(
+            ingested_instance_signature("d", 10, 1),
+            ingested_instance_signature("d", 10, 2)
+        );
     }
 
     #[test]

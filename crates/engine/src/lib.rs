@@ -43,6 +43,7 @@ pub mod groupkey;
 pub mod hashagg;
 pub mod morsel;
 pub mod parallel;
+pub mod prune;
 pub mod rollup;
 pub mod spec;
 pub mod stats;
@@ -56,6 +57,7 @@ pub use hashagg::{
 };
 pub use morsel::{execute_morsels, DEFAULT_MORSEL_ROWS};
 pub use parallel::{with_pool, BudgetLease, Pool, WorkerBudget};
+pub use prune::{contribution_predicate, pruned_scan, zone_match, PrunedScan};
 pub use rollup::rollup;
 pub use spec::{AggSpec, CombinedQuery, SplitSpec};
 pub use stats::ExecStats;

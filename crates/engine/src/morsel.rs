@@ -1,26 +1,32 @@
-//! Morsel-driven intra-query parallelism (Leis et al., SIGMOD 2014).
+//! Morsel-driven intra-query parallelism (Leis et al., SIGMOD 2014) over
+//! the storage layer's partition directory.
 //!
 //! The coarse unit of SeeDB parallelism — one worker per query cluster —
 //! collapses exactly when the sharing optimizer works best: the all-sharing
 //! configuration bin-packs every view into a handful of clusters, leaving
-//! most workers idle. This module splits each cluster's scan range into
-//! fixed-size **morsels** ([`seedb_storage::morsel_ranges`], batch-aligned
-//! by default) and schedules `(job, morsel)` work items over a shared
-//! worker pool ([`crate::parallel::Pool`]): every worker aggregates the
-//! morsels it claims into a **thread-local [`PartialAggregation`]** per
-//! job, and the partials are folded deterministically — ascending
-//! first-morsel order — once the pool drains.
+//! most workers idle. This module plans each query's scan with
+//! [`crate::prune::pruned_scan`] — the **partition** is the unit of work
+//! distribution: zone-map-pruned partitions are dropped before any worker
+//! runs, and each surviving partition is split into fixed-size,
+//! partition-aligned **morsels** ([`seedb_storage::morsel_ranges`]). The
+//! per-job morsel lists are flattened into one job-major item space and
+//! scheduled over a shared worker pool ([`crate::parallel::Pool`]): every
+//! worker aggregates the morsels it claims into a **thread-local
+//! [`PartialAggregation`]** per job, and the partials are folded
+//! deterministically — ascending first-item order — once the pool drains.
 //!
 //! Because accumulators merge exactly (order-invariant sums, see
-//! [`crate::Accumulator`]), the folded result is **bit-identical** to a
-//! serial scan of the same range, for every `(worker count, morsel size)`
-//! combination.
+//! [`crate::Accumulator`]) and pruning only drops partitions whose rows
+//! provably create no group entry, the folded result is **bit-identical**
+//! to a serial unpartitioned scan of the same range, for every
+//! `(worker count, morsel size, partition size)` combination.
 
 use crate::parallel::Pool;
+use crate::prune::{pruned_scan, PrunedScan};
 use crate::spec::CombinedQuery;
 use crate::stats::ExecStats;
 use crate::{ExecMode, GroupedResult, PartialAggregation};
-use seedb_storage::{morsel_ranges, Table};
+use seedb_storage::Table;
 use std::ops::Range;
 use std::sync::Mutex;
 
@@ -28,18 +34,22 @@ pub use seedb_storage::DEFAULT_MORSEL_ROWS;
 
 /// One worker's partial state for one job.
 struct WorkerPartial {
-    /// Index of the first morsel this worker claimed for the job — the
-    /// deterministic fold key (workers claim items in ascending order, so
-    /// this is also the smallest).
-    first_morsel: usize,
+    /// Global index of the first work item this worker claimed for the job
+    /// — the deterministic fold key (workers claim items in ascending
+    /// order, so this is also the smallest).
+    first_item: usize,
     agg: PartialAggregation,
     stats: ExecStats,
 }
 
 /// Executes every query in `queries` over rows `range` of `table`,
 /// morsel-parallel across `pool`, returning one `(result, stats)` pair per
-/// query in input order. Results are bit-identical to running each query
-/// serially over the same range, regardless of pool size or `morsel_rows`.
+/// query in input order. Each query's scan is planned independently:
+/// partitions whose zone maps prove the query can match no row are pruned
+/// up front (tallied in `partitions_pruned`), and the survivors are carved
+/// into partition-aligned morsels. Results are bit-identical to running
+/// each query serially over the same range without partitioning,
+/// regardless of pool size, `morsel_rows`, or the table's partition size.
 ///
 /// Each query counts as one issued query in its stats; `scan_passes`
 /// reflects the number of morsel scans.
@@ -51,11 +61,25 @@ pub fn execute_morsels(
     mode: ExecMode,
     morsel_rows: usize,
 ) -> Vec<(GroupedResult, ExecStats)> {
-    let morsels = morsel_ranges(range, morsel_rows);
     let n_jobs = queries.len();
     if n_jobs == 0 {
         return Vec::new();
     }
+
+    // Per-job scan plans: prune partitions against each query's
+    // contribution predicate, then flatten the surviving morsel lists into
+    // one job-major item space. `job_offsets[j]..job_offsets[j + 1]` are
+    // job j's items.
+    let plans: Vec<PrunedScan> = queries
+        .iter()
+        .map(|q| pruned_scan(table, q, range.clone(), morsel_rows))
+        .collect();
+    let mut job_offsets = Vec::with_capacity(n_jobs + 1);
+    job_offsets.push(0usize);
+    for plan in &plans {
+        job_offsets.push(job_offsets.last().unwrap() + plan.morsels.len());
+    }
+    let n_items = *job_offsets.last().unwrap();
 
     // Per-worker, per-job partials. Each worker only ever touches its own
     // slot, so the mutexes are uncontended; they exist to keep the hot path
@@ -69,42 +93,45 @@ pub fn execute_morsels(
         })
         .collect();
 
-    // Work items are (job, morsel) pairs, job-major: workers drain one
-    // job's morsels before the next, and a worker's morsels per job are
-    // ascending (the pool claims indices in ascending order).
-    let n_items = n_jobs.saturating_mul(morsels.len());
+    // Workers drain one job's morsels before the next, and a worker's
+    // morsels per job are ascending (the pool claims indices in ascending
+    // order). Jobs with zero surviving morsels simply occupy an empty
+    // stretch of the item space.
     pool.run(n_items, |worker, item| {
-        let job = item / morsels.len();
-        let morsel = item % morsels.len();
+        let job = job_offsets.partition_point(|&off| off <= item) - 1;
+        let morsel = &plans[job].morsels[item - job_offsets[job]];
         let mut slots = locals[worker].lock().expect("worker slot poisoned");
         let partial = slots[job].get_or_insert_with(|| WorkerPartial {
-            first_morsel: morsel,
+            first_item: item,
             agg: PartialAggregation::with_mode(queries[job].clone(), mode),
             stats: ExecStats::new(),
         });
         partial
             .agg
-            .update(table, morsels[morsel].clone(), &mut partial.stats);
+            .update(table, morsel.clone(), &mut partial.stats);
     });
 
     // Deterministic fold: per job, merge worker partials in ascending
-    // first-morsel order. (Accumulator merges are exact, so any order
-    // yields the same bits; the fixed order additionally makes group
-    // discovery order — and thus internal state — reproducible.)
+    // first-item order. (Accumulator merges are exact, so any order yields
+    // the same bits; the fixed order additionally makes group discovery
+    // order — and thus internal state — reproducible.)
     (0..n_jobs)
         .map(|job| {
             let mut parts: Vec<WorkerPartial> = locals
                 .iter()
                 .filter_map(|slots| slots.lock().expect("worker slot poisoned")[job].take())
                 .collect();
-            parts.sort_by_key(|p| p.first_morsel);
+            parts.sort_by_key(|p| p.first_item);
 
             let mut stats = ExecStats::new();
             stats.queries_issued = 1;
+            stats.partitions_scanned = plans[job].partitions_scanned;
+            stats.partitions_pruned = plans[job].partitions_pruned;
             let mut parts = parts.into_iter();
             let agg = match parts.next() {
-                // Empty range (or all-empty morsels): an untouched plan
-                // finalizes to the empty result.
+                // Empty range, or every partition pruned: an untouched plan
+                // finalizes to the empty result — exactly what a serial
+                // scan of rows that never create a group entry produces.
                 None => PartialAggregation::with_mode(queries[job].clone(), mode),
                 Some(first) => {
                     stats.merge(&first.stats);
@@ -127,7 +154,7 @@ pub fn execute_morsels(
 mod tests {
     use super::*;
     use crate::agg::AggFunc;
-    use crate::expr::Predicate;
+    use crate::expr::{CmpOp, Predicate};
     use crate::parallel::with_pool;
     use crate::spec::{AggSpec, SplitSpec};
     use seedb_storage::{BoxedTable, ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
@@ -252,5 +279,108 @@ mod tests {
                 assert_eq!(ga.reference, gb.reference);
             }
         }
+    }
+
+    /// Partitioned table + selective predicate: pruned parallel execution
+    /// must stay bit-identical to the serial unpartitioned scan while
+    /// actually skipping partitions.
+    #[test]
+    fn pruning_skips_partitions_and_stays_bitwise_identical() {
+        // Sorted measure so zone intervals are disjoint across partitions.
+        let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")])
+            .with_partition_rows(64);
+        for i in 0..500 {
+            b.push_row(&[Value::str(format!("d{}", i % 5)), Value::Float(i as f64)])
+                .unwrap();
+        }
+        let t = b.build(StoreKind::Column).unwrap();
+        // Unpartitioned twin = serial oracle substrate.
+        let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")]);
+        for i in 0..500 {
+            b.push_row(&[Value::str(format!("d{}", i % 5)), Value::Float(i as f64)])
+                .unwrap();
+        }
+        let flat = b.build(StoreKind::Column).unwrap();
+
+        let pred = Predicate::NumCmp {
+            col: ColumnId(1),
+            op: CmpOp::Lt,
+            value: 100.0,
+        };
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Avg, ColumnId(1)),
+            SplitSpec::TargetOnly(pred),
+        );
+        let want = crate::execute_combined_with_mode(
+            flat.as_ref(),
+            &q,
+            ExecMode::Scalar,
+            &mut ExecStats::new(),
+        );
+        for threads in [1usize, 4] {
+            for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+                let got = with_pool(threads, |pool| {
+                    execute_morsels(
+                        pool,
+                        t.as_ref(),
+                        std::slice::from_ref(&q),
+                        0..t.num_rows(),
+                        mode,
+                        64,
+                    )
+                });
+                let (result, stats) = &got[0];
+                // 500 rows at 64/partition = 8 partitions; rows < 100 live
+                // in the first two (0..64, 64..128).
+                assert_eq!(stats.partitions_scanned, 2);
+                assert_eq!(stats.partitions_pruned, 6);
+                assert_eq!(stats.rows_scanned, 128);
+                assert_eq!(result.num_groups(), want.num_groups());
+                for (a, b) in result.groups.iter().zip(&want.groups) {
+                    assert_eq!(a.key, b.key);
+                    assert_eq!(a.target, b.target);
+                    assert_eq!(a.reference, b.reference);
+                }
+            }
+        }
+    }
+
+    /// A query whose contribution predicate prunes everything still returns
+    /// a well-formed empty result.
+    #[test]
+    fn fully_pruned_job_finalizes_empty() {
+        let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")])
+            .with_partition_rows(8);
+        for i in 0..32 {
+            b.push_row(&[Value::str("x"), Value::Float(i as f64)])
+                .unwrap();
+        }
+        let t = b.build(StoreKind::Row).unwrap();
+        let q = CombinedQuery::single(
+            ColumnId(0),
+            AggSpec::new(AggFunc::Count, ColumnId(1)),
+            SplitSpec::TargetOnly(Predicate::NumCmp {
+                col: ColumnId(1),
+                op: CmpOp::Gt,
+                value: 1000.0,
+            }),
+        );
+        let got = with_pool(2, |pool| {
+            execute_morsels(
+                pool,
+                t.as_ref(),
+                std::slice::from_ref(&q),
+                0..t.num_rows(),
+                ExecMode::Vectorized,
+                4,
+            )
+        });
+        let (result, stats) = &got[0];
+        assert_eq!(result.num_groups(), 0);
+        assert_eq!(stats.rows_scanned, 0);
+        assert_eq!(stats.partitions_pruned, 4);
+        assert_eq!(stats.partitions_scanned, 0);
+        assert_eq!(stats.queries_issued, 1);
     }
 }

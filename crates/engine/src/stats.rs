@@ -25,6 +25,11 @@ pub struct ExecStats {
     /// Maximum number of groups maintained by any single query — the
     /// memory-budget quantity of §4.1.
     pub groups_max: u64,
+    /// Storage partitions whose rows were actually scanned.
+    pub partitions_scanned: u64,
+    /// Storage partitions skipped because zone maps proved no row could
+    /// contribute to the query.
+    pub partitions_pruned: u64,
 }
 
 impl ExecStats {
@@ -41,6 +46,8 @@ impl ExecStats {
         self.rows_scanned += other.rows_scanned;
         self.cells_visited += other.cells_visited;
         self.groups_max = self.groups_max.max(other.groups_max);
+        self.partitions_scanned += other.partitions_scanned;
+        self.partitions_pruned += other.partitions_pruned;
     }
 }
 
@@ -54,12 +61,14 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "queries={} scans={} rows={} cells={} max_groups={}",
+            "queries={} scans={} rows={} cells={} max_groups={} parts_scanned={} parts_pruned={}",
             self.queries_issued,
             self.scan_passes,
             self.rows_scanned,
             self.cells_visited,
-            self.groups_max
+            self.groups_max,
+            self.partitions_scanned,
+            self.partitions_pruned
         )
     }
 }
@@ -76,6 +85,8 @@ mod tests {
             rows_scanned: 100,
             cells_visited: 300,
             groups_max: 10,
+            partitions_scanned: 3,
+            partitions_pruned: 1,
         };
         let b = ExecStats {
             queries_issued: 2,
@@ -83,6 +94,8 @@ mod tests {
             rows_scanned: 50,
             cells_visited: 100,
             groups_max: 25,
+            partitions_scanned: 2,
+            partitions_pruned: 6,
         };
         a.merge(&b);
         assert_eq!(a.queries_issued, 3);
@@ -90,6 +103,8 @@ mod tests {
         assert_eq!(a.rows_scanned, 150);
         assert_eq!(a.cells_visited, 400);
         assert_eq!(a.groups_max, 25);
+        assert_eq!(a.partitions_scanned, 5);
+        assert_eq!(a.partitions_pruned, 7);
     }
 
     #[test]
@@ -110,9 +125,19 @@ mod tests {
             rows_scanned: 3,
             cells_visited: 4,
             groups_max: 5,
+            partitions_scanned: 6,
+            partitions_pruned: 7,
         }
         .to_string();
-        for token in ["queries=1", "scans=2", "rows=3", "cells=4", "max_groups=5"] {
+        for token in [
+            "queries=1",
+            "scans=2",
+            "rows=3",
+            "cells=4",
+            "max_groups=5",
+            "parts_scanned=6",
+            "parts_pruned=7",
+        ] {
             assert!(s.contains(token), "missing {token} in '{s}'");
         }
     }

@@ -1,0 +1,288 @@
+//! Property tests: zone-map partition pruning is **exactly** sound.
+//!
+//! Two properties, checked over random tables (NULLs everywhere, NaN in
+//! the float measure), random predicates, every split kind, both store
+//! layouts, and partition sizes spanning one-row-per-partition to
+//! whole-table:
+//!
+//! 1. **Direct soundness** — a partition whose zone maps answer `Never`
+//!    for a query's contribution predicate really contains no row
+//!    satisfying it (pruning never skips a matching row), and a partition
+//!    answering `Always` contains no row violating it (so negation stays
+//!    exact).
+//! 2. **End-to-end bit-identity** — pruned, morsel-parallel execution over
+//!    a partitioned table produces results identical under `==` to the
+//!    serial scalar oracle over an *unpartitioned* twin of the same data,
+//!    accumulator bits and group order included.
+
+use proptest::prelude::*;
+use seedb_engine::{
+    contribution_predicate, execute_morsels, with_pool, zone_match, AggFunc, AggSpec, CmpOp,
+    CombinedQuery, ExecMode, ExecStats, GroupedResult, PartialAggregation, Predicate, SplitSpec,
+};
+use seedb_storage::{
+    BoxedTable, Cell, ColumnDef, ColumnId, ColumnRole, ColumnType, StoreKind, TableBuilder, Value,
+    ZoneMatch,
+};
+
+/// One generated row: `(dim_a, dim_b, bool_dim, float measure, int
+/// measure)`; `None` = NULL.
+type Row = (Option<u8>, u8, Option<bool>, Option<f64>, Option<i64>);
+
+#[derive(Debug, Clone)]
+struct Dataset {
+    rows: Vec<Row>,
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (
+            prop::option::of(0u8..5),
+            0u8..3,
+            prop::option::of(any::<bool>()),
+            // NaN rides along so the zone maps' NaN bookkeeping is stressed.
+            prop::option::of(prop_oneof![
+                8 => -100.0f64..100.0,
+                1 => Just(f64::NAN),
+            ]),
+            prop::option::of(-50i64..50),
+        ),
+        1..250,
+    )
+    .prop_map(|rows| Dataset { rows })
+}
+
+/// Partition sizes from the degenerate (every row its own zone) to the
+/// whole table in one zone.
+fn arb_partition_rows() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(7usize),
+        Just(1024usize),
+        Just(usize::MAX),
+    ]
+}
+
+fn build(ds: &Dataset, kind: StoreKind, partition_rows: usize) -> BoxedTable {
+    let mut b = TableBuilder::new(vec![
+        ColumnDef::dim("a"),
+        ColumnDef::dim("b"),
+        ColumnDef::new("flag", ColumnType::Bool, ColumnRole::Dimension),
+        ColumnDef::new("m", ColumnType::Float64, ColumnRole::Measure),
+        ColumnDef::new("n", ColumnType::Int64, ColumnRole::Measure),
+    ])
+    .with_partition_rows(partition_rows);
+    for (a, bb, flag, m, n) in &ds.rows {
+        b.push_row(&[
+            a.map(|v| Value::str(format!("a{v}")))
+                .unwrap_or(Value::Null),
+            Value::str(format!("b{bb}")),
+            flag.map(Value::Bool).unwrap_or(Value::Null),
+            m.map(Value::Float).unwrap_or(Value::Null),
+            n.map(Value::Int).unwrap_or(Value::Null),
+        ])
+        .unwrap();
+    }
+    b.build(kind).unwrap()
+}
+
+fn arb_leaf() -> BoxedStrategy<Predicate> {
+    prop_oneof![
+        Just(Predicate::True),
+        Just(Predicate::False),
+        (0u32..5).prop_map(|code| Predicate::CatEq {
+            col: ColumnId(0),
+            code,
+        }),
+        prop::collection::vec(0u32..5, 0..3).prop_map(|codes| Predicate::CatIn {
+            col: ColumnId(1),
+            codes,
+        }),
+        any::<bool>().prop_map(|value| Predicate::BoolEq {
+            col: ColumnId(2),
+            value,
+        }),
+        (-80.0f64..80.0, 0usize..6).prop_map(|(value, op)| Predicate::NumCmp {
+            col: ColumnId(3),
+            op: [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge
+            ][op],
+            value,
+        }),
+        (-40.0f64..40.0).prop_map(|value| Predicate::NumCmp {
+            col: ColumnId(4),
+            op: CmpOp::Lt,
+            value,
+        }),
+        (0u32..5).prop_map(|c| Predicate::IsNull { col: ColumnId(c) }),
+    ]
+    .boxed()
+}
+
+fn arb_predicate() -> BoxedStrategy<Predicate> {
+    prop_oneof![
+        4 => arb_leaf(),
+        1 => prop::collection::vec(arb_leaf(), 0..3).prop_map(Predicate::And),
+        1 => prop::collection::vec(arb_leaf(), 0..3).prop_map(Predicate::Or),
+        1 => arb_leaf().prop_map(|p| Predicate::Not(Box::new(p))),
+    ]
+    .boxed()
+}
+
+fn arb_split() -> BoxedStrategy<SplitSpec> {
+    prop_oneof![
+        arb_predicate().prop_map(SplitSpec::TargetVsAll),
+        arb_predicate().prop_map(SplitSpec::TargetVsComplement),
+        (arb_predicate(), arb_predicate())
+            .prop_map(|(target, reference)| { SplitSpec::TargetVsQuery { target, reference } }),
+        arb_predicate().prop_map(SplitSpec::TargetOnly),
+    ]
+    .boxed()
+}
+
+fn arb_query() -> BoxedStrategy<CombinedQuery> {
+    (
+        prop_oneof![
+            2 => Just(vec![ColumnId(0)]),
+            1 => Just(vec![ColumnId(1)]),
+            1 => Just(vec![ColumnId(0), ColumnId(1)]),
+        ],
+        arb_split(),
+        prop::option::of(arb_predicate()),
+    )
+        .prop_map(|(group_by, split, filter)| CombinedQuery {
+            group_by,
+            aggregates: vec![
+                AggSpec::new(AggFunc::Count, ColumnId(3)),
+                AggSpec::new(AggFunc::Sum, ColumnId(3)),
+                AggSpec::new(AggFunc::Avg, ColumnId(4)),
+                AggSpec::new(AggFunc::Min, ColumnId(3)),
+                AggSpec::new(AggFunc::Max, ColumnId(4)),
+            ],
+            filter,
+            split,
+        })
+        .boxed()
+}
+
+/// Serial scalar oracle over the full table (never prunes anything).
+fn oracle(table: &BoxedTable, query: &CombinedQuery) -> GroupedResult {
+    let mut agg = PartialAggregation::with_mode(query.clone(), ExecMode::Scalar);
+    agg.update(table.as_ref(), 0..table.num_rows(), &mut ExecStats::new());
+    agg.finalize()
+}
+
+/// Row-level truth of an unbound predicate at `row` (identity slot map:
+/// the projection is the whole schema).
+fn row_matches(table: &BoxedTable, pred: &Predicate, row: usize) -> bool {
+    let ncols = table.schema().len();
+    let cells: Vec<Cell> = (0..ncols)
+        .map(|c| table.cell(row, ColumnId(c as u32)))
+        .collect();
+    pred.bind(&|col: ColumnId| col.index()).eval(&cells)
+}
+
+macro_rules! prop_assert_identical {
+    ($a:expr, $b:expr, $label:expr) => {{
+        let (a, b) = (&$a, &$b);
+        prop_assert_eq!(a.num_groups(), b.num_groups(), "{}: group count", $label);
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            prop_assert_eq!(&ga.key, &gb.key, "{}: key order", $label);
+            prop_assert_eq!(&ga.target, &gb.target, "{}: target accumulators", $label);
+            prop_assert_eq!(
+                &ga.reference,
+                &gb.reference,
+                "{}: reference accumulators",
+                $label
+            );
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zone verdicts are hard guarantees: `Never` partitions contain no
+    /// matching row, `Always` partitions contain no violating row.
+    #[test]
+    fn zone_verdicts_are_sound(
+        ds in arb_dataset(),
+        query in arb_query(),
+        partition_rows in arb_partition_rows(),
+    ) {
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let t = build(&ds, kind, partition_rows);
+            let contribution = contribution_predicate(&query);
+            for part in t.partitions() {
+                let verdict = zone_match(&contribution, &part.zones);
+                match verdict {
+                    ZoneMatch::Never => {
+                        for row in part.rows.clone() {
+                            prop_assert!(
+                                !row_matches(&t, &contribution, row),
+                                "{kind} partition {:?} pruned but row {row} matches",
+                                part.rows
+                            );
+                        }
+                    }
+                    ZoneMatch::Always => {
+                        for row in part.rows.clone() {
+                            prop_assert!(
+                                row_matches(&t, &contribution, row),
+                                "{kind} partition {:?} is Always but row {row} fails",
+                                part.rows
+                            );
+                        }
+                    }
+                    ZoneMatch::Maybe => {}
+                }
+            }
+        }
+    }
+
+    /// Pruned, morsel-parallel execution over a partitioned table is
+    /// bit-identical to the serial scalar oracle over an unpartitioned
+    /// twin, for every store layout and partition size.
+    #[test]
+    fn pruned_execution_matches_unpartitioned_oracle(
+        ds in arb_dataset(),
+        query in arb_query(),
+        partition_rows in arb_partition_rows(),
+    ) {
+        // Oracle substrate: one partition for the whole table, so nothing
+        // the oracle touches depends on the partition layout under test.
+        let flat = build(&ds, StoreKind::Column, usize::MAX);
+        let want = oracle(&flat, &query);
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let t = build(&ds, kind, partition_rows);
+            for threads in [1usize, 4] {
+                let got = with_pool(threads, |pool| {
+                    execute_morsels(
+                        pool,
+                        t.as_ref(),
+                        std::slice::from_ref(&query),
+                        0..t.num_rows(),
+                        ExecMode::Vectorized,
+                        64,
+                    )
+                });
+                let (result, stats) = &got[0];
+                prop_assert_eq!(
+                    stats.partitions_scanned + stats.partitions_pruned,
+                    t.partitions().len() as u64,
+                    "partition accounting must cover the directory"
+                );
+                prop_assert_identical!(
+                    want,
+                    *result,
+                    format!("{kind} threads={threads} partition_rows={partition_rows}")
+                );
+            }
+        }
+    }
+}

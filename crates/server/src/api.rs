@@ -239,7 +239,9 @@ pub fn render_recommendation(dataset: &Dataset, rec: &Recommendation) -> Json {
                 .set("scan_passes", rec.stats.scan_passes)
                 .set("rows_scanned", rec.stats.rows_scanned)
                 .set("cells_visited", rec.stats.cells_visited)
-                .set("groups_max", rec.stats.groups_max),
+                .set("groups_max", rec.stats.groups_max)
+                .set("partitions_scanned", rec.stats.partitions_scanned)
+                .set("partitions_pruned", rec.stats.partitions_pruned),
         )
 }
 

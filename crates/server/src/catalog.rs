@@ -1,23 +1,88 @@
-//! The dataset catalog: lazily generated Table 1 datasets shared
-//! immutably across requests.
+//! The dataset catalog: lazily generated Table 1 datasets plus ingested
+//! CSV datasets, shared immutably across requests.
 //!
 //! `seedbd` serves the paper's Table 1 inventory (`seedb_data::registry`).
 //! Generating a dataset is expensive, so the catalog builds each
 //! `(name, rows)` instance once, on first use, and hands out `Arc`s; the
 //! tables themselves are immutable, so every concurrent request can scan
 //! the same storage. A row cap protects the daemon from a request
-//! demanding a 60-million-row AIR10 build.
+//! demanding a 60-million-row AIR10 build — and from a `POST /datasets`
+//! upload larger than the daemon is configured to hold.
+//!
+//! Ingested datasets ([`Catalog::ingest_csv`]) are first-class: they are
+//! served by name like Table 1 entries (ingested names shadow Table 1
+//! names), listed by `GET /datasets`, and carry a content fingerprint
+//! ([`crate::csv::fingerprint`]) that keys their cross-request cache
+//! namespace ([`seedb_core::ingested_instance_signature`]) — re-uploading
+//! different bytes under the same name re-keys every cache entry.
+//!
+//! Every failure mode is a typed [`CatalogError`] with an HTTP status:
+//! unknown names and malformed CSV are client errors (400/404), oversized
+//! uploads are 413 — never a blanket 500.
 
+use crate::csv;
 use seedb_data::registry::{generate_by_name, table1};
 use seedb_data::Dataset;
-use seedb_storage::StoreKind;
+use seedb_engine::Predicate;
+use seedb_storage::{ColumnId, ColumnRole, StoreKind, TableBuilder};
 use seedb_util::Json;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::{Arc, Mutex};
+
+/// Why a catalog operation failed. Each variant maps to the HTTP status a
+/// route should answer with ([`CatalogError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No Table 1 entry or ingested dataset has this name.
+    UnknownDataset(String),
+    /// The name exists in Table 1 but has no generator wired up.
+    NoGenerator(String),
+    /// The uploaded CSV failed to parse or has an unusable schema.
+    BadCsv(String),
+    /// The upload holds more rows than the daemon's row cap.
+    RowCapExceeded {
+        /// Rows in the upload.
+        rows: usize,
+        /// The configured cap.
+        max: usize,
+    },
+}
+
+impl CatalogError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            CatalogError::UnknownDataset(_)
+            | CatalogError::NoGenerator(_)
+            | CatalogError::BadCsv(_) => 400,
+            CatalogError::RowCapExceeded { .. } => 413,
+        }
+    }
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            CatalogError::NoGenerator(name) => write!(f, "no generator for '{name}'"),
+            CatalogError::BadCsv(msg) => write!(f, "bad CSV: {msg}"),
+            CatalogError::RowCapExceeded { rows, max } => {
+                write!(f, "dataset has {rows} rows, exceeding the cap of {max}")
+            }
+        }
+    }
+}
+
+/// An ingested dataset plus the fingerprint of the bytes it came from.
+struct Ingested {
+    dataset: Arc<Dataset>,
+    fingerprint: u64,
+}
 
 /// Lazily populated, thread-safe dataset store.
 pub struct Catalog {
-    /// Hard cap on rows per generated dataset instance.
+    /// Hard cap on rows per dataset instance (generated or ingested).
     max_rows: usize,
     /// Default rows when a request does not say (≤ `max_rows`).
     default_rows: usize,
@@ -27,10 +92,12 @@ pub struct Catalog {
     kind: StoreKind,
     /// Built instances, keyed by `(name, rows)`.
     built: Mutex<HashMap<(String, usize), Arc<Dataset>>>,
+    /// Ingested instances, keyed by name; a re-upload replaces.
+    ingested: Mutex<HashMap<String, Ingested>>,
 }
 
 impl Catalog {
-    /// A catalog capping generated instances at `max_rows` rows.
+    /// A catalog capping dataset instances at `max_rows` rows.
     pub fn new(max_rows: usize, default_rows: usize, seed: u64) -> Self {
         let max_rows = max_rows.max(1);
         Catalog {
@@ -39,6 +106,7 @@ impl Catalog {
             seed,
             kind: StoreKind::Column,
             built: Mutex::new(HashMap::new()),
+            ingested: Mutex::new(HashMap::new()),
         }
     }
 
@@ -48,8 +116,12 @@ impl Catalog {
     }
 
     /// Effective row count for a request: `requested` clamped to the cap,
-    /// or the default when unspecified.
+    /// or the default when unspecified. Ingested datasets are fixed-size;
+    /// their actual row count always wins.
     pub fn resolve_rows(&self, name: &str, requested: Option<usize>) -> usize {
+        if let Some(rows) = self.ingested_rows(name) {
+            return rows;
+        }
         let full = table1()
             .into_iter()
             .find(|d| d.name == name)
@@ -61,17 +133,20 @@ impl Catalog {
             .min(full)
     }
 
-    /// The dataset instance for `(name, rows)`, generating it on first
-    /// use. `rows` is clamped to the row cap (and the dataset's full
-    /// size) *here*, where the expensive build happens — the cap must
-    /// hold for every caller, not just the HTTP route that goes through
-    /// [`Catalog::resolve_rows`]. `Err` carries a message for unknown
-    /// dataset names.
-    pub fn dataset(&self, name: &str, rows: usize) -> Result<Arc<Dataset>, String> {
+    /// The dataset instance for `(name, rows)`. Ingested names resolve to
+    /// their (fixed-size) table; Table 1 names are generated on first use,
+    /// with `rows` clamped to the row cap (and the dataset's full size)
+    /// *here*, where the expensive build happens — the cap must hold for
+    /// every caller, not just the HTTP route that goes through
+    /// [`Catalog::resolve_rows`].
+    pub fn dataset(&self, name: &str, rows: usize) -> Result<Arc<Dataset>, CatalogError> {
+        if let Some(ds) = self.ingested_dataset(name) {
+            return Ok(ds);
+        }
         let info = table1()
             .into_iter()
             .find(|d| d.name == name)
-            .ok_or_else(|| format!("unknown dataset '{name}'"))?;
+            .ok_or_else(|| CatalogError::UnknownDataset(name.to_owned()))?;
         let rows = rows.clamp(1, self.max_rows).min(info.rows);
         let key = (name.to_owned(), rows);
         if let Some(ds) = self.built.lock().expect("catalog lock poisoned").get(&key) {
@@ -83,7 +158,7 @@ impl Catalog {
         // are valid (generation is deterministic).
         let scale = (rows as f64 / info.rows as f64).min(1.0);
         let ds = generate_by_name(name, scale, self.seed, self.kind)
-            .ok_or_else(|| format!("no generator for '{name}'"))?;
+            .ok_or_else(|| CatalogError::NoGenerator(name.to_owned()))?;
         let ds = Arc::new(ds);
         self.built
             .lock()
@@ -92,7 +167,107 @@ impl Catalog {
         Ok(ds)
     }
 
-    /// Names of instances built so far, as `name@rows`, sorted.
+    /// Ingests CSV text as dataset `name`, replacing any previous upload
+    /// under that name. The table is built partition-at-a-time (zone maps
+    /// sealed during load, like every other table); the canonical target
+    /// is the first dimension's first-interned label, so `/recommend`
+    /// works without a `where` the same way it does for Table 1 entries.
+    pub fn ingest_csv(&self, name: &str, text: &str) -> Result<Arc<Dataset>, CatalogError> {
+        let parsed = csv::parse_csv(text).map_err(CatalogError::BadCsv)?;
+        if parsed.rows.is_empty() {
+            return Err(CatalogError::BadCsv("no data records after header".into()));
+        }
+        if parsed.rows.len() > self.max_rows {
+            return Err(CatalogError::RowCapExceeded {
+                rows: parsed.rows.len(),
+                max: self.max_rows,
+            });
+        }
+        let n_dims = parsed
+            .defs
+            .iter()
+            .filter(|d| d.role == ColumnRole::Dimension)
+            .count();
+        let n_measures = parsed
+            .defs
+            .iter()
+            .filter(|d| d.role == ColumnRole::Measure)
+            .count();
+        if n_dims == 0 || n_measures == 0 {
+            return Err(CatalogError::BadCsv(format!(
+                "need at least one dimension (text/bool column) and one measure \
+                 (numeric column); inferred {n_dims} dimension(s) and {n_measures} measure(s)"
+            )));
+        }
+        let target_col = parsed
+            .defs
+            .iter()
+            .position(|d| d.role == ColumnRole::Dimension)
+            .expect("checked above");
+
+        let mut builder =
+            TableBuilder::try_new(parsed.defs).map_err(|e| CatalogError::BadCsv(e.to_string()))?;
+        for row in &parsed.rows {
+            builder
+                .push_row(row)
+                .map_err(|e| CatalogError::BadCsv(e.to_string()))?;
+        }
+        let table = builder
+            .build(self.kind)
+            .map_err(|e| CatalogError::BadCsv(e.to_string()))?;
+
+        // Canonical target: first dimension = its first interned label
+        // (code 0). Bool dimensions have no dictionary; target `= true`.
+        let col = ColumnId(target_col as u32);
+        let target = if table.dictionary(col).is_some() {
+            Predicate::CatEq { col, code: 0 }
+        } else {
+            Predicate::BoolEq { col, value: true }
+        };
+        let dataset = Arc::new(Dataset {
+            name: name.to_owned(),
+            table,
+            target,
+            task: "ingested".to_owned(),
+        });
+        self.ingested.lock().expect("catalog lock poisoned").insert(
+            name.to_owned(),
+            Ingested {
+                dataset: dataset.clone(),
+                fingerprint: csv::fingerprint(text),
+            },
+        );
+        Ok(dataset)
+    }
+
+    /// The ingested dataset named `name`, if any.
+    pub fn ingested_dataset(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.ingested
+            .lock()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .map(|i| i.dataset.clone())
+    }
+
+    /// Content fingerprint of the ingested dataset named `name`, if any.
+    pub fn ingested_fingerprint(&self, name: &str) -> Option<u64> {
+        self.ingested
+            .lock()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .map(|i| i.fingerprint)
+    }
+
+    fn ingested_rows(&self, name: &str) -> Option<usize> {
+        self.ingested
+            .lock()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .map(|i| i.dataset.rows())
+    }
+
+    /// Names of instances built so far, as `name@rows` (generated) and
+    /// `name@rows (ingested)`, sorted.
     pub fn loaded(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .built
@@ -101,12 +276,19 @@ impl Catalog {
             .keys()
             .map(|(name, rows)| format!("{name}@{rows}"))
             .collect();
+        names.extend(
+            self.ingested
+                .lock()
+                .expect("catalog lock poisoned")
+                .values()
+                .map(|i| format!("{}@{} (ingested)", i.dataset.name, i.dataset.rows())),
+        );
         names.sort();
         names
     }
 
-    /// The `GET /datasets` body: the Table 1 inventory plus what this
-    /// process has materialized.
+    /// The `GET /datasets` body: the Table 1 inventory, ingested uploads,
+    /// and what this process has materialized.
     pub fn list_json(&self) -> Json {
         let datasets: Vec<Json> = table1()
             .into_iter()
@@ -121,9 +303,28 @@ impl Catalog {
                     .set("views", d.views)
             })
             .collect();
+        let ingested: Vec<Json> = {
+            let guard = self.ingested.lock().expect("catalog lock poisoned");
+            let mut entries: Vec<&Ingested> = guard.values().collect();
+            entries.sort_by(|a, b| a.dataset.name.cmp(&b.dataset.name));
+            entries
+                .iter()
+                .map(|i| {
+                    let (dims, measures, views) = i.dataset.shape();
+                    Json::obj()
+                        .set("name", i.dataset.name.as_str())
+                        .set("rows", i.dataset.rows())
+                        .set("dims", dims)
+                        .set("measures", measures)
+                        .set("views", views)
+                        .set("fingerprint", format!("{:016x}", i.fingerprint))
+                })
+                .collect()
+        };
         let loaded: Vec<Json> = self.loaded().into_iter().map(Json::from).collect();
         Json::obj()
             .set("datasets", datasets)
+            .set("ingested", ingested)
             .set("max_rows", self.max_rows)
             .set("default_rows", self.default_rows)
             .set("loaded", loaded)
@@ -136,6 +337,14 @@ mod tests {
 
     fn catalog() -> Catalog {
         Catalog::new(2_000, 1_000, 17)
+    }
+
+    /// `unwrap_err` for results whose Ok side (`Dataset`) has no `Debug`.
+    fn expect_err(r: Result<Arc<Dataset>, CatalogError>) -> CatalogError {
+        match r {
+            Err(e) => e,
+            Ok(_) => panic!("expected an error"),
+        }
     }
 
     #[test]
@@ -153,12 +362,11 @@ mod tests {
     }
 
     #[test]
-    fn unknown_dataset_is_an_error() {
-        let err = match catalog().dataset("NOPE", 100) {
-            Err(e) => e,
-            Ok(_) => panic!("unknown dataset must fail"),
-        };
-        assert!(err.contains("NOPE"));
+    fn unknown_dataset_is_a_client_error() {
+        let err = expect_err(catalog().dataset("NOPE", 100));
+        assert_eq!(err, CatalogError::UnknownDataset("NOPE".into()));
+        assert_eq!(err.status(), 400);
+        assert!(err.to_string().contains("NOPE"));
     }
 
     #[test]
@@ -193,5 +401,98 @@ mod tests {
         assert_eq!(j.get("max_rows").unwrap().as_u64(), Some(2_000));
         let loaded = j.get("loaded").unwrap().as_arr().unwrap();
         assert_eq!(loaded.len(), 1);
+    }
+
+    #[test]
+    fn ingests_csv_and_serves_it_by_name() {
+        let c = catalog();
+        let csv = "city,visits\nparis,10\nparis,20\nlyon,5\n";
+        let ds = c.ingest_csv("trips", csv).unwrap();
+        assert_eq!(ds.rows(), 3);
+        assert_eq!(ds.task, "ingested");
+        assert_eq!(
+            ds.target,
+            Predicate::CatEq {
+                col: ColumnId(0),
+                code: 0
+            }
+        );
+        // Served by name, ignoring the rows argument.
+        let again = c.dataset("trips", 999_999).unwrap();
+        assert!(Arc::ptr_eq(&ds, &again));
+        assert_eq!(c.resolve_rows("trips", Some(1)), 3);
+        assert_eq!(c.ingested_fingerprint("trips"), Some(csv::fingerprint(csv)));
+        assert!(c.loaded().iter().any(|l| l.contains("ingested")));
+        let j = c.list_json();
+        assert_eq!(j.get("ingested").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reingest_replaces_and_refingerprints() {
+        let c = catalog();
+        c.ingest_csv("d", "a,m\nx,1\n").unwrap();
+        let f1 = c.ingested_fingerprint("d").unwrap();
+        c.ingest_csv("d", "a,m\nx,2\n").unwrap();
+        let f2 = c.ingested_fingerprint("d").unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(c.ingested_dataset("d").unwrap().rows(), 1);
+    }
+
+    #[test]
+    fn ingest_rejects_unusable_schemas_as_client_errors() {
+        let c = catalog();
+        // No measure column.
+        let err = expect_err(c.ingest_csv("d", "a,b\nx,y\n"));
+        assert_eq!(err.status(), 400);
+        assert!(err.to_string().contains("measure"), "{err}");
+        // No dimension column.
+        let err = expect_err(c.ingest_csv("d", "m,n\n1,2\n"));
+        assert_eq!(err.status(), 400);
+        // Header only.
+        let err = expect_err(c.ingest_csv("d", "a,m\n"));
+        assert_eq!(err.status(), 400);
+        // Malformed CSV.
+        let err = expect_err(c.ingest_csv("d", "a,m\nx\n"));
+        assert_eq!(err.status(), 400);
+        // Nothing was stored.
+        assert!(c.ingested_dataset("d").is_none());
+    }
+
+    #[test]
+    fn ingest_row_cap_is_a_413_not_a_500() {
+        let c = Catalog::new(3, 3, 17);
+        let mut csv = String::from("a,m\n");
+        for i in 0..4 {
+            csv.push_str(&format!("x,{i}\n"));
+        }
+        let err = expect_err(c.ingest_csv("big", &csv));
+        assert_eq!(err, CatalogError::RowCapExceeded { rows: 4, max: 3 });
+        assert_eq!(err.status(), 413);
+        assert!(c.ingested_dataset("big").is_none());
+    }
+
+    #[test]
+    fn bool_only_dimension_gets_a_bool_target() {
+        let c = catalog();
+        let ds = c.ingest_csv("flags", "flag,m\ntrue,1\nfalse,2\n").unwrap();
+        assert_eq!(
+            ds.target,
+            Predicate::BoolEq {
+                col: ColumnId(0),
+                value: true
+            }
+        );
+    }
+
+    #[test]
+    fn ingested_tables_are_partitioned() {
+        let c = Catalog::new(100_000, 1_000, 17);
+        let mut csv = String::from("a,m\n");
+        for i in 0..20_000 {
+            csv.push_str(&format!("x{},{}\n", i % 3, i));
+        }
+        let ds = c.ingest_csv("parts", &csv).unwrap();
+        // DEFAULT_PARTITION_ROWS = 8192 → 20_000 rows = 3 partitions.
+        assert_eq!(ds.table.partitions().len(), 3);
     }
 }

@@ -1,0 +1,264 @@
+//! A hand-rolled CSV reader with schema inference, for `POST /datasets`.
+//!
+//! Dependency-free like the rest of the serving stack (the registry is
+//! unreachable). Dialect: comma-separated, first record is the header,
+//! `"`-quoted fields may contain commas, newlines, and doubled-quote
+//! escapes (`""`); both `\n` and `\r\n` record separators are accepted,
+//! and a trailing newline does not produce a phantom record.
+//!
+//! Column types are inferred from the data, narrowest first: a column
+//! whose every non-empty field parses as `i64` is `Int64`; failing that
+//! `f64` → `Float64`; failing that `true`/`false` (case-insensitive) →
+//! `Bool`; anything else is `Categorical`. Empty fields are NULL in any
+//! type. Roles follow SeeDB's dimension/measure split: numeric columns
+//! are measures, categorical and boolean columns are dimensions.
+
+use seedb_storage::{ColumnDef, ColumnRole, ColumnType, Value};
+
+/// A parsed CSV: inferred column definitions plus typed rows, ready for
+/// [`seedb_storage::TableBuilder`].
+#[derive(Debug)]
+pub struct CsvTable {
+    /// Inferred schema (header names, inferred types, inferred roles).
+    pub defs: Vec<ColumnDef>,
+    /// Typed rows matching `defs`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Parses CSV text into records of raw string fields.
+fn split_records(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    // Whether the current (possibly empty) field has been started; keeps
+    // a trailing newline from emitting a phantom empty record.
+    let mut in_record = false;
+
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err("quote in the middle of an unquoted field".into());
+                }
+                in_record = true;
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated quoted field".into()),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(other) => field.push(other),
+                    }
+                }
+            }
+            ',' => {
+                in_record = true;
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' | '\n' => {
+                if c == '\r' && chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                if in_record || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                in_record = false;
+            }
+            other => {
+                in_record = true;
+                field.push(other);
+            }
+        }
+    }
+    if in_record || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Narrowest type every non-empty sample fits (see module docs). An
+/// all-empty column degrades to `Categorical` (all-NULL dimension).
+fn infer_type<'a>(samples: impl Iterator<Item = &'a str> + Clone) -> ColumnType {
+    let mut non_empty = samples.filter(|s| !s.is_empty()).peekable();
+    if non_empty.peek().is_none() {
+        return ColumnType::Categorical;
+    }
+    if non_empty.clone().all(|s| s.parse::<i64>().is_ok()) {
+        return ColumnType::Int64;
+    }
+    if non_empty.clone().all(|s| s.parse::<f64>().is_ok()) {
+        return ColumnType::Float64;
+    }
+    if non_empty.clone().all(|s| {
+        let lower = s.to_ascii_lowercase();
+        lower == "true" || lower == "false"
+    }) {
+        return ColumnType::Bool;
+    }
+    ColumnType::Categorical
+}
+
+fn typed_value(raw: &str, ty: ColumnType) -> Value {
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    match ty {
+        ColumnType::Int64 => Value::Int(raw.parse().expect("inferred Int64")),
+        ColumnType::Float64 => Value::Float(raw.parse().expect("inferred Float64")),
+        ColumnType::Bool => Value::Bool(raw.eq_ignore_ascii_case("true")),
+        ColumnType::Categorical => Value::Str(raw.to_owned()),
+    }
+}
+
+/// Parses CSV text (header + data records) into an inferred-schema table.
+pub fn parse_csv(text: &str) -> Result<CsvTable, String> {
+    let records = split_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or("empty CSV: missing header record")?;
+    if header.iter().any(|name| name.is_empty()) {
+        return Err("empty column name in header".into());
+    }
+    let ncols = header.len();
+    let data: Vec<Vec<String>> = iter.collect();
+    for (i, record) in data.iter().enumerate() {
+        if record.len() != ncols {
+            return Err(format!(
+                "record {} has {} fields, header has {ncols}",
+                i + 2, // 1-based, counting the header line
+                record.len()
+            ));
+        }
+    }
+
+    let types: Vec<ColumnType> = (0..ncols)
+        .map(|c| infer_type(data.iter().map(move |r| r[c].as_str())))
+        .collect();
+    let defs: Vec<ColumnDef> = header
+        .iter()
+        .zip(&types)
+        .map(|(name, &ty)| {
+            let role = match ty {
+                ColumnType::Int64 | ColumnType::Float64 => ColumnRole::Measure,
+                ColumnType::Categorical | ColumnType::Bool => ColumnRole::Dimension,
+            };
+            ColumnDef::new(name, ty, role)
+        })
+        .collect();
+    let rows: Vec<Vec<Value>> = data
+        .iter()
+        .map(|record| {
+            record
+                .iter()
+                .zip(&types)
+                .map(|(raw, &ty)| typed_value(raw, ty))
+                .collect()
+        })
+        .collect();
+    Ok(CsvTable { defs, rows })
+}
+
+/// FNV-1a 64-bit hash of the raw CSV bytes: the content fingerprint in
+/// ingested instance signatures
+/// ([`seedb_core::ingested_instance_signature`]).
+pub fn fingerprint(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_types_and_roles() {
+        let t = parse_csv("city,pop,rate,flag\nparis,100,0.5,true\nlyon,200,1.5,false\n").unwrap();
+        let tys: Vec<ColumnType> = t.defs.iter().map(|d| d.ty).collect();
+        assert_eq!(
+            tys,
+            vec![
+                ColumnType::Categorical,
+                ColumnType::Int64,
+                ColumnType::Float64,
+                ColumnType::Bool
+            ]
+        );
+        let roles: Vec<ColumnRole> = t.defs.iter().map(|d| d.role).collect();
+        assert_eq!(
+            roles,
+            vec![
+                ColumnRole::Dimension,
+                ColumnRole::Measure,
+                ColumnRole::Measure,
+                ColumnRole::Dimension
+            ]
+        );
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], Value::Str("paris".into()));
+        assert_eq!(t.rows[0][1], Value::Int(100));
+        assert_eq!(t.rows[1][2], Value::Float(1.5));
+        assert_eq!(t.rows[1][3], Value::Bool(false));
+    }
+
+    #[test]
+    fn empty_fields_are_null_and_mixed_numerics_widen() {
+        let t = parse_csv("a,m\nx,1\ny,\nz,2.5\n").unwrap();
+        // 1 and 2.5 don't all parse as i64 → Float64; empty → NULL.
+        assert_eq!(t.defs[1].ty, ColumnType::Float64);
+        assert_eq!(t.rows[0][1], Value::Float(1.0));
+        assert_eq!(t.rows[1][1], Value::Null);
+    }
+
+    #[test]
+    fn quoted_fields_handle_commas_newlines_and_escapes() {
+        let t = parse_csv("d,m\n\"a,b\",1\n\"line1\nline2\",2\n\"say \"\"hi\"\"\",3\n").unwrap();
+        assert_eq!(t.rows[0][0], Value::Str("a,b".into()));
+        assert_eq!(t.rows[1][0], Value::Str("line1\nline2".into()));
+        assert_eq!(t.rows[2][0], Value::Str("say \"hi\"".into()));
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline_are_fine() {
+        let t = parse_csv("d,m\r\nx,1\r\ny,2").unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[1][1], Value::Int(2));
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        assert!(parse_csv("").unwrap_err().contains("header"));
+        assert!(parse_csv("a,\nx,1\n").unwrap_err().contains("column name"));
+        assert!(parse_csv("a,b\nonly_one\n").unwrap_err().contains("fields"));
+        assert!(parse_csv("a,b\n\"unterminated,1\n")
+            .unwrap_err()
+            .contains("unterminated"));
+        assert!(parse_csv("a,b\nmid\"quote,1\n")
+            .unwrap_err()
+            .contains("quote"));
+    }
+
+    #[test]
+    fn all_empty_column_degrades_to_categorical_nulls() {
+        let t = parse_csv("d,e,m\nx,,1\ny,,2\n").unwrap();
+        assert_eq!(t.defs[1].ty, ColumnType::Categorical);
+        assert_eq!(t.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        assert_eq!(fingerprint("a,b\n1,2\n"), fingerprint("a,b\n1,2\n"));
+        assert_ne!(fingerprint("a,b\n1,2\n"), fingerprint("a,b\n1,3\n"));
+        assert_ne!(fingerprint(""), fingerprint("\n"));
+    }
+}

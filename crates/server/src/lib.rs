@@ -14,7 +14,8 @@
 //! |---|---|---|
 //! | `GET /healthz` | — | `{"status":"ok", …}` |
 //! | `GET /statz` | — | cache + request counters |
-//! | `GET /datasets` | — | the Table 1 catalog and what's loaded |
+//! | `GET /datasets` | — | the Table 1 catalog, ingested uploads, what's loaded |
+//! | `POST /datasets` | `{"name": …, "csv": …}` | ingest a CSV dataset |
 //! | `POST /recommend` | request JSON (below) | ranked views |
 //!
 //! A `/recommend` body names a catalog dataset and a target selection, and
@@ -55,11 +56,12 @@ pub mod api;
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod csv;
 pub mod http;
 pub mod router;
 pub mod server;
 
 pub use cache::{CacheStats, CacheValue, RecCache};
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogError};
 pub use http::{Request, Response};
 pub use server::{Server, ServerConfig, ServerHandle};

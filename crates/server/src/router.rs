@@ -1,10 +1,13 @@
-//! Request routing: the four API endpoints over shared server state.
+//! Request routing: the API endpoints over shared server state.
 
 use crate::api::{self, RecommendRequest};
 use crate::cache::{CacheValue, PartialCache, RecCache};
 use crate::catalog::Catalog;
 use crate::http::{Request, Response};
-use seedb_core::{predicate_signature, reference_signature, ReferenceSpec, SeeDb};
+use seedb_core::{
+    ingested_instance_signature, instance_signature, predicate_signature, reference_signature,
+    ReferenceSpec, SeeDb,
+};
 use seedb_engine::{Predicate, WorkerBudget};
 use seedb_sql::{parser::parse_expr, Planner};
 use seedb_util::Json;
@@ -61,6 +64,7 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/statz") => statz(state),
         ("GET", "/datasets") => Response::json(state.catalog.list_json().compact()),
+        ("POST", "/datasets") => ingest(state, req),
         ("POST", "/recommend") => recommend(state, req),
         ("GET", "/recommend") => Response::error(405, "use POST for /recommend"),
         _ => Response::error(404, &format!("no route for {} {}", req.method, path)),
@@ -118,6 +122,47 @@ fn statz(state: &AppState) -> Response {
     )
 }
 
+/// The `POST /datasets` flow: ingest a CSV upload into the catalog. The
+/// body is `{"name": …, "csv": …}`; schema is inferred from the data
+/// ([`crate::csv`]). Every failure is a typed [`crate::catalog::CatalogError`]
+/// with an honest status — malformed CSV or an unusable schema is 400, an
+/// upload over the row cap is 413.
+fn ingest(state: &AppState, req: &Request) -> Response {
+    let parsed = match Json::parse(&req.body) {
+        Ok(j) => j,
+        Err(e) => return Response::error(400, &format!("bad JSON body: {e}")),
+    };
+    let name = match parsed.get("name").and_then(Json::as_str) {
+        Some(n) if !n.is_empty() => n.to_owned(),
+        _ => return Response::error(400, "missing or empty \"name\" field"),
+    };
+    let csv = match parsed.get("csv").and_then(Json::as_str) {
+        Some(c) => c.to_owned(),
+        None => return Response::error(400, "missing \"csv\" field"),
+    };
+    match state.catalog.ingest_csv(&name, &csv) {
+        Ok(ds) => {
+            let (dims, measures, views) = ds.shape();
+            let fp = state
+                .catalog
+                .ingested_fingerprint(&name)
+                .expect("just ingested");
+            Response::json(
+                Json::obj()
+                    .set("name", ds.name.as_str())
+                    .set("rows", ds.rows())
+                    .set("dims", dims)
+                    .set("measures", measures)
+                    .set("views", views)
+                    .set("partitions", ds.table.partitions().len())
+                    .set("fingerprint", format!("{fp:016x}"))
+                    .compact(),
+            )
+        }
+        Err(e) => Response::error(e.status(), &e.to_string()),
+    }
+}
+
 /// The `/recommend` flow: parse → resolve dataset → plan SQL → probe the
 /// response cache → (on miss) lease workers, run the engine through the
 /// partials cache, store the rendered payload.
@@ -142,7 +187,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
     let dataset = state
         .catalog
         .dataset(&parsed.dataset, rows)
-        .map_err(|e| Response::error(400, &e))?;
+        .map_err(|e| Response::error(e.status(), &e.to_string()))?;
     let table = dataset.table.as_ref();
 
     // Target predicate: the request's WHERE body, or the dataset's
@@ -163,8 +208,14 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
     // One canonical signature covers dataset instance + query + config.
     // The config part (`result_signature`) includes the pruning kind,
     // delta, and phase count for the pruning strategies, so probabilistic
-    // results never cross-contaminate deterministic ones.
-    let instance = format!("{}@{}#s{}", dataset.name, rows, state.seed);
+    // results never cross-contaminate deterministic ones. Generated
+    // instances are keyed by seed; ingested instances by their content
+    // fingerprint, so re-uploading different bytes under the same name
+    // re-keys every cache entry instead of serving stale results.
+    let instance = match state.catalog.ingested_fingerprint(&dataset.name) {
+        Some(fp) => ingested_instance_signature(&dataset.name, rows, fp),
+        None => instance_signature(&dataset.name, rows, state.seed),
+    };
     let signature = format!(
         "{instance}|{}|{}|{}",
         predicate_signature(&target),
@@ -427,6 +478,101 @@ mod tests {
             assert!(Json::parse(&r.body).unwrap().get("error").is_some());
         }
         assert_eq!(s.stats.recommends_err.load(Ordering::Relaxed), 5);
+    }
+
+    /// A small but non-trivial CSV: 2 dimensions × 1 measure, 60 rows.
+    fn sample_csv() -> String {
+        let mut csv = String::from("city,region,sales\n");
+        for i in 0..60 {
+            csv.push_str(&format!("c{},r{},{}\n", i % 4, i % 2, i));
+        }
+        csv
+    }
+
+    fn ingest_body(name: &str, csv: &str) -> String {
+        Json::obj().set("name", name).set("csv", csv).compact()
+    }
+
+    #[test]
+    fn ingest_then_recommend_then_repeat_is_a_hit() {
+        let s = state();
+        let r = post(&s, "/datasets", &ingest_body("trips", &sample_csv()));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let j = Json::parse(&r.body).unwrap();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("trips"));
+        assert_eq!(j.get("rows").unwrap().as_u64(), Some(60));
+        assert_eq!(j.get("dims").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("measures").unwrap().as_u64(), Some(1));
+        assert!(j.get("fingerprint").unwrap().as_str().unwrap().len() == 16);
+
+        // The upload shows up in the catalog listing.
+        let listing = Json::parse(&get(&s, "/datasets").body).unwrap();
+        assert_eq!(listing.get("ingested").unwrap().as_arr().unwrap().len(), 1);
+
+        // Recommend against it; the repeat is a response-cache hit with
+        // an identical payload.
+        let body = r#"{"dataset": "trips", "k": 2}"#;
+        let r1 = post(&s, "/recommend", body);
+        assert_eq!(r1.status, 200, "{}", r1.body);
+        let j1 = Json::parse(&r1.body).unwrap();
+        assert_eq!(j1.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(j1.get("dataset").unwrap().as_str(), Some("trips"));
+        let j2 = Json::parse(&post(&s, "/recommend", body).body).unwrap();
+        assert_eq!(j2.get("cache").unwrap().as_str(), Some("hit"));
+        assert_eq!(j1.get("views"), j2.get("views"));
+    }
+
+    #[test]
+    fn reingest_rekeys_the_response_cache() {
+        // Uploading different bytes under the same name must not serve
+        // the old upload's cached response: the instance signature is
+        // fingerprint-keyed, so the next recommend is a miss.
+        let s = state();
+        post(&s, "/datasets", &ingest_body("d", &sample_csv()));
+        let body = r#"{"dataset": "d", "k": 2}"#;
+        let j1 = Json::parse(&post(&s, "/recommend", body).body).unwrap();
+        assert_eq!(j1.get("cache").unwrap().as_str(), Some("miss"));
+
+        let mut other = sample_csv();
+        other.push_str("c9,r9,999\n");
+        post(&s, "/datasets", &ingest_body("d", &other));
+        let j2 = Json::parse(&post(&s, "/recommend", body).body).unwrap();
+        assert_eq!(
+            j2.get("cache").unwrap().as_str(),
+            Some("miss"),
+            "stale hit after re-upload: {j2:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_errors_have_honest_statuses() {
+        let s = state();
+        // Malformed request bodies → 400.
+        assert_eq!(post(&s, "/datasets", "not json").status, 400);
+        assert_eq!(
+            post(&s, "/datasets", r#"{"csv": "a,m\nx,1\n"}"#).status,
+            400
+        );
+        assert_eq!(post(&s, "/datasets", r#"{"name": "d"}"#).status, 400);
+        // Unusable CSV (no measure column) → 400 with an explanation.
+        let r = post(&s, "/datasets", &ingest_body("d", "a,b\nx,y\n"));
+        assert_eq!(r.status, 400, "{}", r.body);
+        let j = Json::parse(&r.body).unwrap();
+        assert!(j
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("measure"));
+        // Over the row cap (2 000 in this fixture) → 413, not 500.
+        let mut big = String::from("a,m\n");
+        for i in 0..2_001 {
+            big.push_str(&format!("x,{i}\n"));
+        }
+        let r = post(&s, "/datasets", &ingest_body("big", &big));
+        assert_eq!(r.status, 413, "{}", r.body);
+        // Nothing was stored; recommending against them still 400s.
+        assert_eq!(post(&s, "/recommend", r#"{"dataset": "big"}"#).status, 400);
     }
 
     #[test]

@@ -12,10 +12,12 @@ use crate::column::{Column, ColumnData};
 use crate::column_store::ColumnStore;
 use crate::dictionary::Dictionary;
 use crate::error::StorageError;
+use crate::partition::{Partition, DEFAULT_PARTITION_ROWS};
 use crate::row_store::{encode_payload, RowStore};
 use crate::schema::{ColumnDef, ColumnStats, ColumnType, Schema};
 use crate::table::{BoxedTable, StoreKind};
 use crate::value::{Cell, Value};
+use crate::zonemap::ZoneBuilder;
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
 
@@ -79,6 +81,14 @@ pub struct TableBuilder {
     staged: Vec<StagedColumn>,
     dictionaries: Vec<Option<Dictionary>>,
     num_rows: usize,
+    /// Partition sealing interval (rows per partition).
+    partition_rows: usize,
+    /// Zone accumulators for the partition currently being filled.
+    zones: Vec<ZoneBuilder>,
+    /// Partitions sealed so far.
+    partitions: Vec<Partition>,
+    /// First row of the partition currently being filled.
+    partition_start: usize,
 }
 
 impl TableBuilder {
@@ -110,12 +120,36 @@ impl TableBuilder {
                 }
             })
             .collect();
+        let zones = schema
+            .columns()
+            .iter()
+            .map(|c| ZoneBuilder::new(c.ty))
+            .collect();
         Ok(TableBuilder {
             schema,
             staged,
             dictionaries,
             num_rows: 0,
+            partition_rows: DEFAULT_PARTITION_ROWS,
+            zones,
+            partitions: Vec::new(),
+            partition_start: 0,
         })
+    }
+
+    /// Sets the partition sealing interval (rows per partition), clamped to
+    /// at least 1. Must be configured before the first row is pushed so
+    /// every partition has the same nominal size.
+    ///
+    /// # Panics
+    /// Panics if rows have already been staged.
+    pub fn with_partition_rows(mut self, rows: usize) -> Self {
+        assert_eq!(
+            self.num_rows, 0,
+            "partition size must be set before rows are pushed"
+        );
+        self.partition_rows = rows.max(1);
+        self
     }
 
     /// The schema under construction.
@@ -160,14 +194,19 @@ impl TableBuilder {
         }
         for (i, value) in row.iter().enumerate() {
             let staged = &mut self.staged[i];
+            let zone = &mut self.zones[i];
             match value {
-                Value::Null => staged.push_null(),
+                Value::Null => {
+                    staged.push_null();
+                    zone.observe_null();
+                }
                 Value::Int(v) => match &mut staged.data {
                     ColumnData::Int64(vec) => {
                         vec.push(*v);
                         staged.validity.push(true);
                         staged.distinct.insert(Cell::Int(*v).group_code());
                         staged.observe_numeric(*v as f64);
+                        zone.observe(Cell::Int(*v).group_code(), *v as f64);
                     }
                     ColumnData::Float64(vec) => {
                         // Int literals are accepted into float columns.
@@ -175,6 +214,7 @@ impl TableBuilder {
                         staged.validity.push(true);
                         staged.distinct.insert((*v as f64).to_bits());
                         staged.observe_numeric(*v as f64);
+                        zone.observe((*v as f64).to_bits(), *v as f64);
                     }
                     _ => unreachable!("validated above"),
                 },
@@ -184,6 +224,7 @@ impl TableBuilder {
                         staged.validity.push(true);
                         staged.distinct.insert(v.to_bits());
                         staged.observe_numeric(*v);
+                        zone.observe(v.to_bits(), *v);
                     }
                     _ => unreachable!("validated above"),
                 },
@@ -195,6 +236,7 @@ impl TableBuilder {
                             vec.push(code);
                             staged.validity.push(true);
                             staged.distinct.insert(code as u64);
+                            zone.observe(code as u64, code as f64);
                         }
                         _ => unreachable!("validated above"),
                     }
@@ -204,13 +246,37 @@ impl TableBuilder {
                         bits.push(*b);
                         staged.validity.push(true);
                         staged.distinct.insert(*b as u64);
+                        zone.observe(*b as u64, if *b { 1.0 } else { 0.0 });
                     }
                     _ => unreachable!("validated above"),
                 },
             }
         }
         self.num_rows += 1;
+        if self.num_rows - self.partition_start >= self.partition_rows {
+            self.seal_partition();
+        }
         Ok(())
+    }
+
+    /// Seals the partition currently being filled (rows
+    /// `partition_start..num_rows`) and starts a new one.
+    fn seal_partition(&mut self) {
+        debug_assert!(self.num_rows > self.partition_start);
+        self.partitions.push(Partition {
+            rows: self.partition_start..self.num_rows,
+            zones: self.zones.iter_mut().map(ZoneBuilder::seal).collect(),
+        });
+        self.partition_start = self.num_rows;
+    }
+
+    /// Seals the trailing partial partition (if any) and returns the full
+    /// partition directory.
+    fn finish_partitions(&mut self) -> Vec<Partition> {
+        if self.num_rows > self.partition_start {
+            self.seal_partition();
+        }
+        std::mem::take(&mut self.partitions)
     }
 
     /// Materializes the staged data as the requested layout.
@@ -222,7 +288,8 @@ impl TableBuilder {
     }
 
     /// Materializes a [`ColumnStore`].
-    pub fn build_column_store(self) -> Result<ColumnStore, StorageError> {
+    pub fn build_column_store(mut self) -> Result<ColumnStore, StorageError> {
+        let partitions = self.finish_partitions();
         let stats: Vec<ColumnStats> = self.staged.iter().map(StagedColumn::stats).collect();
         let columns: Vec<Column> = self
             .staged
@@ -234,11 +301,13 @@ impl TableBuilder {
             columns,
             self.dictionaries,
             stats,
+            partitions,
         ))
     }
 
     /// Materializes a [`RowStore`] by packing the staged columns row-wise.
-    pub fn build_row_store(self) -> Result<RowStore, StorageError> {
+    pub fn build_row_store(mut self) -> Result<RowStore, StorageError> {
+        let partitions = self.finish_partitions();
         let stats: Vec<ColumnStats> = self.staged.iter().map(StagedColumn::stats).collect();
         let (stride, null_bytes) = RowStore::layout(&self.schema);
         let mut data = vec![0u8; self.num_rows * stride];
@@ -259,6 +328,7 @@ impl TableBuilder {
             self.num_rows,
             self.dictionaries,
             stats,
+            partitions,
         ))
     }
 }
@@ -396,5 +466,64 @@ mod tests {
     fn try_new_surfaces_schema_errors() {
         assert!(TableBuilder::try_new(vec![]).is_err());
         assert!(TableBuilder::try_new(vec![ColumnDef::dim("a"), ColumnDef::dim("a")]).is_err());
+    }
+
+    #[test]
+    fn partitions_seal_at_configured_interval() {
+        for kind in [StoreKind::Row, StoreKind::Column] {
+            let mut b = TableBuilder::new(vec![ColumnDef::dim("d"), ColumnDef::measure("m")])
+                .with_partition_rows(4);
+            for i in 0..10 {
+                b.push_row(&[Value::str(format!("v{}", i % 3)), Value::Float(i as f64)])
+                    .unwrap();
+            }
+            let t = b.build(kind).unwrap();
+            let parts = t.partitions();
+            assert_eq!(parts.len(), 3); // 4 + 4 + 2 (trailing partial)
+            assert_eq!(parts[0].rows, 0..4);
+            assert_eq!(parts[1].rows, 4..8);
+            assert_eq!(parts[2].rows, 8..10);
+            // Zone maps reflect each partition's slice, not the table.
+            let m = crate::ColumnId(1);
+            assert_eq!(parts[0].zone(m).unwrap().min, Some(0.0));
+            assert_eq!(parts[0].zone(m).unwrap().max, Some(3.0));
+            assert_eq!(parts[2].zone(m).unwrap().min, Some(8.0));
+            assert_eq!(parts[2].zone(m).unwrap().rows, 2);
+            // Partition zones carry per-partition distinct counts.
+            assert_eq!(parts[0].zone(crate::ColumnId(0)).unwrap().distinct, 3);
+        }
+    }
+
+    #[test]
+    fn whole_table_fits_one_partition_by_default() {
+        let mut b = TableBuilder::new(vec![ColumnDef::measure("m")]);
+        for i in 0..100 {
+            b.push_row(&[Value::Float(i as f64)]).unwrap();
+        }
+        let t = b.build_column_store().unwrap();
+        let parts = <ColumnStore as crate::Table>::partitions(&t);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].rows, 0..100);
+    }
+
+    #[test]
+    fn empty_table_has_no_partitions() {
+        let b = TableBuilder::new(vec![ColumnDef::dim("d")]);
+        let t = b.build(StoreKind::Column).unwrap();
+        assert!(t.partitions().is_empty());
+    }
+
+    #[test]
+    fn zone_null_counts_are_per_partition() {
+        let mut b = TableBuilder::new(vec![ColumnDef::measure("m")]).with_partition_rows(2);
+        b.push_row(&[Value::Null]).unwrap();
+        b.push_row(&[Value::Null]).unwrap();
+        b.push_row(&[Value::Float(1.0)]).unwrap();
+        let t = b.build(StoreKind::Row).unwrap();
+        let parts = t.partitions();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].zone(crate::ColumnId(0)).unwrap().null_count, 2);
+        assert_eq!(parts[0].zone(crate::ColumnId(0)).unwrap().min, None);
+        assert_eq!(parts[1].zone(crate::ColumnId(0)).unwrap().null_count, 0);
     }
 }

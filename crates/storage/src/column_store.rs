@@ -8,6 +8,7 @@
 use crate::batch::{Batch, BatchColumn, BatchData};
 use crate::column::{Column, ColumnData};
 use crate::dictionary::Dictionary;
+use crate::partition::Partition;
 use crate::schema::{ColumnId, ColumnStats, Schema};
 use crate::table::{StoreKind, Table};
 use crate::value::Cell;
@@ -20,6 +21,7 @@ pub struct ColumnStore {
     num_rows: usize,
     dictionaries: Vec<Option<Dictionary>>,
     stats: Vec<ColumnStats>,
+    partitions: Vec<Partition>,
 }
 
 impl ColumnStore {
@@ -29,15 +31,21 @@ impl ColumnStore {
         columns: Vec<Column>,
         dictionaries: Vec<Option<Dictionary>>,
         stats: Vec<ColumnStats>,
+        partitions: Vec<Partition>,
     ) -> Self {
         let num_rows = columns.first().map_or(0, Column::len);
         debug_assert!(columns.iter().all(|c| c.len() == num_rows));
+        debug_assert_eq!(
+            partitions.iter().map(Partition::len).sum::<usize>(),
+            num_rows
+        );
         ColumnStore {
             schema,
             columns,
             num_rows,
             dictionaries,
             stats,
+            partitions,
         }
     }
 
@@ -66,6 +74,10 @@ impl Table for ColumnStore {
 
     fn stats(&self, col: ColumnId) -> &ColumnStats {
         &self.stats[col.index()]
+    }
+
+    fn partitions(&self) -> &[Partition] {
+        &self.partitions
     }
 
     fn cell(&self, row: usize, col: ColumnId) -> Cell {

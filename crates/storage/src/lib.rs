@@ -50,10 +50,12 @@ mod column;
 mod column_store;
 mod dictionary;
 mod error;
+mod partition;
 mod row_store;
 mod schema;
 mod table;
 mod value;
+mod zonemap;
 
 pub use batch::{
     morsel_ranges, Batch, BatchColumn, BatchData, DEFAULT_BATCH_SIZE, DEFAULT_MORSEL_ROWS,
@@ -64,7 +66,9 @@ pub use column::{Column, ColumnData};
 pub use column_store::ColumnStore;
 pub use dictionary::Dictionary;
 pub use error::StorageError;
+pub use partition::{Partition, DEFAULT_PARTITION_ROWS};
 pub use row_store::RowStore;
 pub use schema::{ColumnDef, ColumnId, ColumnRole, ColumnStats, ColumnType, Schema};
 pub use table::{BoxedTable, StoreKind, Table};
 pub use value::{Cell, Value};
+pub use zonemap::{ColumnZone, ZoneBuilder, ZoneMatch};

@@ -15,6 +15,7 @@
 
 use crate::batch::{Batch, BatchColumn, Staging};
 use crate::dictionary::Dictionary;
+use crate::partition::Partition;
 use crate::schema::{ColumnId, ColumnStats, ColumnType, Schema};
 use crate::table::{StoreKind, Table};
 use crate::value::Cell;
@@ -30,6 +31,7 @@ pub struct RowStore {
     num_rows: usize,
     dictionaries: Vec<Option<Dictionary>>,
     stats: Vec<ColumnStats>,
+    partitions: Vec<Partition>,
 }
 
 impl RowStore {
@@ -40,9 +42,14 @@ impl RowStore {
         num_rows: usize,
         dictionaries: Vec<Option<Dictionary>>,
         stats: Vec<ColumnStats>,
+        partitions: Vec<Partition>,
     ) -> Self {
         let (stride, null_bytes) = Self::layout(&schema);
         debug_assert_eq!(data.len(), num_rows * stride);
+        debug_assert_eq!(
+            partitions.iter().map(Partition::len).sum::<usize>(),
+            num_rows
+        );
         RowStore {
             schema,
             data,
@@ -51,6 +58,7 @@ impl RowStore {
             num_rows,
             dictionaries,
             stats,
+            partitions,
         }
     }
 
@@ -108,6 +116,10 @@ impl Table for RowStore {
 
     fn stats(&self, col: ColumnId) -> &ColumnStats {
         &self.stats[col.index()]
+    }
+
+    fn partitions(&self) -> &[Partition] {
+        &self.partitions
     }
 
     fn cell(&self, row: usize, col: ColumnId) -> Cell {

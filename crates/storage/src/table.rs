@@ -8,6 +8,7 @@
 
 use crate::batch::{Batch, BatchColumn, Staging};
 use crate::dictionary::Dictionary;
+use crate::partition::Partition;
 use crate::schema::{ColumnId, ColumnStats, Schema};
 use crate::value::Cell;
 use std::ops::Range;
@@ -54,6 +55,41 @@ pub trait Table: Send + Sync {
 
     /// Build-time statistics for a column.
     fn stats(&self, col: ColumnId) -> &ColumnStats;
+
+    /// The table's partition directory: fixed-size row segments with
+    /// per-column zone maps, sealed during load. An empty slice means the
+    /// table carries no partition metadata — callers must then treat the
+    /// whole table as one unprunable segment (see
+    /// [`Table::partition_ranges`], which does exactly that).
+    fn partitions(&self) -> &[Partition] {
+        &[]
+    }
+
+    /// Partition-iterator view of a scan: intersects `range` (clamped to
+    /// the table) with the partition directory and yields one
+    /// `(partition_index, clipped_rows)` pair per overlapping partition,
+    /// in ascending row order. Tables without partition metadata yield a
+    /// single pseudo-segment covering the clamped range, whose index has
+    /// no corresponding [`Table::partitions`] entry.
+    fn partition_ranges(&self, range: Range<usize>) -> Vec<(usize, Range<usize>)> {
+        let start = range.start.min(self.num_rows());
+        let end = range.end.min(self.num_rows());
+        if start >= end {
+            return Vec::new();
+        }
+        let parts = self.partitions();
+        if parts.is_empty() {
+            return vec![(0, start..end)];
+        }
+        parts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let clipped = p.clip(&(start..end));
+                (!clipped.is_empty()).then_some((i, clipped))
+            })
+            .collect()
+    }
 
     /// Random access to a single cell (intended for tests and result
     /// labelling, not hot loops).
