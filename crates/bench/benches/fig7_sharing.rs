@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seedb_bench::{recommend, BENCH_SEED};
-use seedb_core::{ExecutionStrategy, SeeDbConfig};
+use seedb_core::{ExecutionStrategy, Knob, SeeDbConfig};
 use seedb_data::syn::{syn, SynConfig};
 use seedb_storage::StoreKind;
 
@@ -50,7 +50,7 @@ fn fig7b_parallelism(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
-        cfg.sharing.parallelism = threads;
+        cfg.sharing.parallelism = Knob::Fixed(threads);
         group.bench_with_input(BenchmarkId::new("threads", threads), &dataset, |b, ds| {
             b.iter(|| recommend(ds, &cfg))
         });
@@ -78,8 +78,8 @@ fn fig7c_morsels(c: &mut Criterion) {
         ("4Ki", 4 * 1024),
     ] {
         let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
-        cfg.sharing.parallelism = 8;
-        cfg.sharing.morsel_rows = morsel_rows;
+        cfg.sharing.parallelism = Knob::Fixed(8);
+        cfg.sharing.morsel_rows = Knob::Fixed(morsel_rows);
         group.bench_with_input(BenchmarkId::new("morsel", label), &dataset, |b, ds| {
             b.iter(|| recommend(ds, &cfg))
         });

@@ -129,8 +129,7 @@ fn morsel_scan_aggregate(c: &mut Criterion) {
                         dataset.table.as_ref(),
                         std::slice::from_ref(black_box(query)),
                         0..dataset.rows(),
-                        ExecMode::Vectorized,
-                        DEFAULT_MORSEL_ROWS,
+                        seedb_engine::ScanShape::new(ExecMode::Vectorized, DEFAULT_MORSEL_ROWS),
                     )
                 })
             });

@@ -10,14 +10,14 @@ use std::path::Path;
 
 use seedb_bench::{bench_dataset, recommend, time_ms, time_ms_prewarmed, BENCH_SEED};
 use seedb_core::{
-    accuracy_at_k, utility_distance, ExecMode, ExecutionStrategy, GroupingPolicy, PruningKind,
-    Recommendation, SeeDbConfig, SharingConfig,
+    accuracy_at_k, utility_distance, ExecMode, ExecutionStrategy, GroupingPolicy, Knob,
+    PruningKind, Recommendation, SeeDbConfig, SharingConfig,
 };
 use seedb_data::syn::{syn, SynConfig};
 use seedb_data::Dataset;
 use seedb_engine::{
     execute_combined_with_mode, execute_morsels, with_pool, AggFunc, AggSpec, CmpOp, CombinedQuery,
-    ExecStats, Predicate, SplitSpec,
+    ExecStats, Predicate, ScanShape, SplitSpec,
 };
 use seedb_storage::{ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
 use seedb_util::Json;
@@ -51,16 +51,26 @@ fn main() {
     emit(out, "engine_modes", engine_modes(runs, scale));
     emit(out, "morsels", morsels(runs, scale));
     emit(out, "partitions", partitions(runs, scale));
+    emit(out, "planner", planner(runs, scale));
     emit(out, "server", server_cache(runs, scale));
 }
 
-/// `morsel_rows` tag: numeric, or `"whole"` for the sentinel that disables
-/// intra-scan splitting.
-fn morsel_tag(morsel_rows: usize) -> Json {
-    if morsel_rows == usize::MAX {
-        Json::from("whole")
-    } else {
-        Json::from(morsel_rows as u64)
+/// `parallelism` tag: the pinned worker count, or `"auto"` when the
+/// planner chooses.
+fn parallelism_tag(knob: Knob) -> Json {
+    match knob.fixed_value() {
+        Some(n) => Json::from(n as u64),
+        None => Json::from("auto"),
+    }
+}
+
+/// `morsel_rows` tag: numeric, `"whole"` for the sentinel that disables
+/// intra-scan splitting, or `"auto"` when the planner chooses.
+fn morsel_tag(knob: Knob) -> Json {
+    match knob.fixed_value() {
+        Some(usize::MAX) => Json::from("whole"),
+        Some(n) => Json::from(n as u64),
+        None => Json::from("auto"),
     }
 }
 
@@ -94,7 +104,7 @@ fn measured_from(
     });
     Json::from(timing)
         .set("engine_mode", config.engine_mode.label())
-        .set("parallelism", config.sharing.parallelism as u64)
+        .set("parallelism", parallelism_tag(config.sharing.parallelism))
         .set("morsel_rows", morsel_tag(config.sharing.morsel_rows))
         .set("queries_issued", rec.stats.queries_issued)
         .set("rows_scanned", rec.stats.rows_scanned)
@@ -172,7 +182,7 @@ fn fig7(runs: usize, scale: usize) -> Vec<Json> {
     let par_ds = syn(&par_cfg, StoreKind::Column);
     for threads in [1usize, 2, 4, 8] {
         let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
-        cfg.sharing.parallelism = threads;
+        cfg.sharing.parallelism = Knob::Fixed(threads);
         results.push(
             Json::obj()
                 .set("sweep", "7b_parallelism")
@@ -311,7 +321,7 @@ fn engine_modes(runs: usize, scale: usize) -> Vec<Json> {
         let ds = bench_dataset(name, rows / scale, StoreKind::Column);
         for mode in ExecMode::ALL {
             let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
-            cfg.sharing.parallelism = 1;
+            cfg.sharing.parallelism = Knob::Fixed(1);
             cfg.engine_mode = mode;
             results.push(
                 Json::obj()
@@ -350,7 +360,7 @@ fn morsels(runs: usize, scale: usize) -> Vec<Json> {
     let mut min_by_threads = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let mut cfg = all_sharing.clone();
-        cfg.sharing.parallelism = threads;
+        cfg.sharing.parallelism = Knob::Fixed(threads);
         let timing = measured(&dataset, &cfg, runs);
         min_by_threads.push((
             threads,
@@ -390,8 +400,8 @@ fn morsels(runs: usize, scale: usize) -> Vec<Json> {
 
     for morsel_rows in [usize::MAX, 64 * 1024, 16 * 1024, 4 * 1024] {
         let mut cfg = all_sharing.clone();
-        cfg.sharing.parallelism = 8;
-        cfg.sharing.morsel_rows = morsel_rows;
+        cfg.sharing.parallelism = Knob::Fixed(8);
+        cfg.sharing.morsel_rows = Knob::Fixed(morsel_rows);
         results.push(
             Json::obj()
                 .set("sweep", "morsel_size_all_sharing")
@@ -471,11 +481,10 @@ fn partitions(runs: usize, scale: usize) -> Vec<Json> {
                         table.as_ref(),
                         std::slice::from_ref(&query),
                         0..table.num_rows(),
-                        ExecMode::Vectorized,
-                        partition_rows,
+                        ScanShape::new(ExecMode::Vectorized, partition_rows),
                     )
                 };
-                let stats = run()[0].1;
+                let stats = run()[0].1.clone();
                 let timing = time_ms((runs * 5).max(10), || {
                     std::hint::black_box(run());
                 });
@@ -505,6 +514,81 @@ fn partitions(runs: usize, scale: usize) -> Vec<Json> {
                 ),
         );
     }
+    results
+}
+
+/// Cost-based plan selection vs every fixed-knob configuration: the
+/// default `Auto` knobs (workers and morsel size chosen by the planner
+/// from table stats) against a worker × morsel grid of pinned knobs on
+/// the all-sharing configuration. The headline number is
+/// `speedup_planned_over_best_fixed` = min(best fixed) / min(planned),
+/// gated at ≥ 1.0 by `perf_smoke`: the planner must match the best hand
+/// tuning, because on this workload it derives (workers, morsel) that
+/// land on the same execution shape as the winning grid arm. Both sides
+/// ran on the same host seconds apart, so the ratio is
+/// machine-independent. The planned configuration is sampled once per
+/// fixed-grid sample (same total sample count as the whole grid) so its
+/// min is not noise-disadvantaged against a 12-arm grid's best draw.
+///
+/// The row count is NOT scaled down in --fast mode: the planner's worker
+/// choice saturates the host only once the estimated post-pruning volume
+/// covers `workers × DEFAULT_MORSEL_ROWS` rows, and shrinking the table
+/// would turn the comparison into "serial vs serial".
+fn planner(runs: usize, _scale: usize) -> Vec<Json> {
+    let syn_cfg = SynConfig {
+        rows: 140_000,
+        dims: 10,
+        measures: 5,
+        distinct: Some(10),
+        seed: BENCH_SEED,
+    };
+    let dataset = syn(&syn_cfg, StoreKind::Column);
+    let all_sharing = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
+    let mut results = Vec::new();
+
+    let mut grid = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        for morsel_rows in [usize::MAX, 16 * 1024, 4 * 1024] {
+            grid.push((workers, morsel_rows));
+        }
+    }
+    let mut best_fixed = f64::INFINITY;
+    for &(workers, morsel_rows) in &grid {
+        let mut cfg = all_sharing.clone();
+        cfg.sharing.parallelism = Knob::Fixed(workers);
+        cfg.sharing.morsel_rows = Knob::Fixed(morsel_rows);
+        let timing = measured(&dataset, &cfg, runs);
+        let min_ms = timing.get("min_ms").and_then(Json::as_num).unwrap_or(0.0);
+        best_fixed = best_fixed.min(min_ms);
+        results.push(
+            Json::obj()
+                .set("sweep", "fixed_grid")
+                .set("dataset", dataset.name.as_str())
+                .set("rows", dataset.rows())
+                .set("timing", timing),
+        );
+    }
+
+    let planned = measured(&dataset, &all_sharing, runs * grid.len());
+    let planned_min = planned.get("min_ms").and_then(Json::as_num).unwrap_or(0.0);
+    results.push(
+        Json::obj()
+            .set("sweep", "planned")
+            .set("dataset", dataset.name.as_str())
+            .set("rows", dataset.rows())
+            .set("timing", planned),
+    );
+    results.push(
+        Json::obj()
+            .set("sweep", "summary")
+            .set("dataset", dataset.name.as_str())
+            .set("rows", dataset.rows())
+            .set(
+                "host_parallelism",
+                seedb_engine::parallel::default_parallelism() as u64,
+            )
+            .set("speedup_planned_over_best_fixed", best_fixed / planned_min),
+    );
     results
 }
 

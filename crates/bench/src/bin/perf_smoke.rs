@@ -30,7 +30,9 @@
 //! `BENCH_partitions.json`, a 10%-selectivity scan over a partitioned
 //! value-sorted table must be ≥ 2× faster than the same scan with zone
 //! maps disabled (one whole-table partition), or partition pruning has
-//! stopped skipping cold partitions.
+//! stopped skipping cold partitions. From `BENCH_planner.json`, the
+//! cost-based planner's automatic knob choices must at least match the
+//! best fixed-knob configuration in its grid sweep (≥ 1.0×).
 
 use seedb_util::Json;
 use std::path::Path;
@@ -46,6 +48,13 @@ const SERVER_RATIO_GATES: [(&str, f64); 1] = [("speedup_warm_over_cold_pruned", 
 /// Absolute floors over the entries of `BENCH_partitions.json`: zone-map
 /// pruning must win ≥ 2× at 10% selectivity.
 const PARTITION_RATIO_GATES: [(&str, f64); 1] = [("speedup_pruned_over_full_sel10", 2.0)];
+
+/// Absolute floor over the entries of `BENCH_planner.json`: the
+/// cost-based planner's `Auto` knobs must at least match the best
+/// fixed-knob grid arm (≥ 1.0×) — if the cost model starts choosing a
+/// bad execution shape, planned latency falls behind hand tuning and the
+/// gate trips.
+const PLANNER_RATIO_GATES: [(&str, f64); 1] = [("speedup_planned_over_best_fixed", 1.0)];
 
 /// One comparable measurement: a stable identity string and its fastest
 /// observed latency.
@@ -162,6 +171,7 @@ fn main() -> ExitCode {
     let dir = Path::new(figures_dir);
     let mut gates_ok = check_ratios(dir, "BENCH_server.json", &SERVER_RATIO_GATES);
     gates_ok &= check_ratios(dir, "BENCH_partitions.json", &PARTITION_RATIO_GATES);
+    gates_ok &= check_ratios(dir, "BENCH_planner.json", &PLANNER_RATIO_GATES);
     if !gates_ok {
         return ExitCode::FAILURE;
     }

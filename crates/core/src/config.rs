@@ -98,6 +98,50 @@ pub enum GroupingPolicy {
     MaxGb(usize),
 }
 
+/// An execution-shape knob: either planner-resolved or pinned by the user.
+///
+/// `Auto` (the default) defers the choice to the cost-based planner, which
+/// resolves it at plan time from table/partition statistics and the host —
+/// so a serialized config carries no host-specific values and cache
+/// signatures stay stable across machines. `Fixed(n)` pins the knob,
+/// bypassing the planner for that dimension (benchmarks and equivalence
+/// sweeps use this to force specific shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Knob {
+    /// Resolved by the planner at plan time.
+    #[default]
+    Auto,
+    /// Pinned to an explicit value.
+    Fixed(usize),
+}
+
+impl Knob {
+    /// The pinned value, if any.
+    pub fn fixed_value(&self) -> Option<usize> {
+        match self {
+            Knob::Auto => None,
+            Knob::Fixed(n) => Some(*n),
+        }
+    }
+
+    /// Resolves the knob: the pinned value, or the planner's choice.
+    pub fn resolve(&self, auto: usize) -> usize {
+        match self {
+            Knob::Auto => auto,
+            Knob::Fixed(n) => *n,
+        }
+    }
+}
+
+impl std::fmt::Display for Knob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Knob::Auto => f.write_str("auto"),
+            Knob::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// Knobs for the §4.1 sharing optimizations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SharingConfig {
@@ -117,14 +161,17 @@ pub struct SharingConfig {
     /// Execute target and reference in one scan.
     pub combine_target_reference: bool,
     /// Number of pool workers executing `(cluster, morsel)` work items
-    /// concurrently (Fig 7b); 1 = serial.
-    pub parallelism: usize,
+    /// concurrently (Fig 7b). `Auto` lets the planner pick from the host's
+    /// parallelism and the estimated post-pruning row volume;
+    /// `Fixed(1)` = serial.
+    pub parallelism: Knob,
     /// Rows per morsel for intra-query parallelism. Every cluster scan is
     /// split into morsels of this many rows, so even a single bin-packed
     /// cluster parallelizes across all workers. Results are bit-identical
-    /// for every value (accumulators merge exactly); `usize::MAX` disables
-    /// splitting (one whole-range morsel per cluster scan).
-    pub morsel_rows: usize,
+    /// for every value (accumulators merge exactly); `Fixed(usize::MAX)`
+    /// disables splitting (one whole-range morsel per cluster scan).
+    /// `Auto` lets the planner size morsels from the estimated scan volume.
+    pub morsel_rows: Knob,
 }
 
 impl Default for SharingConfig {
@@ -136,8 +183,8 @@ impl Default for SharingConfig {
             grouping_policy: GroupingPolicy::BinPack,
             memory_budget: None,
             combine_target_reference: true,
-            parallelism: seedb_engine::parallel::default_parallelism(),
-            morsel_rows: seedb_engine::DEFAULT_MORSEL_ROWS,
+            parallelism: Knob::Auto,
+            morsel_rows: Knob::Auto,
         }
     }
 }
@@ -152,8 +199,8 @@ impl SharingConfig {
             grouping_policy: GroupingPolicy::BinPack,
             memory_budget: None,
             combine_target_reference: false,
-            parallelism: 1,
-            morsel_rows: seedb_engine::DEFAULT_MORSEL_ROWS,
+            parallelism: Knob::Fixed(1),
+            morsel_rows: Knob::Auto,
         }
     }
 
@@ -257,7 +304,20 @@ mod tests {
         assert_eq!(cfg.num_phases, 10);
         assert_eq!(cfg.agg_functions, vec![AggFunc::Avg]);
         assert_eq!(cfg.engine_mode, ExecMode::Vectorized);
-        assert_eq!(cfg.sharing.morsel_rows, seedb_engine::DEFAULT_MORSEL_ROWS);
+        // Shape knobs default to planner-resolved so serialized configs
+        // carry no host-specific values.
+        assert_eq!(cfg.sharing.parallelism, Knob::Auto);
+        assert_eq!(cfg.sharing.morsel_rows, Knob::Auto);
+    }
+
+    #[test]
+    fn knob_resolves_fixed_over_auto() {
+        assert_eq!(Knob::Auto.resolve(6), 6);
+        assert_eq!(Knob::Fixed(2).resolve(6), 2);
+        assert_eq!(Knob::Auto.fixed_value(), None);
+        assert_eq!(Knob::Fixed(8).fixed_value(), Some(8));
+        assert_eq!(Knob::Auto.to_string(), "auto");
+        assert_eq!(Knob::Fixed(4).to_string(), "4");
     }
 
     #[test]
@@ -291,7 +351,7 @@ mod tests {
         let cfg = SeeDbConfig::for_strategy(ExecutionStrategy::NoOpt);
         assert!(!cfg.sharing.combine_aggregates);
         assert!(!cfg.sharing.combine_target_reference);
-        assert_eq!(cfg.sharing.parallelism, 1);
+        assert_eq!(cfg.sharing.parallelism, Knob::Fixed(1));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::cache::CachedPartial;
 use crate::config::{ExecutionStrategy, PruningKind, SeeDbConfig};
 use crate::phase::phase_ranges;
+use crate::plan::PhysicalPlan;
 use crate::pruning::{make_pruner, ViewEstimate};
 use crate::reference::ReferenceSpec;
 use crate::state::{Side, ViewState};
@@ -138,59 +139,74 @@ impl<'a> Executor<'a> {
         Executor { table, config }
     }
 
+    /// Derives the physical plan this executor would run under — the same
+    /// derivation [`Executor::run`] performs, exposed for EXPLAIN.
+    pub fn plan(
+        &self,
+        views: &[ViewSpec],
+        target: &Predicate,
+        reference: &ReferenceSpec,
+    ) -> PhysicalPlan {
+        PhysicalPlan::derive(self.table, self.config, views, target, reference)
+    }
+
     /// Runs the configured strategy over `views`.
     ///
-    /// A single scoped worker pool ([`with_pool`]) lives for the whole run:
-    /// every phase's `(cluster, morsel)` work items execute on the same
-    /// workers instead of spawning fresh threads per phase.
+    /// A [`PhysicalPlan`] is derived first (stats-driven worker count,
+    /// morsel size, and index choice, with `Knob::Fixed` overrides
+    /// honored), then a single scoped worker pool ([`with_pool`]) lives for
+    /// the whole run: every phase's `(cluster, morsel)` work items execute
+    /// on the same workers instead of spawning fresh threads per phase.
     pub fn run(
         &self,
         views: &[ViewSpec],
         target: &Predicate,
         reference: &ReferenceSpec,
     ) -> ExecutionReport {
-        with_pool(self.config.sharing.parallelism, |pool| {
-            match self.config.strategy {
-                ExecutionStrategy::NoOpt => self.run_no_opt(pool, views, target, reference),
-                ExecutionStrategy::Sharing => {
-                    self.run_phased(
-                        pool,
-                        views,
-                        target,
-                        reference,
-                        1,
-                        PruningKind::None,
-                        false,
-                        None,
-                    )
-                    .report
-                }
-                ExecutionStrategy::Comb => {
-                    self.run_phased(
-                        pool,
-                        views,
-                        target,
-                        reference,
-                        self.config.num_phases,
-                        self.config.pruning,
-                        false,
-                        None,
-                    )
-                    .report
-                }
-                ExecutionStrategy::CombEarly => {
-                    self.run_phased(
-                        pool,
-                        views,
-                        target,
-                        reference,
-                        self.config.num_phases,
-                        self.config.pruning,
-                        true,
-                        None,
-                    )
-                    .report
-                }
+        let plan = self.plan(views, target, reference);
+        with_pool(plan.workers, |pool| match self.config.strategy {
+            ExecutionStrategy::NoOpt => self.run_no_opt(pool, &plan, views, target, reference),
+            ExecutionStrategy::Sharing => {
+                self.run_phased(
+                    pool,
+                    &plan,
+                    views,
+                    target,
+                    reference,
+                    1,
+                    PruningKind::None,
+                    false,
+                    None,
+                )
+                .report
+            }
+            ExecutionStrategy::Comb => {
+                self.run_phased(
+                    pool,
+                    &plan,
+                    views,
+                    target,
+                    reference,
+                    self.config.num_phases,
+                    self.config.pruning,
+                    false,
+                    None,
+                )
+                .report
+            }
+            ExecutionStrategy::CombEarly => {
+                self.run_phased(
+                    pool,
+                    &plan,
+                    views,
+                    target,
+                    reference,
+                    self.config.num_phases,
+                    self.config.pruning,
+                    true,
+                    None,
+                )
+                .report
             }
         })
     }
@@ -217,45 +233,47 @@ impl<'a> Executor<'a> {
         seeds: &[Option<Arc<CachedPartial>>],
     ) -> ResumableRun {
         debug_assert_eq!(seeds.len(), views.len());
-        with_pool(self.config.sharing.parallelism, |pool| {
-            match self.config.strategy {
-                ExecutionStrategy::NoOpt => ResumableRun {
-                    report: self.run_no_opt(pool, views, target, reference),
-                    deltas: vec![Vec::new(); views.len()],
-                    scanned_phases: vec![1; views.len()],
-                    total_phases: 1,
-                },
-                ExecutionStrategy::Sharing => self.run_phased(
-                    pool,
-                    views,
-                    target,
-                    reference,
-                    1,
-                    PruningKind::None,
-                    false,
-                    Some(seeds),
-                ),
-                ExecutionStrategy::Comb => self.run_phased(
-                    pool,
-                    views,
-                    target,
-                    reference,
-                    self.config.num_phases,
-                    self.config.pruning,
-                    false,
-                    Some(seeds),
-                ),
-                ExecutionStrategy::CombEarly => self.run_phased(
-                    pool,
-                    views,
-                    target,
-                    reference,
-                    self.config.num_phases,
-                    self.config.pruning,
-                    true,
-                    Some(seeds),
-                ),
-            }
+        let plan = self.plan(views, target, reference);
+        with_pool(plan.workers, |pool| match self.config.strategy {
+            ExecutionStrategy::NoOpt => ResumableRun {
+                report: self.run_no_opt(pool, &plan, views, target, reference),
+                deltas: vec![Vec::new(); views.len()],
+                scanned_phases: vec![1; views.len()],
+                total_phases: 1,
+            },
+            ExecutionStrategy::Sharing => self.run_phased(
+                pool,
+                &plan,
+                views,
+                target,
+                reference,
+                1,
+                PruningKind::None,
+                false,
+                Some(seeds),
+            ),
+            ExecutionStrategy::Comb => self.run_phased(
+                pool,
+                &plan,
+                views,
+                target,
+                reference,
+                self.config.num_phases,
+                self.config.pruning,
+                false,
+                Some(seeds),
+            ),
+            ExecutionStrategy::CombEarly => self.run_phased(
+                pool,
+                &plan,
+                views,
+                target,
+                reference,
+                self.config.num_phases,
+                self.config.pruning,
+                true,
+                Some(seeds),
+            ),
         })
     }
 
@@ -264,12 +282,14 @@ impl<'a> Executor<'a> {
     fn run_no_opt(
         &self,
         pool: &Pool<'_>,
+        plan: &PhysicalPlan,
         views: &[ViewSpec],
         target: &Predicate,
         reference: &ReferenceSpec,
     ) -> ExecutionReport {
         let start = Instant::now();
         let mut stats = ExecStats::new();
+        stats.plan_summary = plan.summary();
         let ref_pred = reference.reference_predicate(target);
         let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
 
@@ -288,8 +308,7 @@ impl<'a> Executor<'a> {
             self.table,
             &queries,
             0..self.table.num_rows(),
-            self.config.engine_mode,
-            self.config.sharing.morsel_rows,
+            plan.scan_shape(),
         );
         for (state, pair) in states.iter_mut().zip(results.chunks_exact(2)) {
             let [(t_result, t_stats), (r_result, r_stats)] = pair else {
@@ -301,6 +320,10 @@ impl<'a> Executor<'a> {
             state.merge_into_side(r_result, 0, Side::Reference);
         }
 
+        // NO_OPT is a single phase; its one timing slot is the whole scan.
+        stats
+            .phase_times_us
+            .push(start.elapsed().as_micros() as u64);
         ExecutionReport {
             states,
             stats,
@@ -321,6 +344,7 @@ impl<'a> Executor<'a> {
     fn run_phased(
         &self,
         pool: &Pool<'_>,
+        plan: &PhysicalPlan,
         views: &[ViewSpec],
         target: &Predicate,
         reference: &ReferenceSpec,
@@ -331,6 +355,7 @@ impl<'a> Executor<'a> {
     ) -> ResumableRun {
         let start = Instant::now();
         let mut stats = ExecStats::new();
+        stats.plan_summary = plan.summary();
         let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
         let mut pruner = make_pruner(pruning, self.config.delta, self.config.seed);
         // Only non-empty ranges are phases: an empty range would advance
@@ -363,6 +388,7 @@ impl<'a> Executor<'a> {
         let mut early_stopped = false;
 
         for (phase_idx, range) in ranges.iter().enumerate() {
+            let phase_start = Instant::now();
             // Replay cached deltas for participating views whose seed
             // covers this phase; they need no scan.
             for (i, state) in states.iter_mut().enumerate() {
@@ -418,14 +444,8 @@ impl<'a> Executor<'a> {
                     }
                 })
                 .collect();
-            let results = execute_morsels(
-                pool,
-                self.table,
-                &queries,
-                range.clone(),
-                self.config.engine_mode,
-                sharing.morsel_rows,
-            );
+            let results =
+                execute_morsels(pool, self.table, &queries, range.clone(), plan.scan_shape());
 
             // Per-view single-phase delta states, captured for the cache.
             let mut delta_states: Vec<Option<ViewState>> = vec![None; views.len()];
@@ -488,6 +508,9 @@ impl<'a> Executor<'a> {
             }
 
             phases_executed = phase_idx + 1;
+            stats
+                .phase_times_us
+                .push(phase_start.elapsed().as_micros() as u64);
 
             // Utility estimates for live, unaccepted views.
             let mut estimates = Vec::new();
@@ -660,7 +683,7 @@ fn roll_cluster<'a>(cluster: &Cluster, outs: &[&'a GroupedResult]) -> Vec<(usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SharingConfig;
+    use crate::config::{Knob, SharingConfig};
     use crate::view::enumerate_views;
     use seedb_engine::AggFunc;
     use seedb_metrics::DistanceKind;
@@ -764,7 +787,7 @@ mod tests {
         let (shared, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 combine_group_bys: false,
                 ..Default::default()
             },
@@ -790,7 +813,7 @@ mod tests {
                 let (shared, ..) = run_with(
                     ExecutionStrategy::Sharing,
                     SharingConfig {
-                        parallelism,
+                        parallelism: Knob::Fixed(parallelism),
                         combine_group_bys: combine_gb,
                         memory_budget: Some(10_000),
                         ..Default::default()
@@ -815,7 +838,7 @@ mod tests {
         let (combined, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::None,
@@ -824,7 +847,7 @@ mod tests {
         let (separate, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 combine_target_reference: false,
                 ..Default::default()
             },
@@ -848,7 +871,7 @@ mod tests {
         let (sharing, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::None,
@@ -857,7 +880,7 @@ mod tests {
         let (comb, ..) = run_with(
             ExecutionStrategy::Comb,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::None,
@@ -876,7 +899,7 @@ mod tests {
         let (no_pru, cfg, _) = run_with(
             ExecutionStrategy::Comb,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::None,
@@ -885,7 +908,7 @@ mod tests {
         let (ci, ..) = run_with(
             ExecutionStrategy::Comb,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::Ci,
@@ -908,7 +931,7 @@ mod tests {
         let (early, cfg, _) = run_with(
             ExecutionStrategy::CombEarly,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::Ci,
@@ -924,7 +947,7 @@ mod tests {
         let (row, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::None,
@@ -933,7 +956,7 @@ mod tests {
         let (col, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::None,
@@ -951,7 +974,7 @@ mod tests {
         let (capped, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 combine_group_bys: false,
                 max_aggregates_per_query: Some(1),
                 ..Default::default()
@@ -964,7 +987,7 @@ mod tests {
         let (uncapped, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 combine_group_bys: false,
                 ..Default::default()
             },
@@ -983,7 +1006,7 @@ mod tests {
         let (packed, ..) = run_with(
             ExecutionStrategy::Sharing,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 combine_group_bys: true,
                 memory_budget: Some(1_000_000),
                 ..Default::default()
@@ -1020,7 +1043,7 @@ mod tests {
         let table = b.build(StoreKind::Column).unwrap();
         let mut cfg = SeeDbConfig::default();
         cfg.strategy = ExecutionStrategy::Sharing;
-        cfg.sharing.parallelism = 1;
+        cfg.sharing.parallelism = Knob::Fixed(1);
         let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
         let target = Predicate::NumCmp {
             col: table.schema().column_id("clean").unwrap(),
@@ -1065,7 +1088,7 @@ mod tests {
         let (report, cfg, _) = run_with(
             ExecutionStrategy::CombEarly,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::Random,
@@ -1108,7 +1131,7 @@ mod tests {
                 let mut per_mode: Vec<Vec<f64>> = Vec::new();
                 for mode in seedb_engine::ExecMode::ALL {
                     let mut cfg = SeeDbConfig::for_strategy(strategy);
-                    cfg.sharing.parallelism = 1;
+                    cfg.sharing.parallelism = Knob::Fixed(1);
                     cfg.k = 3;
                     cfg.num_phases = 5;
                     cfg.engine_mode = mode;
@@ -1138,8 +1161,8 @@ mod tests {
                     for morsel_rows in [1usize, 7, 1024, usize::MAX] {
                         let table = test_table(kind);
                         let mut cfg = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
-                        cfg.sharing.parallelism = parallelism;
-                        cfg.sharing.morsel_rows = morsel_rows;
+                        cfg.sharing.parallelism = Knob::Fixed(parallelism);
+                        cfg.sharing.morsel_rows = Knob::Fixed(morsel_rows);
                         cfg.sharing.memory_budget = Some(1_000_000);
                         cfg.engine_mode = mode;
                         let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
@@ -1171,8 +1194,8 @@ mod tests {
         let (parallel, ..) = run_with(
             ExecutionStrategy::NoOpt,
             SharingConfig {
-                parallelism: 8,
-                morsel_rows: 64,
+                parallelism: Knob::Fixed(8),
+                morsel_rows: Knob::Fixed(64),
                 ..SharingConfig::none()
             },
             PruningKind::None,
@@ -1202,7 +1225,7 @@ mod tests {
             let mut cfg = SeeDbConfig::default();
             cfg.strategy = ExecutionStrategy::Comb;
             cfg.pruning = PruningKind::Ci;
-            cfg.sharing.parallelism = 1;
+            cfg.sharing.parallelism = Knob::Fixed(1);
             cfg.num_phases = phases;
             cfg.k = 1;
             let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
@@ -1223,11 +1246,66 @@ mod tests {
     }
 
     #[test]
+    fn phase_timings_and_plan_summary_are_recorded() {
+        // Auto knobs: the planner resolves the shape, and the executor
+        // records one timing slot per executed phase plus the plan summary.
+        let (report, ..) = run_with(
+            ExecutionStrategy::Comb,
+            SharingConfig::default(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        assert_eq!(report.phases_executed, 5);
+        assert_eq!(report.stats.phase_times_us.len(), 5);
+        assert!(
+            report.stats.plan_summary.contains("workers=1(auto)"),
+            "400 rows is below the parallel threshold: {}",
+            report.stats.plan_summary
+        );
+
+        let (no_opt, ..) = run_with(
+            ExecutionStrategy::NoOpt,
+            SharingConfig::none(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        assert_eq!(no_opt.stats.phase_times_us.len(), 1);
+        assert!(no_opt.stats.plan_summary.contains("workers=1(fixed)"));
+    }
+
+    #[test]
+    fn auto_planned_run_matches_fixed_knob_runs() {
+        let (auto, ..) = run_with(
+            ExecutionStrategy::Sharing,
+            SharingConfig::default(),
+            PruningKind::None,
+            StoreKind::Column,
+        );
+        for (parallelism, morsel_rows) in [(1, usize::MAX), (2, 64), (8, 1024)] {
+            let (fixed, ..) = run_with(
+                ExecutionStrategy::Sharing,
+                SharingConfig {
+                    parallelism: Knob::Fixed(parallelism),
+                    morsel_rows: Knob::Fixed(morsel_rows),
+                    ..Default::default()
+                },
+                PruningKind::None,
+                StoreKind::Column,
+            );
+            assert_eq!(
+                utilities(&auto),
+                utilities(&fixed),
+                "plan choice changed results: par={parallelism} morsel={morsel_rows}"
+            );
+        }
+    }
+
+    #[test]
     fn random_pruning_scans_less_than_everything() {
         let (random, cfg, _) = run_with(
             ExecutionStrategy::CombEarly,
             SharingConfig {
-                parallelism: 1,
+                parallelism: Knob::Fixed(1),
                 ..Default::default()
             },
             PruningKind::Random,

@@ -49,6 +49,7 @@ pub mod config;
 pub mod error;
 pub mod executor;
 pub mod phase;
+pub mod plan;
 pub mod pruning;
 pub mod quality;
 pub mod reference;
@@ -58,10 +59,13 @@ pub mod state;
 pub mod view;
 
 pub use cache::{CacheUse, CachedPartial, Exactness, MemoryViewCache, ViewCache};
-pub use config::{ExecutionStrategy, GroupingPolicy, PruningKind, SeeDbConfig, SharingConfig};
+pub use config::{
+    ExecutionStrategy, GroupingPolicy, Knob, PruningKind, SeeDbConfig, SharingConfig,
+};
 pub use error::CoreError;
 pub use executor::{ExecutionReport, Executor, ResumableRun};
 pub use phase::{effective_phases, phase_ranges};
+pub use plan::PhysicalPlan;
 pub use quality::{accuracy_at_k, utility_distance};
 pub use reference::ReferenceSpec;
 pub use seedb::{RankedView, Recommendation, SeeDb};

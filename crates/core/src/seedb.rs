@@ -88,6 +88,13 @@ impl SeeDb {
         enumerate_views(self.table.as_ref(), &self.config.agg_functions)
     }
 
+    /// The physical plan [`SeeDb::recommend`] would execute under —
+    /// EXPLAIN without running the query.
+    pub fn plan(&self, target: &Predicate, reference: &ReferenceSpec) -> crate::plan::PhysicalPlan {
+        let views = self.views();
+        Executor::new(self.table.as_ref(), &self.config).plan(&views, target, reference)
+    }
+
     /// Recommends the top-k views for target selection `target` against the
     /// given reference.
     pub fn recommend(

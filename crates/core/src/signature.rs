@@ -340,8 +340,8 @@ mod tests {
         let base = SeeDbConfig::for_strategy(ExecutionStrategy::Sharing);
         let mut same = base.clone();
         same.engine_mode = seedb_engine::ExecMode::Scalar;
-        same.sharing.parallelism = 7;
-        same.sharing.morsel_rows = 13;
+        same.sharing.parallelism = crate::Knob::Fixed(7);
+        same.sharing.morsel_rows = crate::Knob::Fixed(13);
         assert_eq!(base.result_signature(), same.result_signature());
         // Pruning knobs are irrelevant for SHARING…
         let mut pruning_changed = base.clone();

@@ -39,8 +39,11 @@ use std::ops::Range;
 /// Largest dictionary cardinality for which the vectorized path uses the
 /// dense dictionary-direct group index. Beyond this (64 Ki distinct
 /// values), a mostly-empty dense table would waste more cache than the
-/// hash probes it avoids, so the engine falls back to hashing.
-pub const DENSE_CARDINALITY_MAX: usize = 1 << 16;
+/// hash probes it avoids, so the engine falls back to hashing. The
+/// decision rule itself lives in [`crate::cost::choose_group_index`] so
+/// the planner's EXPLAIN output reports the engine's literal choice.
+pub use crate::cost::DENSE_CARDINALITY_MAX;
+use crate::cost::{group_index_for, GroupIndexKind};
 
 /// Split predicates bound to projection slots.
 // Variant names deliberately mirror the public `SplitSpec` they are
@@ -365,32 +368,34 @@ impl PartialAggregation {
         if !matches!(self.dense, DenseIndex::Undecided) {
             return;
         }
-        self.dense = if self.group_slots.len() == 1 {
-            match table.dictionary(self.query.group_by[0]) {
-                Some(d) if d.len() <= DENSE_CARDINALITY_MAX => DenseIndex::Single {
+        // The dense-vs-hash decision is the cost model's — the planner
+        // calls the same function, so EXPLAIN can never disagree with what
+        // actually runs. This method only materializes the chosen index.
+        self.dense = match group_index_for(table, &self.query.group_by) {
+            GroupIndexKind::DenseSingle => {
+                let d = table
+                    .dictionary(self.query.group_by[0])
+                    .expect("DenseSingle implies a dictionary");
+                DenseIndex::Single {
                     // Slot 0 is the NULL group; code c maps to slot c + 1.
                     slots: vec![0; d.len() + 1],
-                },
-                _ => DenseIndex::Disabled,
-            }
-        } else {
-            let mut bases = Vec::with_capacity(self.group_slots.len());
-            let mut domain: u128 = 1;
-            for &col in &self.query.group_by {
-                match table.dictionary(col) {
-                    Some(d) => {
-                        let base = d.len() as u64 + 1; // + NULL slot
-                        domain = domain.saturating_mul(base as u128);
-                        bases.push(base);
-                    }
-                    None => {
-                        domain = u128::MAX;
-                        break;
-                    }
                 }
             }
-            if domain <= DENSE_CARDINALITY_MAX as u128 + 1 {
-                // Last attribute varies fastest (row-major radix layout).
+            GroupIndexKind::DenseComposite => {
+                let bases: Vec<u64> = self
+                    .query
+                    .group_by
+                    .iter()
+                    .map(|&col| {
+                        table
+                            .dictionary(col)
+                            .expect("DenseComposite implies dictionaries")
+                            .len() as u64
+                            + 1 // + NULL slot
+                    })
+                    .collect();
+                // Last attribute varies fastest (row-major radix layout);
+                // the final stride is the full domain Π (|aᵢ| + 1).
                 let mut dims = vec![RadixDim { base: 0, stride: 0 }; bases.len()];
                 let mut stride = 1u64;
                 for (i, &base) in bases.iter().enumerate().rev() {
@@ -398,12 +403,11 @@ impl PartialAggregation {
                     stride *= base;
                 }
                 DenseIndex::Composite {
-                    slots: vec![0; domain as usize],
+                    slots: vec![0; stride as usize],
                     dims,
                 }
-            } else {
-                DenseIndex::Disabled
             }
+            GroupIndexKind::Hash => DenseIndex::Disabled,
         };
     }
 

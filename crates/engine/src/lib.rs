@@ -38,6 +38,7 @@
 
 pub mod agg;
 pub mod binpack;
+pub mod cost;
 pub mod expr;
 pub mod groupkey;
 pub mod hashagg;
@@ -50,6 +51,10 @@ pub mod stats;
 
 pub use agg::{Accumulator, AggFunc};
 pub use binpack::{first_fit, first_fit_decreasing, GroupingPlan};
+pub use cost::{
+    choose_group_index, choose_morsel_rows, choose_workers, estimate_scan, group_index_for,
+    GroupIndexKind, ScanEstimate, ScanShape, PARALLEL_ROWS_MIN,
+};
 pub use expr::{BoundPredicate, CmpOp, Predicate};
 pub use groupkey::GroupKey;
 pub use hashagg::{

@@ -21,11 +21,12 @@
 //! to a serial unpartitioned scan of the same range, for every
 //! `(worker count, morsel size, partition size)` combination.
 
+use crate::cost::ScanShape;
 use crate::parallel::Pool;
 use crate::prune::{pruned_scan, PrunedScan};
 use crate::spec::CombinedQuery;
 use crate::stats::ExecStats;
-use crate::{ExecMode, GroupedResult, PartialAggregation};
+use crate::{GroupedResult, PartialAggregation};
 use seedb_storage::Table;
 use std::ops::Range;
 use std::sync::Mutex;
@@ -44,12 +45,15 @@ struct WorkerPartial {
 
 /// Executes every query in `queries` over rows `range` of `table`,
 /// morsel-parallel across `pool`, returning one `(result, stats)` pair per
-/// query in input order. Each query's scan is planned independently:
-/// partitions whose zone maps prove the query can match no row are pruned
-/// up front (tallied in `partitions_pruned`), and the survivors are carved
-/// into partition-aligned morsels. Results are bit-identical to running
-/// each query serially over the same range without partitioning,
-/// regardless of pool size, `morsel_rows`, or the table's partition size.
+/// query in input order. The scan's physical shape — execution mode and
+/// morsel size — comes in as a [`ScanShape`], the engine-facing slice of
+/// the planner's physical plan. Each query's scan is planned
+/// independently: partitions whose zone maps prove the query can match no
+/// row are pruned up front (tallied in `partitions_pruned`), and the
+/// survivors are carved into partition-aligned morsels. Results are
+/// bit-identical to running each query serially over the same range
+/// without partitioning, regardless of pool size, morsel size, or the
+/// table's partition size.
 ///
 /// Each query counts as one issued query in its stats; `scan_passes`
 /// reflects the number of morsel scans.
@@ -58,8 +62,7 @@ pub fn execute_morsels(
     table: &dyn Table,
     queries: &[CombinedQuery],
     range: Range<usize>,
-    mode: ExecMode,
-    morsel_rows: usize,
+    shape: ScanShape,
 ) -> Vec<(GroupedResult, ExecStats)> {
     let n_jobs = queries.len();
     if n_jobs == 0 {
@@ -72,7 +75,7 @@ pub fn execute_morsels(
     // job j's items.
     let plans: Vec<PrunedScan> = queries
         .iter()
-        .map(|q| pruned_scan(table, q, range.clone(), morsel_rows))
+        .map(|q| pruned_scan(table, q, range.clone(), shape.morsel_rows))
         .collect();
     let mut job_offsets = Vec::with_capacity(n_jobs + 1);
     job_offsets.push(0usize);
@@ -103,7 +106,7 @@ pub fn execute_morsels(
         let mut slots = locals[worker].lock().expect("worker slot poisoned");
         let partial = slots[job].get_or_insert_with(|| WorkerPartial {
             first_item: item,
-            agg: PartialAggregation::with_mode(queries[job].clone(), mode),
+            agg: PartialAggregation::with_mode(queries[job].clone(), shape.mode),
             stats: ExecStats::new(),
         });
         partial
@@ -132,7 +135,7 @@ pub fn execute_morsels(
                 // Empty range, or every partition pruned: an untouched plan
                 // finalizes to the empty result — exactly what a serial
                 // scan of rows that never create a group entry produces.
-                None => PartialAggregation::with_mode(queries[job].clone(), mode),
+                None => PartialAggregation::with_mode(queries[job].clone(), shape.mode),
                 Some(first) => {
                     stats.merge(&first.stats);
                     let mut base = first.agg;
@@ -157,6 +160,7 @@ mod tests {
     use crate::expr::{CmpOp, Predicate};
     use crate::parallel::with_pool;
     use crate::spec::{AggSpec, SplitSpec};
+    use crate::ExecMode;
     use seedb_storage::{BoxedTable, ColumnDef, ColumnId, StoreKind, TableBuilder, Value};
 
     fn table(rows: usize) -> BoxedTable {
@@ -219,8 +223,7 @@ mod tests {
                         t.as_ref(),
                         &qs,
                         0..t.num_rows(),
-                        ExecMode::Vectorized,
-                        morsel,
+                        ScanShape::new(ExecMode::Vectorized, morsel),
                     )
                 });
                 assert_eq!(got.len(), serial.len());
@@ -243,7 +246,13 @@ mod tests {
         let t = table(10);
         let qs = queries(t.as_ref());
         let got = with_pool(4, |pool| {
-            execute_morsels(pool, t.as_ref(), &qs, 5..5, ExecMode::Vectorized, 2)
+            execute_morsels(
+                pool,
+                t.as_ref(),
+                &qs,
+                5..5,
+                ScanShape::new(ExecMode::Vectorized, 2),
+            )
         });
         assert_eq!(got.len(), 2);
         for (result, stats) in &got {
@@ -257,7 +266,13 @@ mod tests {
     fn no_queries_is_fine() {
         let t = table(10);
         let got = with_pool(2, |pool| {
-            execute_morsels(pool, t.as_ref(), &[], 0..10, ExecMode::Vectorized, 4)
+            execute_morsels(
+                pool,
+                t.as_ref(),
+                &[],
+                0..10,
+                ScanShape::new(ExecMode::Vectorized, 4),
+            )
         });
         assert!(got.is_empty());
     }
@@ -267,10 +282,22 @@ mod tests {
         let t = table(333);
         let qs = queries(t.as_ref());
         let a = with_pool(4, |pool| {
-            execute_morsels(pool, t.as_ref(), &qs, 0..333, ExecMode::Scalar, 50)
+            execute_morsels(
+                pool,
+                t.as_ref(),
+                &qs,
+                0..333,
+                ScanShape::new(ExecMode::Scalar, 50),
+            )
         });
         let b = with_pool(3, |pool| {
-            execute_morsels(pool, t.as_ref(), &qs, 0..333, ExecMode::Vectorized, 128)
+            execute_morsels(
+                pool,
+                t.as_ref(),
+                &qs,
+                0..333,
+                ScanShape::new(ExecMode::Vectorized, 128),
+            )
         });
         for ((ra, _), (rb, _)) in a.iter().zip(&b) {
             for (ga, gb) in ra.groups.iter().zip(&rb.groups) {
@@ -326,8 +353,7 @@ mod tests {
                         t.as_ref(),
                         std::slice::from_ref(&q),
                         0..t.num_rows(),
-                        mode,
-                        64,
+                        ScanShape::new(mode, 64),
                     )
                 });
                 let (result, stats) = &got[0];
@@ -372,8 +398,7 @@ mod tests {
                 t.as_ref(),
                 std::slice::from_ref(&q),
                 0..t.num_rows(),
-                ExecMode::Vectorized,
-                4,
+                ScanShape::new(ExecMode::Vectorized, 4),
             )
         });
         let (result, stats) = &got[0];

@@ -10,8 +10,14 @@
 use std::fmt;
 use std::ops::AddAssign;
 
-/// Counters accumulated during query execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters accumulated during query execution, plus per-run profiling
+/// (phase wall-clock timings and the executed plan's summary).
+///
+/// Equality deliberately compares **only the seven work counters** — the
+/// profiling fields are wall-clock/host-dependent, and the bit-identity
+/// suites (cached vs uncached, planned vs fixed-knob) must not fail on
+/// timing noise or plan-summary differences.
+#[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// Number of engine queries issued (paper: SQL queries sent to the DBMS).
     pub queries_issued: u64,
@@ -30,6 +36,12 @@ pub struct ExecStats {
     /// Storage partitions skipped because zone maps proved no row could
     /// contribute to the query.
     pub partitions_pruned: u64,
+    /// Wall-clock microseconds per executed phase (empty for runs the
+    /// phased executor never timed, e.g. cache replays).
+    pub phase_times_us: Vec<u64>,
+    /// One-line summary of the physical plan this run executed under
+    /// (empty when no planner was involved).
+    pub plan_summary: String,
 }
 
 impl ExecStats {
@@ -39,7 +51,8 @@ impl ExecStats {
     }
 
     /// Merges counters from a sub-execution (parallel workers each keep
-    /// their own and merge at the end).
+    /// their own and merge at the end). Phase timings concatenate;
+    /// `plan_summary` keeps the receiver's value unless it is empty.
     pub fn merge(&mut self, other: &ExecStats) {
         self.queries_issued += other.queries_issued;
         self.scan_passes += other.scan_passes;
@@ -48,8 +61,28 @@ impl ExecStats {
         self.groups_max = self.groups_max.max(other.groups_max);
         self.partitions_scanned += other.partitions_scanned;
         self.partitions_pruned += other.partitions_pruned;
+        self.phase_times_us.extend_from_slice(&other.phase_times_us);
+        if self.plan_summary.is_empty() {
+            self.plan_summary = other.plan_summary.clone();
+        }
     }
 }
+
+// Manual: work counters only (see the struct docs for why profiling
+// fields are excluded).
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.queries_issued == other.queries_issued
+            && self.scan_passes == other.scan_passes
+            && self.rows_scanned == other.rows_scanned
+            && self.cells_visited == other.cells_visited
+            && self.groups_max == other.groups_max
+            && self.partitions_scanned == other.partitions_scanned
+            && self.partitions_pruned == other.partitions_pruned
+    }
+}
+
+impl Eq for ExecStats {}
 
 impl AddAssign for ExecStats {
     fn add_assign(&mut self, rhs: ExecStats) {
@@ -87,6 +120,7 @@ mod tests {
             groups_max: 10,
             partitions_scanned: 3,
             partitions_pruned: 1,
+            ..Default::default()
         };
         let b = ExecStats {
             queries_issued: 2,
@@ -96,6 +130,7 @@ mod tests {
             groups_max: 25,
             partitions_scanned: 2,
             partitions_pruned: 6,
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.queries_issued, 3);
@@ -118,6 +153,30 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_profiling_fields() {
+        let mut a = ExecStats {
+            queries_issued: 3,
+            rows_scanned: 10,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.phase_times_us = vec![1, 2, 3];
+        b.plan_summary = "workers=1".to_owned();
+        assert_eq!(a, b);
+        b.rows_scanned = 11;
+        assert_ne!(a, b);
+        // Merge concatenates timings and keeps the first non-empty summary.
+        a.phase_times_us = vec![9];
+        a.merge(&ExecStats {
+            phase_times_us: vec![1, 2, 3],
+            plan_summary: "workers=1".to_owned(),
+            ..Default::default()
+        });
+        assert_eq!(a.phase_times_us, vec![9, 1, 2, 3]);
+        assert_eq!(a.plan_summary, "workers=1");
+    }
+
+    #[test]
     fn display_mentions_all_counters() {
         let s = ExecStats {
             queries_issued: 1,
@@ -127,6 +186,7 @@ mod tests {
             groups_max: 5,
             partitions_scanned: 6,
             partitions_pruned: 7,
+            ..Default::default()
         }
         .to_string();
         for token in [

@@ -18,7 +18,8 @@
 use proptest::prelude::*;
 use seedb_engine::{
     contribution_predicate, execute_morsels, with_pool, zone_match, AggFunc, AggSpec, CmpOp,
-    CombinedQuery, ExecMode, ExecStats, GroupedResult, PartialAggregation, Predicate, SplitSpec,
+    CombinedQuery, ExecMode, ExecStats, GroupedResult, PartialAggregation, Predicate, ScanShape,
+    SplitSpec,
 };
 use seedb_storage::{
     BoxedTable, Cell, ColumnDef, ColumnId, ColumnRole, ColumnType, StoreKind, TableBuilder, Value,
@@ -267,8 +268,7 @@ proptest! {
                         t.as_ref(),
                         std::slice::from_ref(&query),
                         0..t.num_rows(),
-                        ExecMode::Vectorized,
-                        64,
+                        ScanShape::new(ExecMode::Vectorized, 64),
                     )
                 });
                 let (result, stats) = &got[0];

@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use seedb_engine::{
     execute_morsels, with_pool, AggFunc, AggSpec, CmpOp, CombinedQuery, ExecMode, ExecStats,
-    GroupedResult, PartialAggregation, Predicate, SplitSpec,
+    GroupedResult, PartialAggregation, Predicate, ScanShape, SplitSpec,
 };
 use seedb_storage::{
     BoxedTable, ColumnDef, ColumnId, ColumnRole, ColumnType, StoreKind, TableBuilder, Value,
@@ -261,8 +261,7 @@ proptest! {
                                 t.as_ref(),
                                 std::slice::from_ref(&query),
                                 0..t.num_rows(),
-                                ExecMode::Vectorized,
-                                morsel_rows,
+                                ScanShape::new(ExecMode::Vectorized, morsel_rows),
                             )
                             .pop()
                             .expect("one query in, one result out")

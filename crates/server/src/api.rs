@@ -43,6 +43,10 @@ pub struct RecommendRequest {
     pub reference: String,
     /// Cache disposition override (`"cache_mode"`: `"auto"`/`"bypass"`).
     pub cache_mode: CacheMode,
+    /// EXPLAIN: when true the response envelope carries the chosen
+    /// physical plan, per-phase timings, and pruning counters. Purely
+    /// additive — it never changes what is computed or cached.
+    pub explain: bool,
     /// Result-affecting config overrides applied over the server default.
     pub config: SeeDbConfig,
 }
@@ -90,6 +94,10 @@ impl RecommendRequest {
                 }
             },
         };
+        let explain = match doc.get("explain") {
+            None | Some(Json::Null) => false,
+            Some(v) => v.as_bool().ok_or("'explain' must be a boolean")?,
+        };
 
         let mut config = default_config();
         if let Some(v) = doc.get("k") {
@@ -136,6 +144,7 @@ impl RecommendRequest {
             where_sql,
             reference,
             cache_mode,
+            explain,
             config,
         })
     }
@@ -275,6 +284,17 @@ mod tests {
         let err = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "cache_mode": "maybe"}"#)
             .unwrap_err();
         assert!(err.contains("cache_mode"), "{err}");
+    }
+
+    #[test]
+    fn parses_explain_flag() {
+        let r = RecommendRequest::from_json(r#"{"dataset": "CENSUS"}"#).unwrap();
+        assert!(!r.explain);
+        let r = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "explain": true}"#).unwrap();
+        assert!(r.explain);
+        let err =
+            RecommendRequest::from_json(r#"{"dataset": "CENSUS", "explain": "yes"}"#).unwrap_err();
+        assert!(err.contains("explain"), "{err}");
     }
 
     #[test]

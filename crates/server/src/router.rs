@@ -6,9 +6,9 @@ use crate::catalog::Catalog;
 use crate::http::{Request, Response};
 use seedb_core::{
     ingested_instance_signature, instance_signature, predicate_signature, reference_signature,
-    ReferenceSpec, SeeDb,
+    Knob, PhysicalPlan, ReferenceSpec, SeeDb, SeeDbConfig,
 };
-use seedb_engine::{Predicate, WorkerBudget};
+use seedb_engine::{BudgetLease, ExecStats, Predicate, WorkerBudget};
 use seedb_sql::{parser::parse_expr, Planner};
 use seedb_util::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +40,10 @@ pub struct ServerStats {
     /// Cumulative latency of bypassed recommends, microseconds — kept out
     /// of `miss_us_total` so the derived mean miss latency stays honest.
     pub bypass_us_total: AtomicU64,
+    /// Plan summary and per-phase timings of the most recent engine run
+    /// (cache hits don't execute, so they don't overwrite it). Surfaced
+    /// at `GET /statz` as the operator's view of what the planner chose.
+    pub last_run: std::sync::Mutex<(String, Vec<u64>)>,
 }
 
 /// Everything a request handler needs, shared across connections.
@@ -85,6 +89,7 @@ fn statz(state: &AppState) -> Response {
     let s = &state.stats;
     let c = state.cache.stats();
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let last_run = s.last_run.lock().expect("stats lock poisoned").clone();
     Response::json(
         Json::obj()
             .set("requests", load(&s.requests))
@@ -98,7 +103,16 @@ fn statz(state: &AppState) -> Response {
                     .set("bypass", load(&s.response_bypass))
                     .set("hit_us_total", load(&s.hit_us_total))
                     .set("miss_us_total", load(&s.miss_us_total))
-                    .set("bypass_us_total", load(&s.bypass_us_total)),
+                    .set("bypass_us_total", load(&s.bypass_us_total))
+                    .set("last_plan_summary", last_run.0.as_str())
+                    .set(
+                        "last_phase_times_us",
+                        last_run
+                            .1
+                            .iter()
+                            .map(|&t| Json::from(t))
+                            .collect::<Vec<_>>(),
+                    ),
             )
             .set(
                 "cache",
@@ -226,18 +240,21 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
 
     // Operator-requested bypass: run the engine directly, cache nothing.
     if parsed.cache_mode == api::CacheMode::Bypass {
-        let mut config = parsed.config.clone();
-        let lease = state.budget.lease(config.sharing.parallelism);
-        config.sharing.parallelism = lease.granted();
+        let (config, plan, lease) =
+            plan_and_lease(state, &dataset, &parsed.config, &target, &reference);
         let seedb = SeeDb::with_config(dataset.table.clone(), config);
         let rec = seedb
             .recommend(&target, &reference)
             .map_err(|e| Response::error(400, &e.to_string()))?;
         drop(lease);
+        record_last_run(state, &rec.stats);
         let payload = api::render_recommendation(&dataset, &rec).compact();
         let us = start.elapsed().as_micros() as u64;
         state.stats.response_bypass.fetch_add(1, Ordering::Relaxed);
         state.stats.bypass_us_total.fetch_add(us, Ordering::Relaxed);
+        let explain = parsed
+            .explain
+            .then(|| explain_fragment(&plan, Some(&rec.stats)));
         return Ok(Response::json(envelope(
             &payload,
             &where_desc,
@@ -245,11 +262,18 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             0,
             0,
             0,
+            explain.as_deref(),
             us,
         )));
     }
 
     if let Some(CacheValue::Response(payload)) = state.cache.get(&response_key) {
+        // A hit executes nothing, so EXPLAIN re-derives the plan this
+        // request *would* run under and reports empty phase timings.
+        let explain = parsed.explain.then(|| {
+            let seedb = SeeDb::with_config(dataset.table.clone(), parsed.config.clone());
+            explain_fragment(&seedb.plan(&target, &reference), None)
+        });
         let us = start.elapsed().as_micros() as u64;
         state.stats.response_hits.fetch_add(1, Ordering::Relaxed);
         state.stats.hit_us_total.fetch_add(us, Ordering::Relaxed);
@@ -260,15 +284,17 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             0,
             0,
             0,
+            explain.as_deref(),
             us,
         )));
     }
 
     // Admission: lease worker slots so concurrent requests share the
-    // machine's morsel workers instead of each spawning a full pool.
-    let mut config = parsed.config.clone();
-    let lease = state.budget.lease(config.sharing.parallelism);
-    config.sharing.parallelism = lease.granted();
+    // machine's morsel workers instead of each spawning a full pool. The
+    // lease request is the *planned* worker count — a small or heavily
+    // pruned query asks for 1 slot, not the whole machine.
+    let (config, plan, lease) =
+        plan_and_lease(state, &dataset, &parsed.config, &target, &reference);
 
     let partials = PartialCache::new(state.cache.clone(), instance.clone());
     let seedb = SeeDb::with_config(dataset.table.clone(), config);
@@ -276,6 +302,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
         .recommend_cached(&target, &reference, &partials)
         .map_err(|e| Response::error(400, &e.to_string()))?;
     drop(lease);
+    record_last_run(state, &rec.stats);
 
     let payload = api::render_recommendation(&dataset, &rec).compact();
     let us = start.elapsed().as_micros() as u64;
@@ -300,6 +327,9 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             "miss"
         }
     };
+    let explain = parsed
+        .explain
+        .then(|| explain_fragment(&plan, Some(&rec.stats)));
     Ok(Response::json(envelope(
         &payload,
         &where_desc,
@@ -307,8 +337,64 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
         usage.hits as u64,
         usage.misses as u64,
         usage.resumed as u64,
+        explain.as_deref(),
         us,
     )))
+}
+
+/// Derives the physical plan for `requested`, leases worker slots for its
+/// planned parallelism, and pins the granted count into the config the
+/// engine will actually run. When admission trims the grant below the
+/// plan's choice, the plan is re-derived at the granted width so EXPLAIN
+/// reports the shape that executes (morsel sizing tracks worker count) —
+/// while keeping the knob provenance of the original request.
+fn plan_and_lease<'a>(
+    state: &'a AppState,
+    dataset: &seedb_data::Dataset,
+    requested: &SeeDbConfig,
+    target: &Predicate,
+    reference: &ReferenceSpec,
+) -> (SeeDbConfig, PhysicalPlan, BudgetLease<'a>) {
+    let mut plan =
+        SeeDb::with_config(dataset.table.clone(), requested.clone()).plan(target, reference);
+    let lease = state.budget.lease(plan.workers);
+    let mut config = requested.clone();
+    config.sharing.parallelism = Knob::Fixed(lease.granted());
+    if lease.granted() != plan.workers {
+        let workers_auto = plan.workers_auto;
+        plan = SeeDb::with_config(dataset.table.clone(), config.clone()).plan(target, reference);
+        plan.workers_auto = workers_auto;
+    }
+    (config, plan, lease)
+}
+
+/// Records the executed plan summary and phase timings for `/statz`.
+fn record_last_run(state: &AppState, stats: &ExecStats) {
+    let mut last = state.stats.last_run.lock().expect("stats lock poisoned");
+    *last = (stats.plan_summary.clone(), stats.phase_times_us.clone());
+}
+
+/// Renders the EXPLAIN fragment: the chosen plan plus, for runs that
+/// actually executed, per-phase wall-clock timings and the zone-map
+/// pruning counters. Cache hits pass `None` — nothing ran, so timings are
+/// empty and the pruning counters are reported as zero.
+fn explain_fragment(plan: &PhysicalPlan, stats: Option<&ExecStats>) -> String {
+    let (times, scanned, pruned) = match stats {
+        Some(s) => (
+            s.phase_times_us
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            s.partitions_scanned,
+            s.partitions_pruned,
+        ),
+        None => (String::new(), 0, 0),
+    };
+    format!(
+        "{{\"plan\":{},\"phase_times_us\":[{times}],\"partitions_scanned\":{scanned},\"partitions_pruned\":{pruned}}}",
+        plan.explain_json()
+    )
 }
 
 /// Parses and plans a SQL `WHERE` body against the dataset schema,
@@ -326,6 +412,7 @@ fn plan_where(table: &dyn seedb_storage::Table, sql: &str) -> Result<Predicate, 
 /// spelling that normalizes to the same signature) without re-parsing it:
 /// both sides are compact JSON objects, so the envelope splices at the
 /// braces.
+#[allow(clippy::too_many_arguments)] // the per-request envelope fields
 fn envelope(
     payload: &str,
     where_desc: &str,
@@ -333,9 +420,10 @@ fn envelope(
     view_hits: u64,
     view_misses: u64,
     view_resumed: u64,
+    explain: Option<&str>,
     us: u64,
 ) -> String {
-    let extra = Json::obj()
+    let mut extra = Json::obj()
         .set("where", where_desc)
         .set("cache", cache)
         .set("view_hits", view_hits)
@@ -343,6 +431,11 @@ fn envelope(
         .set("view_resumed", view_resumed)
         .set("elapsed_us", us)
         .compact();
+    if let Some(fragment) = explain {
+        // The fragment is already compact JSON; splice it in verbatim.
+        debug_assert!(fragment.starts_with('{') && fragment.ends_with('}'));
+        extra = format!("{},\"explain\":{}}}", &extra[..extra.len() - 1], fragment);
+    }
     debug_assert!(payload.starts_with('{') && extra.ends_with('}'));
     if payload.len() <= 2 {
         return extra;
@@ -577,12 +670,74 @@ mod tests {
 
     #[test]
     fn envelope_splices_compact_objects() {
-        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 1, 7);
+        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 1, None, 7);
         let j = Json::parse(&spliced).unwrap();
         assert_eq!(j.get("cache").unwrap().as_str(), Some("hit"));
         assert_eq!(j.get("view_hits").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("view_resumed").unwrap().as_u64(), Some(1));
         assert_eq!(j.get("a").unwrap().as_u64(), Some(1));
+        assert!(j.get("explain").is_none());
+
+        // With an explain fragment, the nested object parses intact.
+        let frag = "{\"plan\":{\"workers\":2},\"phase_times_us\":[4,5]}";
+        let spliced = envelope("{\"a\":1}", "x = 1", "miss", 0, 6, 0, Some(frag), 7);
+        let j = Json::parse(&spliced).unwrap();
+        let ex = j.get("explain").unwrap();
+        assert_eq!(
+            ex.get("plan").unwrap().get("workers").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(ex.get("phase_times_us").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(j.get("a").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn explain_reports_plan_timings_and_does_not_change_cache_keys() {
+        let s = state();
+        let body = r#"{"dataset": "HOUSING", "rows": 300, "k": 3, "explain": true}"#;
+        let j1 = Json::parse(&post(&s, "/recommend", body).body).unwrap();
+        assert_eq!(j1.get("cache").unwrap().as_str(), Some("miss"));
+        let ex = j1.get("explain").unwrap();
+        let plan = ex.get("plan").unwrap();
+        assert!(plan.get("workers").unwrap().as_u64().unwrap() >= 1);
+        assert_eq!(plan.get("mode").unwrap().as_str(), Some("VECTORIZED"));
+        assert!(plan.get("index").unwrap().as_str().is_some());
+        assert!(plan.get("estimated_rows").unwrap().as_u64().is_some());
+        let times = ex.get("phase_times_us").unwrap().as_arr().unwrap();
+        assert!(!times.is_empty(), "an executed run must report timings");
+        assert!(ex.get("partitions_scanned").unwrap().as_u64().is_some());
+
+        // A repeat with explain is still a cache hit (explain is not part
+        // of the signature); the re-derived plan matches, timings empty.
+        let j2 = Json::parse(&post(&s, "/recommend", body).body).unwrap();
+        assert_eq!(j2.get("cache").unwrap().as_str(), Some("hit"));
+        let ex2 = j2.get("explain").unwrap();
+        assert_eq!(ex2.get("plan"), ex.get("plan"));
+        assert!(ex2
+            .get("phase_times_us")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+
+        // And a plain request hits the same entry, without the fragment.
+        let plain = r#"{"dataset": "HOUSING", "rows": 300, "k": 3}"#;
+        let j3 = Json::parse(&post(&s, "/recommend", plain).body).unwrap();
+        assert_eq!(j3.get("cache").unwrap().as_str(), Some("hit"));
+        assert!(j3.get("explain").is_none());
+        assert_eq!(j1.get("views"), j3.get("views"));
+
+        // /statz surfaces the executed plan's profiling.
+        let statz = Json::parse(&get(&s, "/statz").body).unwrap();
+        let rec = statz.get("recommend").unwrap();
+        let summary = rec.get("last_plan_summary").unwrap().as_str().unwrap();
+        assert!(summary.contains("workers="), "{summary}");
+        assert!(!rec
+            .get("last_phase_times_us")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

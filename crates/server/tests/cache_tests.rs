@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use seedb_core::{
-    predicate_signature, DistanceKind, ExecutionStrategy, MemoryViewCache, Predicate, PruningKind,
-    Recommendation, ReferenceSpec, SeeDb, SeeDbConfig,
+    predicate_signature, DistanceKind, ExecutionStrategy, Knob, MemoryViewCache, Predicate,
+    PruningKind, Recommendation, ReferenceSpec, SeeDb, SeeDbConfig,
 };
 use seedb_engine::CmpOp;
 use seedb_server::{client, Server, ServerConfig};
@@ -170,8 +170,8 @@ proptest! {
         // Execution-shape changes must NOT move it.
         let mut same = cfg.clone();
         same.engine_mode = seedb_core::ExecMode::Scalar;
-        same.sharing.parallelism = 5;
-        same.sharing.morsel_rows = 3;
+        same.sharing.parallelism = Knob::Fixed(5);
+        same.sharing.morsel_rows = Knob::Fixed(3);
         same.sharing.combine_group_bys = false;
         prop_assert_eq!(sig, same.result_signature());
     }
@@ -223,7 +223,7 @@ mod pruned_equivalence {
         cfg.k = k;
         cfg.pruning = pruning;
         cfg.num_phases = 6;
-        cfg.sharing.parallelism = parallelism;
+        cfg.sharing.parallelism = Knob::Fixed(parallelism);
         cfg
     }
 
