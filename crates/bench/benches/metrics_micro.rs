@@ -130,6 +130,7 @@ fn morsel_scan_aggregate(c: &mut Criterion) {
                         std::slice::from_ref(black_box(query)),
                         0..dataset.rows(),
                         seedb_engine::ScanShape::new(ExecMode::Vectorized, DEFAULT_MORSEL_ROWS),
+                        &seedb_engine::CancelToken::none(),
                     )
                 })
             });

@@ -32,7 +32,10 @@
 //! maps disabled (one whole-table partition), or partition pruning has
 //! stopped skipping cold partitions. From `BENCH_planner.json`, the
 //! cost-based planner's automatic knob choices must at least match the
-//! best fixed-knob configuration in its grid sweep (≥ 1.0×).
+//! best fixed-knob configuration in its grid sweep (≥ 1.0×). From
+//! `BENCH_server_load.json`, admission sheds under open-loop overload
+//! must answer ≥ 2× faster than the median served request, and zero
+//! connections may hang without a response.
 
 use seedb_util::Json;
 use std::path::Path;
@@ -55,6 +58,18 @@ const PARTITION_RATIO_GATES: [(&str, f64); 1] = [("speedup_pruned_over_full_sel1
 /// bad execution shape, planned latency falls behind hand tuning and the
 /// gate trips.
 const PLANNER_RATIO_GATES: [(&str, f64); 1] = [("speedup_planned_over_best_fixed", 1.0)];
+
+/// Absolute floors over the entries of `BENCH_server_load.json`: under
+/// open-loop overload, the shed-latency p99 must sit at least 2× under
+/// the served-latency p99 (shedding as slow as serving is not
+/// load-shedding — the ratio is also 0.0 if overload stops producing
+/// sheds at all, tripping the gate loudly), and every connection must
+/// receive *some* response (`no_hung_connections` is 1.0 only when zero
+/// requests hung or were dropped without a status line).
+const LOAD_RATIO_GATES: [(&str, f64); 2] = [
+    ("speedup_served_over_shed", 2.0),
+    ("no_hung_connections", 1.0),
+];
 
 /// One comparable measurement: a stable identity string and its fastest
 /// observed latency.
@@ -172,6 +187,7 @@ fn main() -> ExitCode {
     let mut gates_ok = check_ratios(dir, "BENCH_server.json", &SERVER_RATIO_GATES);
     gates_ok &= check_ratios(dir, "BENCH_partitions.json", &PARTITION_RATIO_GATES);
     gates_ok &= check_ratios(dir, "BENCH_planner.json", &PLANNER_RATIO_GATES);
+    gates_ok &= check_ratios(dir, "BENCH_server_load.json", &LOAD_RATIO_GATES);
     if !gates_ok {
         return ExitCode::FAILURE;
     }

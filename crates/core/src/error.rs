@@ -17,6 +17,9 @@ pub enum CoreError {
     ZeroPhases,
     /// δ outside (0, 1).
     BadDelta(String),
+    /// The run's deadline expired before it finished; no usable result
+    /// was produced and nothing was cached.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +37,9 @@ impl fmt::Display for CoreError {
             CoreError::ZeroK => write!(f, "k must be at least 1"),
             CoreError::ZeroPhases => write!(f, "num_phases must be at least 1"),
             CoreError::BadDelta(d) => write!(f, "delta must be in (0, 1), got {d}"),
+            CoreError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the recommendation finished")
+            }
         }
     }
 }

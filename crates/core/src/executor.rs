@@ -27,8 +27,8 @@ use crate::reference::ReferenceSpec;
 use crate::state::{Side, ViewState};
 use crate::view::{ViewId, ViewSpec};
 use seedb_engine::{
-    binpack, execute_morsels, rollup, with_pool, AggSpec, CombinedQuery, ExecStats, GroupedResult,
-    Pool, Predicate, SplitSpec,
+    binpack, execute_morsels, rollup, with_pool, AggSpec, CancelToken, CombinedQuery, ExecStats,
+    GroupedResult, Pool, Predicate, SplitSpec,
 };
 use seedb_storage::{ColumnId, Table};
 use std::borrow::Cow;
@@ -50,6 +50,11 @@ pub struct ExecutionReport {
     pub phases_executed: usize,
     /// Whether `COMB_EARLY` stopped before the final phase.
     pub early_stopped: bool,
+    /// Whether the run's [`CancelToken`] expired mid-run. When set, the
+    /// states cover only the phases completed before expiry (a possibly
+    /// empty prefix) and the final phase's partial scan was discarded —
+    /// callers must not rank, render, or cache them as a finished answer.
+    pub deadline_exceeded: bool,
 }
 
 /// A phased run's report plus the resumability byproducts
@@ -131,12 +136,29 @@ struct Cluster {
 pub struct Executor<'a> {
     table: &'a dyn Table,
     config: &'a SeeDbConfig,
+    cancel: CancelToken,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor for `table` under `config`.
+    /// Creates an executor for `table` under `config`, with no deadline.
     pub fn new(table: &'a dyn Table, config: &'a SeeDbConfig) -> Self {
-        Executor { table, config }
+        Executor {
+            table,
+            config,
+            cancel: CancelToken::none(),
+        }
+    }
+
+    /// Creates an executor whose run is cooperatively cancelled when
+    /// `cancel` expires: the token is checked at phase boundaries (and,
+    /// inside the engine, before each morsel), and an expired run reports
+    /// [`ExecutionReport::deadline_exceeded`] instead of running on.
+    pub fn with_cancel(table: &'a dyn Table, config: &'a SeeDbConfig, cancel: CancelToken) -> Self {
+        Executor {
+            table,
+            config,
+            cancel,
+        }
     }
 
     /// Derives the physical plan this executor would run under — the same
@@ -309,6 +331,7 @@ impl<'a> Executor<'a> {
             &queries,
             0..self.table.num_rows(),
             plan.scan_shape(),
+            &self.cancel,
         );
         for (state, pair) in states.iter_mut().zip(results.chunks_exact(2)) {
             let [(t_result, t_stats), (r_result, r_stats)] = pair else {
@@ -330,6 +353,7 @@ impl<'a> Executor<'a> {
             elapsed: start.elapsed(),
             phases_executed: 1,
             early_stopped: false,
+            deadline_exceeded: self.cancel.is_expired(),
         }
     }
 
@@ -386,8 +410,13 @@ impl<'a> Executor<'a> {
 
         let mut phases_executed = 0;
         let mut early_stopped = false;
+        let mut deadline_exceeded = false;
 
         for (phase_idx, range) in ranges.iter().enumerate() {
+            if self.cancel.is_expired() {
+                deadline_exceeded = true;
+                break;
+            }
             let phase_start = Instant::now();
             // Replay cached deltas for participating views whose seed
             // covers this phase; they need no scan.
@@ -444,8 +473,22 @@ impl<'a> Executor<'a> {
                     }
                 })
                 .collect();
-            let results =
-                execute_morsels(pool, self.table, &queries, range.clone(), plan.scan_shape());
+            let results = execute_morsels(
+                pool,
+                self.table,
+                &queries,
+                range.clone(),
+                plan.scan_shape(),
+                &self.cancel,
+            );
+            // A deadline that expired during the scan makes this phase's
+            // results garbage (workers skipped an arbitrary suffix of the
+            // morsels): discard them and stop with the completed-phase
+            // prefix. The already-merged states stay a valid prefix.
+            if self.cancel.is_expired() {
+                deadline_exceeded = true;
+                break;
+            }
 
             // Per-view single-phase delta states, captured for the cache.
             let mut delta_states: Vec<Option<ViewState>> = vec![None; views.len()];
@@ -558,6 +601,7 @@ impl<'a> Executor<'a> {
                 elapsed: start.elapsed(),
                 phases_executed,
                 early_stopped,
+                deadline_exceeded,
             },
             deltas: captured,
             scanned_phases,
@@ -1298,6 +1342,28 @@ mod tests {
                 "plan choice changed results: par={parallelism} morsel={morsel_rows}"
             );
         }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_run_and_flags_the_report() {
+        let table = test_table(StoreKind::Column);
+        let mut cfg = SeeDbConfig::default();
+        cfg.strategy = ExecutionStrategy::Comb;
+        cfg.sharing.parallelism = Knob::Fixed(1);
+        cfg.num_phases = 5;
+        let views = enumerate_views(table.as_ref(), &cfg.agg_functions);
+        let expired = CancelToken::after(Duration::ZERO);
+        let exec = Executor::with_cancel(table.as_ref(), &cfg, expired);
+        let report = exec.run(&views, &target(table.as_ref()), &ReferenceSpec::WholeTable);
+        assert!(report.deadline_exceeded);
+        assert_eq!(report.phases_executed, 0, "no phase completes past expiry");
+        assert_eq!(report.stats.rows_scanned, 0);
+
+        // And a deadline-free run through the same constructor is unflagged.
+        let exec = Executor::with_cancel(table.as_ref(), &cfg, CancelToken::none());
+        let report = exec.run(&views, &target(table.as_ref()), &ReferenceSpec::WholeTable);
+        assert!(!report.deadline_exceeded);
+        assert_eq!(report.phases_executed, 5);
     }
 
     #[test]

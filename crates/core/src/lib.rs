@@ -76,5 +76,5 @@ pub use view::{ViewId, ViewSpec};
 
 // Re-exported for downstream convenience: the types callers need to drive
 // the engine without importing every crate.
-pub use seedb_engine::{AggFunc, ExecMode, Predicate};
+pub use seedb_engine::{AggFunc, CancelToken, ExecMode, Predicate};
 pub use seedb_metrics::DistanceKind;

@@ -9,7 +9,7 @@ use crate::reference::ReferenceSpec;
 use crate::signature::{predicate_signature, reference_signature};
 use crate::state::ViewState;
 use crate::view::{enumerate_views, ViewSpec};
-use seedb_engine::{ExecStats, GroupedResult, Predicate};
+use seedb_engine::{CancelToken, ExecStats, GroupedResult, Predicate};
 use seedb_storage::{BoxedTable, Cell, Table};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,10 +102,26 @@ impl SeeDb {
         target: &Predicate,
         reference: &ReferenceSpec,
     ) -> Result<Recommendation, CoreError> {
+        self.recommend_with(target, reference, CancelToken::none())
+    }
+
+    /// [`SeeDb::recommend`] under a cooperative deadline: when `cancel`
+    /// expires mid-run the executor stops at the next phase/morsel
+    /// boundary and this returns [`CoreError::DeadlineExceeded`] — never
+    /// a partial result dressed up as a finished one.
+    pub fn recommend_with(
+        &self,
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        cancel: CancelToken,
+    ) -> Result<Recommendation, CoreError> {
         self.check_runnable()?;
         let views = self.views();
-        let executor = Executor::new(self.table.as_ref(), &self.config);
+        let executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
         let report = executor.run(&views, target, reference);
+        if report.deadline_exceeded {
+            return Err(CoreError::DeadlineExceeded);
+        }
         Ok(self.build_recommendation(report))
     }
 
@@ -148,17 +164,34 @@ impl SeeDb {
         reference: &ReferenceSpec,
         cache: &dyn ViewCache,
     ) -> Result<(Recommendation, CacheUse), CoreError> {
+        self.recommend_cached_with(target, reference, cache, CancelToken::none())
+    }
+
+    /// [`SeeDb::recommend_cached`] under a cooperative deadline. An
+    /// expired run returns [`CoreError::DeadlineExceeded`] *before* any
+    /// cache deposit happens — a cancelled run's partially scanned
+    /// aggregates never poison the cache.
+    pub fn recommend_cached_with(
+        &self,
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        cache: &dyn ViewCache,
+        cancel: CancelToken,
+    ) -> Result<(Recommendation, CacheUse), CoreError> {
         self.check_runnable()?;
         if self.config.exact_per_view() {
-            return self.recommend_cached_exact(target, reference, cache);
+            return self.recommend_cached_exact(target, reference, cache, cancel);
         }
         if matches!(
             self.config.strategy,
             ExecutionStrategy::Comb | ExecutionStrategy::CombEarly
         ) {
-            return self.recommend_cached_phased(target, reference, cache);
+            return self.recommend_cached_phased(target, reference, cache, cancel);
         }
-        Ok((self.recommend(target, reference)?, CacheUse::ineligible()))
+        Ok((
+            self.recommend_with(target, reference, cancel)?,
+            CacheUse::ineligible(),
+        ))
     }
 
     /// The exact-configuration arm of [`SeeDb::recommend_cached`].
@@ -167,6 +200,7 @@ impl SeeDb {
         target: &Predicate,
         reference: &ReferenceSpec,
         cache: &dyn ViewCache,
+        cancel: CancelToken,
     ) -> Result<(Recommendation, CacheUse), CoreError> {
         let start = Instant::now();
         let views = self.views();
@@ -195,8 +229,13 @@ impl SeeDb {
                 .enumerate()
                 .map(|(j, &i)| ViewSpec { id: j, ..views[i] })
                 .collect();
-            let executor = Executor::new(self.table.as_ref(), &self.config);
+            let executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
             let report = executor.run(&dense, target, reference);
+            // A cancelled run deposits nothing: its states are partial
+            // scans, not the full-table aggregates the exact keys promise.
+            if report.deadline_exceeded {
+                return Err(CoreError::DeadlineExceeded);
+            }
             stats.merge(&report.stats);
             phases_executed = report.phases_executed;
             for (j, &i) in missing.iter().enumerate() {
@@ -216,6 +255,7 @@ impl SeeDb {
             elapsed: start.elapsed(),
             phases_executed,
             early_stopped: false,
+            deadline_exceeded: false,
         };
         let outcome = CacheUse {
             eligible: true,
@@ -234,6 +274,7 @@ impl SeeDb {
         target: &Predicate,
         reference: &ReferenceSpec,
         cache: &dyn ViewCache,
+        cancel: CancelToken,
     ) -> Result<(Recommendation, CacheUse), CoreError> {
         let views = self.views();
         let pred_sig = predicate_signature(target);
@@ -253,8 +294,14 @@ impl SeeDb {
             })
             .collect();
 
-        let executor = Executor::new(self.table.as_ref(), &self.config);
+        let executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
         let run = executor.run_resumable(&views, target, reference, &seeds);
+        // Nothing from a cancelled run reaches the cache: the captured
+        // deltas stop at an arbitrary phase and would otherwise be
+        // replayed by later requests as if they were the real prefix.
+        if run.report.deadline_exceeded {
+            return Err(CoreError::DeadlineExceeded);
+        }
 
         let mut outcome = CacheUse {
             eligible: true,
@@ -286,6 +333,73 @@ impl SeeDb {
             }
         }
         Ok((self.build_recommendation(run.report), outcome))
+    }
+
+    /// Best-effort degraded answer assembled *purely from the cache* — no
+    /// scanning, no waiting. Probes the same per-view keys the cached
+    /// paths deposit under (phase-prefix entries first, plain exact
+    /// entries as fallback), merges whatever deltas exist, and ranks the
+    /// result. Views with no cached data stay empty (utility 0, ranked
+    /// last); returns `None` when *no* view has any data.
+    ///
+    /// This is the serving layer's cached-partial rung on the degradation
+    /// ladder: a deadline-expired request can answer with a clearly-tagged
+    /// stale/partial recommendation instead of a bare timeout. The second
+    /// tuple element is coverage — the fraction of `(view, phase)` slots a
+    /// cached delta answered, 1.0 meaning every view replayed fully.
+    pub fn degraded_from_cache(
+        &self,
+        target: &Predicate,
+        reference: &ReferenceSpec,
+        cache: &dyn ViewCache,
+    ) -> Option<(Recommendation, f64)> {
+        self.check_runnable().ok()?;
+        let start = Instant::now();
+        let views = self.views();
+        let pred_sig = predicate_signature(target);
+        let ref_sig = reference_signature(reference);
+        let total = effective_phases(self.table.num_rows(), self.config.num_phases);
+        let mut states: Vec<ViewState> = views.iter().map(|v| ViewState::new(*v)).collect();
+        let mut covered_slots = 0usize;
+        let mut covered_views = 0usize;
+        for (i, v) in views.iter().enumerate() {
+            let exact_key = format!("{pred_sig}|{ref_sig}|{}", v.signature());
+            let phased_key = format!("{exact_key}|ph{total}");
+            let covered = if let Some(partial) = cache
+                .get(&phased_key)
+                .filter(|p| p.total_phases == total && !p.deltas.is_empty())
+            {
+                for delta in &partial.deltas {
+                    states[i].merge_both(delta, 0);
+                }
+                partial.phases_done().min(total)
+            } else if let Some(full) = cache
+                .get(&exact_key)
+                .and_then(|p| p.as_exact_result().cloned())
+            {
+                states[i].merge_both(&full, 0);
+                total
+            } else {
+                0
+            };
+            if covered > 0 {
+                covered_views += 1;
+            }
+            covered_slots += covered;
+        }
+        if covered_views == 0 {
+            return None;
+        }
+        let report = ExecutionReport {
+            states,
+            stats: ExecStats::new(),
+            elapsed: start.elapsed(),
+            phases_executed: 0,
+            early_stopped: false,
+            deadline_exceeded: false,
+        };
+        let coverage = covered_slots as f64 / (total.max(1) * views.len()) as f64;
+        Some((self.build_recommendation(report), coverage))
     }
 
     /// Shared validation for every recommendation entry point.
@@ -915,6 +1029,89 @@ mod tests {
             .recommend(&target, &ReferenceSpec::Complement)
             .unwrap();
         assert_eq!(exact.views[0].spec, top.spec);
+    }
+
+    #[test]
+    fn expired_deadline_errors_and_deposits_nothing() {
+        use crate::cache::MemoryViewCache;
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let expired = CancelToken::after(Duration::ZERO);
+
+        // Direct run.
+        let seedb = SeeDb::new(table.clone());
+        let err = seedb
+            .recommend_with(&target, &ReferenceSpec::WholeTable, expired)
+            .unwrap_err();
+        assert_eq!(err, CoreError::DeadlineExceeded);
+
+        // Cached paths: the cache must stay empty across both arms.
+        for strategy in [ExecutionStrategy::Sharing, ExecutionStrategy::Comb] {
+            let cfg = SeeDbConfig::for_strategy(strategy);
+            let seedb = SeeDb::with_config(table.clone(), cfg);
+            let cache = MemoryViewCache::new();
+            let err = seedb
+                .recommend_cached_with(&target, &ReferenceSpec::WholeTable, &cache, expired)
+                .unwrap_err();
+            assert_eq!(err, CoreError::DeadlineExceeded, "{strategy:?}");
+            assert!(
+                cache.is_empty(),
+                "{strategy:?}: a cancelled run must not poison the cache"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_deadline_is_bit_identical_to_no_deadline() {
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let seedb = SeeDb::new(table);
+        let plain = seedb
+            .recommend(&target, &ReferenceSpec::WholeTable)
+            .unwrap();
+        let generous = seedb
+            .recommend_with(
+                &target,
+                &ReferenceSpec::WholeTable,
+                CancelToken::after(Duration::from_secs(3600)),
+            )
+            .unwrap();
+        assert_same_recommendation(&plain, &generous);
+    }
+
+    #[test]
+    fn degraded_from_cache_serves_cached_views_and_reports_coverage() {
+        use crate::cache::MemoryViewCache;
+        let table = separated();
+        let target = separated_target(table.as_ref());
+        let seedb = SeeDb::new(table.clone()); // COMB + CI default
+        let cache = MemoryViewCache::new();
+
+        // Cold cache: nothing to degrade to.
+        assert!(seedb
+            .degraded_from_cache(&target, &ReferenceSpec::WholeTable, &cache)
+            .is_none());
+
+        // Warm the cache, then degrade: full coverage reproduces the
+        // direct recommendation's top view without any scan.
+        let (direct, _) = seedb
+            .recommend_cached(&target, &ReferenceSpec::WholeTable, &cache)
+            .unwrap();
+        let (degraded, coverage) = seedb
+            .degraded_from_cache(&target, &ReferenceSpec::WholeTable, &cache)
+            .expect("warm cache must yield a degraded answer");
+        assert!(coverage > 0.0 && coverage <= 1.0, "coverage {coverage}");
+        assert_eq!(
+            degraded.stats.rows_scanned, 0,
+            "degraded answers never scan"
+        );
+        assert_eq!(degraded.views[0].spec, direct.views[0].spec);
+
+        // A different target still has nothing.
+        let other = Predicate::col_eq_str(table.as_ref(), "d0", "g3");
+        assert!(seedb
+            .degraded_from_cache(&other, &ReferenceSpec::WholeTable, &cache)
+            .is_none());
     }
 
     #[test]

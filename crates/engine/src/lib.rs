@@ -61,7 +61,7 @@ pub use hashagg::{
     execute_combined, execute_combined_with_mode, PartialAggregation, DENSE_CARDINALITY_MAX,
 };
 pub use morsel::{execute_morsels, DEFAULT_MORSEL_ROWS};
-pub use parallel::{with_pool, BudgetLease, Pool, WorkerBudget};
+pub use parallel::{with_pool, BudgetLease, CancelToken, Pool, WorkerBudget};
 pub use prune::{contribution_predicate, pruned_scan, zone_match, PrunedScan};
 pub use rollup::rollup;
 pub use spec::{AggSpec, CombinedQuery, SplitSpec};

@@ -22,7 +22,7 @@
 //! `(worker count, morsel size, partition size)` combination.
 
 use crate::cost::ScanShape;
-use crate::parallel::Pool;
+use crate::parallel::{CancelToken, Pool};
 use crate::prune::{pruned_scan, PrunedScan};
 use crate::spec::CombinedQuery;
 use crate::stats::ExecStats;
@@ -57,12 +57,20 @@ struct WorkerPartial {
 ///
 /// Each query counts as one issued query in its stats; `scan_passes`
 /// reflects the number of morsel scans.
+///
+/// `cancel` is the cooperative deadline: once it expires, workers stop
+/// aggregating before each newly claimed morsel (in-flight morsels
+/// finish), so the call returns within one morsel of the deadline. The
+/// caller must treat the folded results as garbage when the token expired
+/// — partially scanned aggregates are not a prefix of anything
+/// well-defined.
 pub fn execute_morsels(
     pool: &Pool<'_>,
     table: &dyn Table,
     queries: &[CombinedQuery],
     range: Range<usize>,
     shape: ScanShape,
+    cancel: &CancelToken,
 ) -> Vec<(GroupedResult, ExecStats)> {
     let n_jobs = queries.len();
     if n_jobs == 0 {
@@ -101,6 +109,9 @@ pub fn execute_morsels(
     // order). Jobs with zero surviving morsels simply occupy an empty
     // stretch of the item space.
     pool.run(n_items, |worker, item| {
+        if cancel.is_expired() {
+            return;
+        }
         let job = job_offsets.partition_point(|&off| off <= item) - 1;
         let morsel = &plans[job].morsels[item - job_offsets[job]];
         let mut slots = locals[worker].lock().expect("worker slot poisoned");
@@ -224,6 +235,7 @@ mod tests {
                         &qs,
                         0..t.num_rows(),
                         ScanShape::new(ExecMode::Vectorized, morsel),
+                        &CancelToken::none(),
                     )
                 });
                 assert_eq!(got.len(), serial.len());
@@ -252,6 +264,7 @@ mod tests {
                 &qs,
                 5..5,
                 ScanShape::new(ExecMode::Vectorized, 2),
+                &CancelToken::none(),
             )
         });
         assert_eq!(got.len(), 2);
@@ -272,6 +285,7 @@ mod tests {
                 &[],
                 0..10,
                 ScanShape::new(ExecMode::Vectorized, 4),
+                &CancelToken::none(),
             )
         });
         assert!(got.is_empty());
@@ -288,6 +302,7 @@ mod tests {
                 &qs,
                 0..333,
                 ScanShape::new(ExecMode::Scalar, 50),
+                &CancelToken::none(),
             )
         });
         let b = with_pool(3, |pool| {
@@ -297,6 +312,7 @@ mod tests {
                 &qs,
                 0..333,
                 ScanShape::new(ExecMode::Vectorized, 128),
+                &CancelToken::none(),
             )
         });
         for ((ra, _), (rb, _)) in a.iter().zip(&b) {
@@ -354,6 +370,7 @@ mod tests {
                         std::slice::from_ref(&q),
                         0..t.num_rows(),
                         ScanShape::new(mode, 64),
+                        &CancelToken::none(),
                     )
                 });
                 let (result, stats) = &got[0];
@@ -368,6 +385,33 @@ mod tests {
                     assert_eq!(a.target, b.target);
                     assert_eq!(a.reference, b.reference);
                 }
+            }
+        }
+    }
+
+    /// An already-expired token means no morsel is aggregated: workers
+    /// see the expiry before their first claim, so nothing is scanned and
+    /// the call returns immediately instead of running the full scan.
+    #[test]
+    fn expired_token_skips_all_morsels() {
+        let t = table(501);
+        let qs = queries(t.as_ref());
+        let expired = CancelToken::after(std::time::Duration::ZERO);
+        for threads in [1usize, 4] {
+            let got = with_pool(threads, |pool| {
+                execute_morsels(
+                    pool,
+                    t.as_ref(),
+                    &qs,
+                    0..t.num_rows(),
+                    ScanShape::new(ExecMode::Vectorized, 16),
+                    &expired,
+                )
+            });
+            assert_eq!(got.len(), qs.len());
+            for (result, stats) in &got {
+                assert_eq!(result.num_groups(), 0, "threads {threads}");
+                assert_eq!(stats.rows_scanned, 0, "threads {threads}");
             }
         }
     }
@@ -399,6 +443,7 @@ mod tests {
                 std::slice::from_ref(&q),
                 0..t.num_rows(),
                 ScanShape::new(ExecMode::Vectorized, 4),
+                &CancelToken::none(),
             )
         });
         let (result, stats) = &got[0];

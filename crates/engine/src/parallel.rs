@@ -17,6 +17,58 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A cooperative deadline token threaded from the serving layer down into
+/// the morsel loop.
+///
+/// Cancellation is *cooperative*: nothing is preempted. The executor
+/// checks the token at phase boundaries and the morsel scheduler checks it
+/// before aggregating each claimed morsel, so a run overshoots its
+/// deadline by at most one in-flight morsel per worker. A token with no
+/// deadline ([`CancelToken::none`]) never expires and costs one branch per
+/// check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never expires.
+    pub fn none() -> Self {
+        CancelToken { deadline: None }
+    }
+
+    /// A token expiring `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        CancelToken {
+            deadline: Instant::now().checked_add(timeout),
+        }
+    }
+
+    /// A token expiring at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[inline]
+    pub fn is_expired(&self) -> bool {
+        match self.deadline {
+            None => false,
+            Some(d) => Instant::now() >= d,
+        }
+    }
+
+    /// Time left before expiry: `None` for a deadline-free token, zero
+    /// once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// Type-erased pointer to the current round's task closure.
 ///
@@ -386,6 +438,53 @@ impl WorkerBudget {
             granted,
         }
     }
+
+    /// Non-blocking [`WorkerBudget::lease`]: takes `min(desired,
+    /// available)` slots if at least one is free, `None` otherwise. The
+    /// serving layer's first rung on the degradation ladder — never parks
+    /// the request thread.
+    pub fn try_lease(&self, desired: usize) -> Option<BudgetLease<'_>> {
+        let desired = desired.max(1);
+        let mut permits = self.permits.lock().expect("budget lock poisoned");
+        if *permits == 0 {
+            return None;
+        }
+        let granted = desired.min(*permits);
+        *permits -= granted;
+        Some(BudgetLease {
+            budget: self,
+            granted,
+        })
+    }
+
+    /// [`WorkerBudget::lease`] with a bounded wait: blocks at most
+    /// `timeout` for a slot to free up, then gives up with `None`. A
+    /// starved request degrades or sheds — it never blocks forever.
+    pub fn lease_timeout(&self, desired: usize, timeout: Duration) -> Option<BudgetLease<'_>> {
+        let desired = desired.max(1);
+        let deadline = Instant::now() + timeout;
+        let mut permits = self.permits.lock().expect("budget lock poisoned");
+        while *permits == 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, result) = self
+                .cv
+                .wait_timeout(permits, left)
+                .expect("budget lock poisoned");
+            permits = guard;
+            if result.timed_out() && *permits == 0 {
+                return None;
+            }
+        }
+        let granted = desired.min(*permits);
+        *permits -= granted;
+        Some(BudgetLease {
+            budget: self,
+            granted,
+        })
+    }
 }
 
 /// RAII lease of worker slots from a [`WorkerBudget`]; returns them on
@@ -567,6 +666,67 @@ mod tests {
         });
         assert!(peak.load(Ordering::SeqCst) <= 3, "budget exceeded");
         assert_eq!(budget.available(), 3);
+    }
+
+    #[test]
+    fn try_lease_never_blocks() {
+        let budget = WorkerBudget::new(2);
+        let a = budget.try_lease(2).expect("slots free");
+        assert_eq!(a.granted(), 2);
+        assert!(
+            budget.try_lease(1).is_none(),
+            "exhausted budget must refuse"
+        );
+        drop(a);
+        let b = budget.try_lease(5).expect("slots returned");
+        assert_eq!(b.granted(), 2);
+    }
+
+    #[test]
+    fn lease_timeout_gives_up_when_starved() {
+        let budget = WorkerBudget::new(1);
+        let held = budget.lease(1);
+        let t0 = std::time::Instant::now();
+        let got = budget.lease_timeout(1, Duration::from_millis(30));
+        assert!(got.is_none(), "starved lease must time out");
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        drop(held);
+        let got = budget.lease_timeout(1, Duration::from_millis(30));
+        assert_eq!(got.expect("slot free").granted(), 1);
+    }
+
+    #[test]
+    fn lease_timeout_wakes_when_a_slot_frees() {
+        let budget = WorkerBudget::new(1);
+        std::thread::scope(|scope| {
+            let held = budget.lease(1);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                drop(held);
+            });
+            let got = budget.lease_timeout(1, Duration::from_secs(5));
+            assert_eq!(got.expect("freed before timeout").granted(), 1);
+        });
+    }
+
+    #[test]
+    fn cancel_token_none_never_expires() {
+        let t = CancelToken::none();
+        assert!(!t.is_expired());
+        assert_eq!(t.remaining(), None);
+        assert!(!CancelToken::default().is_expired());
+    }
+
+    #[test]
+    fn cancel_token_expires_after_timeout() {
+        let t = CancelToken::after(Duration::from_millis(0));
+        assert!(t.is_expired());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let t = CancelToken::after(Duration::from_secs(3600));
+        assert!(!t.is_expired());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+        let t = CancelToken::with_deadline(std::time::Instant::now());
+        assert!(t.is_expired());
     }
 
     #[test]

@@ -269,6 +269,7 @@ proptest! {
                         std::slice::from_ref(&query),
                         0..t.num_rows(),
                         ScanShape::new(ExecMode::Vectorized, 64),
+                        &seedb_engine::CancelToken::none(),
                     )
                 });
                 let (result, stats) = &got[0];

@@ -262,6 +262,7 @@ proptest! {
                                 std::slice::from_ref(&query),
                                 0..t.num_rows(),
                                 ScanShape::new(ExecMode::Vectorized, morsel_rows),
+                                &seedb_engine::CancelToken::none(),
                             )
                             .pop()
                             .expect("one query in, one result out")

@@ -47,6 +47,12 @@ pub struct RecommendRequest {
     /// physical plan, per-phase timings, and pruning counters. Purely
     /// additive — it never changes what is computed or cached.
     pub explain: bool,
+    /// Per-request deadline in milliseconds, measured from request
+    /// arrival. `None` ⇒ the server's configured default; an explicit
+    /// `0` disables the deadline for this request. Never part of the
+    /// cache signature — a deadline changes whether a run finishes, not
+    /// what a finished run computes.
+    pub deadline_ms: Option<u64>,
     /// Result-affecting config overrides applied over the server default.
     pub config: SeeDbConfig,
 }
@@ -98,6 +104,13 @@ impl RecommendRequest {
             None | Some(Json::Null) => false,
             Some(v) => v.as_bool().ok_or("'explain' must be a boolean")?,
         };
+        let deadline_ms = match doc.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("'deadline_ms' must be a non-negative integer")?,
+            ),
+        };
 
         let mut config = default_config();
         if let Some(v) = doc.get("k") {
@@ -145,6 +158,7 @@ impl RecommendRequest {
             reference,
             cache_mode,
             explain,
+            deadline_ms,
             config,
         })
     }
@@ -270,6 +284,7 @@ mod tests {
         assert_eq!(r.where_sql, None);
         assert_eq!(r.reference, "whole");
         assert_eq!(r.cache_mode, CacheMode::Auto);
+        assert_eq!(r.deadline_ms, None);
         // The default is the paper's fastest configuration, not a
         // cache-convenient downgrade.
         assert_eq!(r.config.strategy, ExecutionStrategy::Comb);
@@ -284,6 +299,21 @@ mod tests {
         let err = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "cache_mode": "maybe"}"#)
             .unwrap_err();
         assert!(err.contains("cache_mode"), "{err}");
+    }
+
+    #[test]
+    fn parses_deadline_ms() {
+        let r =
+            RecommendRequest::from_json(r#"{"dataset": "CENSUS", "deadline_ms": 250}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        let r = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "deadline_ms": 0}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(0));
+        let err = RecommendRequest::from_json(r#"{"dataset": "CENSUS", "deadline_ms": "fast"}"#)
+            .unwrap_err();
+        assert!(err.contains("deadline_ms"), "{err}");
+        let err =
+            RecommendRequest::from_json(r#"{"dataset": "CENSUS", "deadline_ms": -5}"#).unwrap_err();
+        assert!(err.contains("deadline_ms"), "{err}");
     }
 
     #[test]

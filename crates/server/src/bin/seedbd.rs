@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! seedbd [--addr HOST:PORT] [--max-rows N] [--default-rows N]
-//!        [--cache-mb N] [--seed N] [--workers N]
+//!        [--cache-mb N] [--seed N] [--workers N] [--max-conns N]
+//!        [--queue N] [--deadline-ms N] [--faults SPEC]
 //! seedbd request ADDR METHOD PATH [BODY]
 //! ```
 //!
@@ -42,10 +43,20 @@ fn run_daemon(args: &[String]) -> ExitCode {
             }
             "--seed" => config.seed = parse_num(&value("--seed"), "--seed") as u64,
             "--workers" => config.worker_budget = parse_num(&value("--workers"), "--workers"),
+            "--max-conns" => {
+                config.max_connections = parse_num(&value("--max-conns"), "--max-conns")
+            }
+            "--queue" => config.admission_queue = parse_num(&value("--queue"), "--queue"),
+            "--deadline-ms" => {
+                config.default_deadline_ms =
+                    parse_num(&value("--deadline-ms"), "--deadline-ms") as u64
+            }
+            "--faults" => config.faults = Some(value("--faults")),
             "--help" | "-h" => {
                 println!(
                     "usage: seedbd [--addr HOST:PORT] [--max-rows N] [--default-rows N] \
-                     [--cache-mb N] [--seed N] [--workers N]\n       \
+                     [--cache-mb N] [--seed N] [--workers N] [--max-conns N] [--queue N] \
+                     [--deadline-ms N] [--faults SPEC]\n       \
                      seedbd request ADDR METHOD PATH [BODY]"
                 );
                 return ExitCode::SUCCESS;
@@ -59,10 +70,14 @@ fn run_daemon(args: &[String]) -> ExitCode {
     };
     match server.local_addr() {
         Ok(addr) => eprintln!(
-            "seedbd listening on {addr} (max_rows={}, cache={} MiB, workers={})",
+            "seedbd listening on {addr} (max_rows={}, cache={} MiB, workers={}, \
+             conns={}, queue={}, deadline_ms={})",
             config.max_rows,
             config.cache_bytes >> 20,
-            config.worker_budget
+            config.worker_budget,
+            config.max_connections,
+            config.admission_queue,
+            config.default_deadline_ms
         ),
         Err(e) => die(&format!("local_addr: {e}")),
     }

@@ -28,6 +28,7 @@ use seedb_storage::{ColumnId, ColumnRole, StoreKind, TableBuilder};
 use seedb_util::Json;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Why a catalog operation failed. Each variant maps to the HTTP status a
@@ -94,6 +95,9 @@ pub struct Catalog {
     built: Mutex<HashMap<(String, usize), Arc<Dataset>>>,
     /// Ingested instances, keyed by name; a re-upload replaces.
     ingested: Mutex<HashMap<String, Ingested>>,
+    /// Fault-injection hook ([`crate::faults`]): milliseconds every
+    /// cold build sleeps before generating. Zero (the default) is free.
+    build_delay_ms: AtomicU64,
 }
 
 impl Catalog {
@@ -107,7 +111,15 @@ impl Catalog {
             kind: StoreKind::Column,
             built: Mutex::new(HashMap::new()),
             ingested: Mutex::new(HashMap::new()),
+            build_delay_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Fault-injection hook: make every cold dataset build sleep `ms`
+    /// milliseconds first, widening the window in which a request
+    /// deadline can expire mid-build. Cached instances stay instant.
+    pub fn set_build_delay_ms(&self, ms: u64) {
+        self.build_delay_ms.store(ms, Ordering::Relaxed);
     }
 
     /// The row cap.
@@ -156,6 +168,10 @@ impl Catalog {
         // and must not block requests for other datasets. Two racing
         // requests may both build; the second insert wins and both Arcs
         // are valid (generation is deterministic).
+        let delay = self.build_delay_ms.load(Ordering::Relaxed);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
         let scale = (rows as f64 / info.rows as f64).min(1.0);
         let ds = generate_by_name(name, scale, self.seed, self.kind)
             .ok_or_else(|| CatalogError::NoGenerator(name.to_owned()))?;

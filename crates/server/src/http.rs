@@ -36,6 +36,8 @@ pub struct Response {
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// `Retry-After` header value in seconds, for shed responses.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -45,6 +47,7 @@ impl Response {
             status: 200,
             body,
             content_type: "application/json",
+            retry_after: None,
         }
     }
 
@@ -54,6 +57,32 @@ impl Response {
             status,
             body: seedb_util::Json::obj().set("error", message).compact(),
             content_type: "application/json",
+            retry_after: None,
+        }
+    }
+
+    /// A structured error envelope: `{"error": …, "code": …}` plus, when
+    /// the client should back off and retry, a `retry_after_ms` field and
+    /// the matching `Retry-After` header (rounded up to whole seconds —
+    /// the header's granularity). `error` stays a plain string so every
+    /// error body, coded or not, parses the same way.
+    pub fn error_envelope(
+        status: u16,
+        message: &str,
+        code: &str,
+        retry_after_ms: Option<u64>,
+    ) -> Response {
+        let mut body = seedb_util::Json::obj()
+            .set("error", message)
+            .set("code", code);
+        if let Some(ms) = retry_after_ms {
+            body = body.set("retry_after_ms", ms);
+        }
+        Response {
+            status,
+            body: body.compact(),
+            content_type: "application/json",
+            retry_after: retry_after_ms.map(|ms| ms.div_ceil(1000).max(1)),
         }
     }
 
@@ -69,6 +98,7 @@ impl Response {
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
@@ -77,12 +107,16 @@ impl Response {
     pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(out, "Retry-After: {secs}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
         out.write_all(self.body.as_bytes())?;
         out.flush()
     }
@@ -305,5 +339,29 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("no such route"));
+    }
+
+    #[test]
+    fn error_envelope_carries_code_and_retry_after() {
+        let r = Response::error_envelope(503, "too busy", "overloaded", Some(1500));
+        assert_eq!(r.status, 503);
+        let j = seedb_util::Json::parse(&r.body).unwrap();
+        assert_eq!(j.get("error").unwrap().as_str(), Some("too busy"));
+        assert_eq!(j.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(j.get("retry_after_ms").unwrap().as_u64(), Some(1500));
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+
+        // Without a retry hint there is no header and no field.
+        let r = Response::error_envelope(504, "too slow", "deadline_exceeded", None);
+        assert_eq!(r.reason(), "Gateway Timeout");
+        let j = seedb_util::Json::parse(&r.body).unwrap();
+        assert!(j.get("retry_after_ms").is_none());
+        let mut out = Vec::new();
+        r.write_to(&mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 }

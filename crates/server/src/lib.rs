@@ -44,24 +44,36 @@
 //! request can opt out with `"cache_mode": "bypass"`, which `/statz`
 //! counts separately so operators can see when the cache is not in play.
 //!
-//! ## Concurrency
+//! ## Concurrency & overload
 //!
-//! Connections are handled by a bounded set of threads; recommendation
-//! work inside a request rides the engine's persistent scoped worker pool,
-//! and concurrent requests share the machine through an admission lease on
+//! The accept thread pushes connections onto a bounded admission queue
+//! drained by a fixed pool of worker threads; a full queue sheds the
+//! connection immediately with `503` + `Retry-After` instead of building
+//! an unbounded backlog. Recommendation work inside a request rides the
+//! engine's persistent scoped worker pool, and concurrent requests share
+//! the machine through an admission lease on
 //! [`WorkerBudget`](seedb_engine::WorkerBudget) so N parallel `/recommend`
-//! calls never oversubscribe the morsel workers.
+//! calls never oversubscribe the morsel workers. Worker leases are
+//! bounded waits, never indefinite: a starved request degrades along the
+//! ladder *parallel → serial → cached-partial → shed*. Every `/recommend`
+//! can carry a `deadline_ms`, enforced cooperatively at phase and morsel
+//! boundaries; an expired run returns a `504` envelope (or a clearly
+//! tagged degraded partial answer) and never poisons the cache. A
+//! deterministic fault-injection layer ([`faults`]) drives the chaos test
+//! suite.
 
 pub mod api;
 pub mod cache;
 pub mod catalog;
 pub mod client;
 pub mod csv;
+pub mod faults;
 pub mod http;
 pub mod router;
 pub mod server;
 
 pub use cache::{CacheStats, CacheValue, RecCache};
 pub use catalog::{Catalog, CatalogError};
+pub use faults::{ConnFaults, FaultPlan, TruncatingWriter};
 pub use http::{Request, Response};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -6,14 +6,88 @@ use crate::catalog::Catalog;
 use crate::http::{Request, Response};
 use seedb_core::{
     ingested_instance_signature, instance_signature, predicate_signature, reference_signature,
-    Knob, PhysicalPlan, ReferenceSpec, SeeDb, SeeDbConfig,
+    CancelToken, CoreError, Knob, PhysicalPlan, ReferenceSpec, SeeDb, SeeDbConfig,
 };
 use seedb_engine::{BudgetLease, ExecStats, Predicate, WorkerBudget};
 use seedb_sql::{parser::parse_expr, Planner};
 use seedb_util::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long an admission-starved `/recommend` waits for a single worker
+/// permit before degrading further (bounded by half the remaining
+/// deadline, so a waited request still has time to actually run).
+const LEASE_WAIT: Duration = Duration::from_millis(250);
+
+/// Log₂ latency buckets: bucket `i` counts requests in `[2^i, 2^{i+1})`
+/// microseconds; 40 buckets cover past 12 days, far beyond any timeout.
+const HISTO_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency histogram. Recording is two relaxed
+/// atomic increments — no locks, no allocation on the hot path — and
+/// quantiles are read by scanning 40 counters at `/statz` time. Reported
+/// quantiles are bucket upper bounds, so they over- (never under-)
+/// estimate by at most 2×.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(HISTO_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile in microseconds (upper bucket bound); 0 when
+    /// nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The `/statz` rendering: count, sum, and p50/p95/p99.
+    pub fn json(&self) -> Json {
+        Json::obj()
+            .set("count", self.count.load(Ordering::Relaxed))
+            .set("total_us", self.total_us.load(Ordering::Relaxed))
+            .set("p50_us", self.quantile_us(0.50))
+            .set("p95_us", self.quantile_us(0.95))
+            .set("p99_us", self.quantile_us(0.99))
+    }
+}
 
 /// Request/latency counters exposed at `GET /statz`.
 #[derive(Debug, Default)]
@@ -44,6 +118,27 @@ pub struct ServerStats {
     /// (cache hits don't execute, so they don't overwrite it). Surfaced
     /// at `GET /statz` as the operator's view of what the planner chose.
     pub last_run: std::sync::Mutex<(String, Vec<u64>)>,
+    /// Connections shed at the accept loop because the admission queue
+    /// was full (incremented by the server, not the router).
+    pub sheds: AtomicU64,
+    /// `/recommend` requests shed because every morsel worker stayed
+    /// busy past the bounded lease wait and no cached partial existed.
+    pub shed_busy: AtomicU64,
+    /// Response writes that failed (peer gone, injected truncation, …).
+    pub write_errors: AtomicU64,
+    /// `/recommend` runs cancelled by their deadline (504 or degraded).
+    pub deadline_timeouts: AtomicU64,
+    /// Degraded partial answers assembled purely from cached deltas.
+    pub degraded: AtomicU64,
+    /// `/recommend` runs that found no free permit instantly and fell
+    /// back to the bounded single-permit wait.
+    pub lease_waits: AtomicU64,
+    /// Latency histogram for `/recommend`.
+    pub recommend_histo: LatencyHisto,
+    /// Latency histogram for `/datasets` (both methods).
+    pub datasets_histo: LatencyHisto,
+    /// Latency histogram for every other route.
+    pub other_histo: LatencyHisto,
 }
 
 /// Everything a request handler needs, shared across connections.
@@ -58,13 +153,17 @@ pub struct AppState {
     pub stats: ServerStats,
     /// Catalog generation seed (part of cache-key namespaces).
     pub seed: u64,
+    /// Deadline applied to `/recommend` requests that don't carry their
+    /// own `deadline_ms`; 0 disables the default.
+    pub default_deadline_ms: u64,
 }
 
 /// Dispatches one request.
 pub fn handle(state: &AppState, req: &Request) -> Response {
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
     let path = req.path.split('?').next().unwrap_or("");
-    match (req.method.as_str(), path) {
+    let response = match (req.method.as_str(), path) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/statz") => statz(state),
         ("GET", "/datasets") => Response::json(state.catalog.list_json().compact()),
@@ -72,7 +171,14 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("POST", "/recommend") => recommend(state, req),
         ("GET", "/recommend") => Response::error(405, "use POST for /recommend"),
         _ => Response::error(404, &format!("no route for {} {}", req.method, path)),
-    }
+    };
+    let histo = match path {
+        "/recommend" => &state.stats.recommend_histo,
+        "/datasets" => &state.stats.datasets_histo,
+        _ => &state.stats.other_histo,
+    };
+    histo.record_us(start.elapsed().as_micros() as u64);
+    response
 }
 
 fn healthz(state: &AppState) -> Response {
@@ -131,6 +237,23 @@ fn statz(state: &AppState) -> Response {
                 Json::obj()
                     .set("total", state.budget.total())
                     .set("available", state.budget.available()),
+            )
+            .set(
+                "overload",
+                Json::obj()
+                    .set("sheds", load(&s.sheds))
+                    .set("shed_busy", load(&s.shed_busy))
+                    .set("write_errors", load(&s.write_errors))
+                    .set("deadline_timeouts", load(&s.deadline_timeouts))
+                    .set("degraded", load(&s.degraded))
+                    .set("lease_waits", load(&s.lease_waits)),
+            )
+            .set(
+                "latency",
+                Json::obj()
+                    .set("recommend", s.recommend_histo.json())
+                    .set("datasets", s.datasets_histo.json())
+                    .set("other", s.other_histo.json()),
             )
             .compact(),
     )
@@ -197,6 +320,18 @@ fn recommend(state: &AppState, req: &Request) -> Response {
 
 fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Response, Response> {
     let parsed = RecommendRequest::from_json(&req.body).map_err(|e| Response::error(400, &e))?;
+
+    // The deadline clock starts at request arrival and covers everything
+    // downstream — catalog build, admission wait, engine run. A request
+    // value (even an explicit 0 = "no deadline") overrides the server
+    // default.
+    let deadline_ms = parsed.deadline_ms.unwrap_or(state.default_deadline_ms);
+    let cancel = if deadline_ms == 0 {
+        CancelToken::none()
+    } else {
+        CancelToken::with_deadline(start + Duration::from_millis(deadline_ms))
+    };
+
     let rows = state.catalog.resolve_rows(&parsed.dataset, parsed.rows);
     let dataset = state
         .catalog
@@ -240,12 +375,29 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
 
     // Operator-requested bypass: run the engine directly, cache nothing.
     if parsed.cache_mode == api::CacheMode::Bypass {
-        let (config, plan, lease) =
-            plan_and_lease(state, &dataset, &parsed.config, &target, &reference);
+        let (config, plan, lease) = plan_and_lease(
+            state,
+            &dataset,
+            &parsed.config,
+            &target,
+            &reference,
+            &cancel,
+        )
+        .ok_or_else(|| shed_busy(state))?;
         let seedb = SeeDb::with_config(dataset.table.clone(), config);
-        let rec = seedb
-            .recommend(&target, &reference)
-            .map_err(|e| Response::error(400, &e.to_string()))?;
+        let rec = match seedb.recommend_with(&target, &reference, cancel) {
+            Ok(rec) => rec,
+            Err(CoreError::DeadlineExceeded) => {
+                // Bypass opted out of the cache, so there is no partial
+                // to degrade to — the timeout is the honest answer.
+                state
+                    .stats
+                    .deadline_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(deadline_exceeded(deadline_ms));
+            }
+            Err(e) => return Err(Response::error(400, &e.to_string())),
+        };
         drop(lease);
         record_last_run(state, &rec.stats);
         let payload = api::render_recommendation(&dataset, &rec).compact();
@@ -263,6 +415,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             0,
             0,
             explain.as_deref(),
+            None,
             us,
         )));
     }
@@ -285,22 +438,68 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             0,
             0,
             explain.as_deref(),
+            None,
             us,
         )));
     }
 
+    let partials = PartialCache::new(state.cache.clone(), instance.clone());
+
     // Admission: lease worker slots so concurrent requests share the
     // machine's morsel workers instead of each spawning a full pool. The
     // lease request is the *planned* worker count — a small or heavily
-    // pruned query asks for 1 slot, not the whole machine.
-    let (config, plan, lease) =
-        plan_and_lease(state, &dataset, &parsed.config, &target, &reference);
+    // pruned query asks for 1 slot, not the whole machine. When every
+    // permit stays busy past the bounded wait, degrade: serve whatever
+    // the partials cache already holds, else shed with a retry hint.
+    let Some((config, plan, lease)) = plan_and_lease(
+        state,
+        &dataset,
+        &parsed.config,
+        &target,
+        &reference,
+        &cancel,
+    ) else {
+        let seedb = SeeDb::with_config(dataset.table.clone(), parsed.config.clone());
+        if let Some(resp) = degraded_response(
+            state,
+            &seedb,
+            &dataset,
+            &target,
+            &reference,
+            &partials,
+            &where_desc,
+            start,
+        ) {
+            return Ok(resp);
+        }
+        return Err(shed_busy(state));
+    };
 
-    let partials = PartialCache::new(state.cache.clone(), instance.clone());
     let seedb = SeeDb::with_config(dataset.table.clone(), config);
-    let (rec, usage) = seedb
-        .recommend_cached(&target, &reference, &partials)
-        .map_err(|e| Response::error(400, &e.to_string()))?;
+    let (rec, usage) = match seedb.recommend_cached_with(&target, &reference, &partials, cancel) {
+        Ok(v) => v,
+        Err(CoreError::DeadlineExceeded) => {
+            drop(lease);
+            state
+                .stats
+                .deadline_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(resp) = degraded_response(
+                state,
+                &seedb,
+                &dataset,
+                &target,
+                &reference,
+                &partials,
+                &where_desc,
+                start,
+            ) {
+                return Ok(resp);
+            }
+            return Err(deadline_exceeded(deadline_ms));
+        }
+        Err(e) => return Err(Response::error(400, &e.to_string())),
+    };
     drop(lease);
     record_last_run(state, &rec.stats);
 
@@ -338,6 +537,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
         usage.misses as u64,
         usage.resumed as u64,
         explain.as_deref(),
+        None,
         us,
     )))
 }
@@ -348,16 +548,34 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
 /// plan's choice, the plan is re-derived at the granted width so EXPLAIN
 /// reports the shape that executes (morsel sizing tracks worker count) —
 /// while keeping the knob provenance of the original request.
+///
+/// Admission never blocks unboundedly: a free permit is taken instantly
+/// (`try_lease`, possibly trimmed to whatever is free — a 1-permit grant
+/// is serial execution, bit-identical by engine contract); a fully
+/// starved budget waits at most [`LEASE_WAIT`] (and never past half the
+/// remaining deadline) for a single permit; past that, `None` — the
+/// caller degrades or sheds, it does not queue forever.
 fn plan_and_lease<'a>(
     state: &'a AppState,
     dataset: &seedb_data::Dataset,
     requested: &SeeDbConfig,
     target: &Predicate,
     reference: &ReferenceSpec,
-) -> (SeeDbConfig, PhysicalPlan, BudgetLease<'a>) {
+    cancel: &CancelToken,
+) -> Option<(SeeDbConfig, PhysicalPlan, BudgetLease<'a>)> {
     let mut plan =
         SeeDb::with_config(dataset.table.clone(), requested.clone()).plan(target, reference);
-    let lease = state.budget.lease(plan.workers);
+    let lease = match state.budget.try_lease(plan.workers) {
+        Some(lease) => lease,
+        None => {
+            state.stats.lease_waits.fetch_add(1, Ordering::Relaxed);
+            let wait = match cancel.remaining() {
+                Some(left) => LEASE_WAIT.min(left / 2),
+                None => LEASE_WAIT,
+            };
+            state.budget.lease_timeout(1, wait)?
+        }
+    };
     let mut config = requested.clone();
     config.sharing.parallelism = Knob::Fixed(lease.granted());
     if lease.granted() != plan.workers {
@@ -365,7 +583,67 @@ fn plan_and_lease<'a>(
         plan = SeeDb::with_config(dataset.table.clone(), config.clone()).plan(target, reference);
         plan.workers_auto = workers_auto;
     }
-    (config, plan, lease)
+    Some((config, plan, lease))
+}
+
+/// The shed response for worker starvation: 503 with a machine-readable
+/// code and a retry hint. Cheap by construction — no engine work happened.
+fn shed_busy(state: &AppState) -> Response {
+    state.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+    Response::error_envelope(
+        503,
+        "all morsel workers are busy and no cached partial exists; retry shortly",
+        "workers_busy",
+        Some(1_000),
+    )
+}
+
+/// The timeout response for a deadline that expired mid-run. The partial
+/// phase results were discarded and nothing was cached, so a retry with a
+/// longer deadline recomputes from whatever complete phases *earlier*
+/// successful runs deposited.
+fn deadline_exceeded(deadline_ms: u64) -> Response {
+    Response::error_envelope(
+        504,
+        &format!("deadline of {deadline_ms} ms exceeded before the recommendation finished"),
+        "deadline_exceeded",
+        None,
+    )
+}
+
+/// Assembles a degraded partial answer purely from cached per-view deltas
+/// — zero scan work — for a request that cannot run (starved or out of
+/// deadline). `None` when the cache holds nothing for this query; the
+/// caller falls through to shed/timeout. The response is clearly tagged
+/// (`"cache": "degraded"`, `"degraded": true`, a coverage ratio) and is
+/// never deposited into the response cache: a later healthy request must
+/// compute and cache the full answer.
+#[allow(clippy::too_many_arguments)] // the envelope's per-request fields
+fn degraded_response(
+    state: &AppState,
+    seedb: &SeeDb,
+    dataset: &seedb_data::Dataset,
+    target: &Predicate,
+    reference: &ReferenceSpec,
+    partials: &PartialCache,
+    where_desc: &str,
+    start: Instant,
+) -> Option<Response> {
+    let (rec, coverage) = seedb.degraded_from_cache(target, reference, partials)?;
+    state.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    let payload = api::render_recommendation(dataset, &rec).compact();
+    let us = start.elapsed().as_micros() as u64;
+    Some(Response::json(envelope(
+        &payload,
+        where_desc,
+        "degraded",
+        0,
+        0,
+        0,
+        None,
+        Some(coverage),
+        us,
+    )))
 }
 
 /// Records the executed plan summary and phase timings for `/statz`.
@@ -421,16 +699,20 @@ fn envelope(
     view_misses: u64,
     view_resumed: u64,
     explain: Option<&str>,
+    degraded_coverage: Option<f64>,
     us: u64,
 ) -> String {
-    let mut extra = Json::obj()
+    let mut obj = Json::obj()
         .set("where", where_desc)
         .set("cache", cache)
         .set("view_hits", view_hits)
         .set("view_misses", view_misses)
         .set("view_resumed", view_resumed)
-        .set("elapsed_us", us)
-        .compact();
+        .set("elapsed_us", us);
+    if let Some(coverage) = degraded_coverage {
+        obj = obj.set("degraded", true).set("coverage", coverage);
+    }
+    let mut extra = obj.compact();
     if let Some(fragment) = explain {
         // The fragment is already compact JSON; splice it in verbatim.
         debug_assert!(fragment.starts_with('{') && fragment.ends_with('}'));
@@ -455,6 +737,7 @@ mod tests {
             budget: WorkerBudget::new(default_parallelism()),
             stats: ServerStats::default(),
             seed: 17,
+            default_deadline_ms: 0,
         }
     }
 
@@ -669,8 +952,188 @@ mod tests {
     }
 
     #[test]
+    fn latency_histogram_records_and_reports_quantiles() {
+        let h = LatencyHisto::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [3, 5, 9, 17, 1000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 5);
+        // p50 = 3rd of 5 sorted observations (9) → bucket [8,16) → 16.
+        assert_eq!(h.quantile_us(0.50), 16);
+        // p99 lands on the max (1000) → bucket [512,1024) → 1024.
+        assert_eq!(h.quantile_us(0.99), 1024);
+        let j = h.json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(5));
+        assert_eq!(j.get("total_us").unwrap().as_u64(), Some(1034));
+        assert!(j.get("p95_us").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn statz_reports_overload_counters_and_per_route_latency() {
+        let s = state();
+        post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#,
+        );
+        let j = Json::parse(&get(&s, "/statz").body).unwrap();
+        let overload = j.get("overload").unwrap();
+        for key in [
+            "sheds",
+            "shed_busy",
+            "write_errors",
+            "deadline_timeouts",
+            "degraded",
+            "lease_waits",
+        ] {
+            assert!(overload.get(key).unwrap().as_u64().is_some(), "{key}");
+        }
+        let latency = j.get("latency").unwrap();
+        let rec = latency.get("recommend").unwrap();
+        assert_eq!(rec.get("count").unwrap().as_u64(), Some(1));
+        assert!(rec.get("p50_us").unwrap().as_u64().unwrap() > 0);
+        assert!(rec.get("p99_us").unwrap().as_u64().unwrap() >= 1);
+        assert!(latency.get("other").is_some());
+        assert!(latency.get("datasets").is_some());
+    }
+
+    #[test]
+    fn expired_deadline_is_a_504_envelope_and_caches_nothing() {
+        let s = state();
+        // The injected build delay outlasts the 1 ms deadline, so the
+        // engine starts with an already-expired token.
+        s.catalog.set_build_delay_ms(20);
+        let body = r#"{"dataset": "HOUSING", "rows": 300, "k": 3, "deadline_ms": 1}"#;
+        let r = post(&s, "/recommend", body);
+        assert_eq!(r.status, 504, "{}", r.body);
+        let j = Json::parse(&r.body).unwrap();
+        assert_eq!(j.get("code").unwrap().as_str(), Some("deadline_exceeded"));
+        assert!(j.get("error").unwrap().as_str().is_some());
+        assert!(s.cache.is_empty(), "a cancelled run must deposit nothing");
+        assert_eq!(s.stats.deadline_timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats.recommends_err.load(Ordering::Relaxed), 1);
+
+        // Without a deadline the same request (instance now built, so the
+        // delay is gone) completes and caches normally.
+        let ok = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 3}"#,
+        );
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        assert!(!s.cache.is_empty());
+    }
+
+    #[test]
+    fn explicit_zero_deadline_overrides_the_server_default() {
+        let mut s = state();
+        s.default_deadline_ms = 1;
+        s.catalog.set_build_delay_ms(20);
+        // The server default would expire this request; deadline_ms: 0
+        // turns the deadline off entirely.
+        let r = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 2, "deadline_ms": 0}"#,
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        // And with the default left in force, the request times out.
+        let mut s2 = state();
+        s2.default_deadline_ms = 1;
+        s2.catalog.set_build_delay_ms(20);
+        let r = post(
+            &s2,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 400, "k": 2}"#,
+        );
+        assert_eq!(r.status, 504, "{}", r.body);
+    }
+
+    #[test]
+    fn serial_degradation_is_bit_identical_to_the_parallel_run() {
+        let s = state();
+        let body = r#"{"dataset": "HOUSING", "rows": 300, "k": 3, "cache_mode": "bypass"}"#;
+        let baseline = post(&s, "/recommend", body);
+        assert_eq!(baseline.status, 200, "{}", baseline.body);
+        // Leave exactly one free permit: admission trims the grant to 1
+        // and the run executes serially.
+        let total = s.budget.total();
+        let hold = (total > 1).then(|| s.budget.lease(total - 1));
+        let serial = post(&s, "/recommend", body);
+        drop(hold);
+        assert_eq!(serial.status, 200, "{}", serial.body);
+        let a = Json::parse(&baseline.body).unwrap();
+        let b = Json::parse(&serial.body).unwrap();
+        assert_eq!(a.get("views"), b.get("views"), "serial ≠ parallel bits");
+        assert_eq!(a.get("all_utilities"), b.get("all_utilities"));
+    }
+
+    #[test]
+    fn full_starvation_degrades_to_cached_partials_or_sheds() {
+        let s = state();
+        // Cold cache + zero free permits → a shed, not a hang: the
+        // bounded wait expires and there is nothing cached to serve.
+        let hold = s.budget.lease(s.budget.total());
+        let cold = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 3, "deadline_ms": 100}"#,
+        );
+        assert_eq!(cold.status, 503, "{}", cold.body);
+        let j = Json::parse(&cold.body).unwrap();
+        assert_eq!(j.get("code").unwrap().as_str(), Some("workers_busy"));
+        assert!(j.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(s.stats.shed_busy.load(Ordering::Relaxed), 1);
+        assert!(s.stats.lease_waits.load(Ordering::Relaxed) >= 1);
+        drop(hold);
+
+        // Warm the per-view partials with an exact (NO_OPT) run, then
+        // starve again: an overlapping request (different k, so the
+        // response cache misses) degrades to a cached-partial answer.
+        let warm = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 3, "strategy": "NO_OPT"}"#,
+        );
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        let hold = s.budget.lease(s.budget.total());
+        let r = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 5, "strategy": "NO_OPT", "deadline_ms": 100}"#,
+        );
+        drop(hold);
+        assert_eq!(r.status, 200, "{}", r.body);
+        let j = Json::parse(&r.body).unwrap();
+        assert_eq!(j.get("cache").unwrap().as_str(), Some("degraded"));
+        assert_eq!(j.get("degraded").unwrap().as_bool(), Some(true));
+        let coverage = j.get("coverage").unwrap().as_num().unwrap();
+        assert!(
+            coverage > 0.99,
+            "exact partials cover everything: {coverage}"
+        );
+        assert_eq!(j.get("views").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(s.stats.degraded.load(Ordering::Relaxed), 1);
+
+        // Degraded answers are never cached: the repeat (permits back)
+        // computes for real and deposits.
+        let r2 = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 5, "strategy": "NO_OPT"}"#,
+        );
+        let j2 = Json::parse(&r2.body).unwrap();
+        assert_ne!(j2.get("cache").unwrap().as_str(), Some("hit"));
+        // The degraded answer came from exact full-table partials, so it
+        // matches the real computation bit for bit.
+        assert_eq!(j.get("views"), j2.get("views"));
+        assert_eq!(j.get("all_utilities"), j2.get("all_utilities"));
+    }
+
+    #[test]
     fn envelope_splices_compact_objects() {
-        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 1, None, 7);
+        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 1, None, None, 7);
         let j = Json::parse(&spliced).unwrap();
         assert_eq!(j.get("cache").unwrap().as_str(), Some("hit"));
         assert_eq!(j.get("view_hits").unwrap().as_u64(), Some(2));
@@ -680,7 +1143,7 @@ mod tests {
 
         // With an explain fragment, the nested object parses intact.
         let frag = "{\"plan\":{\"workers\":2},\"phase_times_us\":[4,5]}";
-        let spliced = envelope("{\"a\":1}", "x = 1", "miss", 0, 6, 0, Some(frag), 7);
+        let spliced = envelope("{\"a\":1}", "x = 1", "miss", 0, 6, 0, Some(frag), None, 7);
         let j = Json::parse(&spliced).unwrap();
         let ex = j.get("explain").unwrap();
         assert_eq!(

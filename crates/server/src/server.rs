@@ -1,16 +1,39 @@
-//! The `seedbd` daemon: TCP accept loop, bounded connection workers,
-//! graceful shutdown.
+//! The `seedbd` daemon: TCP accept loop, a bounded admission queue
+//! feeding a fixed pool of connection workers, graceful shutdown, and
+//! deterministic fault injection.
+//!
+//! ## Admission control
+//!
+//! The accept thread never blocks on connection handling: each accepted
+//! socket is pushed onto a bounded [`ConnQueue`]; a fixed set of worker
+//! threads pops and serves. When the queue is full the connection is
+//! shed on a short-lived side thread — a `503` with a `Retry-After` hint
+//! and a structured `{"error", "code"}` envelope, followed by a bounded
+//! drain of the unread request so the close is a clean FIN the peer can
+//! read the envelope past — so overload produces fast, honest rejections
+//! instead of an unbounded backlog, and the shutdown flag is re-checked
+//! on every accept no matter how slow the handlers or the shed peers
+//! are.
 
 use crate::cache::RecCache;
 use crate::catalog::Catalog;
+use crate::faults::{ConnFaults, FaultPlan, TruncatingWriter};
 use crate::http::{read_request, Response};
 use crate::router::{handle, AppState, ServerStats};
 use seedb_engine::parallel::default_parallelism;
 use seedb_engine::WorkerBudget;
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long each write (and each post-envelope drain read) of a shed
+/// response may block before the shed thread gives up on the peer (the
+/// body is ~100 bytes, so this only triggers for a peer that refuses to
+/// read at all).
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -25,8 +48,18 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Dataset generation seed.
     pub seed: u64,
-    /// Maximum concurrent connections (excess waits in the accept queue).
+    /// Maximum concurrent connections (the worker-pool size).
     pub max_connections: usize,
+    /// Accepted connections waiting for a worker beyond
+    /// `max_connections`; when this queue is full new connections are
+    /// shed immediately with a `503` + `Retry-After`.
+    pub admission_queue: usize,
+    /// Default `/recommend` deadline in milliseconds; 0 disables it.
+    /// Requests override it with their own `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Fault-injection spec ([`crate::faults::FaultPlan::parse`]);
+    /// `None` (the default) injects nothing.
+    pub faults: Option<String>,
     /// Morsel-worker slots shared by all concurrent `/recommend` runs;
     /// defaults to the core count.
     pub worker_budget: usize,
@@ -41,6 +74,9 @@ impl Default for ServerConfig {
             cache_bytes: 64 << 20,
             seed: 17,
             max_connections: 32,
+            admission_queue: 64,
+            default_deadline_ms: 0,
+            faults: None,
             worker_budget: default_parallelism(),
         }
     }
@@ -51,24 +87,44 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<AppState>,
     max_connections: usize,
+    admission_queue: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl Server {
     /// Binds the listener and builds the shared state. Serving starts
-    /// with [`Server::run`] or [`Server::spawn`].
+    /// with [`Server::run`] or [`Server::spawn`]. A malformed fault spec
+    /// is an `InvalidInput` error — refusing to start beats silently
+    /// running a different chaos schedule than the operator asked for.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let faults = match &config.faults {
+            Some(spec) => Some(
+                FaultPlan::parse(spec)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+            ),
+            None => None,
+        };
         let listener = TcpListener::bind(&config.addr)?;
+        let catalog = Catalog::new(config.max_rows, config.default_rows, config.seed);
+        if let Some(plan) = &faults {
+            if plan.slow_catalog_ms > 0 {
+                catalog.set_build_delay_ms(plan.slow_catalog_ms);
+            }
+        }
         let state = Arc::new(AppState {
-            catalog: Catalog::new(config.max_rows, config.default_rows, config.seed),
+            catalog,
             cache: Arc::new(RecCache::new(config.cache_bytes)),
             budget: WorkerBudget::new(config.worker_budget),
             stats: ServerStats::default(),
             seed: config.seed,
+            default_deadline_ms: config.default_deadline_ms,
         });
         Ok(Server {
             listener,
             state,
             max_connections: config.max_connections.max(1),
+            admission_queue: config.admission_queue.max(1),
+            faults,
         })
     }
 
@@ -82,25 +138,43 @@ impl Server {
         self.state.clone()
     }
 
-    /// Serves until `stop` is set (checked after each accepted
-    /// connection). Connection handlers run on scoped threads, at most
-    /// `max_connections` at a time; excess connections queue in the OS
-    /// accept backlog.
+    /// Serves until `stop` is set (re-checked on every accepted
+    /// connection — slot exhaustion can no longer pin the accept thread,
+    /// so shutdown is never stuck behind slow handlers). Connections are
+    /// queued to `max_connections` worker threads through a bounded
+    /// admission queue; when the queue is full the connection is shed
+    /// with a fast `503` on a short-lived side thread.
     pub fn run_until(self, stop: Arc<AtomicBool>) {
-        let conn_slots = WorkerBudget::new(self.max_connections);
+        let queue = ConnQueue::new(self.admission_queue);
         std::thread::scope(|scope| {
+            for _ in 0..self.max_connections {
+                let queue = &queue;
+                let state = &self.state;
+                let faults = &self.faults;
+                scope.spawn(move || {
+                    while let Some((stream, conn)) = queue.pop() {
+                        let conn_faults = faults
+                            .as_ref()
+                            .map(|f| f.for_conn(conn))
+                            .unwrap_or_default();
+                        handle_connection(state, stream, conn_faults);
+                    }
+                });
+            }
+            let mut conn_index = 0u64;
             for conn in self.listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let lease = conn_slots.lease(1);
-                let state = &self.state;
-                scope.spawn(move || {
-                    let _lease = lease;
-                    handle_connection(state, stream);
-                });
+                let index = conn_index;
+                conn_index += 1;
+                if let Err(stream) = queue.push(stream, index) {
+                    shed_detached(self.state.clone(), stream);
+                }
             }
+            // Workers drain what was already admitted, then exit.
+            queue.close();
         });
     }
 
@@ -123,6 +197,121 @@ impl Server {
             stop,
             thread: Some(thread),
         })
+    }
+}
+
+/// The bounded admission queue between the accept thread and the
+/// connection workers. `push` never blocks (full ⇒ the stream comes
+/// straight back for shedding); `pop` blocks until work arrives or the
+/// queue closes, then drains whatever was already admitted.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    deque: VecDeque<(TcpStream, u64)>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(QueueInner {
+                deque: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits a connection, or hands it back when the queue is full (or
+    /// closed) so the caller can shed it.
+    fn push(&self, stream: TcpStream, conn: u64) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().expect("conn queue poisoned");
+        if q.closed || q.deque.len() >= self.cap {
+            return Err(stream);
+        }
+        q.deque.push_back((stream, conn));
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// The next admitted connection; `None` once closed and drained.
+    fn pop(&self) -> Option<(TcpStream, u64)> {
+        let mut q = self.inner.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(item) = q.deque.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).expect("conn queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("conn queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Sheds a connection the admission queue refused: a fast inline `503`
+/// with a retry hint, written with a short timeout so a peer that won't
+/// read can't stall the accept thread either.
+/// Sheds one connection on a short-lived detached thread so the accept
+/// loop never waits on a slow peer; falls back to shedding on the
+/// calling thread if the spawn itself fails (the shed path is bounded
+/// either way).
+fn shed_detached(state: Arc<AppState>, stream: TcpStream) {
+    let spawned = std::thread::Builder::new()
+        .name("seedbd-shed".to_owned())
+        .spawn({
+            let state = state.clone();
+            move || shed(&state, stream)
+        });
+    if spawned.is_err() {
+        // Thread exhaustion: the closure (and the stream with it) is
+        // dropped, so the peer sees a plain close with no envelope.
+        // Count both so the operator can see sheds that went dark.
+        state.stats.sheds.fetch_add(1, Ordering::Relaxed);
+        state.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn shed(state: &AppState, mut stream: TcpStream) {
+    use std::io::Read;
+
+    state.stats.sheds.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(SHED_WRITE_TIMEOUT));
+    let response = Response::error_envelope(
+        503,
+        "server overloaded: admission queue is full",
+        "overloaded",
+        Some(1_000),
+    );
+    if response.write_to(&mut stream).is_err() {
+        state.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // The shed path never reads the request, and closing a socket with
+    // received-but-unread bytes sends TCP RST — which races the envelope
+    // and makes the peer see a connection reset instead of the 503. FIN
+    // the write side, then drain what the peer sent (bounded in bytes
+    // and reads, so a drip-feeding peer cannot pin this thread) before
+    // the close.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 8 * 1024];
+    for _ in 0..8 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
     }
 }
 
@@ -167,13 +356,32 @@ impl Drop for ServerHandle {
     }
 }
 
-/// One connection: read a request, route it, write the response, close.
-fn handle_connection(state: &AppState, mut stream: TcpStream) {
+/// One connection: apply its injected faults, read a request, route it,
+/// write the response, close. Write failures are counted — a vanished
+/// peer is routine under overload, but an operator watching `/statz`
+/// must be able to see the rate.
+fn handle_connection(state: &AppState, mut stream: TcpStream, faults: ConnFaults) {
+    if let Some(ms) = faults.slow_read_ms {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    if let Some(ms) = faults.starve_ms {
+        // Seize every free morsel-worker permit for the window, forcing
+        // concurrent /recommend runs down the degradation ladder.
+        let hold = state.budget.try_lease(state.budget.total());
+        std::thread::sleep(Duration::from_millis(ms));
+        drop(hold);
+    }
     let response = match read_request(&mut stream) {
         Ok(request) => handle(state, &request),
         Err(err) => Response::error(err.status(), &err.message()),
     };
-    let _ = response.write_to(&mut stream);
+    let result = match faults.truncate_write_bytes {
+        Some(cap) => response.write_to(&mut TruncatingWriter::new(&mut stream, cap)),
+        None => response.write_to(&mut stream),
+    };
+    if result.is_err() {
+        state.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -211,5 +419,44 @@ mod tests {
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 400"), "{out}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn bad_fault_spec_refuses_to_bind() {
+        let config = ServerConfig {
+            faults: Some("warp=1:2".to_owned()),
+            ..test_config()
+        };
+        let err = match Server::bind(config) {
+            Err(e) => e,
+            Ok(_) => panic!("a bad fault spec must refuse to bind"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("unknown fault"), "{err}");
+    }
+
+    #[test]
+    fn conn_queue_push_pop_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let make = || {
+            let c = TcpStream::connect(addr).unwrap();
+            let _ = listener.accept().unwrap();
+            c
+        };
+        let queue = ConnQueue::new(2);
+        assert!(queue.push(make(), 0).is_ok());
+        assert!(queue.push(make(), 1).is_ok());
+        // Full: the stream comes back for shedding.
+        assert!(queue.push(make(), 2).is_err());
+        assert_eq!(queue.pop().unwrap().1, 0);
+        assert!(queue.push(make(), 3).is_ok());
+        // Close drains what was admitted, then yields None.
+        queue.close();
+        assert!(queue.push(make(), 4).is_err());
+        assert_eq!(queue.pop().unwrap().1, 1);
+        assert_eq!(queue.pop().unwrap().1, 3);
+        assert!(queue.pop().is_none());
+        assert!(queue.pop().is_none());
     }
 }

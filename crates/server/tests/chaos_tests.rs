@@ -1,0 +1,366 @@
+//! Chaos tests: overload, slow peers, injected faults, and deadlines.
+//!
+//! The invariants under test, from the overload design:
+//!
+//! * shedding is immediate and structured — a full admission queue
+//!   answers `503` + `Retry-After` in far less than a request takes;
+//! * no request outlives its deadline by more than bounded overshoot;
+//! * a deadline-cancelled run deposits **nothing** into the cache;
+//! * client-attributable faults (malformed frames, vanished peers,
+//!   truncated sockets) never produce a `500`;
+//! * a slow-loris peer pins one worker, not the daemon.
+
+use seedb_server::client;
+use seedb_server::router::{handle, AppState, ServerStats};
+use seedb_server::{Catalog, RecCache, Request, Server, ServerConfig};
+use seedb_util::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_rows: 2_000,
+        default_rows: 500,
+        ..Default::default()
+    }
+}
+
+/// Reads whatever the server sends until EOF (its own timeouts bound
+/// this), tolerating read errors from injected faults.
+fn drain(stream: &mut TcpStream) -> String {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(15)));
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    raw
+}
+
+#[test]
+fn full_admission_queue_sheds_fast_with_retry_after() {
+    let handle = Server::bind(ServerConfig {
+        max_connections: 1,
+        admission_queue: 1,
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker with an idle connection (it blocks in
+    // read_request), then fill the one-slot queue with another.
+    let worker_pin = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let queue_pin = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The next connection must be shed inline — long before IO_TIMEOUT.
+    let started = Instant::now();
+    let mut shed = TcpStream::connect(addr).unwrap();
+    let raw = drain(&mut shed);
+    let elapsed = started.elapsed();
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("Retry-After: 1\r\n"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("");
+    let j = Json::parse(body).unwrap();
+    assert_eq!(j.get("code").unwrap().as_str(), Some("overloaded"));
+    assert!(j.get("error").unwrap().as_str().is_some());
+    assert!(j.get("retry_after_ms").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "shed took {elapsed:?}; it must not wait on a worker"
+    );
+    assert!(handle.state().stats.sheds.load(Ordering::Relaxed) >= 1);
+
+    // Releasing the pins frees the worker; the daemon serves again.
+    drop(worker_pin);
+    drop(queue_pin);
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, body) = client::request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_pins_one_worker_not_the_daemon() {
+    let handle = Server::bind(ServerConfig {
+        max_connections: 2,
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = handle.addr();
+
+    // The loris: complete headers declaring a 50-byte body, then a slow
+    // drip that never finishes.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    write!(
+        loris,
+        "POST /recommend HTTP/1.1\r\nHost: x\r\nContent-Length: 50\r\n\r\n"
+    )
+    .unwrap();
+    loris.flush().unwrap();
+
+    // While the loris occupies a worker, healthy requests on the other
+    // worker keep meeting interactive latencies.
+    for _ in 0..3 {
+        let _ = loris.write(b"{");
+        let started = Instant::now();
+        let (status, _) = client::request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "healthy request stalled behind the loris"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Abandoning the loris reclaims its worker: with both workers free,
+    // two fresh idle-then-closed connections are both served 4xx frames
+    // (or dropped), and a real request still works.
+    drop(loris);
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, body) = client::request(
+        addr,
+        "POST",
+        "/recommend",
+        Some(r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+}
+
+/// In-process state mirroring the daemon's, for deterministic deadline
+/// tests without socket timing noise.
+fn app_state(default_deadline_ms: u64) -> AppState {
+    AppState {
+        catalog: Catalog::new(2_000, 500, 17),
+        cache: Arc::new(RecCache::new(4 << 20)),
+        budget: seedb_engine::WorkerBudget::new(seedb_engine::parallel::default_parallelism()),
+        stats: ServerStats::default(),
+        seed: 17,
+        default_deadline_ms,
+    }
+}
+
+fn post(state: &AppState, path: &str, body: String) -> seedb_server::Response {
+    handle(
+        state,
+        &Request {
+            method: "POST".into(),
+            path: path.into(),
+            body,
+        },
+    )
+}
+
+/// A tiny xorshift-style generator: enough spread for property-style
+/// sweeps, fully deterministic.
+fn mix(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+#[test]
+fn property_deadline_cancelled_recommend_deposits_nothing() {
+    // Property: across randomized request shapes, a /recommend whose
+    // deadline expires leaves the cache exactly as it found it — here,
+    // empty. The injected build delay (20 ms) dwarfs every deadline
+    // (1–5 ms), so each run is cancelled before its first phase.
+    let state = app_state(0);
+    state.catalog.set_build_delay_ms(20);
+    let metrics = ["EMD", "L1", "EUCLIDEAN"];
+    let datasets = ["HOUSING", "CENSUS"];
+    for case in 0..20u64 {
+        let r = mix(0x5eedb ^ case.wrapping_mul(0x9e37_79b9));
+        let body = format!(
+            r#"{{"dataset": "{}", "rows": {}, "k": {}, "metric": "{}", "deadline_ms": {}}}"#,
+            datasets[(r % 2) as usize],
+            // Unique per case, so every build is cold and eats the
+            // injected 20 ms — the deadline is always already expired.
+            200 + case * 13,
+            1 + (r >> 16) % 8,
+            metrics[((r >> 24) % 3) as usize],
+            1 + (r >> 32) % 5,
+        );
+        let resp = post(&state, "/recommend", body.clone());
+        assert_eq!(resp.status, 504, "case {case} ({body}): {}", resp.body);
+        let j = Json::parse(&resp.body).unwrap();
+        assert_eq!(j.get("code").unwrap().as_str(), Some("deadline_exceeded"));
+        assert!(
+            state.cache.is_empty(),
+            "case {case} ({body}) poisoned the cache"
+        );
+    }
+    assert_eq!(state.stats.deadline_timeouts.load(Ordering::Relaxed), 20);
+
+    // Control: with no deadline the same machinery computes and caches.
+    let ok = post(
+        &state,
+        "/recommend",
+        r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#.to_owned(),
+    );
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    assert!(!state.cache.is_empty());
+}
+
+#[test]
+fn no_request_hangs_past_its_deadline() {
+    // slow_catalog widens the run; the deadline must still bound the
+    // response far below the fault's scale + IO timeouts.
+    let handle = Server::bind(ServerConfig {
+        faults: Some("slow_catalog=100".to_owned()),
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let started = Instant::now();
+    let (status, body) = client::request(
+        handle.addr(),
+        "POST",
+        "/recommend",
+        Some(r#"{"dataset": "HOUSING", "rows": 300, "k": 2, "deadline_ms": 10}"#),
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(status, 504, "{body}");
+    // Budget: 100 ms injected build + morsel-boundary overshoot + frame
+    // I/O. Anything near IO_TIMEOUT (10 s) would mean the deadline is
+    // not actually enforced.
+    assert!(
+        elapsed < Duration::from_millis(1_500),
+        "504 took {elapsed:?}"
+    );
+    assert_eq!(
+        handle
+            .state()
+            .stats
+            .deadline_timeouts
+            .load(Ordering::Relaxed),
+        1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_writes_are_counted_never_500() {
+    // Every connection's response socket dies after 32 bytes.
+    let handle = Server::bind(ServerConfig {
+        faults: Some("truncate_write=1:32".to_owned()),
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = handle.addr();
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let raw = drain(&mut stream);
+        // The peer sees a truncated frame — but whatever did arrive is
+        // the head of a non-5xx response.
+        assert!(raw.len() <= 32, "cap not enforced: {raw:?}");
+        assert!(!raw.contains("500"), "{raw}");
+    }
+    let stats = handle.state();
+    assert!(
+        stats.stats.write_errors.load(Ordering::Relaxed) >= 3,
+        "write errors must be counted"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn client_faults_never_produce_500() {
+    // A fault schedule that exercises slow reads on some connections
+    // while clients misbehave in every way short of crashing the parser.
+    let handle = Server::bind(ServerConfig {
+        faults: Some("seed=3,slow_read=2:30".to_owned()),
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = handle.addr();
+    let bad_frames: [&[u8]; 4] = [
+        b"GARBAGE\r\n\r\n",
+        b"GET /healthz SPDY/9\r\n\r\n",
+        b"POST /recommend HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+        b"POST /recommend HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson",
+    ];
+    for (i, frame) in bad_frames.iter().cycle().take(8).enumerate() {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(frame).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let raw = drain(&mut stream);
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("frame {i}: unparseable response {raw:?}"));
+        assert!(
+            (400..500).contains(&status),
+            "frame {i}: client fault answered {status}: {raw}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn starve_fault_requests_still_complete() {
+    // A starve fault seizes the worker budget before each faulted
+    // connection handles its own request; the request itself must still
+    // complete (the permits are released before routing).
+    let handle = Server::bind(ServerConfig {
+        faults: Some("starve=1:50".to_owned()),
+        worker_budget: 2,
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let (status, body) = client::request(
+        handle.addr(),
+        "POST",
+        "/recommend",
+        Some(r#"{"dataset": "HOUSING", "rows": 300, "k": 2, "deadline_ms": 5000}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_not_pinned_behind_busy_workers() {
+    // Both workers blocked in reads; shutdown must still complete
+    // promptly because the accept thread re-checks the stop flag on
+    // every connection instead of blocking on a slot.
+    let handle = Server::bind(ServerConfig {
+        max_connections: 2,
+        ..config()
+    })
+    .unwrap()
+    .spawn()
+    .unwrap();
+    let addr = handle.addr();
+    let pin_a = TcpStream::connect(addr).unwrap();
+    let pin_b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let started = Instant::now();
+    drop(pin_a);
+    drop(pin_b);
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown waited on busy workers: {:?}",
+        started.elapsed()
+    );
+}
