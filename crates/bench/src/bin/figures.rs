@@ -54,6 +54,7 @@ fn main() {
     emit(out, "planner", planner(runs, scale));
     emit(out, "server", server_cache(runs, scale));
     emit(out, "server_load", server_load(runs, scale));
+    emit(out, "obs", obs_overhead(runs, scale));
 }
 
 /// `parallelism` tag: the pinned worker count, or `"auto"` when the
@@ -698,6 +699,103 @@ fn server_cache(runs: usize, scale: usize) -> Vec<Json> {
     drop(state);
     handle.shutdown();
     results
+}
+
+/// Observability overhead: warm cache-hit p50 against a fully traced
+/// daemon vs an identical daemon with the flight recorder disabled
+/// (`trace_buffer = 0`). Timed requests alternate between the two
+/// daemons request-by-request, so clock-frequency and scheduler drift
+/// hit both sides identically instead of biasing whichever side a
+/// coarser round measured first; each side reports its best
+/// round-median, and the summary entry carries the `perf_smoke` ceiling
+/// `overhead_traced_over_untraced` (tracing must stay within 1.10× of
+/// untraced on the hot path).
+fn obs_overhead(runs: usize, scale: usize) -> Vec<Json> {
+    use seedb_server::{client, Server, ServerConfig};
+    use std::net::SocketAddr;
+    use std::time::Instant;
+
+    let rows = 8_400 / scale;
+    let bind = |trace_buffer: usize| {
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_rows: 20_000,
+            default_rows: rows,
+            trace_buffer,
+            ..Default::default()
+        })
+        .expect("bind seedbd")
+        .spawn()
+        .expect("spawn seedbd")
+    };
+    let traced = bind(256);
+    let untraced = bind(0);
+    let body = format!(r#"{{"dataset": "CENSUS", "rows": {rows}, "k": 5}}"#);
+    let timed_post = |addr: SocketAddr| -> f64 {
+        let start = Instant::now();
+        let (status, _) =
+            client::request(addr, "POST", "/recommend", Some(&body)).expect("recommend request");
+        assert_eq!(status, 200);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    // Prime both response caches (and the connection path) so every
+    // timed request below is a hit.
+    for _ in 0..3 {
+        timed_post(traced.addr());
+        timed_post(untraced.addr());
+    }
+
+    // Warm hits are ~0.2 ms, so samples are cheap — buy the gate's
+    // headroom with volume: hundreds of alternating samples per round,
+    // several rounds. The gated ratio is the *median of per-round
+    // ratios*: each round compares the two sides inside the same time
+    // window (so slow drift cancels exactly), and the median across
+    // rounds discards rounds a scheduler spike polluted.
+    let per_round = (runs * 50).max(100);
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let mut t_medians = Vec::new();
+    let mut u_medians = Vec::new();
+    for _ in 0..runs.max(7) {
+        let mut t_samples = Vec::with_capacity(per_round);
+        let mut u_samples = Vec::with_capacity(per_round);
+        for _ in 0..per_round {
+            t_samples.push(timed_post(traced.addr()));
+            u_samples.push(timed_post(untraced.addr()));
+        }
+        t_medians.push(median(t_samples));
+        u_medians.push(median(u_samples));
+    }
+    traced.shutdown();
+    untraced.shutdown();
+    let round_ratios: Vec<f64> = t_medians
+        .iter()
+        .zip(&u_medians)
+        .map(|(t, u)| t / u)
+        .collect();
+    let overhead = median(round_ratios);
+    let traced_p50 = median(t_medians);
+    let untraced_p50 = median(u_medians);
+
+    vec![
+        Json::obj()
+            .set("sweep", "traced_warm_hit")
+            .set("dataset", "CENSUS")
+            .set("rows", rows as u64)
+            .set("p50_ms", traced_p50),
+        Json::obj()
+            .set("sweep", "untraced_warm_hit")
+            .set("dataset", "CENSUS")
+            .set("rows", rows as u64)
+            .set("p50_ms", untraced_p50),
+        Json::obj()
+            .set("sweep", "summary")
+            .set("dataset", "CENSUS")
+            .set("rows", rows as u64)
+            .set("overhead_traced_over_untraced", overhead),
+    ]
 }
 
 /// Overload behavior under open-loop load: an ephemeral `seedbd` with

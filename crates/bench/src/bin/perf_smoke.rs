@@ -35,7 +35,11 @@
 //! best fixed-knob configuration in its grid sweep (≥ 1.0×). From
 //! `BENCH_server_load.json`, admission sheds under open-loop overload
 //! must answer ≥ 2× faster than the median served request, and zero
-//! connections may hang without a response.
+//! connections may hang without a response. From `BENCH_obs.json`, one
+//! *ceiling* instead of a floor: warm cache-hit p50 against a fully
+//! traced daemon must stay within 1.10× of the same daemon with the
+//! flight recorder disabled, or request tracing has left the
+//! pay-only-when-enabled budget.
 
 use seedb_util::Json;
 use std::path::Path;
@@ -70,6 +74,10 @@ const LOAD_RATIO_GATES: [(&str, f64); 2] = [
     ("speedup_served_over_shed", 2.0),
     ("no_hung_connections", 1.0),
 ];
+
+/// Absolute *ceilings* over the entries of `BENCH_obs.json`: flight-
+/// recorder tracing must cost ≤ 10% on the warm cache-hit path.
+const OBS_RATIO_CEILINGS: [(&str, f64); 1] = [("overhead_traced_over_untraced", 1.10)];
 
 /// One comparable measurement: a stable identity string and its fastest
 /// observed latency.
@@ -188,10 +196,47 @@ fn main() -> ExitCode {
     gates_ok &= check_ratios(dir, "BENCH_partitions.json", &PARTITION_RATIO_GATES);
     gates_ok &= check_ratios(dir, "BENCH_planner.json", &PLANNER_RATIO_GATES);
     gates_ok &= check_ratios(dir, "BENCH_server_load.json", &LOAD_RATIO_GATES);
+    gates_ok &= check_ceilings(dir, "BENCH_obs.json", &OBS_RATIO_CEILINGS);
     if !gates_ok {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Gates within-run overhead ratios from one figure file against
+/// absolute *ceilings*: the gate trips when the measured value exceeds
+/// the limit (the mirror image of [`check_ratios`]).
+fn check_ceilings(dir: &Path, file: &str, gates: &[(&str, f64)]) -> bool {
+    let path = dir.join(file);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "perf_smoke: {} missing — the figures run no longer emits its sweeps",
+            path.display()
+        );
+        return false;
+    };
+    let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("parse {}: {e}", path.display())));
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        eprintln!("perf_smoke: {} has no results array", path.display());
+        return false;
+    };
+    let mut ok = true;
+    for &(field, ceiling) in gates {
+        let Some(value) = results
+            .iter()
+            .find_map(|r| r.get(field).and_then(Json::as_num))
+        else {
+            eprintln!("perf_smoke: no entry in {} carries {field}", path.display());
+            ok = false;
+            continue;
+        };
+        let verdict = if value > ceiling { "REGRESSED" } else { "ok" };
+        println!("{verdict:9} {file}/{field}: {value:.3}x (ceiling {ceiling}x)");
+        if value > ceiling {
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// Gates within-run speedup ratios from one figure file (see module

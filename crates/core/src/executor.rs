@@ -27,8 +27,8 @@ use crate::reference::ReferenceSpec;
 use crate::state::{Side, ViewState};
 use crate::view::{ViewId, ViewSpec};
 use seedb_engine::{
-    binpack, execute_morsels, rollup, with_pool, AggSpec, CancelToken, CombinedQuery, ExecStats,
-    GroupedResult, Pool, Predicate, SplitSpec,
+    binpack, execute_morsels_traced, rollup, with_pool, AggSpec, CancelToken, CombinedQuery,
+    ExecStats, GroupedResult, Pool, Predicate, SplitSpec, TraceCtx,
 };
 use seedb_storage::{ColumnId, Table};
 use std::borrow::Cow;
@@ -137,6 +137,7 @@ pub struct Executor<'a> {
     table: &'a dyn Table,
     config: &'a SeeDbConfig,
     cancel: CancelToken,
+    trace: TraceCtx,
 }
 
 impl<'a> Executor<'a> {
@@ -146,6 +147,7 @@ impl<'a> Executor<'a> {
             table,
             config,
             cancel: CancelToken::none(),
+            trace: TraceCtx::disabled(),
         }
     }
 
@@ -158,7 +160,16 @@ impl<'a> Executor<'a> {
             table,
             config,
             cancel,
+            trace: TraceCtx::disabled(),
         }
+    }
+
+    /// Attaches a trace context: each executed phase then records a
+    /// `phase` span (the exact interval pushed into
+    /// `ExecStats::phase_times_us`), and the engine emits per-worker
+    /// morsel spans. A disabled context records nothing.
+    pub fn set_trace(&mut self, trace: TraceCtx) {
+        self.trace = trace;
     }
 
     /// Derives the physical plan this executor would run under — the same
@@ -325,13 +336,14 @@ impl<'a> Executor<'a> {
                 ]
             })
             .collect();
-        let results = execute_morsels(
+        let results = execute_morsels_traced(
             pool,
             self.table,
             &queries,
             0..self.table.num_rows(),
             plan.scan_shape(),
             &self.cancel,
+            &self.trace,
         );
         for (state, pair) in states.iter_mut().zip(results.chunks_exact(2)) {
             let [(t_result, t_stats), (r_result, r_stats)] = pair else {
@@ -347,6 +359,13 @@ impl<'a> Executor<'a> {
         stats
             .phase_times_us
             .push(start.elapsed().as_micros() as u64);
+        self.trace.record(
+            "phase",
+            0,
+            start,
+            start.elapsed(),
+            vec![("phase", "0".to_string())],
+        );
         ExecutionReport {
             states,
             stats,
@@ -473,13 +492,14 @@ impl<'a> Executor<'a> {
                     }
                 })
                 .collect();
-            let results = execute_morsels(
+            let results = execute_morsels_traced(
                 pool,
                 self.table,
                 &queries,
                 range.clone(),
                 plan.scan_shape(),
                 &self.cancel,
+                &self.trace,
             );
             // A deadline that expired during the scan makes this phase's
             // results garbage (workers skipped an arbitrary suffix of the
@@ -554,6 +574,13 @@ impl<'a> Executor<'a> {
             stats
                 .phase_times_us
                 .push(phase_start.elapsed().as_micros() as u64);
+            self.trace.record(
+                "phase",
+                0,
+                phase_start,
+                phase_start.elapsed(),
+                vec![("phase", phase_idx.to_string())],
+            );
 
             // Utility estimates for live, unaccepted views.
             let mut estimates = Vec::new();

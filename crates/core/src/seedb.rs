@@ -9,7 +9,7 @@ use crate::reference::ReferenceSpec;
 use crate::signature::{predicate_signature, reference_signature};
 use crate::state::ViewState;
 use crate::view::{enumerate_views, ViewSpec};
-use seedb_engine::{CancelToken, ExecStats, GroupedResult, Predicate};
+use seedb_engine::{CancelToken, ExecStats, GroupedResult, Predicate, TraceCtx};
 use seedb_storage::{BoxedTable, Cell, Table};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,6 +56,7 @@ pub struct Recommendation {
 pub struct SeeDb {
     table: BoxedTable,
     config: SeeDbConfig,
+    trace: TraceCtx,
 }
 
 impl SeeDb {
@@ -65,12 +66,27 @@ impl SeeDb {
         SeeDb {
             table,
             config: SeeDbConfig::default(),
+            trace: TraceCtx::disabled(),
         }
     }
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(table: BoxedTable, config: SeeDbConfig) -> Self {
-        SeeDb { table, config }
+        SeeDb {
+            table,
+            config,
+            trace: TraceCtx::disabled(),
+        }
+    }
+
+    /// Attaches a trace context to every subsequent run: each executed
+    /// phase records a `phase` span and the engine emits per-worker
+    /// morsel spans into it. The default (disabled) context records
+    /// nothing and costs nothing; tracing never changes results — runs
+    /// stay bit-identical with it on or off.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The configuration in use.
@@ -117,7 +133,8 @@ impl SeeDb {
     ) -> Result<Recommendation, CoreError> {
         self.check_runnable()?;
         let views = self.views();
-        let executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
+        let mut executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
+        executor.set_trace(self.trace.clone());
         let report = executor.run(&views, target, reference);
         if report.deadline_exceeded {
             return Err(CoreError::DeadlineExceeded);
@@ -229,7 +246,8 @@ impl SeeDb {
                 .enumerate()
                 .map(|(j, &i)| ViewSpec { id: j, ..views[i] })
                 .collect();
-            let executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
+            let mut executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
+            executor.set_trace(self.trace.clone());
             let report = executor.run(&dense, target, reference);
             // A cancelled run deposits nothing: its states are partial
             // scans, not the full-table aggregates the exact keys promise.
@@ -294,7 +312,8 @@ impl SeeDb {
             })
             .collect();
 
-        let executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
+        let mut executor = Executor::with_cancel(self.table.as_ref(), &self.config, cancel);
+        executor.set_trace(self.trace.clone());
         let run = executor.run_resumable(&views, target, reference, &seeds);
         // Nothing from a cancelled run reaches the cache: the captured
         // deltas stop at an arbitrary phase and would otherwise be

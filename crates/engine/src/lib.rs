@@ -60,10 +60,11 @@ pub use groupkey::GroupKey;
 pub use hashagg::{
     execute_combined, execute_combined_with_mode, PartialAggregation, DENSE_CARDINALITY_MAX,
 };
-pub use morsel::{execute_morsels, DEFAULT_MORSEL_ROWS};
-pub use parallel::{with_pool, BudgetLease, CancelToken, Pool, WorkerBudget};
+pub use morsel::{execute_morsels, execute_morsels_traced, DEFAULT_MORSEL_ROWS};
+pub use parallel::{with_pool, BudgetLease, CancelToken, Pool, WorkerBudget, WorkerProbes};
 pub use prune::{contribution_predicate, pruned_scan, zone_match, PrunedScan};
 pub use rollup::rollup;
+pub use seedb_obs::TraceCtx;
 pub use spec::{AggSpec, CombinedQuery, SplitSpec};
 pub use stats::ExecStats;
 

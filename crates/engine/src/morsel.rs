@@ -22,11 +22,12 @@
 //! `(worker count, morsel size, partition size)` combination.
 
 use crate::cost::ScanShape;
-use crate::parallel::{CancelToken, Pool};
+use crate::parallel::{CancelToken, Pool, WorkerProbes};
 use crate::prune::{pruned_scan, PrunedScan};
 use crate::spec::CombinedQuery;
 use crate::stats::ExecStats;
 use crate::{GroupedResult, PartialAggregation};
+use seedb_obs::TraceCtx;
 use seedb_storage::Table;
 use std::ops::Range;
 use std::sync::Mutex;
@@ -72,6 +73,33 @@ pub fn execute_morsels(
     shape: ScanShape,
     cancel: &CancelToken,
 ) -> Vec<(GroupedResult, ExecStats)> {
+    execute_morsels_traced(
+        pool,
+        table,
+        queries,
+        range,
+        shape,
+        cancel,
+        &TraceCtx::disabled(),
+    )
+}
+
+/// [`execute_morsels`] with per-worker trace probes: when `trace` is
+/// enabled, each worker that claims at least one morsel emits one
+/// aggregated `morsels` span on trace lane `1 + worker` (start = the
+/// worker's first claim, duration = its summed busy time, with the morsel
+/// count as a span argument). A disabled trace costs one branch per morsel
+/// and allocates nothing; results are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_morsels_traced(
+    pool: &Pool<'_>,
+    table: &dyn Table,
+    queries: &[CombinedQuery],
+    range: Range<usize>,
+    shape: ScanShape,
+    cancel: &CancelToken,
+    trace: &TraceCtx,
+) -> Vec<(GroupedResult, ExecStats)> {
     let n_jobs = queries.len();
     if n_jobs == 0 {
         return Vec::new();
@@ -108,10 +136,12 @@ pub fn execute_morsels(
     // morsels per job are ascending (the pool claims indices in ascending
     // order). Jobs with zero surviving morsels simply occupy an empty
     // stretch of the item space.
+    let probes = WorkerProbes::new(workers, trace.is_enabled());
     pool.run(n_items, |worker, item| {
         if cancel.is_expired() {
             return;
         }
+        let probe_start = probes.start();
         let job = job_offsets.partition_point(|&off| off <= item) - 1;
         let morsel = &plans[job].morsels[item - job_offsets[job]];
         let mut slots = locals[worker].lock().expect("worker slot poisoned");
@@ -123,7 +153,9 @@ pub fn execute_morsels(
         partial
             .agg
             .update(table, morsel.clone(), &mut partial.stats);
+        probes.record(worker, probe_start);
     });
+    probes.emit(trace, "morsels");
 
     // Deterministic fold: per job, merge worker partials in ascending
     // first-item order. (Accumulator merges are exact, so any order yields

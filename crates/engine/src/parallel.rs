@@ -14,6 +14,7 @@
 //! [`run_parallel`] keeps the original free-function API, now implemented
 //! as a single-round pool.
 
+use seedb_obs::TraceCtx;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -359,6 +360,84 @@ pub fn with_pool<R>(threads: usize, f: impl FnOnce(&Pool<'_>) -> R) -> R {
             threads,
         })
     })
+}
+
+/// One worker's aggregated probe state.
+#[derive(Default)]
+struct ProbeSlot {
+    first: Option<Instant>,
+    busy: Duration,
+    items: u64,
+}
+
+/// Per-worker busy-time probes for tracing a [`Pool::run`] fan-out as one
+/// aggregated span per worker (start = the worker's first claim, duration
+/// = its summed busy time) instead of one span per morsel. Disabled probes
+/// ([`WorkerProbes::new`] with `enabled = false`) allocate nothing and
+/// cost one branch per item, keeping the untraced hot path untouched.
+/// Each worker only locks its own slot, so the mutexes are uncontended —
+/// the same safe-code pattern as the morsel scheduler's partials.
+pub struct WorkerProbes {
+    slots: Vec<Mutex<ProbeSlot>>,
+}
+
+impl WorkerProbes {
+    /// Probes for `workers` lanes; `enabled = false` records nothing.
+    pub fn new(workers: usize, enabled: bool) -> WorkerProbes {
+        WorkerProbes {
+            slots: if enabled {
+                (0..workers)
+                    .map(|_| Mutex::new(ProbeSlot::default()))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Whether these probes record anything.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Stamps one work item's start; `None` when disabled (so the hot
+    /// path pays no clock read).
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        self.is_enabled().then(Instant::now)
+    }
+
+    /// Folds one finished work item into `worker`'s slot.
+    pub fn record(&self, worker: usize, start: Option<Instant>) {
+        let Some(start) = start else { return };
+        let Some(slot) = self.slots.get(worker) else {
+            return;
+        };
+        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+        slot.first.get_or_insert(start);
+        slot.busy += start.elapsed();
+        slot.items += 1;
+    }
+
+    /// Emits one span per worker that claimed work: lane `1 + worker`,
+    /// start = first claim, duration = summed busy time, with the item
+    /// count as an argument.
+    pub fn emit(&self, trace: &TraceCtx, name: &'static str) {
+        for (worker, slot) in self.slots.iter().enumerate() {
+            let slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(first) = slot.first else { continue };
+            trace.record(
+                name,
+                (worker + 1) as u32,
+                first,
+                slot.busy,
+                vec![
+                    ("worker", worker.to_string()),
+                    ("items", slot.items.to_string()),
+                ],
+            );
+        }
+    }
 }
 
 /// Runs `num_tasks` tasks produced by `task(i)` on at most `threads`

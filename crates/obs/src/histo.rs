@@ -1,0 +1,108 @@
+//! The shared lock-free log₂ latency histogram, relocated here from the
+//! server's router so both `/statz` (quantile rendering) and `/metrics`
+//! (cumulative `le` series) read the same counters — no second
+//! bookkeeping path.
+
+use seedb_util::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Log₂ latency buckets: bucket `i` counts observations in `[2^i, 2^{i+1})`
+/// microseconds; 40 buckets cover past 12 days, far beyond any timeout.
+pub const HISTO_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency histogram. Recording is three relaxed
+/// atomic increments — no locks, no allocation on the hot path — and
+/// quantiles are read by scanning 40 counters at `/statz` time. Reported
+/// quantiles are bucket upper bounds, so they over- (never under-)
+/// estimate by at most 2×.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(HISTO_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the per-bucket counts; bucket `i` covers
+    /// `[2^i, 2^{i+1})` µs. The Prometheus renderer turns this into
+    /// cumulative `le` series.
+    pub fn bucket_counts(&self) -> [u64; HISTO_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile in microseconds (upper bucket bound); 0 when
+    /// nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The `/statz` rendering: count, sum, and p50/p95/p99.
+    pub fn json(&self) -> Json {
+        Json::obj()
+            .set("count", self.count.load(Ordering::Relaxed))
+            .set("total_us", self.total_us.load(Ordering::Relaxed))
+            .set("p50_us", self.quantile_us(0.50))
+            .set("p95_us", self.quantile_us(0.95))
+            .set("p99_us", self.quantile_us(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_counts_snapshot_matches_recordings() {
+        let h = LatencyHisto::default();
+        for us in [1, 1, 3, 9, 1000] {
+            h.record_us(us);
+        }
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 2, "[1,2) holds both 1µs observations");
+        assert_eq!(buckets[1], 1, "[2,4) holds 3µs");
+        assert_eq!(buckets[3], 1, "[8,16) holds 9µs");
+        assert_eq!(buckets[9], 1, "[512,1024) holds 1000µs");
+        assert_eq!(buckets.iter().sum::<u64>(), h.count());
+        assert_eq!(h.total_us(), 1014);
+    }
+}

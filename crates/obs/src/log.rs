@@ -1,0 +1,170 @@
+//! Leveled structured logging: one JSON object per line, to stderr by
+//! default (a pluggable sink keeps the slow-request log testable). No
+//! global logger — the daemon owns a [`Logger`] inside its `Obs` hub and
+//! threads it where it's needed, the same explicit-handle discipline as
+//! the tracer.
+
+use seedb_util::Json;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most to least severe. `--log warn` keeps `Error` and
+/// `Warn` lines and drops the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Failures an operator must see.
+    Error,
+    /// Degraded-but-serving conditions (slow requests, sheds).
+    Warn,
+    /// Lifecycle events (startup, shutdown).
+    Info,
+    /// Per-request chatter.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a `--log` flag value (case-insensitive).
+    pub fn parse(text: &str) -> Option<LogLevel> {
+        match text.to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    /// The level's lowercase label, as emitted in log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+enum Sink {
+    Stderr,
+    Shared(Arc<Mutex<Vec<u8>>>),
+}
+
+/// A leveled JSON-line logger. Each line is a flat object:
+/// `{"ts_ms":…,"level":…,"event":…, …event fields…}`.
+pub struct Logger {
+    level: LogLevel,
+    sink: Sink,
+}
+
+impl Logger {
+    /// A logger writing to stderr at `level`.
+    pub fn stderr(level: LogLevel) -> Logger {
+        Logger {
+            level,
+            sink: Sink::Stderr,
+        }
+    }
+
+    /// A logger capturing lines into a shared buffer — for tests that
+    /// assert on what was logged.
+    pub fn capture(level: LogLevel) -> (Logger, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (
+            Logger {
+                level,
+                sink: Sink::Shared(buf.clone()),
+            },
+            buf,
+        )
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether a line at `level` would be emitted.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    /// Emits one structured line; `fields` must be a JSON object (its
+    /// pairs are spliced after the standard `ts_ms`/`level`/`event` keys).
+    pub fn log(&self, level: LogLevel, event: &str, fields: Json) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let mut line = Json::obj()
+            .set("ts_ms", ts_ms)
+            .set("level", level.label())
+            .set("event", event);
+        if let Json::Obj(pairs) = fields {
+            for (key, value) in pairs {
+                line = line.set(&key, value);
+            }
+        }
+        let rendered = line.compact();
+        match &self.sink {
+            Sink::Stderr => {
+                let _ = writeln!(std::io::stderr().lock(), "{rendered}");
+            }
+            Sink::Shared(buf) => {
+                let mut buf = buf.lock().unwrap_or_else(|e| e.into_inner());
+                let _ = writeln!(buf, "{rendered}");
+            }
+        }
+    }
+
+    /// [`Logger::log`] at `Error`.
+    pub fn error(&self, event: &str, fields: Json) {
+        self.log(LogLevel::Error, event, fields);
+    }
+
+    /// [`Logger::log`] at `Warn`.
+    pub fn warn(&self, event: &str, fields: Json) {
+        self.log(LogLevel::Warn, event, fields);
+    }
+
+    /// [`Logger::log`] at `Info`.
+    pub fn info(&self, event: &str, fields: Json) {
+        self.log(LogLevel::Info, event, fields);
+    }
+
+    /// [`Logger::log`] at `Debug`.
+    pub fn debug(&self, event: &str, fields: Json) {
+        self.log(LogLevel::Debug, event, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("WARN"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("nope"), None);
+        assert!(LogLevel::Error < LogLevel::Debug);
+    }
+
+    #[test]
+    fn lines_are_json_and_filtered_by_level() {
+        let (logger, buf) = Logger::capture(LogLevel::Warn);
+        logger.info("dropped", Json::obj());
+        logger.warn("kept", Json::obj().set("n", 3u64).set("who", "x"));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let line = Json::parse(lines[0]).unwrap();
+        assert_eq!(line.get("event").unwrap().as_str(), Some("kept"));
+        assert_eq!(line.get("level").unwrap().as_str(), Some("warn"));
+        assert_eq!(line.get("n").unwrap().as_u64(), Some(3));
+        assert!(line.get("ts_ms").unwrap().as_u64().is_some());
+    }
+}

@@ -1,0 +1,268 @@
+//! Prometheus text exposition (format version 0.0.4): counters, gauges,
+//! and histograms rendered from the same atomics `/statz` reads. The log₂
+//! [`LatencyHisto`] buckets become cumulative `le` series with power-of-two
+//! upper bounds, so a scraper's `histogram_quantile` agrees with `/statz`'s
+//! own bucket-upper-bound quantiles.
+
+use crate::histo::LatencyHisto;
+use std::fmt::Write;
+
+/// The `Content-Type` a `/metrics` response must carry.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escapes a HELP text: backslashes and newlines.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes, and newlines.
+pub fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// An exposition-format builder. Each metric family gets its `# HELP` /
+/// `# TYPE` header exactly once, followed by its sample lines.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, typ: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {typ}");
+    }
+
+    /// One unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One unlabeled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A histogram family over microsecond [`LatencyHisto`]s, one series
+    /// per `(labels, histogram)` pair: cumulative `_bucket` lines with
+    /// `le` = the log₂ bucket upper bounds, then `+Inf`, `_sum`, `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(&[(&str, &str)], &LatencyHisto)],
+    ) {
+        self.header(name, help, "histogram");
+        for (labels, histo) in series {
+            let counts = histo.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, count) in counts.iter().enumerate() {
+                cumulative += count;
+                let le_text = (1u128 << (i + 1)).to_string();
+                let mut rendered: Vec<(&str, &str)> = labels.to_vec();
+                rendered.push(("le", le_text.as_str()));
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{} {cumulative}",
+                    render_labels(&rendered)
+                );
+            }
+            let mut inf: Vec<(&str, &str)> = labels.to_vec();
+            inf.push(("le", "+Inf"));
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{} {cumulative}",
+                render_labels(&inf)
+            );
+            let _ = writeln!(
+                self.out,
+                "{name}_sum{} {}",
+                render_labels(labels),
+                histo.total_us()
+            );
+            let _ = writeln!(
+                self.out,
+                "{name}_count{} {cumulative}",
+                render_labels(labels)
+            );
+        }
+    }
+
+    /// The rendered exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validates exposition-format shape: every non-comment line is
+/// `name[{labels}] value`, every sample's family has HELP and TYPE
+/// headers, and numbers parse. Returns the first violation. Used by the
+/// format tests and the CI smoke check (via the test binary), not by the
+/// serving path.
+pub fn validate(text: &str) -> Result<(), String> {
+    use std::collections::HashSet;
+    let mut declared: HashSet<String> = HashSet::new();
+    for (no, line) in text.lines().enumerate() {
+        let at = |msg: &str| format!("line {}: {msg}: {line}", no + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            if !matches!(kind, "HELP" | "TYPE") {
+                return Err(at("unknown comment kind"));
+            }
+            if name.is_empty() {
+                return Err(at("header without a metric name"));
+            }
+            declared.insert(name.to_owned());
+            continue;
+        }
+        let (name_and_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("sample without a value"))?;
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "NaN" {
+            return Err(at("unparseable sample value"));
+        }
+        let name = name_and_labels.split('{').next().unwrap_or(name_and_labels);
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(at("bad metric name"));
+        }
+        if let Some(labels) = name_and_labels.strip_prefix(name) {
+            if !(labels.is_empty() || labels.starts_with('{') && labels.ends_with('}')) {
+                return Err(at("malformed label block"));
+            }
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| declared.contains(*f))
+            .unwrap_or(name);
+        if !declared.contains(family) {
+            return Err(at("sample before its HELP/TYPE headers"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut p = PromText::new();
+        p.counter("seedbd_requests_total", "Total requests.", 42);
+        p.gauge("seedbd_uptime_seconds", "Uptime.", 7);
+        let text = p.finish();
+        assert!(text.contains("# HELP seedbd_requests_total Total requests.\n"));
+        assert!(text.contains("# TYPE seedbd_requests_total counter\n"));
+        assert!(text.contains("\nseedbd_requests_total 42\n"));
+        assert!(text.contains("# TYPE seedbd_uptime_seconds gauge\n"));
+        assert!(text.contains("\nseedbd_uptime_seconds 7\n"));
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+        let h = LatencyHisto::default();
+        h.record_us(3);
+        let mut p = PromText::new();
+        p.histogram(
+            "seedbd_route_latency_us",
+            "Per-route latency.",
+            &[(&[("route", "we\"ird\\path")], &h)],
+        );
+        let text = p.finish();
+        assert!(text.contains(r#"route="we\"ird\\path""#), "{text}");
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_match_the_histo() {
+        let h = LatencyHisto::default();
+        for us in [1, 3, 3, 9, 1000, 1000, 1000] {
+            h.record_us(us);
+        }
+        let mut p = PromText::new();
+        p.histogram("lat_us", "Latency.", &[(&[], &h)]);
+        let text = p.finish();
+        validate(&text).unwrap();
+
+        // Parse the bucket lines back and de-cumulate.
+        let mut parsed: Vec<(u128, u64)> = Vec::new();
+        let mut inf = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("lat_us_bucket{le=\"") {
+                let (le, value) = rest.split_once("\"} ").unwrap();
+                let value: u64 = value.parse().unwrap();
+                if le == "+Inf" {
+                    inf = Some(value);
+                } else {
+                    parsed.push((le.parse().unwrap(), value));
+                }
+            }
+        }
+        assert_eq!(parsed.len(), crate::HISTO_BUCKETS);
+        // le bounds are the log₂ bucket upper bounds, ascending.
+        for (i, (le, _)) in parsed.iter().enumerate() {
+            assert_eq!(*le, 1u128 << (i + 1));
+        }
+        // Cumulative counts never decrease and de-cumulate to the exact
+        // per-bucket counts the histogram holds.
+        let counts = h.bucket_counts();
+        let mut prev = 0u64;
+        for (i, (_, cumulative)) in parsed.iter().enumerate() {
+            assert!(*cumulative >= prev);
+            assert_eq!(cumulative - prev, counts[i], "bucket {i}");
+            prev = *cumulative;
+        }
+        assert_eq!(inf, Some(h.count()), "+Inf equals the total count");
+        assert!(text.contains(&format!("lat_us_sum {}", h.total_us())));
+        assert!(text.contains(&format!("lat_us_count {}", h.count())));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate("no_headers 1").is_err());
+        assert!(validate("# HELP m x\n# TYPE m counter\nm notanumber").is_err());
+        assert!(validate("# WAT m x\nm 1").is_err());
+        assert!(validate("# HELP m x\n# TYPE m counter\nm 1").is_ok());
+        // _bucket/_sum/_count samples belong to their declared family.
+        assert!(validate(
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_sum 0\nh_count 0"
+        )
+        .is_ok());
+    }
+}

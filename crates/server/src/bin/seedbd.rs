@@ -4,6 +4,7 @@
 //! seedbd [--addr HOST:PORT] [--max-rows N] [--default-rows N]
 //!        [--cache-mb N] [--seed N] [--workers N] [--max-conns N]
 //!        [--queue N] [--deadline-ms N] [--faults SPEC]
+//!        [--trace-buffer N] [--slow-ms N] [--log LEVEL]
 //! seedbd request ADDR METHOD PATH [BODY]
 //! ```
 //!
@@ -52,11 +53,22 @@ fn run_daemon(args: &[String]) -> ExitCode {
                     parse_num(&value("--deadline-ms"), "--deadline-ms") as u64
             }
             "--faults" => config.faults = Some(value("--faults")),
+            "--trace-buffer" => {
+                config.trace_buffer = parse_num(&value("--trace-buffer"), "--trace-buffer")
+            }
+            "--slow-ms" => config.slow_ms = parse_num(&value("--slow-ms"), "--slow-ms") as u64,
+            "--log" => {
+                let raw = value("--log");
+                config.log_level = seedb_obs::LogLevel::parse(&raw).unwrap_or_else(|| {
+                    die(&format!("--log expects error|warn|info|debug, got '{raw}'"))
+                })
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: seedbd [--addr HOST:PORT] [--max-rows N] [--default-rows N] \
                      [--cache-mb N] [--seed N] [--workers N] [--max-conns N] [--queue N] \
-                     [--deadline-ms N] [--faults SPEC]\n       \
+                     [--deadline-ms N] [--faults SPEC] [--trace-buffer N] [--slow-ms N] \
+                     [--log error|warn|info|debug]\n       \
                      seedbd request ADDR METHOD PATH [BODY]"
                 );
                 return ExitCode::SUCCESS;
@@ -69,15 +81,18 @@ fn run_daemon(args: &[String]) -> ExitCode {
         Err(e) => die(&format!("bind {}: {e}", config.addr)),
     };
     match server.local_addr() {
-        Ok(addr) => eprintln!(
-            "seedbd listening on {addr} (max_rows={}, cache={} MiB, workers={}, \
-             conns={}, queue={}, deadline_ms={})",
-            config.max_rows,
-            config.cache_bytes >> 20,
-            config.worker_budget,
-            config.max_connections,
-            config.admission_queue,
-            config.default_deadline_ms
+        Ok(addr) => server.state().obs.logger.info(
+            "listening",
+            seedb_util::Json::obj()
+                .set("addr", addr.to_string())
+                .set("max_rows", config.max_rows as u64)
+                .set("cache_mb", (config.cache_bytes >> 20) as u64)
+                .set("workers", config.worker_budget as u64)
+                .set("conns", config.max_connections as u64)
+                .set("queue", config.admission_queue as u64)
+                .set("deadline_ms", config.default_deadline_ms)
+                .set("trace_buffer", config.trace_buffer as u64)
+                .set("slow_ms", config.slow_ms),
         ),
         Err(e) => die(&format!("local_addr: {e}")),
     }

@@ -6,6 +6,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Status code, headers (names lowercased), body.
+pub type HttpResponse = (u16, Vec<(String, String)>, String);
+
 /// Issues one HTTP/1.1 request and returns `(status, body)`.
 pub fn request(
     addr: impl ToSocketAddrs,
@@ -13,6 +16,20 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = request_with_headers(addr, method, path, body, &[])?;
+    Ok((status, body))
+}
+
+/// Issues one HTTP/1.1 request with extra headers and returns
+/// `(status, headers, body)`. Header names come back lowercased so
+/// callers can look up `x-request-id` without case games.
+pub fn request_with_headers(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+) -> std::io::Result<HttpResponse> {
     let addr: SocketAddr = addr
         .to_socket_addrs()?
         .next()
@@ -22,9 +39,13 @@ pub fn request(
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
 
     let body = body.unwrap_or("");
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: seedbd\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: seedbd\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()?;
@@ -32,6 +53,15 @@ pub fn request(
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     parse_response(&raw).map_err(std::io::Error::other)
+}
+
+/// The first value of `name` (lowercase) in a header list from
+/// [`request_with_headers`].
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
 }
 
 /// [`request`], parsing the body as JSON.
@@ -47,18 +77,24 @@ pub fn request_json(
     Ok((status, json))
 }
 
-/// Splits a raw HTTP/1.1 response into status code and body.
-fn parse_response(raw: &str) -> Result<(u16, String), String> {
+/// Splits a raw HTTP/1.1 response into status code, headers (names
+/// lowercased), and body.
+fn parse_response(raw: &str) -> Result<HttpResponse, String> {
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| format!("no header/body separator in response: {raw:.120}"))?;
-    let status_line = head.lines().next().unwrap_or("");
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("bad status line '{status_line}'"))?;
-    Ok((status, body.to_owned()))
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Ok((status, headers, body.to_owned()))
 }
 
 #[cfg(test)]
@@ -67,10 +103,14 @@ mod tests {
 
     #[test]
     fn parses_response_frames() {
-        let (status, body) =
-            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}").unwrap();
+        let (status, headers, body) =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nX-Request-Id: r-1\r\n\r\n{}")
+                .unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "{}");
+        assert_eq!(header(&headers, "content-length"), Some("2"));
+        assert_eq!(header(&headers, "x-request-id"), Some("r-1"));
+        assert!(header(&headers, "retry-after").is_none());
         assert!(parse_response("garbage").is_err());
         assert!(parse_response("HTTP/1.1 abc\r\n\r\nx").is_err());
     }

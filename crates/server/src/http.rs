@@ -25,6 +25,45 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes decoded to UTF-8 (empty when absent).
     pub body: String,
+    /// Client-sent `X-Request-Id`, sanitized ([`sanitize_request_id`]);
+    /// `None` when absent or unusable (the server then generates one).
+    pub request_id: Option<String>,
+}
+
+impl Request {
+    /// A request with no `X-Request-Id` header — the common case, and the
+    /// constructor tests use.
+    pub fn new(
+        method: impl Into<String>,
+        path: impl Into<String>,
+        body: impl Into<String>,
+    ) -> Self {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.into(),
+            request_id: None,
+        }
+    }
+}
+
+/// Longest client-supplied request id the server will echo.
+pub const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// Validates a client-sent request id for safe echoing into headers,
+/// JSON envelopes, and log lines: non-empty, at most
+/// [`MAX_REQUEST_ID_LEN`] bytes, and limited to URL-safe characters
+/// (alphanumerics plus `-`, `_`, `.`). Anything else is dropped and the
+/// server generates its own id instead — a header is attacker-controlled
+/// input, not a trusted correlation key.
+pub fn sanitize_request_id(raw: &str) -> Option<String> {
+    let trimmed = raw.trim();
+    let ok = !trimmed.is_empty()
+        && trimmed.len() <= MAX_REQUEST_ID_LEN
+        && trimmed
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'));
+    ok.then(|| trimmed.to_owned())
 }
 
 /// An HTTP response ready to serialize.
@@ -38,6 +77,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// `Retry-After` header value in seconds, for shed responses.
     pub retry_after: Option<u64>,
+    /// `X-Request-Id` header value echoed back to the client.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -48,6 +89,19 @@ impl Response {
             body,
             content_type: "application/json",
             retry_after: None,
+            request_id: None,
+        }
+    }
+
+    /// A `200 OK` response with an explicit content type — the Prometheus
+    /// exposition route serves `text/plain; version=0.0.4` through this.
+    pub fn text(body: String, content_type: &'static str) -> Response {
+        Response {
+            status: 200,
+            body,
+            content_type,
+            retry_after: None,
+            request_id: None,
         }
     }
 
@@ -58,7 +112,14 @@ impl Response {
             body: seedb_util::Json::obj().set("error", message).compact(),
             content_type: "application/json",
             retry_after: None,
+            request_id: None,
         }
+    }
+
+    /// Sets the `X-Request-Id` header echoed to the client.
+    pub fn with_request_id(mut self, id: &str) -> Response {
+        self.request_id = Some(id.to_owned());
+        self
     }
 
     /// A structured error envelope: `{"error": …, "code": …}` plus, when
@@ -83,6 +144,7 @@ impl Response {
             body: body.compact(),
             content_type: "application/json",
             retry_after: retry_after_ms.map(|ms| ms.div_ceil(1000).max(1)),
+            request_id: None,
         }
     }
 
@@ -115,6 +177,9 @@ impl Response {
         )?;
         if let Some(secs) = self.retry_after {
             write!(out, "Retry-After: {secs}\r\n")?;
+        }
+        if let Some(id) = &self.request_id {
+            write!(out, "X-Request-Id: {id}\r\n")?;
         }
         out.write_all(b"\r\n")?;
         out.write_all(self.body.as_bytes())?;
@@ -181,6 +246,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     }
 
     let mut content_length = 0usize;
+    let mut request_id = None;
     loop {
         line.clear();
         read_line(&mut reader, &mut line)?;
@@ -199,6 +265,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
             if content_length > MAX_BODY_BYTES {
                 return Err(ParseError::TooLarge);
             }
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            request_id = sanitize_request_id(value);
         }
     }
 
@@ -212,7 +280,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let body = String::from_utf8(body_bytes)
         .map_err(|_| ParseError::Bad("body is not valid UTF-8".into()))?;
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        request_id,
+    })
 }
 
 /// Reads one CRLF-terminated line from the head-budgeted reader. A line
@@ -339,6 +412,39 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("no such route"));
+    }
+
+    #[test]
+    fn request_id_header_is_parsed_and_sanitized() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\nX-Request-Id: abc-123.Z\r\n\r\n").unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123.Z"));
+        // Case-insensitive header name, value whitespace trimmed.
+        let req = parse_raw(b"GET / HTTP/1.1\r\nx-request-id:  r42 \r\n\r\n").unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("r42"));
+        // Hostile values are dropped, not echoed.
+        for bad in [
+            "evil\"id",
+            "a b",
+            "x\tb",
+            "",
+            "id{with}braces",
+            &"a".repeat(MAX_REQUEST_ID_LEN + 1),
+        ] {
+            assert_eq!(sanitize_request_id(bad), None, "{bad:?}");
+        }
+        let raw = b"GET / HTTP/1.1\r\nX-Request-Id: bad id\r\n\r\n";
+        assert_eq!(parse_raw(raw).unwrap().request_id, None);
+    }
+
+    #[test]
+    fn response_echoes_request_id_header() {
+        let mut out = Vec::new();
+        Response::json("{}".into())
+            .with_request_id("r-00000001")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: r-00000001\r\n"), "{text}");
     }
 
     #[test]

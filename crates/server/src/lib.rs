@@ -13,10 +13,13 @@
 //! | method & path | body | response |
 //! |---|---|---|
 //! | `GET /healthz` | — | `{"status":"ok", …}` |
-//! | `GET /statz` | — | cache + request counters |
+//! | `GET /statz` | — | cache + request counters, uptime, admission gauges |
+//! | `GET /metrics` | — | the same counters in Prometheus text exposition |
 //! | `GET /datasets` | — | the Table 1 catalog, ingested uploads, what's loaded |
 //! | `POST /datasets` | `{"name": …, "csv": …}` | ingest a CSV dataset |
 //! | `POST /recommend` | request JSON (below) | ranked views |
+//! | `GET /debug/traces` | — | flight-recorder index (most recent first) |
+//! | `GET /debug/traces/{id}` | — | one trace as Chrome trace-event JSON |
 //!
 //! A `/recommend` body names a catalog dataset and a target selection, and
 //! may override any result-affecting config knob:
@@ -61,6 +64,20 @@
 //! tagged degraded partial answer) and never poisons the cache. A
 //! deterministic fault-injection layer ([`faults`]) drives the chaos test
 //! suite.
+//!
+//! ## Observability
+//!
+//! Every request is traced from socket to socket: `http_read`, the
+//! admission-queue wait, catalog build, cache probe, plan derivation,
+//! each execution phase, the per-worker morsel fan-out, cache deposit,
+//! and `response_write` each become spans in a [`seedb_obs`] trace.
+//! Completed traces land in a bounded flight recorder served at
+//! `/debug/traces` (Perfetto-loadable Chrome trace-event JSON per
+//! trace), requests slower than `--slow-ms` are logged in full as one
+//! structured JSON line, and `/metrics` exposes every counter and
+//! latency histogram in Prometheus text format. An `X-Request-Id`
+//! header (client-sent or generated) correlates the response envelope,
+//! the trace, and the log line.
 
 pub mod api;
 pub mod cache;

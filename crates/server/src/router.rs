@@ -8,86 +8,23 @@ use seedb_core::{
     ingested_instance_signature, instance_signature, predicate_signature, reference_signature,
     CancelToken, CoreError, Knob, PhysicalPlan, ReferenceSpec, SeeDb, SeeDbConfig,
 };
-use seedb_engine::{BudgetLease, ExecStats, Predicate, WorkerBudget};
+use seedb_engine::{BudgetLease, ExecStats, Predicate, TraceCtx, WorkerBudget};
+use seedb_obs::{Obs, PromText};
 use seedb_sql::{parser::parse_expr, Planner};
 use seedb_util::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+// The log₂ latency histogram lives in `seedb-obs` now (the Prometheus
+// exposition renders its buckets as cumulative `le` series); re-exported
+// so existing `router::LatencyHisto` users keep compiling.
+pub use seedb_obs::LatencyHisto;
+
 /// How long an admission-starved `/recommend` waits for a single worker
 /// permit before degrading further (bounded by half the remaining
 /// deadline, so a waited request still has time to actually run).
 const LEASE_WAIT: Duration = Duration::from_millis(250);
-
-/// Log₂ latency buckets: bucket `i` counts requests in `[2^i, 2^{i+1})`
-/// microseconds; 40 buckets cover past 12 days, far beyond any timeout.
-const HISTO_BUCKETS: usize = 40;
-
-/// A fixed-bucket log₂ latency histogram. Recording is two relaxed
-/// atomic increments — no locks, no allocation on the hot path — and
-/// quantiles are read by scanning 40 counters at `/statz` time. Reported
-/// quantiles are bucket upper bounds, so they over- (never under-)
-/// estimate by at most 2×.
-#[derive(Debug)]
-pub struct LatencyHisto {
-    buckets: [AtomicU64; HISTO_BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
-}
-
-impl Default for LatencyHisto {
-    fn default() -> Self {
-        LatencyHisto {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            total_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHisto {
-    /// Records one observation in microseconds.
-    pub fn record_us(&self, us: u64) {
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(HISTO_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile in microseconds (upper bucket bound); 0 when
-    /// nothing was recorded.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let count = self.count.load(Ordering::Relaxed);
-        if count == 0 {
-            return 0;
-        }
-        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        u64::MAX
-    }
-
-    /// The `/statz` rendering: count, sum, and p50/p95/p99.
-    pub fn json(&self) -> Json {
-        Json::obj()
-            .set("count", self.count.load(Ordering::Relaxed))
-            .set("total_us", self.total_us.load(Ordering::Relaxed))
-            .set("p50_us", self.quantile_us(0.50))
-            .set("p95_us", self.quantile_us(0.95))
-            .set("p99_us", self.quantile_us(0.99))
-    }
-}
 
 /// Request/latency counters exposed at `GET /statz`.
 #[derive(Debug, Default)]
@@ -139,6 +76,15 @@ pub struct ServerStats {
     pub datasets_histo: LatencyHisto,
     /// Latency histogram for every other route.
     pub other_histo: LatencyHisto,
+    /// Connections currently parked in the admission queue (maintained by
+    /// the server's accept loop and workers).
+    pub queue_depth: AtomicU64,
+    /// The admission queue's capacity (set once at server start; 0 when
+    /// the router runs without a server, e.g. in tests).
+    pub queue_capacity: AtomicU64,
+    /// Time connections spent waiting in the admission queue before a
+    /// worker picked them up.
+    pub admission_wait_histo: LatencyHisto,
 }
 
 /// Everything a request handler needs, shared across connections.
@@ -156,19 +102,36 @@ pub struct AppState {
     /// Deadline applied to `/recommend` requests that don't carry their
     /// own `deadline_ms`; 0 disables the default.
     pub default_deadline_ms: u64,
+    /// Tracing, flight recorder, and structured logging.
+    pub obs: Arc<Obs>,
+    /// Server start time, for `/statz` uptime.
+    pub start: Instant,
 }
 
-/// Dispatches one request.
+/// Dispatches one request with a disabled trace context.
 pub fn handle(state: &AppState, req: &Request) -> Response {
+    handle_traced(state, req, &TraceCtx::disabled())
+}
+
+/// Dispatches one request, recording router-side spans (catalog build,
+/// cache probe, plan derivation, execution phases, cache deposit) into
+/// `trace`. Responses carry the request's correlation id ([`request_id`])
+/// in the `X-Request-Id` header and, for `/recommend` envelopes, a
+/// `request_id` field.
+pub fn handle_traced(state: &AppState, req: &Request, trace: &TraceCtx) -> Response {
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
     let path = req.path.split('?').next().unwrap_or("");
+    trace.note("route", path);
     let response = match (req.method.as_str(), path) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/statz") => statz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("GET", "/debug/traces") => traces_index(state),
+        ("GET", p) if p.starts_with("/debug/traces/") => trace_export(state, p),
         ("GET", "/datasets") => Response::json(state.catalog.list_json().compact()),
         ("POST", "/datasets") => ingest(state, req),
-        ("POST", "/recommend") => recommend(state, req),
+        ("POST", "/recommend") => recommend(state, req, trace),
         ("GET", "/recommend") => Response::error(405, "use POST for /recommend"),
         _ => Response::error(404, &format!("no route for {} {}", req.method, path)),
     };
@@ -178,7 +141,21 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         _ => &state.stats.other_histo,
     };
     histo.record_us(start.elapsed().as_micros() as u64);
-    response
+    match request_id(req, trace) {
+        Some(id) => response.with_request_id(&id),
+        None => response,
+    }
+}
+
+/// The request's correlation id: the client's sanitized `X-Request-Id`
+/// when present, else one derived from the trace id (`r-` + zero-padded
+/// hex — the same shape [`Obs::request_id_for`] produces). `None` only
+/// for an untraced request with no client id (bare [`handle`] calls).
+pub fn request_id(req: &Request, trace: &TraceCtx) -> Option<String> {
+    match &req.request_id {
+        Some(id) => Some(id.clone()),
+        None => (trace.id() != 0).then(|| format!("r-{:08x}", trace.id())),
+    }
 }
 
 fn healthz(state: &AppState) -> Response {
@@ -195,10 +172,14 @@ fn statz(state: &AppState) -> Response {
     let s = &state.stats;
     let c = state.cache.stats();
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    let last_run = s.last_run.lock().expect("stats lock poisoned").clone();
+    // A thread that panicked while holding the lock leaves the data
+    // perfectly usable (it's a plain clone-out); recovering beats turning
+    // every future /statz into a 500-by-panic.
+    let last_run = s.last_run.lock().unwrap_or_else(|e| e.into_inner()).clone();
     Response::json(
         Json::obj()
             .set("requests", load(&s.requests))
+            .set("uptime_s", state.start.elapsed().as_secs())
             .set(
                 "recommend",
                 Json::obj()
@@ -249,6 +230,13 @@ fn statz(state: &AppState) -> Response {
                     .set("lease_waits", load(&s.lease_waits)),
             )
             .set(
+                "admission",
+                Json::obj()
+                    .set("queue_depth", load(&s.queue_depth))
+                    .set("queue_capacity", load(&s.queue_capacity))
+                    .set("wait", s.admission_wait_histo.json()),
+            )
+            .set(
                 "latency",
                 Json::obj()
                     .set("recommend", s.recommend_histo.json())
@@ -257,6 +245,209 @@ fn statz(state: &AppState) -> Response {
             )
             .compact(),
     )
+}
+
+/// `GET /metrics`: every counter, gauge, and histogram the server keeps,
+/// in Prometheus text exposition format. Counters mirror `/statz`;
+/// histograms render their log₂ buckets as cumulative `le` series.
+fn metrics(state: &AppState) -> Response {
+    let s = &state.stats;
+    let c = state.cache.stats();
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut p = PromText::new();
+    p.counter(
+        "seedbd_requests_total",
+        "HTTP requests handled, any route",
+        load(&s.requests),
+    );
+    p.counter(
+        "seedbd_recommends_ok_total",
+        "Successful /recommend responses",
+        load(&s.recommends_ok),
+    );
+    p.counter(
+        "seedbd_recommends_err_total",
+        "Failed /recommend requests",
+        load(&s.recommends_err),
+    );
+    p.counter(
+        "seedbd_response_cache_hits_total",
+        "/recommend responses served from the response cache",
+        load(&s.response_hits),
+    );
+    p.counter(
+        "seedbd_response_cache_misses_total",
+        "/recommend responses that ran the engine",
+        load(&s.response_misses),
+    );
+    p.counter(
+        "seedbd_response_cache_bypass_total",
+        "/recommend runs that skipped the cache",
+        load(&s.response_bypass),
+    );
+    p.counter(
+        "seedbd_hit_latency_us_total",
+        "Cumulative latency of response-cache hits, microseconds",
+        load(&s.hit_us_total),
+    );
+    p.counter(
+        "seedbd_miss_latency_us_total",
+        "Cumulative latency of cache-miss recommends, microseconds",
+        load(&s.miss_us_total),
+    );
+    p.counter(
+        "seedbd_bypass_latency_us_total",
+        "Cumulative latency of bypassed recommends, microseconds",
+        load(&s.bypass_us_total),
+    );
+    p.counter(
+        "seedbd_sheds_total",
+        "Connections shed because the admission queue was full",
+        load(&s.sheds),
+    );
+    p.counter(
+        "seedbd_shed_busy_total",
+        "/recommend requests shed because every worker stayed busy",
+        load(&s.shed_busy),
+    );
+    p.counter(
+        "seedbd_write_errors_total",
+        "Response writes that failed",
+        load(&s.write_errors),
+    );
+    p.counter(
+        "seedbd_deadline_timeouts_total",
+        "/recommend runs cancelled by their deadline",
+        load(&s.deadline_timeouts),
+    );
+    p.counter(
+        "seedbd_degraded_total",
+        "Degraded partial answers assembled from cached deltas",
+        load(&s.degraded),
+    );
+    p.counter(
+        "seedbd_lease_waits_total",
+        "/recommend runs that waited for a worker permit",
+        load(&s.lease_waits),
+    );
+    p.counter(
+        "seedbd_view_cache_hits_total",
+        "View/response cache lookups that hit",
+        load(&c.hits),
+    );
+    p.counter(
+        "seedbd_view_cache_misses_total",
+        "View/response cache lookups that missed",
+        load(&c.misses),
+    );
+    p.counter(
+        "seedbd_view_cache_evictions_total",
+        "Cache entries evicted to stay under budget",
+        load(&c.evictions),
+    );
+    p.counter(
+        "seedbd_view_cache_insertions_total",
+        "Cache entries inserted",
+        load(&c.insertions),
+    );
+    p.counter(
+        "seedbd_view_cache_rejected_total",
+        "Cache insertions rejected as oversized",
+        load(&c.rejected),
+    );
+    p.gauge(
+        "seedbd_cache_entries",
+        "Entries currently in the cache",
+        state.cache.len() as u64,
+    );
+    p.gauge(
+        "seedbd_cache_bytes",
+        "Bytes currently held by the cache",
+        state.cache.bytes() as u64,
+    );
+    p.gauge(
+        "seedbd_cache_budget_bytes",
+        "The cache's byte budget",
+        state.cache.budget() as u64,
+    );
+    p.gauge(
+        "seedbd_workers_total",
+        "Morsel worker slots in the admission budget",
+        state.budget.total() as u64,
+    );
+    p.gauge(
+        "seedbd_workers_available",
+        "Morsel worker slots currently free",
+        state.budget.available() as u64,
+    );
+    p.gauge(
+        "seedbd_admission_queue_depth",
+        "Connections parked in the admission queue",
+        load(&s.queue_depth),
+    );
+    p.gauge(
+        "seedbd_admission_queue_capacity",
+        "The admission queue's capacity",
+        load(&s.queue_capacity),
+    );
+    p.gauge(
+        "seedbd_uptime_seconds",
+        "Seconds since the server started",
+        state.start.elapsed().as_secs(),
+    );
+    p.gauge(
+        "seedbd_flight_recorder_traces",
+        "Completed traces currently in the flight recorder",
+        state.obs.recorder.len() as u64,
+    );
+    p.histogram(
+        "seedbd_route_latency_us",
+        "Request latency by route, microseconds",
+        &[
+            (&[("route", "recommend")], &s.recommend_histo),
+            (&[("route", "datasets")], &s.datasets_histo),
+            (&[("route", "other")], &s.other_histo),
+        ],
+    );
+    p.histogram(
+        "seedbd_admission_wait_us",
+        "Time connections waited in the admission queue, microseconds",
+        &[(&[], &s.admission_wait_histo)],
+    );
+    Response::text(p.finish(), seedb_obs::prom::CONTENT_TYPE)
+}
+
+/// `GET /debug/traces`: the flight recorder's index, most recent first.
+fn traces_index(state: &AppState) -> Response {
+    let traces: Vec<Json> = state
+        .obs
+        .recorder
+        .index()
+        .iter()
+        .map(|t| t.index_json())
+        .collect();
+    Response::json(
+        Json::obj()
+            .set("capacity", state.obs.recorder.capacity())
+            .set("traces", traces)
+            .compact(),
+    )
+}
+
+/// `GET /debug/traces/{id}`: one completed trace as Chrome trace-event
+/// JSON (loadable in Perfetto / `chrome://tracing`).
+fn trace_export(state: &AppState, path: &str) -> Response {
+    let tail = path.strip_prefix("/debug/traces/").unwrap_or("");
+    let Ok(id) = tail.parse::<u64>() else {
+        return Response::error(400, &format!("bad trace id '{tail}'"));
+    };
+    match state.obs.recorder.get(id) {
+        Some(trace) => Response::json(trace.chrome_json().compact()),
+        None => Response::error(
+            404,
+            &format!("no trace {id} in the flight recorder (it may have been evicted)"),
+        ),
+    }
 }
 
 /// The `POST /datasets` flow: ingest a CSV upload into the catalog. The
@@ -303,9 +494,9 @@ fn ingest(state: &AppState, req: &Request) -> Response {
 /// The `/recommend` flow: parse → resolve dataset → plan SQL → probe the
 /// response cache → (on miss) lease workers, run the engine through the
 /// partials cache, store the rendered payload.
-fn recommend(state: &AppState, req: &Request) -> Response {
+fn recommend(state: &AppState, req: &Request, trace: &TraceCtx) -> Response {
     let start = Instant::now();
-    let result = recommend_inner(state, req, start);
+    let result = recommend_inner(state, req, start, trace);
     match result {
         Ok(response) => {
             state.stats.recommends_ok.fetch_add(1, Ordering::Relaxed);
@@ -318,8 +509,15 @@ fn recommend(state: &AppState, req: &Request) -> Response {
     }
 }
 
-fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Response, Response> {
+fn recommend_inner(
+    state: &AppState,
+    req: &Request,
+    start: Instant,
+    trace: &TraceCtx,
+) -> Result<Response, Response> {
     let parsed = RecommendRequest::from_json(&req.body).map_err(|e| Response::error(400, &e))?;
+    let rid = request_id(req, trace);
+    let rid = rid.as_deref();
 
     // The deadline clock starts at request arrival and covers everything
     // downstream — catalog build, admission wait, engine run. A request
@@ -333,10 +531,13 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
     };
 
     let rows = state.catalog.resolve_rows(&parsed.dataset, parsed.rows);
-    let dataset = state
-        .catalog
-        .dataset(&parsed.dataset, rows)
-        .map_err(|e| Response::error(e.status(), &e.to_string()))?;
+    let dataset = {
+        let _span = trace.span("catalog").arg("dataset", parsed.dataset.clone());
+        state
+            .catalog
+            .dataset(&parsed.dataset, rows)
+            .map_err(|e| Response::error(e.status(), &e.to_string()))?
+    };
     let table = dataset.table.as_ref();
 
     // Target predicate: the request's WHERE body, or the dataset's
@@ -375,6 +576,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
 
     // Operator-requested bypass: run the engine directly, cache nothing.
     if parsed.cache_mode == api::CacheMode::Bypass {
+        trace.note("cache", "bypass");
         let (config, plan, lease) = plan_and_lease(
             state,
             &dataset,
@@ -382,9 +584,10 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             &target,
             &reference,
             &cancel,
+            trace,
         )
         .ok_or_else(|| shed_busy(state))?;
-        let seedb = SeeDb::with_config(dataset.table.clone(), config);
+        let seedb = SeeDb::with_config(dataset.table.clone(), config).with_trace(trace.clone());
         let rec = match seedb.recommend_with(&target, &reference, cancel) {
             Ok(rec) => rec,
             Err(CoreError::DeadlineExceeded) => {
@@ -416,11 +619,17 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             0,
             explain.as_deref(),
             None,
+            rid,
             us,
         )));
     }
 
-    if let Some(CacheValue::Response(payload)) = state.cache.get(&response_key) {
+    let probed = {
+        let _span = trace.span("cache_probe");
+        state.cache.get(&response_key)
+    };
+    if let Some(CacheValue::Response(payload)) = probed {
+        trace.note("cache", "hit");
         // A hit executes nothing, so EXPLAIN re-derives the plan this
         // request *would* run under and reports empty phase timings.
         let explain = parsed.explain.then(|| {
@@ -439,6 +648,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             0,
             explain.as_deref(),
             None,
+            rid,
             us,
         )));
     }
@@ -458,6 +668,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
         &target,
         &reference,
         &cancel,
+        trace,
     ) else {
         let seedb = SeeDb::with_config(dataset.table.clone(), parsed.config.clone());
         if let Some(resp) = degraded_response(
@@ -469,13 +680,15 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             &partials,
             &where_desc,
             start,
+            rid,
+            trace,
         ) {
             return Ok(resp);
         }
         return Err(shed_busy(state));
     };
 
-    let seedb = SeeDb::with_config(dataset.table.clone(), config);
+    let seedb = SeeDb::with_config(dataset.table.clone(), config).with_trace(trace.clone());
     let (rec, usage) = match seedb.recommend_cached_with(&target, &reference, &partials, cancel) {
         Ok(v) => v,
         Err(CoreError::DeadlineExceeded) => {
@@ -493,6 +706,8 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
                 &partials,
                 &where_desc,
                 start,
+                rid,
+                trace,
             ) {
                 return Ok(resp);
             }
@@ -514,10 +729,13 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
         state.stats.bypass_us_total.fetch_add(us, Ordering::Relaxed);
         "bypass"
     } else {
-        state.cache.put(
-            &response_key,
-            CacheValue::Response(Arc::new(payload.clone())),
-        );
+        {
+            let _span = trace.span("cache_deposit");
+            state.cache.put(
+                &response_key,
+                CacheValue::Response(Arc::new(payload.clone())),
+            );
+        }
         state.stats.response_misses.fetch_add(1, Ordering::Relaxed);
         state.stats.miss_us_total.fetch_add(us, Ordering::Relaxed);
         if usage.hits > 0 || usage.resumed > 0 {
@@ -526,6 +744,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
             "miss"
         }
     };
+    trace.note("cache", cache_label);
     let explain = parsed
         .explain
         .then(|| explain_fragment(&plan, Some(&rec.stats)));
@@ -538,6 +757,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
         usage.resumed as u64,
         explain.as_deref(),
         None,
+        rid,
         us,
     )))
 }
@@ -555,6 +775,7 @@ fn recommend_inner(state: &AppState, req: &Request, start: Instant) -> Result<Re
 /// starved budget waits at most [`LEASE_WAIT`] (and never past half the
 /// remaining deadline) for a single permit; past that, `None` — the
 /// caller degrades or sheds, it does not queue forever.
+#[allow(clippy::too_many_arguments)] // admission inputs + the trace handle
 fn plan_and_lease<'a>(
     state: &'a AppState,
     dataset: &seedb_data::Dataset,
@@ -562,9 +783,19 @@ fn plan_and_lease<'a>(
     target: &Predicate,
     reference: &ReferenceSpec,
     cancel: &CancelToken,
+    trace: &TraceCtx,
 ) -> Option<(SeeDbConfig, PhysicalPlan, BudgetLease<'a>)> {
+    let plan_span = Instant::now();
     let mut plan =
         SeeDb::with_config(dataset.table.clone(), requested.clone()).plan(target, reference);
+    trace.record(
+        "plan",
+        0,
+        plan_span,
+        plan_span.elapsed(),
+        vec![("workers", plan.workers.to_string())],
+    );
+    let admission = trace.span("admission");
     let lease = match state.budget.try_lease(plan.workers) {
         Some(lease) => lease,
         None => {
@@ -576,6 +807,7 @@ fn plan_and_lease<'a>(
             state.budget.lease_timeout(1, wait)?
         }
     };
+    drop(admission.arg("granted", lease.granted().to_string()));
     let mut config = requested.clone();
     config.sharing.parallelism = Knob::Fixed(lease.granted());
     if lease.granted() != plan.workers {
@@ -628,8 +860,11 @@ fn degraded_response(
     partials: &PartialCache,
     where_desc: &str,
     start: Instant,
+    rid: Option<&str>,
+    trace: &TraceCtx,
 ) -> Option<Response> {
     let (rec, coverage) = seedb.degraded_from_cache(target, reference, partials)?;
+    trace.note("cache", "degraded");
     state.stats.degraded.fetch_add(1, Ordering::Relaxed);
     let payload = api::render_recommendation(dataset, &rec).compact();
     let us = start.elapsed().as_micros() as u64;
@@ -642,13 +877,20 @@ fn degraded_response(
         0,
         None,
         Some(coverage),
+        rid,
         us,
     )))
 }
 
 /// Records the executed plan summary and phase timings for `/statz`.
+/// Poison recovery mirrors `/statz`'s read side: the tuple assignment
+/// cannot leave the data half-written in any state a reader would see.
 fn record_last_run(state: &AppState, stats: &ExecStats) {
-    let mut last = state.stats.last_run.lock().expect("stats lock poisoned");
+    let mut last = state
+        .stats
+        .last_run
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     *last = (stats.plan_summary.clone(), stats.phase_times_us.clone());
 }
 
@@ -700,6 +942,7 @@ fn envelope(
     view_resumed: u64,
     explain: Option<&str>,
     degraded_coverage: Option<f64>,
+    request_id: Option<&str>,
     us: u64,
 ) -> String {
     let mut obj = Json::obj()
@@ -709,6 +952,9 @@ fn envelope(
         .set("view_misses", view_misses)
         .set("view_resumed", view_resumed)
         .set("elapsed_us", us);
+    if let Some(id) = request_id {
+        obj = obj.set("request_id", id);
+    }
     if let Some(coverage) = degraded_coverage {
         obj = obj.set("degraded", true).set("coverage", coverage);
     }
@@ -738,29 +984,17 @@ mod tests {
             stats: ServerStats::default(),
             seed: 17,
             default_deadline_ms: 0,
+            obs: Arc::new(Obs::default()),
+            start: Instant::now(),
         }
     }
 
     fn post(state: &AppState, path: &str, body: &str) -> Response {
-        handle(
-            state,
-            &Request {
-                method: "POST".into(),
-                path: path.into(),
-                body: body.into(),
-            },
-        )
+        handle(state, &Request::new("POST", path, body))
     }
 
     fn get(state: &AppState, path: &str) -> Response {
-        handle(
-            state,
-            &Request {
-                method: "GET".into(),
-                path: path.into(),
-                body: String::new(),
-            },
-        )
+        handle(state, &Request::new("GET", path, ""))
     }
 
     #[test]
@@ -1133,17 +1367,40 @@ mod tests {
 
     #[test]
     fn envelope_splices_compact_objects() {
-        let spliced = envelope("{\"a\":1}", "x = 1", "hit", 2, 3, 1, None, None, 7);
+        let spliced = envelope(
+            "{\"a\":1}",
+            "x = 1",
+            "hit",
+            2,
+            3,
+            1,
+            None,
+            None,
+            Some("r-1"),
+            7,
+        );
         let j = Json::parse(&spliced).unwrap();
         assert_eq!(j.get("cache").unwrap().as_str(), Some("hit"));
         assert_eq!(j.get("view_hits").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("view_resumed").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("request_id").unwrap().as_str(), Some("r-1"));
         assert_eq!(j.get("a").unwrap().as_u64(), Some(1));
         assert!(j.get("explain").is_none());
 
         // With an explain fragment, the nested object parses intact.
         let frag = "{\"plan\":{\"workers\":2},\"phase_times_us\":[4,5]}";
-        let spliced = envelope("{\"a\":1}", "x = 1", "miss", 0, 6, 0, Some(frag), None, 7);
+        let spliced = envelope(
+            "{\"a\":1}",
+            "x = 1",
+            "miss",
+            0,
+            6,
+            0,
+            Some(frag),
+            None,
+            None,
+            7,
+        );
         let j = Json::parse(&spliced).unwrap();
         let ex = j.get("explain").unwrap();
         assert_eq!(
@@ -1201,6 +1458,264 @@ mod tests {
             .as_arr()
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn statz_survives_a_poisoned_stats_lock() {
+        // Regression: a thread panicking while holding `last_run` used to
+        // latch every future /statz (and every engine run's bookkeeping)
+        // into a panic of its own via `.expect("stats lock poisoned")`.
+        let s = std::sync::Arc::new(state());
+        let s2 = s.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = s2.stats.last_run.lock().unwrap();
+            panic!("poison the stats lock");
+        })
+        .join();
+        assert!(s.stats.last_run.is_poisoned());
+
+        let r = get(&s, "/statz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(Json::parse(&r.body).is_ok());
+
+        // The write side recovers too: a recommend records its run and
+        // the next /statz serves the fresh summary.
+        let rec = post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#,
+        );
+        assert_eq!(rec.status, 200, "{}", rec.body);
+        let j = Json::parse(&get(&s, "/statz").body).unwrap();
+        let summary = j
+            .get("recommend")
+            .unwrap()
+            .get("last_plan_summary")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        assert!(summary.contains("workers="), "{summary}");
+    }
+
+    #[test]
+    fn statz_reports_uptime_and_admission_gauges() {
+        let s = state();
+        s.stats.queue_capacity.store(64, Ordering::Relaxed);
+        s.stats.queue_depth.store(3, Ordering::Relaxed);
+        s.stats.admission_wait_histo.record_us(250);
+        let j = Json::parse(&get(&s, "/statz").body).unwrap();
+        assert!(j.get("uptime_s").unwrap().as_u64().is_some());
+        let adm = j.get("admission").unwrap();
+        assert_eq!(adm.get("queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(adm.get("queue_capacity").unwrap().as_u64(), Some(64));
+        let wait = adm.get("wait").unwrap();
+        assert_eq!(wait.get("count").unwrap().as_u64(), Some(1));
+        assert!(wait.get("p50_us").unwrap().as_u64().unwrap() >= 250);
+    }
+
+    #[test]
+    fn metrics_exposition_is_valid_and_mirrors_stats() {
+        let s = state();
+        post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#,
+        );
+        let r = get(&s, "/metrics");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, seedb_obs::prom::CONTENT_TYPE);
+        seedb_obs::prom::validate(&r.body).unwrap();
+        assert!(r.body.contains("# TYPE seedbd_requests_total counter"));
+        assert!(r.body.contains("# HELP seedbd_requests_total"));
+        // The /recommend above plus this scrape's own increment race-free
+        // lower bound: at least the recommend was counted.
+        let line = r
+            .body
+            .lines()
+            .find(|l| l.starts_with("seedbd_requests_total "))
+            .unwrap();
+        let value: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(value >= 1.0, "{line}");
+        assert!(r.body.contains("seedbd_recommends_ok_total 1"));
+        assert!(r.body.contains("seedbd_workers_total "));
+        assert!(r.body.contains("seedbd_uptime_seconds "));
+    }
+
+    #[test]
+    fn metrics_histogram_buckets_are_cumulative_and_match_the_histo() {
+        let s = state();
+        for us in [3, 5, 9, 17, 1000, 70_000] {
+            s.stats.recommend_histo.record_us(us);
+        }
+        let body = get(&s, "/metrics").body;
+        // Collect the recommend-route bucket series in order.
+        let mut values = Vec::new();
+        for line in body.lines() {
+            if line.starts_with("seedbd_route_latency_us_bucket{route=\"recommend\"") {
+                let v: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+                values.push(v as u64);
+            }
+        }
+        // 40 finite buckets plus +Inf.
+        assert_eq!(values.len(), seedb_obs::HISTO_BUCKETS + 1);
+        assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "le series must be cumulative: {values:?}"
+        );
+        assert_eq!(*values.last().unwrap(), 6, "+Inf equals the count");
+        // De-cumulate the finite buckets and compare against the
+        // histogram's raw counts; the final finite bucket is a catch-all,
+        // so +Inf adds nothing beyond it.
+        let raw = s.stats.recommend_histo.bucket_counts();
+        for (i, pair) in values
+            .windows(2)
+            .take(seedb_obs::HISTO_BUCKETS - 1)
+            .enumerate()
+        {
+            assert_eq!(pair[1] - pair[0], raw[i + 1], "bucket {}", i + 1);
+        }
+        assert_eq!(values[0], raw[0]);
+        assert_eq!(
+            values[seedb_obs::HISTO_BUCKETS - 1],
+            *values.last().unwrap()
+        );
+        // _count and _sum agree with the histogram.
+        assert!(body.contains("seedbd_route_latency_us_count{route=\"recommend\"} 6"));
+        let sum_line = body
+            .lines()
+            .find(|l| l.starts_with("seedbd_route_latency_us_sum{route=\"recommend\"}"))
+            .unwrap();
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(sum as u64, s.stats.recommend_histo.total_us());
+    }
+
+    #[test]
+    fn metrics_counters_are_monotonic_under_concurrent_clients() {
+        let s = std::sync::Arc::new(state());
+        // Warm once so worker threads mostly hit the response cache.
+        post(
+            &s,
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#,
+        );
+        let extract = |body: &str, name: &str| -> u64 {
+            let prefix = format!("{name} ");
+            body.lines()
+                .find(|l| l.starts_with(&prefix))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<f64>().ok())
+                .map(|v| v as u64)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut last_requests = 0u64;
+                    let mut last_ok = 0u64;
+                    for _ in 0..20 {
+                        post(
+                            &s,
+                            "/recommend",
+                            r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#,
+                        );
+                        let body = get(&s, "/metrics").body;
+                        seedb_obs::prom::validate(&body).unwrap();
+                        let requests = extract(&body, "seedbd_requests_total");
+                        let ok = extract(&body, "seedbd_recommends_ok_total");
+                        assert!(requests >= last_requests, "requests_total went backwards");
+                        assert!(ok >= last_ok, "recommends_ok_total went backwards");
+                        last_requests = requests;
+                        last_ok = ok;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_body = get(&s, "/metrics").body;
+        let ok = extract(&final_body, "seedbd_recommends_ok_total");
+        assert_eq!(ok, 1 + 8 * 20);
+    }
+
+    #[test]
+    fn debug_traces_index_and_export_round_trip() {
+        let s = state();
+        // Traced request: the flight recorder captures it end to end.
+        let trace = s.obs.begin();
+        assert!(trace.is_enabled());
+        let req = Request::new(
+            "POST",
+            "/recommend",
+            r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#,
+        );
+        let resp = handle_traced(&s, &req, &trace);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let rid = s.obs.request_id_for(&trace);
+        assert_eq!(resp.request_id.as_deref(), Some(rid.as_str()));
+        let envelope = Json::parse(&resp.body).unwrap();
+        assert_eq!(
+            envelope.get("request_id").unwrap().as_str(),
+            Some(rid.as_str())
+        );
+        s.obs.finish(&trace, &rid, "/recommend", resp.status);
+
+        // Index lists it.
+        let idx = Json::parse(&get(&s, "/debug/traces").body).unwrap();
+        let traces = idx.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(traces.len(), 1);
+        let entry = &traces[0];
+        assert_eq!(entry.get("route").unwrap().as_str(), Some("/recommend"));
+        assert_eq!(entry.get("cache").unwrap().as_str(), Some("miss"));
+        assert_eq!(
+            entry.get("request_id").unwrap().as_str(),
+            Some(rid.as_str())
+        );
+        let id = entry.get("id").unwrap().as_u64().unwrap();
+
+        // Export is Chrome trace-event JSON with the expected spans, and
+        // the phase spans sum to no more than the envelope's latency.
+        let export = get(&s, &format!("/debug/traces/{id}"));
+        assert_eq!(export.status, 200);
+        let chrome = Json::parse(&export.body).unwrap();
+        let events = chrome.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for expected in ["catalog", "cache_probe", "plan", "admission", "phase"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        let phase_sum: u64 = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("phase"))
+            .map(|e| e.get("dur").unwrap().as_u64().unwrap())
+            .sum();
+        let elapsed = envelope.get("elapsed_us").unwrap().as_u64().unwrap();
+        assert!(
+            phase_sum <= elapsed,
+            "phase spans ({phase_sum} µs) exceed the envelope total ({elapsed} µs)"
+        );
+        assert!(phase_sum > 0, "executed phases must record real durations");
+
+        // Unknown and malformed ids are honest errors.
+        assert_eq!(get(&s, "/debug/traces/999999").status, 404);
+        assert_eq!(get(&s, "/debug/traces/nope").status, 400);
+    }
+
+    #[test]
+    fn client_request_ids_are_echoed_and_traces_stay_disabled_without_obs() {
+        let s = state();
+        let mut req = Request::new("GET", "/healthz", "");
+        req.request_id = Some("client-abc.1".to_owned());
+        let resp = handle(&s, &req);
+        assert_eq!(resp.request_id.as_deref(), Some("client-abc.1"));
+        // Untraced requests without a client id carry no header at all.
+        let resp = handle(&s, &Request::new("GET", "/healthz", ""));
+        assert_eq!(resp.request_id, None);
     }
 
     #[test]

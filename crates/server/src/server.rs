@@ -19,15 +19,17 @@ use crate::cache::RecCache;
 use crate::catalog::Catalog;
 use crate::faults::{ConnFaults, FaultPlan, TruncatingWriter};
 use crate::http::{read_request, Response};
-use crate::router::{handle, AppState, ServerStats};
+use crate::router::{handle_traced, AppState, ServerStats};
 use seedb_engine::parallel::default_parallelism;
-use seedb_engine::WorkerBudget;
+use seedb_engine::{TraceCtx, WorkerBudget};
+use seedb_obs::{LogLevel, Logger, Obs, DEFAULT_TRACE_BUFFER};
+use seedb_util::Json;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long each write (and each post-envelope drain read) of a shed
 /// response may block before the shed thread gives up on the peer (the
@@ -63,6 +65,14 @@ pub struct ServerConfig {
     /// Morsel-worker slots shared by all concurrent `/recommend` runs;
     /// defaults to the core count.
     pub worker_budget: usize,
+    /// Completed traces kept in the flight recorder (`/debug/traces`);
+    /// 0 disables tracing entirely (requests still get correlation ids).
+    pub trace_buffer: usize,
+    /// Requests slower than this emit their full trace as a structured
+    /// log line; 0 disables the slow log.
+    pub slow_ms: u64,
+    /// Stderr log verbosity.
+    pub log_level: LogLevel,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +88,9 @@ impl Default for ServerConfig {
             default_deadline_ms: 0,
             faults: None,
             worker_budget: default_parallelism(),
+            trace_buffer: DEFAULT_TRACE_BUFFER,
+            slow_ms: 1_000,
+            log_level: LogLevel::Info,
         }
     }
 }
@@ -111,6 +124,11 @@ impl Server {
                 catalog.set_build_delay_ms(plan.slow_catalog_ms);
             }
         }
+        let obs = Obs::new(
+            config.trace_buffer,
+            config.slow_ms,
+            Logger::stderr(config.log_level),
+        );
         let state = Arc::new(AppState {
             catalog,
             cache: Arc::new(RecCache::new(config.cache_bytes)),
@@ -118,6 +136,8 @@ impl Server {
             stats: ServerStats::default(),
             seed: config.seed,
             default_deadline_ms: config.default_deadline_ms,
+            obs: Arc::new(obs),
+            start: Instant::now(),
         });
         Ok(Server {
             listener,
@@ -145,6 +165,10 @@ impl Server {
     /// admission queue; when the queue is full the connection is shed
     /// with a fast `503` on a short-lived side thread.
     pub fn run_until(self, stop: Arc<AtomicBool>) {
+        self.state
+            .stats
+            .queue_capacity
+            .store(self.admission_queue as u64, Ordering::Relaxed);
         let queue = ConnQueue::new(self.admission_queue);
         std::thread::scope(|scope| {
             for _ in 0..self.max_connections {
@@ -152,12 +176,19 @@ impl Server {
                 let state = &self.state;
                 let faults = &self.faults;
                 scope.spawn(move || {
-                    while let Some((stream, conn)) = queue.pop() {
+                    while let Some((stream, conn, trace, enqueued)) = queue.pop() {
+                        state.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let waited = enqueued.elapsed();
+                        state
+                            .stats
+                            .admission_wait_histo
+                            .record_us(waited.as_micros() as u64);
+                        trace.record("queue_wait", 0, enqueued, waited, Vec::new());
                         let conn_faults = faults
                             .as_ref()
                             .map(|f| f.for_conn(conn))
                             .unwrap_or_default();
-                        handle_connection(state, stream, conn_faults);
+                        handle_connection(state, stream, conn_faults, &trace);
                     }
                 });
             }
@@ -169,8 +200,11 @@ impl Server {
                 let Ok(stream) = conn else { continue };
                 let index = conn_index;
                 conn_index += 1;
-                if let Err(stream) = queue.push(stream, index) {
+                let trace = self.state.obs.begin();
+                if let Err(stream) = queue.push(stream, index, trace) {
                     shed_detached(self.state.clone(), stream);
+                } else {
+                    self.state.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
                 }
             }
             // Workers drain what was already admitted, then exit.
@@ -211,7 +245,7 @@ struct ConnQueue {
 }
 
 struct QueueInner {
-    deque: VecDeque<(TcpStream, u64)>,
+    deque: VecDeque<(TcpStream, u64, TraceCtx, Instant)>,
     closed: bool,
 }
 
@@ -228,20 +262,21 @@ impl ConnQueue {
     }
 
     /// Admits a connection, or hands it back when the queue is full (or
-    /// closed) so the caller can shed it.
-    fn push(&self, stream: TcpStream, conn: u64) -> Result<(), TcpStream> {
+    /// closed) so the caller can shed it. The enqueue instant rides along
+    /// so the popping worker can account the admission wait to the trace.
+    fn push(&self, stream: TcpStream, conn: u64, trace: TraceCtx) -> Result<(), TcpStream> {
         let mut q = self.inner.lock().expect("conn queue poisoned");
         if q.closed || q.deque.len() >= self.cap {
             return Err(stream);
         }
-        q.deque.push_back((stream, conn));
+        q.deque.push_back((stream, conn, trace, Instant::now()));
         drop(q);
         self.cv.notify_one();
         Ok(())
     }
 
     /// The next admitted connection; `None` once closed and drained.
-    fn pop(&self) -> Option<(TcpStream, u64)> {
+    fn pop(&self) -> Option<(TcpStream, u64, TraceCtx, Instant)> {
         let mut q = self.inner.lock().expect("conn queue poisoned");
         loop {
             if let Some(item) = q.deque.pop_front() {
@@ -287,6 +322,10 @@ fn shed(state: &AppState, mut stream: TcpStream) {
     use std::io::Read;
 
     state.stats.sheds.fetch_add(1, Ordering::Relaxed);
+    state
+        .obs
+        .logger
+        .debug("shed", Json::obj().set("reason", "admission queue full"));
     let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
     let _ = stream.set_read_timeout(Some(SHED_WRITE_TIMEOUT));
     let response = Response::error_envelope(
@@ -359,8 +398,15 @@ impl Drop for ServerHandle {
 /// One connection: apply its injected faults, read a request, route it,
 /// write the response, close. Write failures are counted — a vanished
 /// peer is routine under overload, but an operator watching `/statz`
-/// must be able to see the rate.
-fn handle_connection(state: &AppState, mut stream: TcpStream, faults: ConnFaults) {
+/// must be able to see the rate. The trace spans the whole life of the
+/// request (http_read → routing → response_write) and is sealed into the
+/// flight recorder at the end.
+fn handle_connection(
+    state: &AppState,
+    mut stream: TcpStream,
+    faults: ConnFaults,
+    trace: &TraceCtx,
+) {
     if let Some(ms) = faults.slow_read_ms {
         std::thread::sleep(Duration::from_millis(ms));
     }
@@ -371,17 +417,37 @@ fn handle_connection(state: &AppState, mut stream: TcpStream, faults: ConnFaults
         std::thread::sleep(Duration::from_millis(ms));
         drop(hold);
     }
-    let response = match read_request(&mut stream) {
-        Ok(request) => handle(state, &request),
-        Err(err) => Response::error(err.status(), &err.message()),
+    let parsed = {
+        let _span = trace.span("http_read");
+        read_request(&mut stream)
     };
-    let result = match faults.truncate_write_bytes {
-        Some(cap) => response.write_to(&mut TruncatingWriter::new(&mut stream, cap)),
-        None => response.write_to(&mut stream),
+    let (route, request_id, response) = match parsed {
+        Ok(request) => {
+            let id = request
+                .request_id
+                .clone()
+                .unwrap_or_else(|| state.obs.request_id_for(trace));
+            let response = handle_traced(state, &request, trace);
+            (request.path.clone(), id, response)
+        }
+        Err(err) => {
+            let id = state.obs.request_id_for(trace);
+            let response = Response::error(err.status(), &err.message()).with_request_id(&id);
+            ("-".to_owned(), id, response)
+        }
+    };
+    let status = response.status;
+    let result = {
+        let _span = trace.span("response_write");
+        match faults.truncate_write_bytes {
+            Some(cap) => response.write_to(&mut TruncatingWriter::new(&mut stream, cap)),
+            None => response.write_to(&mut stream),
+        }
     };
     if result.is_err() {
         state.stats.write_errors.fetch_add(1, Ordering::Relaxed);
     }
+    state.obs.finish(trace, &request_id, &route, status);
 }
 
 #[cfg(test)]
@@ -445,15 +511,16 @@ mod tests {
             c
         };
         let queue = ConnQueue::new(2);
-        assert!(queue.push(make(), 0).is_ok());
-        assert!(queue.push(make(), 1).is_ok());
+        let t = TraceCtx::disabled;
+        assert!(queue.push(make(), 0, t()).is_ok());
+        assert!(queue.push(make(), 1, t()).is_ok());
         // Full: the stream comes back for shedding.
-        assert!(queue.push(make(), 2).is_err());
+        assert!(queue.push(make(), 2, t()).is_err());
         assert_eq!(queue.pop().unwrap().1, 0);
-        assert!(queue.push(make(), 3).is_ok());
+        assert!(queue.push(make(), 3, t()).is_ok());
         // Close drains what was admitted, then yields None.
         queue.close();
-        assert!(queue.push(make(), 4).is_err());
+        assert!(queue.push(make(), 4, t()).is_err());
         assert_eq!(queue.pop().unwrap().1, 1);
         assert_eq!(queue.pop().unwrap().1, 3);
         assert!(queue.pop().is_none());

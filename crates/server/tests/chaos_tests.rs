@@ -145,18 +145,13 @@ fn app_state(default_deadline_ms: u64) -> AppState {
         stats: ServerStats::default(),
         seed: 17,
         default_deadline_ms,
+        obs: Arc::new(seedb_obs::Obs::default()),
+        start: Instant::now(),
     }
 }
 
 fn post(state: &AppState, path: &str, body: String) -> seedb_server::Response {
-    handle(
-        state,
-        &Request {
-            method: "POST".into(),
-            path: path.into(),
-            body,
-        },
-    )
+    handle(state, &Request::new("POST", path, body))
 }
 
 /// A tiny xorshift-style generator: enough spread for property-style

@@ -1,0 +1,168 @@
+//! End-to-end observability tests over real sockets: request-id
+//! correlation, the flight recorder's Chrome-trace export, and the
+//! Prometheus endpoint as a scraper would see them.
+
+use seedb_server::{client, Server, ServerConfig};
+use seedb_util::Json;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_rows: 2_000,
+        default_rows: 500,
+        ..Default::default()
+    }
+}
+
+const RECOMMEND: &str = r#"{"dataset": "HOUSING", "rows": 300, "k": 2}"#;
+
+#[test]
+fn request_ids_correlate_header_envelope_and_trace() {
+    let handle = Server::bind(test_config()).unwrap().spawn().unwrap();
+    let addr = handle.addr();
+
+    // A client-sent id is echoed in the header and the envelope.
+    let (status, headers, body) = client::request_with_headers(
+        addr,
+        "POST",
+        "/recommend",
+        Some(RECOMMEND),
+        &[("X-Request-Id", "probe-42")],
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(client::header(&headers, "x-request-id"), Some("probe-42"));
+    let envelope = Json::parse(&body).unwrap();
+    assert_eq!(
+        envelope.get("request_id").and_then(Json::as_str),
+        Some("probe-42")
+    );
+
+    // Without a client id the server generates one — same in both places.
+    let (_, headers, body) =
+        client::request_with_headers(addr, "POST", "/recommend", Some(RECOMMEND), &[]).unwrap();
+    let echoed = client::header(&headers, "x-request-id").expect("generated id echoed");
+    assert!(echoed.starts_with("r-"), "{echoed}");
+    let envelope = Json::parse(&body).unwrap();
+    assert_eq!(
+        envelope.get("request_id").and_then(Json::as_str),
+        Some(echoed)
+    );
+
+    // The flight recorder indexed the traced request under that id.
+    let (status, index) = client::request_json(addr, "GET", "/debug/traces", None).unwrap();
+    assert_eq!(status, 200);
+    let traces = index.get("traces").and_then(Json::as_arr).unwrap();
+    assert!(
+        traces.iter().any(|t| {
+            t.get("request_id").and_then(Json::as_str) == Some("probe-42")
+                && t.get("route").and_then(Json::as_str) == Some("/recommend")
+        }),
+        "probe-42 missing from {}",
+        index.compact()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn trace_export_covers_the_whole_request_life() {
+    let handle = Server::bind(test_config()).unwrap().spawn().unwrap();
+    let addr = handle.addr();
+
+    let (status, headers, body) = client::request_with_headers(
+        addr,
+        "POST",
+        "/recommend",
+        Some(RECOMMEND),
+        &[("X-Request-Id", "lifecycle")],
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(client::header(&headers, "x-request-id"), Some("lifecycle"));
+    let envelope = Json::parse(&body).unwrap();
+    let elapsed_us = envelope
+        .get("elapsed_us")
+        .and_then(Json::as_num)
+        .expect("envelope elapsed_us");
+
+    // Find the trace id for our request, then export it.
+    let (_, index) = client::request_json(addr, "GET", "/debug/traces", None).unwrap();
+    let id = index
+        .get("traces")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .find(|t| t.get("request_id").and_then(Json::as_str) == Some("lifecycle"))
+        .and_then(|t| t.get("id").and_then(Json::as_u64))
+        .expect("traced request indexed");
+    let (status, export) =
+        client::request_json(addr, "GET", &format!("/debug/traces/{id}"), None).unwrap();
+    assert_eq!(status, 200);
+
+    // Chrome trace-event shape: a traceEvents array of "X" spans.
+    let events = export.get("traceEvents").and_then(Json::as_arr).unwrap();
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in [
+        "queue_wait",
+        "http_read",
+        "catalog",
+        "cache_probe",
+        "plan",
+        "admission",
+        "phase",
+        "response_write",
+    ] {
+        assert!(
+            span_names.contains(&expected),
+            "missing span {expected} in {span_names:?}"
+        );
+    }
+
+    // Executed-phase durations must fit inside the envelope's latency.
+    let phase_us: f64 = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("phase"))
+        .filter_map(|e| e.get("dur").and_then(Json::as_num))
+        .sum();
+    assert!(phase_us > 0.0, "phase spans carry durations");
+    assert!(
+        phase_us <= elapsed_us + 1_000.0,
+        "phase spans ({phase_us} us) exceed envelope latency ({elapsed_us} us)"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_scrape_over_tcp_reflects_served_traffic() {
+    let handle = Server::bind(test_config()).unwrap().spawn().unwrap();
+    let addr = handle.addr();
+    let (status, body) = client::request(addr, "POST", "/recommend", Some(RECOMMEND)).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let (status, headers, metrics) =
+        client::request_with_headers(addr, "GET", "/metrics", None, &[]).unwrap();
+    assert_eq!(status, 200);
+    assert!(client::header(&headers, "content-type")
+        .unwrap()
+        .starts_with("text/plain"));
+    seedb_obs::prom::validate(&metrics).unwrap();
+    let value = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{name} ")))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from scrape"))
+    };
+    assert!(value("seedbd_requests_total") >= 1.0);
+    assert!(value("seedbd_recommends_ok_total") >= 1.0);
+    // The daemon path feeds the admission gauges and wait histogram.
+    assert!(value("seedbd_admission_queue_capacity") >= 1.0);
+    assert!(value("seedbd_admission_wait_us_count") >= 1.0);
+    assert!(value("seedbd_uptime_seconds") >= 0.0);
+    handle.shutdown();
+}

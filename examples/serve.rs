@@ -1,10 +1,14 @@
 //! Serving layer tour: boot `seedbd` on an ephemeral port, fire three
 //! overlapping `/recommend` queries, and watch the cross-request cache at
 //! work — a cold miss, a per-view partial reuse, and a full response hit.
+//! Each query carries an `X-Request-Id`, and the tour ends by pulling the
+//! cold run's trace back out of the flight recorder and printing its
+//! span timeline.
 //!
 //! Run with: `cargo run --release --example serve`
 
 use seedb::server::{client, Server, ServerConfig};
+use seedb::util::Json;
 
 fn main() {
     let config = ServerConfig {
@@ -38,9 +42,17 @@ fn main() {
         ),
     ];
 
-    for (label, body) in queries {
-        let (status, response) =
-            client::request_json(addr, "POST", "/recommend", Some(body)).expect("recommend");
+    for (i, (label, body)) in queries.into_iter().enumerate() {
+        let rid = format!("serve-{}", i + 1);
+        let (status, _, raw) = client::request_with_headers(
+            addr,
+            "POST",
+            "/recommend",
+            Some(body),
+            &[("X-Request-Id", &rid)],
+        )
+        .expect("recommend");
+        let response = Json::parse(&raw).expect("response JSON");
         assert_eq!(status, 200, "{response:?}");
         let cache = response
             .get("cache")
@@ -104,6 +116,44 @@ fn main() {
         cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0),
         cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0),
     );
+
+    // Pull the cold run's trace back out of the flight recorder: the
+    // index is keyed by the X-Request-Id we sent, and the export is
+    // Chrome trace-event JSON (load it in Perfetto for the real thing —
+    // here we just print the span timeline).
+    let (_, index) = client::request_json(addr, "GET", "/debug/traces", None).expect("trace index");
+    let trace_id = index
+        .get("traces")
+        .and_then(|t| t.as_arr())
+        .and_then(|traces| {
+            traces
+                .iter()
+                .find(|t| t.get("request_id").and_then(|r| r.as_str()) == Some("serve-1"))
+        })
+        .and_then(|t| t.get("id"))
+        .and_then(|id| id.as_u64())
+        .expect("cold run indexed in the flight recorder");
+    let (_, trace) = client::request_json(addr, "GET", &format!("/debug/traces/{trace_id}"), None)
+        .expect("trace export");
+    println!("\ntrace of the cold run (request_id=serve-1, trace #{trace_id}):");
+    if let Some(events) = trace.get("traceEvents").and_then(|e| e.as_arr()) {
+        for event in events {
+            if event.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            let name = event.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+            let lane = event.get("tid").and_then(|t| t.as_u64()).unwrap_or(0);
+            let ts = event.get("ts").and_then(|t| t.as_num()).unwrap_or(0.0);
+            let dur = event.get("dur").and_then(|d| d.as_num()).unwrap_or(0.0);
+            let args = event
+                .get("args")
+                .map(|a| a.compact())
+                .filter(|a| a != "{}")
+                .map(|a| format!("  {a}"))
+                .unwrap_or_default();
+            println!("  {name:<16} lane {lane}  +{ts:>8.0} µs  {dur:>8.0} µs{args}");
+        }
+    }
 
     handle.shutdown();
 }
