@@ -36,8 +36,9 @@
 //! for tests and embedding.
 
 use seedb_engine::GroupedResult;
+use seedb_util::PLock;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// How much of a view's full-table aggregate a [`CachedPartial`] covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,9 +168,16 @@ impl CacheUse {
 
 /// Unbounded thread-safe in-memory [`ViewCache`] — the reference
 /// implementation for tests and simple embeddings.
-#[derive(Default)]
 pub struct MemoryViewCache {
-    map: Mutex<HashMap<String, Arc<CachedPartial>>>,
+    map: PLock<HashMap<String, Arc<CachedPartial>>>,
+}
+
+impl Default for MemoryViewCache {
+    fn default() -> Self {
+        MemoryViewCache {
+            map: PLock::new("core.view_cache", HashMap::new()),
+        }
+    }
 }
 
 impl MemoryViewCache {
@@ -180,7 +188,7 @@ impl MemoryViewCache {
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
+        self.map.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -191,18 +199,11 @@ impl MemoryViewCache {
 
 impl ViewCache for MemoryViewCache {
     fn get(&self, key: &str) -> Option<Arc<CachedPartial>> {
-        self.map
-            .lock()
-            .expect("cache lock poisoned")
-            .get(key)
-            .cloned()
+        self.map.lock().get(key).cloned()
     }
 
     fn put(&self, key: &str, value: Arc<CachedPartial>) {
-        self.map
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key.to_owned(), value);
+        self.map.lock().insert(key.to_owned(), value);
     }
 }
 

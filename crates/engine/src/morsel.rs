@@ -29,8 +29,8 @@ use crate::stats::ExecStats;
 use crate::{GroupedResult, PartialAggregation};
 use seedb_obs::TraceCtx;
 use seedb_storage::Table;
+use seedb_util::PLock;
 use std::ops::Range;
-use std::sync::Mutex;
 
 pub use seedb_storage::DEFAULT_MORSEL_ROWS;
 
@@ -124,11 +124,11 @@ pub fn execute_morsels_traced(
     // slot, so the mutexes are uncontended; they exist to keep the hot path
     // in safe code.
     let workers = pool.threads();
-    let locals: Vec<Mutex<Vec<Option<WorkerPartial>>>> = (0..workers)
+    let locals: Vec<PLock<Vec<Option<WorkerPartial>>>> = (0..workers)
         .map(|_| {
             let mut slots = Vec::with_capacity(n_jobs);
             slots.resize_with(n_jobs, || None);
-            Mutex::new(slots)
+            PLock::new("engine.morsel.partials", slots)
         })
         .collect();
 
@@ -144,7 +144,7 @@ pub fn execute_morsels_traced(
         let probe_start = probes.start();
         let job = job_offsets.partition_point(|&off| off <= item) - 1;
         let morsel = &plans[job].morsels[item - job_offsets[job]];
-        let mut slots = locals[worker].lock().expect("worker slot poisoned");
+        let mut slots = locals[worker].lock();
         let partial = slots[job].get_or_insert_with(|| WorkerPartial {
             first_item: item,
             agg: PartialAggregation::with_mode(queries[job].clone(), shape.mode),
@@ -165,7 +165,7 @@ pub fn execute_morsels_traced(
         .map(|job| {
             let mut parts: Vec<WorkerPartial> = locals
                 .iter()
-                .filter_map(|slots| slots.lock().expect("worker slot poisoned")[job].take())
+                .filter_map(|slots| slots.lock()[job].take())
                 .collect();
             parts.sort_by_key(|p| p.first_item);
 

@@ -15,9 +15,10 @@
 //! as a single-round pool.
 
 use seedb_obs::TraceCtx;
+use seedb_util::PLock;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::{Duration, Instant};
 
 /// A cooperative deadline token threaded from the serving layer down into
@@ -104,7 +105,7 @@ struct Ctl {
 }
 
 struct Shared {
-    ctl: Mutex<Ctl>,
+    ctl: PLock<Ctl>,
     /// Wakes workers when a round is published (or on shutdown).
     work_cv: Condvar,
     /// Wakes the owner when the round completes and workers quiesce.
@@ -116,15 +117,18 @@ struct Shared {
 impl Shared {
     fn new() -> Self {
         Shared {
-            ctl: Mutex::new(Ctl {
-                round: 0,
-                total: 0,
-                task: None,
-                completed: 0,
-                active: 0,
-                panicked: false,
-                shutdown: false,
-            }),
+            ctl: PLock::new(
+                "engine.pool.ctl",
+                Ctl {
+                    round: 0,
+                    total: 0,
+                    task: None,
+                    completed: 0,
+                    active: 0,
+                    panicked: false,
+                    shutdown: false,
+                },
+            ),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
@@ -132,7 +136,7 @@ impl Shared {
     }
 
     fn shutdown(&self) {
-        self.ctl.lock().expect("pool lock poisoned").shutdown = true;
+        self.ctl.lock().shutdown = true;
         self.work_cv.notify_all();
     }
 }
@@ -153,7 +157,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         // Wait for a new round (or shutdown), then check in as active.
         let (task, total) = {
-            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            let mut ctl = shared.ctl.lock();
             loop {
                 if ctl.shutdown {
                     return;
@@ -163,7 +167,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     ctl.active += 1;
                     break (ctl.task.expect("checked above"), ctl.total);
                 }
-                ctl = shared.work_cv.wait(ctl).expect("pool lock poisoned");
+                ctl = ctl.wait(&shared.work_cv);
             }
         };
         // Claim and run work items until the round is drained.
@@ -175,7 +179,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
             // SAFETY: `Pool::run` keeps the closure alive (it blocks until
             // this worker checks out of the round) — see that method.
             let ok = catch_unwind(AssertUnwindSafe(|| (unsafe { &*task.0 })(worker, i))).is_ok();
-            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            let mut ctl = shared.ctl.lock();
             if !ok {
                 ctl.panicked = true;
             }
@@ -185,7 +189,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
         }
         // Check out; the round owner waits for active == 0 before returning.
-        let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+        let mut ctl = shared.ctl.lock();
         ctl.active -= 1;
         if ctl.active == 0 {
             shared.done_cv.notify_all();
@@ -243,7 +247,7 @@ impl Pool<'_> {
             >(wide)
         });
         {
-            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            let mut ctl = shared.ctl.lock();
             debug_assert!(ctl.task.is_none() && ctl.active == 0, "pool is reentrant");
             ctl.round += 1;
             ctl.total = num_tasks;
@@ -262,7 +266,7 @@ impl Pool<'_> {
                 break;
             }
             let result = catch_unwind(AssertUnwindSafe(|| task(0, i)));
-            let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+            let mut ctl = shared.ctl.lock();
             if let Err(payload) = result {
                 ctl.panicked = true;
                 caller_panic.get_or_insert(payload);
@@ -276,9 +280,9 @@ impl Pool<'_> {
         // Wait for completion AND worker check-out (a worker may still be
         // between its last claim attempt and checking out; the next round
         // must not start until it has).
-        let mut ctl = shared.ctl.lock().expect("pool lock poisoned");
+        let mut ctl = shared.ctl.lock();
         while ctl.completed < num_tasks || ctl.active > 0 {
-            ctl = shared.done_cv.wait(ctl).expect("pool lock poisoned");
+            ctl = ctl.wait(&shared.done_cv);
         }
         ctl.task = None;
         let panicked = ctl.panicked;
@@ -378,7 +382,7 @@ struct ProbeSlot {
 /// Each worker only locks its own slot, so the mutexes are uncontended —
 /// the same safe-code pattern as the morsel scheduler's partials.
 pub struct WorkerProbes {
-    slots: Vec<Mutex<ProbeSlot>>,
+    slots: Vec<PLock<ProbeSlot>>,
 }
 
 impl WorkerProbes {
@@ -387,7 +391,7 @@ impl WorkerProbes {
         WorkerProbes {
             slots: if enabled {
                 (0..workers)
-                    .map(|_| Mutex::new(ProbeSlot::default()))
+                    .map(|_| PLock::new("engine.worker.probe", ProbeSlot::default()))
                     .collect()
             } else {
                 Vec::new()
@@ -413,7 +417,7 @@ impl WorkerProbes {
         let Some(slot) = self.slots.get(worker) else {
             return;
         };
-        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = slot.lock();
         slot.first.get_or_insert(start);
         slot.busy += start.elapsed();
         slot.items += 1;
@@ -424,7 +428,7 @@ impl WorkerProbes {
     /// count as an argument.
     pub fn emit(&self, trace: &TraceCtx, name: &'static str) {
         for (worker, slot) in self.slots.iter().enumerate() {
-            let slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = slot.lock();
             let Some(first) = slot.first else { continue };
             trace.record(
                 name,
@@ -474,7 +478,7 @@ pub fn default_parallelism() -> usize {
 /// a request never deadlocks waiting for full parallelism) and sizes its
 /// pool to the lease. Dropping the [`BudgetLease`] returns the permits.
 pub struct WorkerBudget {
-    permits: Mutex<usize>,
+    permits: PLock<usize>,
     cv: Condvar,
     total: usize,
 }
@@ -484,7 +488,7 @@ impl WorkerBudget {
     pub fn new(total: usize) -> Self {
         let total = total.max(1);
         WorkerBudget {
-            permits: Mutex::new(total),
+            permits: PLock::new("engine.worker.budget", total),
             cv: Condvar::new(),
             total,
         }
@@ -497,7 +501,7 @@ impl WorkerBudget {
 
     /// Slots currently unleased (for observability; racy by nature).
     pub fn available(&self) -> usize {
-        *self.permits.lock().expect("budget lock poisoned")
+        *self.permits.lock()
     }
 
     /// Leases between 1 and `desired` slots, blocking only while *no*
@@ -506,9 +510,9 @@ impl WorkerBudget {
     /// clamped to ≥ 1.
     pub fn lease(&self, desired: usize) -> BudgetLease<'_> {
         let desired = desired.max(1);
-        let mut permits = self.permits.lock().expect("budget lock poisoned");
+        let mut permits = self.permits.lock();
         while *permits == 0 {
-            permits = self.cv.wait(permits).expect("budget lock poisoned");
+            permits = permits.wait(&self.cv);
         }
         let granted = desired.min(*permits);
         *permits -= granted;
@@ -524,7 +528,7 @@ impl WorkerBudget {
     /// the request thread.
     pub fn try_lease(&self, desired: usize) -> Option<BudgetLease<'_>> {
         let desired = desired.max(1);
-        let mut permits = self.permits.lock().expect("budget lock poisoned");
+        let mut permits = self.permits.lock();
         if *permits == 0 {
             return None;
         }
@@ -542,16 +546,13 @@ impl WorkerBudget {
     pub fn lease_timeout(&self, desired: usize, timeout: Duration) -> Option<BudgetLease<'_>> {
         let desired = desired.max(1);
         let deadline = Instant::now() + timeout;
-        let mut permits = self.permits.lock().expect("budget lock poisoned");
+        let mut permits = self.permits.lock();
         while *permits == 0 {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return None;
             }
-            let (guard, result) = self
-                .cv
-                .wait_timeout(permits, left)
-                .expect("budget lock poisoned");
+            let (guard, result) = permits.wait_timeout(&self.cv, left);
             permits = guard;
             if result.timed_out() && *permits == 0 {
                 return None;
@@ -583,7 +584,7 @@ impl BudgetLease<'_> {
 
 impl Drop for BudgetLease<'_> {
     fn drop(&mut self) {
-        let mut permits = self.budget.permits.lock().expect("budget lock poisoned");
+        let mut permits = self.budget.permits.lock();
         *permits += self.granted;
         self.budget.cv.notify_all();
     }
@@ -647,12 +648,12 @@ mod tests {
     #[test]
     fn pool_reuses_workers_across_rounds() {
         use std::collections::HashSet;
-        use std::sync::Mutex as StdMutex;
-        let seen: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        let seen: PLock<HashSet<std::thread::ThreadId>> =
+            PLock::new("test.pool.seen", HashSet::new());
         with_pool(4, |pool| {
             for round in 0..50 {
                 let sums: Vec<usize> = pool.map(8, |_, i| {
-                    seen.lock().unwrap().insert(std::thread::current().id());
+                    seen.lock().insert(std::thread::current().id());
                     round * 8 + i
                 });
                 let expect: Vec<usize> = (0..8).map(|i| round * 8 + i).collect();
@@ -661,7 +662,7 @@ mod tests {
         });
         // 50 rounds on a 4-thread pool touch at most 4 distinct threads —
         // workers persisted instead of being respawned per round.
-        assert!(seen.lock().unwrap().len() <= 4);
+        assert!(seen.lock().len() <= 4);
     }
 
     #[test]
@@ -811,12 +812,12 @@ mod tests {
     #[test]
     fn inline_pool_is_deterministic_and_ordered() {
         with_pool(1, |pool| {
-            let order = Mutex::new(Vec::new());
+            let order = PLock::new("test.pool.order", Vec::new());
             pool.run(5, |worker, i| {
                 assert_eq!(worker, 0);
-                order.lock().unwrap().push(i);
+                order.lock().push(i);
             });
-            assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+            assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
         });
     }
 }

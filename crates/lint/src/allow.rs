@@ -1,0 +1,191 @@
+//! The allowlist (`lint.allow`): per-site exemptions with mandatory
+//! written justifications.
+//!
+//! Format — one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! rule | path | pattern | justification
+//! ```
+//!
+//! `pattern` is a substring the finding's source line must contain (`*`
+//! matches any line of the file). Hygiene is enforced as hard errors:
+//! malformed lines, empty justifications, entries for L1 (locking must go
+//! through `plock`, never an exemption), and stale entries that matched
+//! nothing — so the allowlist can only shrink unless a human writes down
+//! why it grew.
+
+use crate::rules::{Finding, LexedFile};
+
+/// One parsed allowlist entry.
+pub struct AllowEntry {
+    /// Rule the exemption applies to.
+    pub rule: String,
+    /// Root-relative path it applies to.
+    pub path: String,
+    /// Substring of the offending source line (`*` = whole file).
+    pub pattern: String,
+    /// Why the site is exempt (must be non-empty).
+    pub justification: String,
+    /// 1-based line in the allow file.
+    pub line: u32,
+    /// Whether any finding matched this entry.
+    pub used: bool,
+}
+
+/// Parses allowlist text; hygiene violations come back as `ALLOW`
+/// findings against `allow_path`.
+pub fn parse_allowlist(text: &str, allow_path: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+        if parts.len() != 4 {
+            errors.push(Finding {
+                rule: "ALLOW",
+                path: allow_path.to_owned(),
+                line: line_no,
+                message: format!(
+                    "malformed allowlist entry (need `rule | path | pattern | justification`, \
+                     got {} field(s))",
+                    parts.len()
+                ),
+            });
+            continue;
+        }
+        let (rule, path, pattern, justification) = (parts[0], parts[1], parts[2], parts[3]);
+        if rule == "L1" {
+            errors.push(Finding {
+                rule: "ALLOW",
+                path: allow_path.to_owned(),
+                line: line_no,
+                message: "L1 findings may not be allowlisted: all locking must go through \
+                          seedb_util::plock"
+                    .to_owned(),
+            });
+            continue;
+        }
+        if justification.is_empty() {
+            errors.push(Finding {
+                rule: "ALLOW",
+                path: allow_path.to_owned(),
+                line: line_no,
+                message: "allowlist entry has an empty justification".to_owned(),
+            });
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule: rule.to_owned(),
+            path: path.to_owned(),
+            pattern: pattern.to_owned(),
+            justification: justification.to_owned(),
+            line: line_no,
+            used: false,
+        });
+    }
+    (entries, errors)
+}
+
+/// Splits `findings` into (kept, allowed-count), marking used entries.
+/// `files` provides the source lines patterns match against.
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    entries: &mut [AllowEntry],
+    files: &[LexedFile],
+) -> (Vec<Finding>, usize) {
+    let mut kept = Vec::new();
+    let mut allowed = 0usize;
+    for finding in findings {
+        let line_text = files
+            .iter()
+            .find(|f| f.path == finding.path)
+            .map(|f| f.line_text(finding.line).to_owned())
+            .unwrap_or_default();
+        let matched = entries.iter_mut().find(|e| {
+            e.rule == finding.rule
+                && e.path == finding.path
+                && (e.pattern == "*" || line_text.contains(&e.pattern))
+        });
+        match matched {
+            Some(entry) => {
+                entry.used = true;
+                allowed += 1;
+            }
+            None => kept.push(finding),
+        }
+    }
+    (kept, allowed)
+}
+
+/// Stale entries (matched nothing) as `ALLOW` findings — a fixed site must
+/// drop its exemption.
+pub fn stale_entries(entries: &[AllowEntry], allow_path: &str) -> Vec<Finding> {
+    entries
+        .iter()
+        .filter(|e| !e.used)
+        .map(|e| Finding {
+            rule: "ALLOW",
+            path: allow_path.to_owned(),
+            line: e.line,
+            message: format!(
+                "stale allowlist entry ({} | {} | {}): no finding matched it — remove it",
+                e.rule, e.path, e.pattern
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_l1_and_malformed() {
+        let text = "\
+# comment
+
+L2 | crates/server/src/a.rs | v[0] | bounds checked two lines above
+L1 | crates/x.rs | * | nope
+L2 | crates/server/src/b.rs | x |
+bad line
+";
+        let (entries, errors) = parse_allowlist(text, "lint.allow");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "L2");
+        assert_eq!(entries[0].pattern, "v[0]");
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors[0].message.contains("L1"));
+        assert!(errors[1].message.contains("empty justification"));
+        assert!(errors[2].message.contains("malformed"));
+    }
+
+    #[test]
+    fn apply_matches_line_content_and_reports_stale() {
+        let file = LexedFile::new(
+            "crates/server/src/a.rs".to_owned(),
+            "fn f(v: &[u8]) -> u8 {\n    v[0]\n}\n",
+        );
+        let findings = vec![Finding {
+            rule: "L2",
+            path: "crates/server/src/a.rs".to_owned(),
+            line: 2,
+            message: "slice indexing".to_owned(),
+        }];
+        let (mut entries, errors) = parse_allowlist(
+            "L2 | crates/server/src/a.rs | v[0] | checked\n\
+             L2 | crates/server/src/a.rs | w[9] | never matches\n",
+            "lint.allow",
+        );
+        assert!(errors.is_empty());
+        let (kept, allowed) = apply_allowlist(findings, &mut entries, &[file]);
+        assert!(kept.is_empty());
+        assert_eq!(allowed, 1);
+        let stale = stale_entries(&entries, "lint.allow");
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("w[9]"));
+    }
+}

@@ -1,0 +1,486 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The registry is unreachable in this build environment, so `syn` is not
+//! an option; the rules in [`crate::rules`] only need a token stream that
+//! gets the hard parts right — comments (line, nested block, doc), string
+//! literals (plain, raw, byte, C), char literals vs. lifetimes — so that a
+//! banned pattern inside a string or comment is never reported and a real
+//! one never hides behind one. Everything else (numbers, idents, single
+//! punctuation) is deliberately simple: the rules match token *sequences*,
+//! not grammar.
+
+/// Token classification, as coarse as the rules allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// Any string-like literal (plain/raw/byte/C).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal (dots are lexed separately, which is fine here).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (empty for `Str`/`Char` — the rules never inspect it).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct(ch)
+    }
+}
+
+/// Lexes `source` into tokens, dropping comments and whitespace.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    // Advances past `count` chars, bumping the line counter.
+    macro_rules! bump {
+        ($count:expr) => {{
+            for _ in 0..$count {
+                if i < n {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // Line comment (incl. `///` and `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                bump!(1);
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            bump!(2);
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!(2);
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+        // String-literal prefixes: r"", r#""#, b"", br#""#, c"", cr#""#,
+        // and the byte-char b'x'.
+        if matches!(c, 'r' | 'b' | 'c') {
+            let mut j = i;
+            // Consume up to two prefix letters (br, cr).
+            let mut prefix = String::new();
+            while j < n && matches!(chars[j], 'r' | 'b' | 'c') && prefix.len() < 2 {
+                prefix.push(chars[j]);
+                j += 1;
+            }
+            let valid_prefix = matches!(prefix.as_str(), "r" | "b" | "c" | "br" | "cr" | "rb");
+            if valid_prefix && j < n && (chars[j] == '"' || chars[j] == '#') {
+                let raw = prefix.contains('r');
+                let start_line = line;
+                bump!(j - i); // past the prefix
+                if raw {
+                    // Count hashes, then scan to `"` + same number of hashes.
+                    let mut hashes = 0usize;
+                    while i < n && chars[i] == '#' {
+                        hashes += 1;
+                        bump!(1);
+                    }
+                    if i < n && chars[i] == '"' {
+                        bump!(1);
+                        'raw: while i < n {
+                            if chars[i] == '"' {
+                                let mut k = 0usize;
+                                while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    bump!(1 + hashes);
+                                    break 'raw;
+                                }
+                            }
+                            bump!(1);
+                        }
+                        toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: String::new(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                    // `r#ident` (raw identifier): fall through as ident.
+                    let mut text = prefix.clone();
+                    for _ in 0..hashes {
+                        text.push('#');
+                    }
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!(1);
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // Non-raw string with escapes.
+                bump!(1); // opening quote
+                while i < n {
+                    if chars[i] == '\\' {
+                        bump!(2);
+                    } else if chars[i] == '"' {
+                        bump!(1);
+                        break;
+                    } else {
+                        bump!(1);
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if prefix == "b" && j < n && chars[j] == '\'' {
+                // Byte char b'x'.
+                let start_line = line;
+                bump!(j - i + 1);
+                while i < n {
+                    if chars[i] == '\\' {
+                        bump!(2);
+                    } else if chars[i] == '\'' {
+                        bump!(1);
+                        break;
+                    } else {
+                        bump!(1);
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            // Plain identifier starting with r/b/c: fall through.
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start_line = line;
+            bump!(1);
+            while i < n {
+                if chars[i] == '\\' {
+                    bump!(2);
+                } else if chars[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let start_line = line;
+            // Lifetime: 'ident not closed by a quote ('a, 'static, but not 'a').
+            if i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+                // Find the end of the ident run; a closing quote right after
+                // a single char means a char literal ('x'), otherwise it's a
+                // lifetime.
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if !(j < n && chars[j] == '\'') {
+                    let text: String = chars[i..j].iter().collect();
+                    bump!(j - i);
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            // Char literal with escapes.
+            bump!(1);
+            while i < n {
+                if chars[i] == '\\' {
+                    bump!(2);
+                } else if chars[i] == '\'' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Number (dots excluded on purpose — `0..n` must not swallow the
+        // range, and no rule matches numeric text).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                bump!(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                bump!(1);
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Single punctuation char.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        bump!(1);
+    }
+    toks
+}
+
+/// Marks tokens that belong to test-only code: any item annotated
+/// `#[test]` or `#[cfg(test)]` (including whole `mod tests { … }` blocks),
+/// so request-path rules don't fire on assertions.
+///
+/// `#[cfg(not(test))]` is production code and is *not* masked.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let close = match matching(toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            if is_test_attr(&toks[i + 1..close]) {
+                // Skip any further attributes stacked on the same item.
+                let mut j = close + 1;
+                while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    match matching(toks, j + 1, '[', ']') {
+                        Some(c) => j = c + 1,
+                        None => break,
+                    }
+                }
+                // Mask to the end of the item: the matching `}` of its first
+                // `{`, or the first `;` before any brace opens.
+                let mut end = toks.len() - 1;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        end = matching(toks, k, '{', '}').unwrap_or(toks.len() - 1);
+                        break;
+                    }
+                    if toks[k].is_punct(';') {
+                        end = k;
+                        break;
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Whether an attribute's tokens (from `[` to before `]`) mark test code.
+fn is_test_attr(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    if idents == ["test"] {
+        return true;
+    }
+    if idents.first() == Some(&"cfg") && idents.contains(&"test") {
+        // `cfg(not(test))` selects production code.
+        let negated = attr
+            .windows(3)
+            .any(|w| w[0].is_ident("not") && w[1].is_punct('(') && w[2].is_ident("test"));
+        return !negated;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r###"
+            // a .lock().unwrap() in a comment
+            /* and /* nested */ .unwrap() too */
+            let s = ".unwrap() in a string";
+            let r = r#"raw "quoted" .expect("x")"#;
+            let b = b"bytes .unwrap()";
+            real.unwrap();
+        "###;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let", "s", "let", "r", "let", "b", "real", "unwrap"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "let a = \"line\nline\nline\";\nb.unwrap();";
+        let toks = lex(src);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.line, 4);
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mods_and_test_fns() {
+        let src = r#"
+            fn prod() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+            #[test]
+            fn standalone() { z.unwrap(); }
+            fn prod2() { w.unwrap(); }
+        "#;
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let visible: Vec<&str> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, &m)| !m && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(visible.contains(&"prod"));
+        assert!(visible.contains(&"prod2"));
+        assert!(visible.contains(&"x"));
+        assert!(visible.contains(&"w"));
+        assert!(!visible.contains(&"y"));
+        assert!(!visible.contains(&"z"));
+        assert!(!visible.contains(&"standalone"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))] fn prod() { x.unwrap(); }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        assert!(mask.iter().all(|&m| !m));
+    }
+}

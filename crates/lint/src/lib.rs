@@ -1,0 +1,194 @@
+//! # seedb-lint
+//!
+//! A dependency-free static-analysis pass over the workspace's Rust
+//! sources. PRs kept *establishing* invariants by hand — no panics
+//! reachable from network input, poison-recovering locks everywhere,
+//! `/statz` ↔ `/metrics` counter parity — and this crate makes them
+//! mechanical: a hand-rolled token lexer ([`lexer`]), a small rule engine
+//! ([`rules`]: L1–L4), and an allowlist with mandatory justifications
+//! ([`allow`]). `cargo run -p seedb-lint -- check` is the CI gate; its
+//! runtime counterpart is the `cfg(debug_assertions)` lock-order detector
+//! in `seedb_util::plock`.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use rules::{Finding, LexedFile};
+use seedb_util::Json;
+use std::path::{Path, PathBuf};
+
+/// A finding enriched with its source line, as reported to the user.
+#[derive(Debug)]
+pub struct ReportedFinding {
+    /// Rule ID.
+    pub rule: &'static str,
+    /// Root-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+    /// Trimmed source line the finding points at.
+    pub snippet: String,
+}
+
+/// The outcome of a `check` run.
+pub struct Report {
+    /// Non-allowlisted findings, sorted by (path, line).
+    pub findings: Vec<ReportedFinding>,
+    /// Findings suppressed by allowlist entries.
+    pub allowed: usize,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Counters L3 proved present in both `/statz` and `/metrics`.
+    pub l3_counters_checked: usize,
+}
+
+impl Report {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Machine-readable form (the `--format json` output).
+    pub fn to_json(&self) -> Json {
+        let findings: Vec<Json> = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj()
+                    .set("rule", f.rule)
+                    .set("path", f.path.as_str())
+                    .set("line", f.line as u64)
+                    .set("message", f.message.as_str())
+                    .set("snippet", f.snippet.as_str())
+            })
+            .collect();
+        Json::obj()
+            .set("ok", self.ok())
+            .set("files_scanned", self.files_scanned as u64)
+            .set("allowed", self.allowed as u64)
+            .set("l3_counters_checked", self.l3_counters_checked as u64)
+            .set("findings", findings)
+    }
+
+    /// Human-readable diagnostics with `file:line` spans.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("    {}\n", f.snippet));
+            }
+        }
+        out.push_str(&format!(
+            "{}: {} finding(s), {} allowlisted, {} file(s) scanned, \
+             {} counter(s) verified in /statz ↔ /metrics parity\n",
+            if self.ok() { "ok" } else { "FAIL" },
+            self.findings.len(),
+            self.allowed,
+            self.files_scanned,
+            self.l3_counters_checked,
+        ));
+        out
+    }
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".claude"];
+
+/// Collects the `.rs` files under `root`'s source roots, sorted for
+/// deterministic reports.
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the tree at `root`, applying the allowlist at
+/// `allow_path` (a missing allow file is an empty allowlist).
+pub fn run_check(root: &Path, allow_path: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for path in collect_sources(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(LexedFile::new(rel, &source));
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for file in &files {
+        findings.extend(rules::l1_lock_unwrap(file));
+        findings.extend(rules::l2_request_path_panics(file));
+        findings.extend(rules::l4_morsel_hot_loop(file));
+    }
+    let l3 = rules::l3_counter_parity(&files);
+    findings.extend(l3.findings);
+
+    let allow_rel = allow_path
+        .strip_prefix(root)
+        .unwrap_or(allow_path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let allow_text = std::fs::read_to_string(allow_path).unwrap_or_default();
+    let (mut entries, mut hygiene) = allow::parse_allowlist(&allow_text, &allow_rel);
+    let (mut kept, allowed) = allow::apply_allowlist(findings, &mut entries, &files);
+    hygiene.extend(allow::stale_entries(&entries, &allow_rel));
+    kept.extend(hygiene);
+    kept.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+
+    let reported = kept
+        .into_iter()
+        .map(|f| {
+            let snippet = files
+                .iter()
+                .find(|lf| lf.path == f.path)
+                .map(|lf| lf.line_text(f.line).to_owned())
+                .unwrap_or_default();
+            ReportedFinding {
+                rule: f.rule,
+                path: f.path,
+                line: f.line,
+                message: f.message,
+                snippet,
+            }
+        })
+        .collect();
+
+    Ok(Report {
+        findings: reported,
+        allowed,
+        files_scanned: files.len(),
+        l3_counters_checked: l3.counters_checked,
+    })
+}

@@ -1,0 +1,76 @@
+//! CLI for the workspace's static-analysis pass.
+//!
+//! ```text
+//! cargo run -p seedb-lint -- check [--format text|json] [--root DIR] [--allow FILE]
+//! ```
+//!
+//! Exit code 0 when the tree is clean (allowlisted findings included),
+//! 1 on any non-allowlisted finding, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: seedb-lint check [--format text|json] [--root DIR] [--allow FILE]\n\
+         \n\
+         Rules:\n\
+         \x20 L1  no .lock().unwrap()/.lock().expect() — use seedb_util::plock (never allowlistable)\n\
+         \x20 L2  no panic!/unwrap/expect/slice-indexing in crates/server/src, crates/sql/src (non-test)\n\
+         \x20 L3  every ServerStats/CacheStats counter appears in both /statz and /metrics\n\
+         \x20 L4  no clock reads / allocation-prone calls in the morsel inner-loop file\n\
+         \n\
+         Allowlist: lint.allow at the root — `rule | path | pattern | justification` per line."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        return usage();
+    }
+    let mut format = "text".to_owned();
+    let mut root = PathBuf::from(".");
+    let mut allow: Option<PathBuf> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next() {
+                Some(v) if v == "text" || v == "json" => format = v.clone(),
+                _ => return usage(),
+            },
+            "--root" => match iter.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage(),
+            },
+            "--allow" => match iter.next() {
+                Some(v) => allow = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let allow = allow.unwrap_or_else(|| root.join("lint.allow"));
+    match seedb_lint::run_check(&root, &allow) {
+        Ok(report) => {
+            if format == "json" {
+                println!("{}", report.to_json().pretty());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("seedb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,4 @@
+// Allowlist fixture: the indexing below is covered by allow.txt.
+fn first(v: &[u8]) -> u8 {
+    v[0]
+}

@@ -1,0 +1,6 @@
+// L1 fixture: raw mutex panics on poisoning.
+fn l1_sites(m: &std::sync::Mutex<u32>) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *m.lock().expect("poisoned");
+    a + b
+}

@@ -1,0 +1,9 @@
+// L4 fixture: clock read and allocations in the inner-loop file.
+fn inner_loop(names: &[&str]) {
+    let t = std::time::Instant::now();
+    for name in names {
+        let owned = name.to_string();
+        let label = format!("{owned}{t:?}");
+        drop(label);
+    }
+}

@@ -1,0 +1,19 @@
+// L2 fixture: panic family, unwrap/expect, and slice indexing in the
+// request path; the test module at the bottom must NOT be flagged.
+fn handler(body: Option<&str>, v: &[u8]) -> u8 {
+    if body.is_none() {
+        panic!("no body");
+    }
+    let first = v[0];
+    let parsed: u8 = body.unwrap().parse().expect("numeric");
+    first + parsed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        super::handler(Some("1"), &[2]);
+        assert!(true);
+    }
+}

@@ -1,0 +1,12 @@
+// L3 fixture: `sheds` is surfaced by /statz but missing from /metrics.
+pub struct ServerStats {
+    pub requests: AtomicU64,
+    pub sheds: AtomicU64,
+    pub histo: LatencyHisto,
+}
+fn statz(s: &ServerStats) {
+    emit(&s.requests, &s.sheds, &s.histo);
+}
+fn metrics(s: &ServerStats) {
+    emit(&s.requests, &s.histo);
+}

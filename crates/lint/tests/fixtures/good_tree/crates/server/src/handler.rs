@@ -1,0 +1,11 @@
+// Negative fixture: request path code with no panic surface. Banned
+// patterns inside strings and comments (".unwrap()", panic!("x")) must
+// not trip the lexer-based rules.
+fn handler(body: Option<&str>, v: &[u8]) -> Result<u8, String> {
+    let note = "don't panic!(\"x\") or .unwrap() me";
+    let first = v.first().copied().ok_or_else(|| note.to_owned())?;
+    let parsed: u8 = body
+        .and_then(|b| b.parse().ok())
+        .ok_or("bad body")?;
+    Ok(first + parsed)
+}

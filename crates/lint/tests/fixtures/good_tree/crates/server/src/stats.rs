@@ -1,0 +1,14 @@
+// L3 negative fixture: full /statz <-> /metrics parity.
+pub struct ServerStats {
+    pub requests: AtomicU64,
+    pub sheds: AtomicU64,
+}
+pub struct CacheStats {
+    pub hits: AtomicU64,
+}
+fn statz(s: &ServerStats, c: &CacheStats) {
+    emit(&s.requests, &s.sheds, &c.hits);
+}
+fn metrics(s: &ServerStats, c: &CacheStats) {
+    emit(&s.requests, &s.sheds, &c.hits);
+}

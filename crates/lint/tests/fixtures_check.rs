@@ -1,0 +1,138 @@
+//! Lint self-tests over the fixture trees in `tests/fixtures/`: one
+//! seeded violation per rule (positive), clean counterparts (negative),
+//! and an allowlisted variant — plus a check that the real workspace
+//! stays clean, so `cargo test` catches a violation even when the CI
+//! lint job is skipped.
+
+use seedb_lint::run_check;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_hit(report: &seedb_lint::Report) -> Vec<(&'static str, String, u32)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn bad_tree_trips_every_rule() {
+    let root = fixture("bad_tree");
+    let report = run_check(&root, &root.join("no-such-allow-file")).expect("fixture walk");
+    assert!(!report.ok());
+    let hits = rules_hit(&report);
+    let count = |rule: &str| hits.iter().filter(|(r, _, _)| *r == rule).count();
+
+    // L1: .lock().unwrap() and .lock().expect(...), one each.
+    assert_eq!(count("L1"), 2, "{hits:?}");
+    // L2: panic!, v[0], .unwrap(), .expect( — and nothing from the
+    // #[cfg(test)] module.
+    assert_eq!(count("L2"), 4, "{hits:?}");
+    assert!(
+        !hits
+            .iter()
+            .any(|(_, p, l)| p.ends_with("handler.rs") && *l > 10),
+        "test-module code must not be flagged: {hits:?}"
+    );
+    // L3: `sheds` missing from fn metrics.
+    assert_eq!(count("L3"), 1, "{hits:?}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "L3" && f.message.contains("sheds") && f.message.contains("metrics")));
+    // L4: Instant::now, .to_string(), format! in the morsel file.
+    assert_eq!(count("L4"), 3, "{hits:?}");
+}
+
+#[test]
+fn findings_carry_file_line_spans_and_snippets() {
+    let root = fixture("bad_tree");
+    let report = run_check(&root, &root.join("no-such-allow-file")).expect("fixture walk");
+    let l1 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "L1")
+        .expect("an L1 finding");
+    assert_eq!(l1.path, "crates/engine/src/locks.rs");
+    assert_eq!(l1.line, 3);
+    assert!(l1.snippet.contains(".lock().unwrap()"), "{}", l1.snippet);
+
+    // The machine-readable form round-trips through the JSON parser and
+    // carries the same spans.
+    let json = seedb_util::Json::parse(&report.to_json().compact()).expect("valid JSON");
+    assert_eq!(json.get("ok").and_then(|j| j.as_bool()), Some(false));
+    let findings = json.get("findings").and_then(|j| j.as_arr()).unwrap();
+    assert_eq!(findings.len(), report.findings.len());
+    assert!(findings
+        .iter()
+        .any(|f| f.get("rule").and_then(|r| r.as_str()) == Some("L1")
+            && f.get("line").and_then(|l| l.as_u64()) == Some(3)));
+}
+
+#[test]
+fn good_tree_is_clean_and_proves_parity() {
+    let root = fixture("good_tree");
+    let report = run_check(&root, &root.join("no-such-allow-file")).expect("fixture walk");
+    assert!(report.ok(), "{:?}", report.findings);
+    assert_eq!(report.allowed, 0);
+    assert_eq!(
+        report.l3_counters_checked, 3,
+        "requests + sheds + hits all verified in both expositions"
+    );
+}
+
+#[test]
+fn allowlisted_finding_is_suppressed_but_counted() {
+    let root = fixture("allowed_tree");
+    // Without the allowlist: one L2 finding.
+    let bare = run_check(&root, &root.join("no-such-allow-file")).expect("fixture walk");
+    assert_eq!(rules_hit(&bare).len(), 1);
+    assert_eq!(bare.findings[0].rule, "L2");
+
+    // With it: clean, and the suppression is visible in the report.
+    let report = run_check(&root, &root.join("allow.txt")).expect("fixture walk");
+    assert!(report.ok(), "{:?}", report.findings);
+    assert_eq!(report.allowed, 1);
+}
+
+#[test]
+fn allowlist_hygiene_is_enforced() {
+    let root = fixture("allowed_tree");
+    let report = run_check(&root, &root.join("allow_bad.txt")).expect("fixture walk");
+    assert!(!report.ok());
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("stale")),
+        "stale entry must fail: {msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("L1")),
+        "L1 entries are never allowed: {msgs:?}"
+    );
+    // The legitimate entry still suppresses its finding.
+    assert_eq!(report.allowed, 1);
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    // The same invariant CI enforces, kept inside `cargo test` so a
+    // violation can't land even when the lint job is skipped.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run_check(&root, &root.join("lint.allow")).expect("workspace walk");
+    assert!(
+        report.ok(),
+        "workspace lint violations:\n{}",
+        report.to_text()
+    );
+    assert!(report.files_scanned > 100, "walk found the workspace");
+    assert!(
+        report.l3_counters_checked >= 26,
+        "ServerStats + CacheStats counters all proven in /statz <-> /metrics parity"
+    );
+}

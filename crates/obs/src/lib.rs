@@ -167,7 +167,7 @@ mod tests {
         );
         std::thread::sleep(std::time::Duration::from_millis(2));
         obs.finish(&ctx, "r-slow", "/recommend", 200).unwrap();
-        let logged = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let logged = String::from_utf8(sink.lock().clone()).unwrap();
         assert!(logged.contains("slow_request"), "{logged}");
         assert!(logged.contains("r-slow"), "{logged}");
         let line = Json::parse(logged.lines().next().unwrap()).unwrap();
@@ -175,9 +175,9 @@ mod tests {
         assert!(line.get("trace").unwrap().get("traceEvents").is_some());
 
         // A fast request under the threshold logs nothing new.
-        let before = sink.lock().unwrap().len();
+        let before = sink.lock().len();
         let fast = obs.begin();
         obs.finish(&fast, "r-fast", "/healthz", 200).unwrap();
-        assert_eq!(sink.lock().unwrap().len(), before);
+        assert_eq!(sink.lock().len(), before);
     }
 }

@@ -4,9 +4,9 @@
 //! threads it where it's needed, the same explicit-handle discipline as
 //! the tracer.
 
-use seedb_util::Json;
+use seedb_util::{Json, PLock};
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Log severity, most to least severe. `--log warn` keeps `Error` and
@@ -48,7 +48,7 @@ impl LogLevel {
 
 enum Sink {
     Stderr,
-    Shared(Arc<Mutex<Vec<u8>>>),
+    Shared(Arc<PLock<Vec<u8>>>),
 }
 
 /// A leveled JSON-line logger. Each line is a flat object:
@@ -69,8 +69,8 @@ impl Logger {
 
     /// A logger capturing lines into a shared buffer — for tests that
     /// assert on what was logged.
-    pub fn capture(level: LogLevel) -> (Logger, Arc<Mutex<Vec<u8>>>) {
-        let buf = Arc::new(Mutex::new(Vec::new()));
+    pub fn capture(level: LogLevel) -> (Logger, Arc<PLock<Vec<u8>>>) {
+        let buf = Arc::new(PLock::new("obs.log.capture", Vec::new()));
         (
             Logger {
                 level,
@@ -114,7 +114,7 @@ impl Logger {
                 let _ = writeln!(std::io::stderr().lock(), "{rendered}");
             }
             Sink::Shared(buf) => {
-                let mut buf = buf.lock().unwrap_or_else(|e| e.into_inner());
+                let mut buf = buf.lock();
                 let _ = writeln!(buf, "{rendered}");
             }
         }
@@ -158,7 +158,7 @@ mod tests {
         let (logger, buf) = Logger::capture(LogLevel::Warn);
         logger.info("dropped", Json::obj());
         logger.warn("kept", Json::obj().set("n", 3u64).set("who", "x"));
-        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1, "{text}");
         let line = Json::parse(lines[0]).unwrap();

@@ -7,10 +7,10 @@
 //! makes the Chrome trace-event export self-contained (Perfetto and
 //! `chrome://tracing` render relative timestamps directly).
 
-use seedb_util::Json;
+use seedb_util::{Json, PLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One completed span of a trace.
@@ -34,8 +34,8 @@ pub struct Span {
 struct TraceInner {
     start: Instant,
     next_span: AtomicU64,
-    spans: Mutex<Vec<Span>>,
-    notes: Mutex<Vec<(&'static str, String)>>,
+    spans: PLock<Vec<Span>>,
+    notes: PLock<Vec<(&'static str, String)>>,
 }
 
 /// Per-request trace context. Cloning shares the same trace; a disabled
@@ -67,8 +67,8 @@ impl TraceCtx {
             inner: Some(Arc::new(TraceInner {
                 start: Instant::now(),
                 next_span: AtomicU64::new(0),
-                spans: Mutex::new(Vec::new()),
-                notes: Mutex::new(Vec::new()),
+                spans: PLock::new("obs.trace.spans", Vec::new()),
+                notes: PLock::new("obs.trace.notes", Vec::new()),
             })),
         }
     }
@@ -128,28 +128,20 @@ impl TraceCtx {
             dur_us: dur.as_micros() as u64,
             args,
         };
-        inner
-            .spans
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(span);
+        inner.spans.lock().push(span);
     }
 
     /// Attaches request-level metadata (`"cache"` outcome, …) surfaced in
     /// the trace index and export.
     pub fn note(&self, key: &'static str, value: impl Into<String>) {
         let Some(inner) = &self.inner else { return };
-        inner
-            .notes
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push((key, value.into()));
+        inner.notes.lock().push((key, value.into()));
     }
 
     /// The last value noted under `key`.
     pub fn note_value(&self, key: &str) -> Option<String> {
         let inner = self.inner.as_ref()?;
-        let notes = inner.notes.lock().unwrap_or_else(|e| e.into_inner());
+        let notes = inner.notes.lock();
         notes
             .iter()
             .rev()
@@ -162,11 +154,7 @@ impl TraceCtx {
     /// context, which `finish` screens out.
     pub(crate) fn complete(&self, request_id: &str, route: &str, status: u16) -> CompletedTrace {
         let inner = self.inner.as_ref().expect("complete() on a live trace");
-        let mut spans = inner
-            .spans
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
+        let mut spans = inner.spans.lock().clone();
         spans.sort_by_key(|s| (s.start_us, s.id));
         CompletedTrace {
             id: self.id,
@@ -304,7 +292,7 @@ impl CompletedTrace {
 /// path; capacity 0 disables tracing.
 pub struct FlightRecorder {
     cap: usize,
-    ring: Mutex<VecDeque<Arc<CompletedTrace>>>,
+    ring: PLock<VecDeque<Arc<CompletedTrace>>>,
 }
 
 impl FlightRecorder {
@@ -312,7 +300,7 @@ impl FlightRecorder {
     pub fn new(cap: usize) -> FlightRecorder {
         FlightRecorder {
             cap,
-            ring: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+            ring: PLock::new("obs.recorder.ring", VecDeque::with_capacity(cap.min(1024))),
         }
     }
 
@@ -328,7 +316,7 @@ impl FlightRecorder {
 
     /// Retained trace count.
     pub fn len(&self) -> usize {
-        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.ring.lock().len()
     }
 
     /// Whether the ring is empty.
@@ -341,7 +329,7 @@ impl FlightRecorder {
         if self.cap == 0 {
             return;
         }
-        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ring = self.ring.lock();
         if ring.len() >= self.cap {
             ring.pop_front();
         }
@@ -350,13 +338,13 @@ impl FlightRecorder {
 
     /// The retained traces, most recent first.
     pub fn index(&self) -> Vec<Arc<CompletedTrace>> {
-        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = self.ring.lock();
         ring.iter().rev().cloned().collect()
     }
 
     /// Looks up one retained trace by ID.
     pub fn get(&self, id: u64) -> Option<Arc<CompletedTrace>> {
-        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = self.ring.lock();
         ring.iter().find(|t| t.id == id).cloned()
     }
 }

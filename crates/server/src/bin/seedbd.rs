@@ -18,8 +18,10 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("request") {
-        return run_client(&args[1..]);
+    if let Some((first, rest)) = args.split_first() {
+        if first == "request" {
+            return run_client(rest);
+        }
     }
     run_daemon(&args)
 }

@@ -11,9 +11,10 @@
 
 use seedb_core::cache::{CachedPartial, ViewCache};
 use seedb_engine::GroupedResult;
+use seedb_util::PLock;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A cached value: either a finished response body or a per-view partial.
 #[derive(Clone)]
@@ -82,7 +83,7 @@ pub struct CacheStats {
 /// `Mutex`-serialized; entries are shared out as `Arc`s so hits are
 /// zero-copy.
 pub struct RecCache {
-    inner: Mutex<Inner>,
+    inner: PLock<Inner>,
     budget: usize,
     stats: CacheStats,
 }
@@ -91,12 +92,15 @@ impl RecCache {
     /// A cache bounded to roughly `budget_bytes` of entry payload.
     pub fn new(budget_bytes: usize) -> Self {
         RecCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                recency: BTreeMap::new(),
-                clock: 0,
-                bytes: 0,
-            }),
+            inner: PLock::new(
+                "server.rec_cache",
+                Inner {
+                    map: HashMap::new(),
+                    recency: BTreeMap::new(),
+                    clock: 0,
+                    bytes: 0,
+                },
+            ),
             budget: budget_bytes.max(1),
             stats: CacheStats::default(),
         }
@@ -114,7 +118,7 @@ impl RecCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").map.len()
+        self.inner.lock().map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -124,12 +128,12 @@ impl RecCache {
 
     /// Approximate resident bytes.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").bytes
+        self.inner.lock().bytes
     }
 
     /// Looks `key` up, refreshing its recency on hit.
     pub fn get(&self, key: &str) -> Option<CacheValue> {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         inner.clock += 1;
         let tick = inner.clock;
         match inner.map.get_mut(key) {
@@ -157,7 +161,7 @@ impl RecCache {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         if let Some(old) = inner.map.remove(key) {
             inner.recency.remove(&old.tick);
             inner.bytes -= old.size;
@@ -166,8 +170,15 @@ impl RecCache {
             let Some((&oldest, _)) = inner.recency.iter().next() else {
                 break;
             };
-            let victim_key = inner.recency.remove(&oldest).expect("tick present");
-            let victim = inner.map.remove(&victim_key).expect("key present");
+            // recency and map are maintained in lockstep; if they ever
+            // disagree, stop evicting (one oversized round) rather than
+            // panic while holding the cache lock.
+            let Some(victim_key) = inner.recency.remove(&oldest) else {
+                break;
+            };
+            let Some(victim) = inner.map.remove(&victim_key) else {
+                break;
+            };
             inner.bytes -= victim.size;
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -181,7 +192,7 @@ impl RecCache {
 
     /// Drops every entry (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         inner.map.clear();
         inner.recency.clear();
         inner.bytes = 0;
@@ -189,7 +200,7 @@ impl RecCache {
 
     /// Resident keys ordered least- to most-recently used (test/debug aid).
     pub fn keys_lru_order(&self) -> Vec<String> {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = self.inner.lock();
         inner.recency.values().cloned().collect()
     }
 }

@@ -26,10 +26,11 @@ use seedb_data::Dataset;
 use seedb_engine::Predicate;
 use seedb_storage::{ColumnId, ColumnRole, StoreKind, TableBuilder};
 use seedb_util::Json;
+use seedb_util::PLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Why a catalog operation failed. Each variant maps to the HTTP status a
 /// route should answer with ([`CatalogError::status`]).
@@ -92,9 +93,9 @@ pub struct Catalog {
     /// Store layout for generated tables.
     kind: StoreKind,
     /// Built instances, keyed by `(name, rows)`.
-    built: Mutex<HashMap<(String, usize), Arc<Dataset>>>,
+    built: PLock<HashMap<(String, usize), Arc<Dataset>>>,
     /// Ingested instances, keyed by name; a re-upload replaces.
-    ingested: Mutex<HashMap<String, Ingested>>,
+    ingested: PLock<HashMap<String, Ingested>>,
     /// Fault-injection hook ([`crate::faults`]): milliseconds every
     /// cold build sleeps before generating. Zero (the default) is free.
     build_delay_ms: AtomicU64,
@@ -109,8 +110,8 @@ impl Catalog {
             default_rows: default_rows.clamp(1, max_rows),
             seed,
             kind: StoreKind::Column,
-            built: Mutex::new(HashMap::new()),
-            ingested: Mutex::new(HashMap::new()),
+            built: PLock::new("server.catalog.built", HashMap::new()),
+            ingested: PLock::new("server.catalog.ingested", HashMap::new()),
             build_delay_ms: AtomicU64::new(0),
         }
     }
@@ -161,7 +162,7 @@ impl Catalog {
             .ok_or_else(|| CatalogError::UnknownDataset(name.to_owned()))?;
         let rows = rows.clamp(1, self.max_rows).min(info.rows);
         let key = (name.to_owned(), rows);
-        if let Some(ds) = self.built.lock().expect("catalog lock poisoned").get(&key) {
+        if let Some(ds) = self.built.lock().get(&key) {
             return Ok(ds.clone());
         }
         // Generate outside the lock: builds take seconds at large scales
@@ -176,10 +177,7 @@ impl Catalog {
         let ds = generate_by_name(name, scale, self.seed, self.kind)
             .ok_or_else(|| CatalogError::NoGenerator(name.to_owned()))?;
         let ds = Arc::new(ds);
-        self.built
-            .lock()
-            .expect("catalog lock poisoned")
-            .insert(key, ds.clone());
+        self.built.lock().insert(key, ds.clone());
         Ok(ds)
     }
 
@@ -215,11 +213,15 @@ impl Catalog {
                  (numeric column); inferred {n_dims} dimension(s) and {n_measures} measure(s)"
             )));
         }
-        let target_col = parsed
+        let Some(target_col) = parsed
             .defs
             .iter()
             .position(|d| d.role == ColumnRole::Dimension)
-            .expect("checked above");
+        else {
+            // Unreachable given the n_dims check above, but a malformed
+            // upload must never panic the serving path.
+            return Err(CatalogError::BadCsv("no dimension column".into()));
+        };
 
         let mut builder =
             TableBuilder::try_new(parsed.defs).map_err(|e| CatalogError::BadCsv(e.to_string()))?;
@@ -246,7 +248,7 @@ impl Catalog {
             target,
             task: "ingested".to_owned(),
         });
-        self.ingested.lock().expect("catalog lock poisoned").insert(
+        self.ingested.lock().insert(
             name.to_owned(),
             Ingested {
                 dataset: dataset.clone(),
@@ -258,28 +260,16 @@ impl Catalog {
 
     /// The ingested dataset named `name`, if any.
     pub fn ingested_dataset(&self, name: &str) -> Option<Arc<Dataset>> {
-        self.ingested
-            .lock()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .map(|i| i.dataset.clone())
+        self.ingested.lock().get(name).map(|i| i.dataset.clone())
     }
 
     /// Content fingerprint of the ingested dataset named `name`, if any.
     pub fn ingested_fingerprint(&self, name: &str) -> Option<u64> {
-        self.ingested
-            .lock()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .map(|i| i.fingerprint)
+        self.ingested.lock().get(name).map(|i| i.fingerprint)
     }
 
     fn ingested_rows(&self, name: &str) -> Option<usize> {
-        self.ingested
-            .lock()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .map(|i| i.dataset.rows())
+        self.ingested.lock().get(name).map(|i| i.dataset.rows())
     }
 
     /// Names of instances built so far, as `name@rows` (generated) and
@@ -288,14 +278,12 @@ impl Catalog {
         let mut names: Vec<String> = self
             .built
             .lock()
-            .expect("catalog lock poisoned")
             .keys()
             .map(|(name, rows)| format!("{name}@{rows}"))
             .collect();
         names.extend(
             self.ingested
                 .lock()
-                .expect("catalog lock poisoned")
                 .values()
                 .map(|i| format!("{}@{} (ingested)", i.dataset.name, i.dataset.rows())),
         );
@@ -320,7 +308,7 @@ impl Catalog {
             })
             .collect();
         let ingested: Vec<Json> = {
-            let guard = self.ingested.lock().expect("catalog lock poisoned");
+            let guard = self.ingested.lock();
             let mut entries: Vec<&Ingested> = guard.values().collect();
             entries.sort_by(|a, b| a.dataset.name.cmp(&b.dataset.name));
             entries

@@ -111,8 +111,11 @@ fn typed_value(raw: &str, ty: ColumnType) -> Value {
         return Value::Null;
     }
     match ty {
-        ColumnType::Int64 => Value::Int(raw.parse().expect("inferred Int64")),
-        ColumnType::Float64 => Value::Float(raw.parse().expect("inferred Float64")),
+        // Type inference proved every non-empty value parses, so the
+        // fallback arm is unreachable — but a parser disagreement must
+        // degrade to a NULL cell, never panic an ingest.
+        ColumnType::Int64 => raw.parse().map_or(Value::Null, Value::Int),
+        ColumnType::Float64 => raw.parse().map_or(Value::Null, Value::Float),
         ColumnType::Bool => Value::Bool(raw.eq_ignore_ascii_case("true")),
         ColumnType::Categorical => Value::Str(raw.to_owned()),
     }
@@ -138,8 +141,16 @@ pub fn parse_csv(text: &str) -> Result<CsvTable, String> {
         }
     }
 
+    // Record widths were validated against the header above, so `get`
+    // never actually misses; the empty-string fallback keeps the width
+    // invariant local instead of trusting it with a panic.
     let types: Vec<ColumnType> = (0..ncols)
-        .map(|c| infer_type(data.iter().map(move |r| r[c].as_str())))
+        .map(|c| {
+            infer_type(
+                data.iter()
+                    .map(move |r| r.get(c).map_or("", String::as_str)),
+            )
+        })
         .collect();
     let defs: Vec<ColumnDef> = header
         .iter()

@@ -11,7 +11,7 @@ use seedb_core::{
 use seedb_engine::{BudgetLease, ExecStats, Predicate, TraceCtx, WorkerBudget};
 use seedb_obs::{Obs, PromText};
 use seedb_sql::{parser::parse_expr, Planner};
-use seedb_util::Json;
+use seedb_util::{Json, PLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,7 +27,7 @@ pub use seedb_obs::LatencyHisto;
 const LEASE_WAIT: Duration = Duration::from_millis(250);
 
 /// Request/latency counters exposed at `GET /statz`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     /// Total HTTP requests handled (any route).
     pub requests: AtomicU64,
@@ -54,7 +54,7 @@ pub struct ServerStats {
     /// Plan summary and per-phase timings of the most recent engine run
     /// (cache hits don't execute, so they don't overwrite it). Surfaced
     /// at `GET /statz` as the operator's view of what the planner chose.
-    pub last_run: std::sync::Mutex<(String, Vec<u64>)>,
+    pub last_run: PLock<(String, Vec<u64>)>,
     /// Connections shed at the accept loop because the admission queue
     /// was full (incremented by the server, not the router).
     pub sheds: AtomicU64,
@@ -85,6 +85,35 @@ pub struct ServerStats {
     /// Time connections spent waiting in the admission queue before a
     /// worker picked them up.
     pub admission_wait_histo: LatencyHisto,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            recommends_ok: AtomicU64::new(0),
+            recommends_err: AtomicU64::new(0),
+            response_hits: AtomicU64::new(0),
+            response_misses: AtomicU64::new(0),
+            response_bypass: AtomicU64::new(0),
+            miss_us_total: AtomicU64::new(0),
+            hit_us_total: AtomicU64::new(0),
+            bypass_us_total: AtomicU64::new(0),
+            last_run: PLock::new("server.stats.last_run", (String::new(), Vec::new())),
+            sheds: AtomicU64::new(0),
+            shed_busy: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            lease_waits: AtomicU64::new(0),
+            recommend_histo: LatencyHisto::default(),
+            datasets_histo: LatencyHisto::default(),
+            other_histo: LatencyHisto::default(),
+            queue_depth: AtomicU64::new(0),
+            queue_capacity: AtomicU64::new(0),
+            admission_wait_histo: LatencyHisto::default(),
+        }
+    }
 }
 
 /// Everything a request handler needs, shared across connections.
@@ -172,10 +201,11 @@ fn statz(state: &AppState) -> Response {
     let s = &state.stats;
     let c = state.cache.stats();
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-    // A thread that panicked while holding the lock leaves the data
-    // perfectly usable (it's a plain clone-out); recovering beats turning
-    // every future /statz into a 500-by-panic.
-    let last_run = s.last_run.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    // `PLock` recovers from poisoning: a thread that panicked while
+    // holding the lock leaves the data perfectly usable (it's a plain
+    // clone-out), and recovering beats turning every future /statz into a
+    // 500-by-panic.
+    let last_run = s.last_run.lock().clone();
     Response::json(
         Json::obj()
             .set("requests", load(&s.requests))
@@ -471,10 +501,12 @@ fn ingest(state: &AppState, req: &Request) -> Response {
     match state.catalog.ingest_csv(&name, &csv) {
         Ok(ds) => {
             let (dims, measures, views) = ds.shape();
-            let fp = state
-                .catalog
-                .ingested_fingerprint(&name)
-                .expect("just ingested");
+            // Racing re-uploads of the same name can in principle remove
+            // and replace the entry between ingest and this readback;
+            // answer 500 rather than panicking the connection worker.
+            let Some(fp) = state.catalog.ingested_fingerprint(&name) else {
+                return Response::error(500, "ingested dataset vanished during readback");
+            };
             Response::json(
                 Json::obj()
                     .set("name", ds.name.as_str())
@@ -886,11 +918,7 @@ fn degraded_response(
 /// Poison recovery mirrors `/statz`'s read side: the tuple assignment
 /// cannot leave the data half-written in any state a reader would see.
 fn record_last_run(state: &AppState, stats: &ExecStats) {
-    let mut last = state
-        .stats
-        .last_run
-        .lock()
-        .unwrap_or_else(|e| e.into_inner());
+    let mut last = state.stats.last_run.lock();
     *last = (stats.plan_summary.clone(), stats.phase_times_us.clone());
 }
 
@@ -1468,7 +1496,7 @@ mod tests {
         let s = std::sync::Arc::new(state());
         let s2 = s.clone();
         let _ = std::thread::spawn(move || {
-            let _guard = s2.stats.last_run.lock().unwrap();
+            let _guard = s2.stats.last_run.lock();
             panic!("poison the stats lock");
         })
         .join();

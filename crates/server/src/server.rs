@@ -24,11 +24,12 @@ use seedb_engine::parallel::default_parallelism;
 use seedb_engine::{TraceCtx, WorkerBudget};
 use seedb_obs::{LogLevel, Logger, Obs, DEFAULT_TRACE_BUFFER};
 use seedb_util::Json;
+use seedb_util::PLock;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// How long each write (and each post-envelope drain read) of a shed
@@ -239,7 +240,7 @@ impl Server {
 /// straight back for shedding); `pop` blocks until work arrives or the
 /// queue closes, then drains whatever was already admitted.
 struct ConnQueue {
-    inner: Mutex<QueueInner>,
+    inner: PLock<QueueInner>,
     cv: Condvar,
     cap: usize,
 }
@@ -252,10 +253,13 @@ struct QueueInner {
 impl ConnQueue {
     fn new(cap: usize) -> ConnQueue {
         ConnQueue {
-            inner: Mutex::new(QueueInner {
-                deque: VecDeque::new(),
-                closed: false,
-            }),
+            inner: PLock::new(
+                "server.conn_queue",
+                QueueInner {
+                    deque: VecDeque::new(),
+                    closed: false,
+                },
+            ),
             cv: Condvar::new(),
             cap: cap.max(1),
         }
@@ -265,7 +269,7 @@ impl ConnQueue {
     /// closed) so the caller can shed it. The enqueue instant rides along
     /// so the popping worker can account the admission wait to the trace.
     fn push(&self, stream: TcpStream, conn: u64, trace: TraceCtx) -> Result<(), TcpStream> {
-        let mut q = self.inner.lock().expect("conn queue poisoned");
+        let mut q = self.inner.lock();
         if q.closed || q.deque.len() >= self.cap {
             return Err(stream);
         }
@@ -277,7 +281,7 @@ impl ConnQueue {
 
     /// The next admitted connection; `None` once closed and drained.
     fn pop(&self) -> Option<(TcpStream, u64, TraceCtx, Instant)> {
-        let mut q = self.inner.lock().expect("conn queue poisoned");
+        let mut q = self.inner.lock();
         loop {
             if let Some(item) = q.deque.pop_front() {
                 return Some(item);
@@ -285,12 +289,12 @@ impl ConnQueue {
             if q.closed {
                 return None;
             }
-            q = self.cv.wait(q).expect("conn queue poisoned");
+            q = q.wait(&self.cv);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("conn queue poisoned").closed = true;
+        self.inner.lock().closed = true;
         self.cv.notify_all();
     }
 }

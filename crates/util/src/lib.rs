@@ -6,5 +6,7 @@
 //! writer — lives here instead of being pulled in as an external crate.
 
 pub mod json;
+pub mod plock;
 
 pub use json::Json;
+pub use plock::{PLock, PLockGuard};
